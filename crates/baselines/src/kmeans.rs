@@ -1,0 +1,357 @@
+//! Centralized re-clustering from scratch (the paper's §1 strawman).
+//!
+//! A coordinator collects every peer's content profile (global
+//! knowledge), runs spherical k-means with deterministic farthest-point
+//! seeding, and broadcasts the new assignment. The message ledger records
+//! the full cost of this approach: `|P|` profile uploads plus `|P|`
+//! assignment downloads per invocation — the communication the local
+//! protocol avoids.
+
+use rand::Rng;
+use recluster_core::System;
+use recluster_overlay::{MsgKind, SimNetwork};
+use recluster_types::{seeded_rng, ClusterId, PeerId};
+
+use crate::profiles::{cosine, peer_profile, PeerProfile};
+
+/// Configuration for the re-clustering baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters to form.
+    pub k: usize,
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Seed for the initial centroid choice.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 10,
+            max_iters: 50,
+            seed: 7,
+        }
+    }
+}
+
+/// The result of one global re-clustering.
+#[derive(Debug, Clone)]
+pub struct KMeansOutcome {
+    /// Final cluster index per live peer (positions follow peer ids; the
+    /// entry for a departed peer is `usize::MAX`).
+    pub assignments: Vec<usize>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether assignment reached a fixed point within the budget.
+    pub converged: bool,
+}
+
+/// Re-clusters the whole system from scratch, *overwriting* the overlay's
+/// assignment: peers with cluster index `i` land in cluster slot `i`.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the overlay's `Cmax`.
+pub fn recluster_kmeans(
+    system: &mut System,
+    config: KMeansConfig,
+    net: &mut SimNetwork,
+) -> KMeansOutcome {
+    assert!(config.k > 0, "k must be positive");
+    assert!(
+        config.k <= system.overlay().cmax(),
+        "k exceeds the cluster-slot budget Cmax"
+    );
+
+    let peers: Vec<PeerId> = system.overlay().peers().collect();
+    let profiles: Vec<PeerProfile> = peers
+        .iter()
+        .map(|&p| {
+            let prof = peer_profile(system.store(), p);
+            // Profile upload to the coordinator.
+            net.send(MsgKind::GlobalBroadcast, prof.wire_bytes());
+            prof
+        })
+        .collect();
+
+    let mut rng = seeded_rng(config.seed);
+    let mut centroids = init_centroids(&profiles, config.k, &mut rng);
+    let mut assignment = vec![0usize; profiles.len()];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assign step.
+        let mut changed = false;
+        for (i, prof) in profiles.iter().enumerate() {
+            let best = nearest_centroid(prof, &centroids);
+            if best != assignment[i] {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            converged = true;
+            break;
+        }
+        // Update step: mean of member profiles (sparse accumulation).
+        centroids = recompute_centroids(&profiles, &assignment, config.k, &centroids);
+    }
+
+    // Broadcast the assignment and rewrite the overlay.
+    let moves: Vec<(PeerId, ClusterId)> = peers
+        .iter()
+        .zip(&assignment)
+        .map(|(&p, &c)| {
+            net.send(MsgKind::GlobalBroadcast, 8);
+            (p, ClusterId::from_index(c))
+        })
+        .collect();
+    system.move_peers(&moves);
+
+    let mut dense = vec![usize::MAX; system.overlay().n_slots()];
+    for (p, a) in peers.iter().zip(&assignment) {
+        dense[p.index()] = *a;
+    }
+    KMeansOutcome {
+        assignments: dense,
+        iterations,
+        converged,
+    }
+}
+
+/// Farthest-point ("k-means++-lite") seeding: the first centroid is a
+/// random profile; each next centroid is the profile least similar to its
+/// nearest existing centroid. Deterministic given the RNG.
+fn init_centroids<R: Rng + ?Sized>(
+    profiles: &[PeerProfile],
+    k: usize,
+    rng: &mut R,
+) -> Vec<PeerProfile> {
+    assert!(!profiles.is_empty(), "cannot cluster zero peers");
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(profiles[rng.gen_range(0..profiles.len())].clone());
+    while centroids.len() < k {
+        let far = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let best = centroids
+                    .iter()
+                    .map(|c| cosine(p, c))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                (i, best)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i)
+            .expect("non-empty profiles");
+        centroids.push(profiles[far].clone());
+    }
+    centroids
+}
+
+fn nearest_centroid(profile: &PeerProfile, centroids: &[PeerProfile]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .max_by(|(ai, a), (bi, b)| {
+            cosine(profile, a)
+                .partial_cmp(&cosine(profile, b))
+                .unwrap()
+                .then(bi.cmp(ai)) // prefer the lower index on ties
+        })
+        .map(|(i, _)| i)
+        .expect("at least one centroid")
+}
+
+fn recompute_centroids(
+    profiles: &[PeerProfile],
+    assignment: &[usize],
+    k: usize,
+    previous: &[PeerProfile],
+) -> Vec<PeerProfile> {
+    let mut sums: Vec<std::collections::BTreeMap<recluster_types::Sym, f64>> =
+        vec![Default::default(); k];
+    let mut counts = vec![0usize; k];
+    for (prof, &a) in profiles.iter().zip(assignment) {
+        counts[a] += 1;
+        for &(sym, w) in &prof.entries {
+            *sums[a].entry(sym).or_insert(0.0) += w;
+        }
+    }
+    sums.into_iter()
+        .enumerate()
+        .map(|(i, sum)| {
+            if counts[i] == 0 {
+                // Empty cluster keeps its previous centroid.
+                previous[i].clone()
+            } else {
+                PeerProfile {
+                    entries: sum
+                        .into_iter()
+                        .map(|(s, w)| (s, w / counts[i] as f64))
+                        .collect(),
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_core::GameConfig;
+    use recluster_overlay::{ContentStore, Overlay};
+    use recluster_types::{Document, Sym, Workload};
+
+    /// 6 peers in two obvious content groups: {0,1,2} on Sym(1..3),
+    /// {3,4,5} on Sym(10..12); starts from singleton clusters.
+    fn two_blob_system() -> System {
+        let ov = Overlay::singletons(6);
+        let mut store = ContentStore::new(6);
+        for i in 0..3u32 {
+            store.add(PeerId(i), Document::new(vec![Sym(1), Sym(2), Sym(3)]));
+            store.add(PeerId(i), Document::new(vec![Sym(1 + i)]));
+        }
+        for i in 3..6u32 {
+            store.add(PeerId(i), Document::new(vec![Sym(10), Sym(11), Sym(12)]));
+            store.add(PeerId(i), Document::new(vec![Sym(7 + i)]));
+        }
+        System::new(
+            ov,
+            store,
+            vec![Workload::new(); 6],
+            GameConfig::default(),
+        )
+    }
+
+    #[test]
+    fn kmeans_recovers_the_two_blobs() {
+        let mut sys = two_blob_system();
+        let mut net = SimNetwork::new();
+        let outcome = recluster_kmeans(
+            &mut sys,
+            KMeansConfig {
+                k: 2,
+                max_iters: 20,
+                seed: 1,
+            },
+            &mut net,
+        );
+        let a = &outcome.assignments;
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[1], a[2]);
+        assert_eq!(a[3], a[4]);
+        assert_eq!(a[4], a[5]);
+        assert_ne!(a[0], a[3]);
+        assert!(outcome.converged);
+        sys.overlay().check_invariants().unwrap();
+        assert_eq!(sys.overlay().non_empty_clusters(), 2);
+    }
+
+    #[test]
+    fn kmeans_charges_global_traffic() {
+        let mut sys = two_blob_system();
+        let mut net = SimNetwork::new();
+        let _ = recluster_kmeans(
+            &mut sys,
+            KMeansConfig {
+                k: 2,
+                max_iters: 20,
+                seed: 1,
+            },
+            &mut net,
+        );
+        // 6 uploads + 6 assignment downloads.
+        assert_eq!(net.messages(MsgKind::GlobalBroadcast), 12);
+        assert!(net.bytes(MsgKind::GlobalBroadcast) > 0);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_for_a_seed() {
+        let run = |seed| {
+            let mut sys = two_blob_system();
+            let mut net = SimNetwork::new();
+            recluster_kmeans(
+                &mut sys,
+                KMeansConfig {
+                    k: 2,
+                    max_iters: 20,
+                    seed,
+                },
+                &mut net,
+            )
+            .assignments
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn k_equal_one_merges_everyone() {
+        let mut sys = two_blob_system();
+        let mut net = SimNetwork::new();
+        let outcome = recluster_kmeans(
+            &mut sys,
+            KMeansConfig {
+                k: 1,
+                max_iters: 5,
+                seed: 2,
+            },
+            &mut net,
+        );
+        assert!(outcome.assignments[..6].iter().all(|&a| a == 0));
+        assert_eq!(sys.overlay().non_empty_clusters(), 1);
+    }
+
+    #[test]
+    fn departed_peers_are_skipped() {
+        let mut sys = two_blob_system();
+        sys.overlay_mut().unassign(PeerId(5));
+        sys.refresh_mass();
+        let mut net = SimNetwork::new();
+        let outcome = recluster_kmeans(
+            &mut sys,
+            KMeansConfig {
+                k: 2,
+                max_iters: 10,
+                seed: 3,
+            },
+            &mut net,
+        );
+        assert_eq!(outcome.assignments[5], usize::MAX);
+        assert_eq!(sys.overlay().cluster_of(PeerId(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let mut sys = two_blob_system();
+        let mut net = SimNetwork::new();
+        let _ = recluster_kmeans(
+            &mut sys,
+            KMeansConfig {
+                k: 0,
+                max_iters: 1,
+                seed: 0,
+            },
+            &mut net,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cluster-slot budget")]
+    fn oversized_k_panics() {
+        let mut sys = two_blob_system();
+        let mut net = SimNetwork::new();
+        let _ = recluster_kmeans(
+            &mut sys,
+            KMeansConfig {
+                k: 99,
+                max_iters: 1,
+                seed: 0,
+            },
+            &mut net,
+        );
+    }
+}

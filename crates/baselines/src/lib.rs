@@ -1,0 +1,29 @@
+//! Baseline comparators for the reformulation protocol.
+//!
+//! The paper motivates local, game-driven maintenance against the obvious
+//! alternative: "re-apply the clustering procedure that was used to form
+//! the original overlay from scratch […] However, this incurs large
+//! communication costs. It also requires global knowledge about the
+//! system state" (§1). This crate provides that strawman and two null
+//! baselines so the claim can be measured:
+//!
+//! * [`profiles`] — per-peer term-frequency profiles and cosine
+//!   similarity (the feature space for content clustering).
+//! * [`kmeans`] — centralized k-means re-clustering from scratch with
+//!   global-knowledge message accounting.
+//! * [`random_walk`] — a random-relocation strategy (null hypothesis for
+//!   the gain-driven strategies).
+//! * [`noop`] — no maintenance at all (the "do nothing" lower bound).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kmeans;
+pub mod noop;
+pub mod profiles;
+pub mod random_walk;
+
+pub use kmeans::{recluster_kmeans, KMeansConfig, KMeansOutcome};
+pub use noop::NoMaintenance;
+pub use profiles::{cosine, peer_profile, PeerProfile};
+pub use random_walk::RandomStrategy;

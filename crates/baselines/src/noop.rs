@@ -1,0 +1,61 @@
+//! The no-maintenance baseline.
+//!
+//! Never proposes a move. Running the protocol with this strategy costs
+//! only heartbeat traffic and leaves the overlay exactly as the updates
+//! degraded it — the lower bound every maintenance scheme is measured
+//! against.
+
+use recluster_core::{Proposal, RelocationStrategy, System};
+use recluster_types::PeerId;
+
+/// A strategy that never relocates anyone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMaintenance;
+
+impl RelocationStrategy for NoMaintenance {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn propose(&self, _system: &System, _peer: PeerId, _allow_empty: bool) -> Option<Proposal> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_core::{GameConfig, ProtocolConfig, ProtocolEngine};
+    use recluster_overlay::{ContentStore, Overlay, SimNetwork};
+    use recluster_types::Workload;
+
+    #[test]
+    fn never_proposes() {
+        let sys = System::new(
+            Overlay::singletons(3),
+            ContentStore::new(3),
+            vec![Workload::new(); 3],
+            GameConfig::default(),
+        );
+        for i in 0..3 {
+            assert!(NoMaintenance.propose(&sys, PeerId(i), true).is_none());
+        }
+    }
+
+    #[test]
+    fn protocol_terminates_immediately_with_overlay_untouched() {
+        let mut sys = System::new(
+            Overlay::singletons(4),
+            ContentStore::new(4),
+            vec![Workload::new(); 4],
+            GameConfig::default(),
+        );
+        let before = sys.overlay().clone();
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(NoMaintenance, ProtocolConfig::default());
+        let outcome = engine.run(&mut sys, &mut net);
+        assert!(outcome.converged);
+        assert_eq!(outcome.rounds_to_converge(), 0);
+        assert_eq!(sys.overlay(), &before);
+    }
+}

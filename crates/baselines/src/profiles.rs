@@ -1,0 +1,151 @@
+//! Peer content profiles.
+//!
+//! The global re-clustering baseline needs a feature space: each peer is
+//! summarized by a sparse term-frequency vector over the attribute
+//! vocabulary (document frequency of each attribute in the peer's
+//! store), compared with cosine similarity — the standard representation
+//! the semantic-overlay literature cited by the paper uses.
+
+use recluster_overlay::ContentStore;
+use recluster_types::{PeerId, Sym};
+
+/// A sparse, L2-normalizable term-frequency profile: sorted
+/// `(attribute, count)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeerProfile {
+    /// Sorted `(attribute, weight)` entries.
+    pub entries: Vec<(Sym, f64)>,
+}
+
+impl PeerProfile {
+    /// The L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Number of nonzero dimensions.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate wire size in bytes (for message accounting).
+    pub fn wire_bytes(&self) -> u64 {
+        (self.entries.len() * 12) as u64
+    }
+}
+
+/// Builds the profile of one peer: for every attribute, the number of
+/// the peer's documents containing it.
+pub fn peer_profile(store: &ContentStore, peer: PeerId) -> PeerProfile {
+    let mut counts: std::collections::BTreeMap<Sym, f64> = std::collections::BTreeMap::new();
+    for doc in store.docs(peer) {
+        for &attr in doc.attrs() {
+            *counts.entry(attr).or_insert(0.0) += 1.0;
+        }
+    }
+    PeerProfile {
+        entries: counts.into_iter().collect(),
+    }
+}
+
+/// Cosine similarity between two sparse profiles; zero if either is
+/// empty.
+pub fn cosine(a: &PeerProfile, b: &PeerProfile) -> f64 {
+    let (na, nb) = (a.norm(), b.norm());
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.entries.len() && j < b.entries.len() {
+        match a.entries[i].0.cmp(&b.entries[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a.entries[i].1 * b.entries[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::Document;
+
+    fn store_with(docs: &[&[u32]]) -> ContentStore {
+        let mut store = ContentStore::new(1);
+        for d in docs {
+            store.add(
+                PeerId(0),
+                Document::new(d.iter().map(|&i| Sym(i)).collect()),
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn profile_counts_document_frequency() {
+        let store = store_with(&[&[1, 2], &[1, 3], &[1]]);
+        let p = peer_profile(&store, PeerId(0));
+        assert_eq!(p.entries, vec![(Sym(1), 3.0), (Sym(2), 1.0), (Sym(3), 1.0)]);
+        assert_eq!(p.nnz(), 3);
+    }
+
+    #[test]
+    fn cosine_of_identical_profiles_is_one() {
+        let store = store_with(&[&[1, 2], &[2, 3]]);
+        let p = peer_profile(&store, PeerId(0));
+        assert!((cosine(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_profiles_is_zero() {
+        let a = PeerProfile {
+            entries: vec![(Sym(1), 2.0)],
+        };
+        let b = PeerProfile {
+            entries: vec![(Sym(2), 3.0)],
+        };
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_handles_empty_profiles() {
+        let empty = PeerProfile::default();
+        let full = PeerProfile {
+            entries: vec![(Sym(1), 1.0)],
+        };
+        assert_eq!(cosine(&empty, &full), 0.0);
+        assert_eq!(cosine(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded() {
+        let a = PeerProfile {
+            entries: vec![(Sym(1), 1.0), (Sym(2), 2.0), (Sym(5), 1.0)],
+        };
+        let b = PeerProfile {
+            entries: vec![(Sym(2), 1.0), (Sym(5), 4.0), (Sym(9), 1.0)],
+        };
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&ab));
+    }
+
+    #[test]
+    fn wire_bytes_scales_with_nnz() {
+        let p = PeerProfile {
+            entries: vec![(Sym(1), 1.0), (Sym(2), 1.0)],
+        };
+        assert_eq!(p.wire_bytes(), 24);
+    }
+}

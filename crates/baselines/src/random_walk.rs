@@ -1,0 +1,140 @@
+//! Random relocation: the null baseline.
+//!
+//! Peers relocate to uniformly random clusters with a fixed probability,
+//! ignoring costs entirely. Any gain-driven strategy must beat this to
+//! claim its signal matters. The reported "gain" is a constant so the
+//! protocol's ranking and `ε` threshold remain well defined.
+
+use std::cell::Cell;
+
+use recluster_core::{Proposal, RelocationStrategy, System};
+use recluster_types::{ClusterId, PeerId};
+
+/// A strategy that proposes uniformly random moves with probability
+/// `move_prob`, using an internal deterministic PRNG stream.
+#[derive(Debug)]
+pub struct RandomStrategy {
+    move_prob: f64,
+    state: Cell<u64>,
+}
+
+impl RandomStrategy {
+    /// Creates a random strategy.
+    ///
+    /// # Panics
+    /// Panics if `move_prob` is outside `[0, 1]`.
+    pub fn new(move_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&move_prob),
+            "move_prob must be in [0, 1]"
+        );
+        RandomStrategy {
+            move_prob,
+            state: Cell::new(seed | 1),
+        }
+    }
+
+    /// SplitMix64 step over the interior state (the trait's `propose`
+    /// takes `&self`, so the stream lives in a `Cell`).
+    fn next_u64(&self) -> u64 {
+        let mut z = self.state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl RelocationStrategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&self, system: &System, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
+        if self.next_f64() >= self.move_prob {
+            return None;
+        }
+        let current = system.overlay().cluster_of(peer)?;
+        let candidates: Vec<ClusterId> = system
+            .overlay()
+            .cluster_ids()
+            .filter(|&c| c != current && (allow_empty || !system.overlay().cluster(c).is_empty()))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let to = candidates[(self.next_u64() % candidates.len() as u64) as usize];
+        Some(Proposal { to, gain: 1.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_core::GameConfig;
+    use recluster_overlay::{ContentStore, Overlay};
+    use recluster_types::Workload;
+
+    fn sys(n: usize) -> System {
+        System::new(
+            Overlay::singletons(n),
+            ContentStore::new(n),
+            vec![Workload::new(); n],
+            GameConfig::default(),
+        )
+    }
+
+    #[test]
+    fn zero_probability_never_moves() {
+        let s = RandomStrategy::new(0.0, 1);
+        let system = sys(4);
+        for i in 0..4 {
+            assert!(s.propose(&system, PeerId(i), true).is_none());
+        }
+    }
+
+    #[test]
+    fn certain_probability_always_proposes() {
+        let s = RandomStrategy::new(1.0, 1);
+        let system = sys(4);
+        for i in 0..4 {
+            let p = s.propose(&system, PeerId(i), true).unwrap();
+            assert_ne!(Some(p.to), system.overlay().cluster_of(PeerId(i)));
+        }
+    }
+
+    #[test]
+    fn respects_allow_empty() {
+        // Two peers in one cluster; all other clusters empty.
+        let mut system = sys(3);
+        system.move_peer(PeerId(1), ClusterId(0));
+        system.move_peer(PeerId(2), ClusterId(0));
+        let s = RandomStrategy::new(1.0, 2);
+        // Only empty clusters exist as alternatives → None when barred.
+        assert!(s.propose(&system, PeerId(0), false).is_none());
+        assert!(s.propose(&system, PeerId(0), true).is_some());
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let run = |seed| {
+            let s = RandomStrategy::new(0.5, seed);
+            let system = sys(6);
+            (0..6u32)
+                .map(|i| s.propose(&system, PeerId(i), true).map(|p| p.to))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "move_prob must be in [0, 1]")]
+    fn bad_probability_panics() {
+        let _ = RandomStrategy::new(1.5, 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion: cost-function evaluation — a single `pcost`, a full
+//! best-response sweep over all `Cmax` clusters (what one peer does per
+//! period), and the global `SCost` / `WCost` measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recluster_core::{
+    best_response, pcost, scost_normalized, wcost_normalized,
+};
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+use recluster_types::{ClusterId, PeerId};
+
+fn testbeds() -> Vec<(&'static str, recluster_sim::TestBed)> {
+    vec![
+        (
+            "small-40p",
+            build_system(
+                Scenario::SameCategory,
+                InitialConfig::RandomM,
+                &ExperimentConfig::small(3),
+            ),
+        ),
+        (
+            "paper-200p",
+            build_system(
+                Scenario::SameCategory,
+                InitialConfig::RandomM,
+                &ExperimentConfig::paper(3),
+            ),
+        ),
+    ]
+}
+
+fn bench_pcost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost/pcost_single");
+    for (label, tb) in testbeds() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &tb, |b, tb| {
+            b.iter(|| pcost(&tb.system, PeerId(0), ClusterId(0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost/best_response_sweep");
+    for (label, tb) in testbeds() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &tb, |b, tb| {
+            b.iter(|| best_response(&tb.system, PeerId(0), true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost/global");
+    for (label, tb) in testbeds() {
+        group.bench_with_input(BenchmarkId::new("scost", label), &tb, |b, tb| {
+            b.iter(|| scost_normalized(&tb.system))
+        });
+        group.bench_with_input(BenchmarkId::new("wcost", label), &tb, |b, tb| {
+            b.iter(|| wcost_normalized(&tb.system))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcost, bench_best_response, bench_global_costs);
+criterion_main!(benches);

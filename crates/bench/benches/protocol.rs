@@ -1,0 +1,62 @@
+//! Criterion: the reformulation protocol — one two-phase round per
+//! strategy, and a full convergence run on the scenario-1 testbed (the
+//! headline experiment of Table 1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use recluster_core::{ProtocolConfig, ProtocolEngine};
+use recluster_core::{AltruisticStrategy, SelfishStrategy};
+use recluster_overlay::SimNetwork;
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/round");
+    let cfg = ExperimentConfig::small(4);
+    let tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+
+    group.bench_with_input(BenchmarkId::from_parameter("selfish"), &tb, |b, tb| {
+        b.iter_batched(
+            || tb.system.clone(),
+            |mut sys| {
+                let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+                let mut net = SimNetwork::new();
+                engine.run_round(&mut sys, &mut net, 0)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("altruistic"), &tb, |b, tb| {
+        b.iter_batched(
+            || tb.system.clone(),
+            |mut sys| {
+                let mut engine =
+                    ProtocolEngine::new(AltruisticStrategy::new(), ProtocolConfig::default());
+                let mut net = SimNetwork::new();
+                engine.run_round(&mut sys, &mut net, 0)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/converge_scenario1");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::small(5);
+    let tb = build_system(Scenario::SameCategory, InitialConfig::Singletons, &cfg);
+    group.bench_with_input(BenchmarkId::from_parameter("selfish-40p"), &tb, |b, tb| {
+        b.iter_batched(
+            || tb.system.clone(),
+            |mut sys| {
+                let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+                let mut net = SimNetwork::new();
+                engine.run(&mut sys, &mut net)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_round, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Churn experiment (our extension of the §1 motivation): peers join and
+//! leave every period; the maintenance protocol repairs the overlay
+//! incrementally. Compares maintained vs. unmaintained social cost.
+
+use recluster_bench::{banner, seed_from_env, small_from_env};
+use recluster_sim::churn::{run_churn, ChurnConfig};
+use recluster_sim::report::{f3, render_table};
+use recluster_sim::runner::StrategyKind;
+use recluster_sim::scenario::ExperimentConfig;
+
+fn main() {
+    let seed = seed_from_env();
+    let small = small_from_env();
+    banner("Churn", "overlay maintenance under churn (our extension)", seed, small);
+    let cfg = if small {
+        ExperimentConfig::small(seed)
+    } else {
+        ExperimentConfig::paper(seed)
+    };
+
+    let base = ChurnConfig {
+        periods: 12,
+        leaves_per_period: if small { 1 } else { 4 },
+        joins_per_period: if small { 1 } else { 4 },
+        maintenance: Some(StrategyKind::Selfish),
+        max_rounds: 100,
+    };
+    let maintained = run_churn(&cfg, &base);
+    let unmaintained = run_churn(
+        &cfg,
+        &ChurnConfig {
+            maintenance: None,
+            ..base.clone()
+        },
+    );
+
+    let headers = [
+        "period",
+        "peers",
+        "scost(no maintenance)",
+        "scost(after churn)",
+        "scost(maintained)",
+        "moves",
+    ];
+    let rows: Vec<Vec<String>> = maintained
+        .iter()
+        .zip(unmaintained.iter())
+        .map(|(m, u)| {
+            vec![
+                m.period.to_string(),
+                m.peers.to_string(),
+                f3(u.scost_after_repair),
+                f3(m.scost_after_churn),
+                f3(m.scost_after_repair),
+                m.moves.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("Expected shape: without maintenance the cost drifts upward as newcomers");
+    println!("land in arbitrary clusters; with the selfish protocol each period's damage");
+    println!("is repaired and the cost stays near the ideal.");
+}

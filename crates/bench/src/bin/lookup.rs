@@ -1,0 +1,45 @@
+//! Lookup-cost sweep (the paper's §6 open issue): expected query cost
+//! as a function of the number of clusters and their sizes.
+
+use recluster_bench::{banner, seed_from_env, small_from_env};
+use recluster_sim::lookup::sweep_cluster_counts;
+use recluster_sim::report::{f3, render_table};
+use recluster_sim::scenario::ExperimentConfig;
+
+fn main() {
+    let seed = seed_from_env();
+    let small = small_from_env();
+    banner("Lookup cost", "the §6 open issue (our extension)", seed, small);
+    let cfg = if small {
+        ExperimentConfig::small(seed)
+    } else {
+        ExperimentConfig::paper(seed)
+    };
+
+    let counts: Vec<usize> = (1..=cfg.n_categories).collect();
+    let sweep = sweep_cluster_counts(&cfg, &counts);
+
+    let headers = [
+        "#clusters",
+        "mean size",
+        "flood msgs/query",
+        "E[probes to 1st hit]",
+        "in-cluster hit rate",
+    ];
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|c| {
+            vec![
+                c.clusters.to_string(),
+                f3(c.mean_cluster_size),
+                f3(c.flood_messages),
+                f3(c.expected_first_hit_probes),
+                f3(c.in_cluster_hit_rate),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("Trade-off: fewer clusters mean cheaper lookups (fewer forwards, local");
+    println!("answers) but a larger membership cost per peer — the tension the game's");
+    println!("α parameter arbitrates.");
+}

@@ -1,0 +1,71 @@
+//! Shared helpers for the experiment binaries and Criterion benches of
+//! the `recluster` reproduction.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation (§4):
+//!
+//! | binary      | artifact  | content |
+//! |-------------|-----------|---------|
+//! | `table1`    | Table 1   | rounds / #clusters / SCost / WCost per scenario × init × strategy |
+//! | `fig1`      | Figure 1  | per-round social & workload cost, scenario 1 |
+//! | `fig2`      | Figure 2  | social cost vs. fraction of updated peers / workload |
+//! | `fig3`      | Figure 3  | social cost vs. fraction of updated peers / data |
+//! | `fig4`      | Figure 4  | individual cost vs. workload change for α ∈ {0,1,2} |
+//! | `baselines` | (ours)    | local protocol vs. k-means / random / none |
+//!
+//! The Criterion benches under `benches/` measure the protocol's compute
+//! costs and ablate design choices (θ shape, ε, hybrid λ, lock rule).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+
+/// Seed used by all experiment binaries unless overridden by the
+/// `RECLUSTER_SEED` environment variable.
+pub const DEFAULT_SEED: u64 = 2008;
+
+/// Reads the experiment seed (`RECLUSTER_SEED`, default
+/// [`DEFAULT_SEED`]).
+pub fn seed_from_env() -> u64 {
+    env::var("RECLUSTER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Whether to run the miniature testbed instead of the paper-scale one
+/// (`RECLUSTER_SMALL=1`); keeps CI and demo runs fast.
+pub fn small_from_env() -> bool {
+    env::var("RECLUSTER_SMALL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(name: &str, paper_ref: &str, seed: u64, small: bool) {
+    println!("=== {name} — reproduces {paper_ref} ===");
+    println!(
+        "seed={seed} scale={} (set RECLUSTER_SEED / RECLUSTER_SMALL=1 to vary)",
+        if small {
+            "small (40 peers, 4 categories)"
+        } else {
+            "paper (200 peers, 10 categories)"
+        }
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_seed_is_stable() {
+        assert_eq!(DEFAULT_SEED, 2008);
+    }
+
+    #[test]
+    fn env_seed_parsing_has_a_fallback() {
+        let seed = seed_from_env();
+        assert!(seed > 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Global quality criteria: social cost and workload cost (§2.2).
+//!
+//! `SCost(S) = Σ_p pcost(p, s_p)` (Eq. 2) weighs every peer equally;
+//! `WCost(S)` (Eq. 3) re-weights each query by its frequency in the
+//! *global* workload, so "more demanding peers […] are more important
+//! than low demanding ones". The experiments report both, normalized —
+//! we divide by `|P|` (the mean individual cost), which reproduces the
+//! paper's value of `0.1` for the ideal 10-cluster configuration of 200
+//! peers at `α = 1` with linear `θ` (`20/200 = 0.1`).
+
+use crate::cost::{pcost_current, recall_loss};
+use crate::system::System;
+
+/// `SCost(S)` (Eq. 2): the sum of all individual costs.
+pub fn scost(system: &System) -> f64 {
+    system
+        .overlay()
+        .peers()
+        .map(|p| pcost_current(system, p))
+        .sum()
+}
+
+/// Normalized social cost: `SCost / |P|` (the mean individual cost).
+pub fn scost_normalized(system: &System) -> f64 {
+    let n = system.n_peers();
+    if n == 0 {
+        0.0
+    } else {
+        scost(system) / n as f64
+    }
+}
+
+/// The two terms of `SCost` separately: `(membership, recall)`. Useful
+/// for Property-1 checks and for the `α`-ablation benches.
+pub fn scost_terms(system: &System) -> (f64, f64) {
+    let recall: f64 = system
+        .overlay()
+        .peers()
+        .map(|p| {
+            let cid = system.overlay().cluster_of(p).expect("live peer");
+            recall_loss(system, p, cid)
+        })
+        .sum();
+    (scost(system) - recall, recall)
+}
+
+/// The membership term of `WCost` (Eq. 3, first term):
+/// `α · Σ_c |c|·θ(|c|) / |P|` — each cluster's maintenance cost counted
+/// once per member (equal to the membership term of `SCost`, §2.2).
+pub fn wcost_membership_term(system: &System) -> f64 {
+    let cfg = system.config();
+    let n_peers = system.n_peers();
+    if n_peers == 0 {
+        return 0.0;
+    }
+    system
+        .overlay()
+        .cluster_ids()
+        .map(|c| {
+            let size = system.overlay().size(c);
+            size as f64 * cfg.theta.cost(size) / n_peers as f64
+        })
+        .sum::<f64>()
+        * cfg.alpha
+}
+
+/// `WCost(S)` (Eq. 3).
+///
+/// First term: `α · Σ_c |c|·θ(|c|) / |P|` — each cluster's maintenance
+/// cost counted once per member. Second term: every query occurrence in
+/// the global workload `Q` weighted equally,
+/// `(1/num(Q)) Σ_pi Σ_q num(q, Q(pi)) · Σ_{pj ∉ P(s_i)} r(q, pj)`
+/// (the simplification derived in §2.2).
+pub fn wcost(system: &System) -> f64 {
+    wcost_membership_term(system) + wcost_recall_term(system)
+}
+
+/// The recall term of `WCost` alone.
+pub fn wcost_recall_term(system: &System) -> f64 {
+    let index = system.index();
+    let global_total: u64 = system
+        .overlay()
+        .peers()
+        .map(|p| system.workloads()[p.index()].total())
+        .sum();
+    if global_total == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for peer in system.overlay().peers() {
+        let cid = system.overlay().cluster_of(peer).expect("live peer");
+        let peer_total = system.workloads()[peer.index()].total();
+        if peer_total == 0 {
+            continue;
+        }
+        for &(qid, rel_freq) in index.workload_of(peer) {
+            if index.total(qid) == 0 {
+                continue;
+            }
+            let num_q_pi = rel_freq * peer_total as f64; // num(q, Q(pi))
+            let loss = 1.0 - index.cluster_mass(qid, cid).min(1.0);
+            acc += num_q_pi * loss;
+        }
+    }
+    acc / global_total as f64
+}
+
+/// Normalized workload cost.
+///
+/// The two terms of Eq. 3 live on different scales: the membership term
+/// sums over peers (O(|P|)) while the recall term is already an average
+/// over query occurrences (O(1)). We therefore normalize the membership
+/// term by `|P|` and leave the recall term as is, which makes the
+/// normalized `WCost` directly comparable to the normalized `SCost`
+/// (they coincide exactly on both terms under Property 1's equal-demand
+/// premise, and both equal `0.1` on the paper's ideal 10×20 clustering).
+pub fn wcost_normalized(system: &System) -> f64 {
+    let n = system.n_peers();
+    if n == 0 {
+        0.0
+    } else {
+        wcost_membership_term(system) / n as f64 + wcost_recall_term(system)
+    }
+}
+
+/// Property 1 (§2.2): when every peer issues the same number of queries
+/// (`num(Q(pi)) = num(Q)/|P|`), the recall parts of `SCost` and `WCost`
+/// are proportional — specifically `social_recall = |P| · workload_recall`.
+/// Returns `(social_recall, workload_recall)` so callers can assert the
+/// relation.
+pub fn property1_recall_terms(system: &System) -> (f64, f64) {
+    let (_, social_recall) = scost_terms(system);
+    (social_recall, wcost_recall_term(system))
+}
+
+/// Whether all live peers issue the same number of queries (the premise
+/// of Property 1).
+pub fn equal_demand(system: &System) -> bool {
+    let mut totals = system
+        .overlay()
+        .peers()
+        .map(|p| system.workloads()[p.index()].total());
+    match totals.next() {
+        None => true,
+        Some(first) => totals.all(|t| t == first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_overlay::{ContentStore, Overlay, Theta};
+    use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
+
+    use crate::cost::pcost;
+    use crate::system::GameConfig;
+
+    /// 4 peers, 2 categories; peers 0,1 hold+query Sym(1); peers 2,3 hold
+    /// and query Sym(2). `demand[i]` sets per-peer query counts.
+    fn sys_with_demand(demand: [u64; 4]) -> System {
+        let mut ov = Overlay::singletons(4);
+        ov.move_peer(PeerId(1), ClusterId(0));
+        ov.move_peer(PeerId(3), ClusterId(2));
+        let mut store = ContentStore::new(4);
+        store.add(PeerId(0), Document::new(vec![Sym(1)]));
+        store.add(PeerId(1), Document::new(vec![Sym(1)]));
+        store.add(PeerId(2), Document::new(vec![Sym(2)]));
+        store.add(PeerId(3), Document::new(vec![Sym(2)]));
+        let mut workloads = Vec::new();
+        for (i, &n) in demand.iter().enumerate() {
+            let mut w = Workload::new();
+            let sym = if i < 2 { Sym(1) } else { Sym(2) };
+            w.add(Query::keyword(sym), n);
+            workloads.push(w);
+        }
+        System::new(ov, store, workloads, GameConfig::default())
+    }
+
+    #[test]
+    fn scost_is_sum_of_individual_costs() {
+        let sys = sys_with_demand([1, 1, 1, 1]);
+        let manual: f64 = (0..4)
+            .map(|i| {
+                let p = PeerId(i);
+                pcost(&sys, p, sys.overlay().cluster_of(p).unwrap())
+            })
+            .sum();
+        assert!((scost(&sys) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_clustering_has_membership_only_cost() {
+        let sys = sys_with_demand([1, 1, 1, 1]);
+        // Two clusters of 2 among 4 peers, α=1, linear θ:
+        // each peer pays 2/4 = 0.5, zero recall loss.
+        assert!((scost_normalized(&sys) - 0.5).abs() < 1e-12);
+        assert!((wcost_normalized(&sys) - 0.5).abs() < 1e-12);
+        let (_, recall) = scost_terms(&sys);
+        assert_eq!(recall, 0.0);
+    }
+
+    #[test]
+    fn membership_terms_of_scost_and_wcost_agree() {
+        // First terms are equal by the §2.2 derivation: each cluster
+        // appears in SCost once per member.
+        for demand in [[1, 1, 1, 1], [4, 1, 2, 1]] {
+            let sys = sys_with_demand(demand);
+            let (s_mem, _) = scost_terms(&sys);
+            let w_mem = wcost(&sys) - wcost_recall_term(&sys);
+            assert!((s_mem - w_mem).abs() < 1e-12, "demand {demand:?}");
+        }
+    }
+
+    #[test]
+    fn property1_proportionality_under_equal_demand() {
+        // Break the clustering so recall terms are nonzero.
+        let mut sys = sys_with_demand([2, 2, 2, 2]);
+        sys.move_peer(PeerId(1), ClusterId(2));
+        assert!(equal_demand(&sys));
+        let (social, workload) = property1_recall_terms(&sys);
+        assert!(social > 0.0);
+        assert!(
+            (social - 4.0 * workload).abs() < 1e-9,
+            "social={social} workload={workload}"
+        );
+    }
+
+    #[test]
+    fn unequal_demand_breaks_proportionality() {
+        let mut sys = sys_with_demand([8, 1, 1, 1]);
+        sys.move_peer(PeerId(1), ClusterId(2));
+        assert!(!equal_demand(&sys));
+        let (social, workload) = property1_recall_terms(&sys);
+        assert!((social - 4.0 * workload).abs() > 1e-6);
+    }
+
+    #[test]
+    fn wcost_weighs_demanding_peers_more() {
+        // p0 demanding and mis-clustered vs p0 demanding, well-clustered.
+        let mut bad = sys_with_demand([8, 1, 1, 1]);
+        bad.move_peer(PeerId(0), ClusterId(2)); // p0 leaves its data
+        let w_bad = wcost_recall_term(&bad);
+        let mut mild = sys_with_demand([1, 1, 1, 8]);
+        mild.move_peer(PeerId(0), ClusterId(2));
+        let w_mild = wcost_recall_term(&mild);
+        assert!(
+            w_bad > w_mild,
+            "mis-clustering the demanding peer must cost more: {w_bad} vs {w_mild}"
+        );
+    }
+
+    #[test]
+    fn empty_system_costs_are_zero() {
+        let ov = Overlay::unassigned(2);
+        let store = ContentStore::new(2);
+        let sys = System::new(
+            ov,
+            store,
+            vec![Workload::new(), Workload::new()],
+            GameConfig::default(),
+        );
+        assert_eq!(scost(&sys), 0.0);
+        assert_eq!(scost_normalized(&sys), 0.0);
+        assert_eq!(wcost(&sys), 0.0);
+        assert_eq!(wcost_normalized(&sys), 0.0);
+    }
+
+    #[test]
+    fn log_theta_lowers_membership_costs() {
+        let mut sys = sys_with_demand([1, 1, 1, 1]);
+        let linear = scost(&sys);
+        sys.set_config(GameConfig {
+            alpha: 1.0,
+            theta: Theta::Logarithmic,
+        });
+        assert!(scost(&sys) < linear);
+    }
+}

@@ -1,0 +1,55 @@
+//! Recall-based cluster reformulation by selfish peers — the paper's
+//! primary contribution (Koloniari & Pitoura, ICDE 2008).
+//!
+//! Peers in a clustered overlay are modeled as players of a game: each
+//! peer chooses the cluster whose membership minimizes its individual
+//! cost, a combination of a cluster-membership cost and the recall its
+//! local query workload *loses* by not being co-clustered with the peers
+//! holding its results. This crate implements:
+//!
+//! * [`system`] — the game state: overlay + content + per-peer workloads
+//!   + game parameters (`α`, `θ`).
+//! * [`recall`] — the recall model `r(q, p)` (§2) as a precomputed
+//!   index with per-cluster recall mass.
+//! * [`cost`] — the individual cost `pcost` (Eq. 1), with the
+//!   join-inclusive membership semantics of §2.3.
+//! * [`global`] — the global quality criteria `SCost` (Eq. 2) and
+//!   `WCost` (Eq. 3) plus their normalized forms, and Property 1.
+//! * [`equilibrium`] — best responses and exact Nash-equilibrium
+//!   checking (§2.3), including the two-peer no-equilibrium example.
+//! * [`strategy`] — the relocation strategies of §3.1: selfish
+//!   (`pgain`), altruistic (`contribution` / `clgain`), and the hybrid
+//!   variant sketched as future work in §6.
+//! * [`tracker`] — the *observed* statistics path: peers learn
+//!   per-cluster recall and contribution from cid-annotated query
+//!   results over a period `T`, exactly as §3.1 prescribes (equals the
+//!   oracle under flood routing).
+//! * [`protocol`] — the two-phase, representative-coordinated
+//!   reformulation protocol of §3.2 with its anti-cycle lock rule,
+//!   `ε`-threshold stop condition, and empty/new-cluster handling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod equilibrium;
+pub mod global;
+pub mod protocol;
+pub mod recall;
+pub mod strategy;
+pub mod system;
+pub mod tracker;
+
+pub use cost::{pcost, pcost_set};
+pub use equilibrium::{best_response, best_response_set, is_nash_equilibrium, BestResponse};
+pub use global::{scost, scost_normalized, wcost, wcost_normalized};
+pub use protocol::{
+    run_async, AsyncOutcome, EmptyTargetPolicy, ProtocolConfig, ProtocolEngine, RelocationRequest,
+    RoundOutcome, RunOutcome,
+};
+pub use recall::RecallIndex;
+pub use strategy::{
+    AltruisticStrategy, HybridStrategy, Proposal, RelocationStrategy, SelfishStrategy,
+};
+pub use system::{GameConfig, System};
+pub use tracker::{simulate_period, PeriodObservations};

@@ -1,0 +1,221 @@
+//! Asynchronous players (paper §6: "variations of the game, i.e., with
+//! asynchronous players").
+//!
+//! Instead of the synchronized two-phase rounds of §3.2, peers act one
+//! at a time in a (seeded) random order, immediately applying their best
+//! relocation. There are no representatives, no request ranking and no
+//! lock rule — the anti-cycle protection comes only from the strict-gain
+//! requirement. This is the natural "fully uncoordinated" baseline for
+//! the round-based protocol.
+
+use rand::seq::SliceRandom;
+use recluster_overlay::{MsgKind, SimNetwork};
+use recluster_types::{seeded_rng, PeerId};
+
+use crate::global::{scost_normalized, wcost_normalized};
+use crate::protocol::{EmptyTargetPolicy, ProtocolConfig};
+use crate::strategy::RelocationStrategy;
+use crate::system::System;
+
+/// The result of an asynchronous run.
+#[derive(Debug, Clone)]
+pub struct AsyncOutcome {
+    /// Individual peer activations executed.
+    pub steps: usize,
+    /// Relocations performed.
+    pub moves: usize,
+    /// Whether a full sweep with no move occurred before the step
+    /// budget expired.
+    pub converged: bool,
+    /// Normalized social cost after each completed sweep.
+    pub scost_per_sweep: Vec<f64>,
+    /// Normalized workload cost after each completed sweep.
+    pub wcost_per_sweep: Vec<f64>,
+}
+
+/// Runs the asynchronous game: sweeps over all live peers in a seeded
+/// random order (reshuffled per sweep); each activated peer plays its
+/// strategy's proposal immediately. Stops after a moveless sweep or
+/// `max_sweeps`.
+///
+/// `config.epsilon` gates moves exactly as in the synchronous protocol;
+/// `config.empty_targets` is honored for `Never`/`Always`
+/// (`OnCostIncrease` falls back to `Always` — there are no periods to
+/// compare against without rounds).
+pub fn run_async<S: RelocationStrategy>(
+    system: &mut System,
+    strategy: &mut S,
+    config: ProtocolConfig,
+    max_sweeps: usize,
+    seed: u64,
+    net: &mut SimNetwork,
+) -> AsyncOutcome {
+    let allow_empty = !matches!(config.empty_targets, EmptyTargetPolicy::Never);
+    let mut rng = seeded_rng(seed);
+    let mut steps = 0;
+    let mut moves = 0;
+    let mut scost_per_sweep = Vec::new();
+    let mut wcost_per_sweep = Vec::new();
+    let mut converged = false;
+
+    for _ in 0..max_sweeps {
+        let mut order: Vec<PeerId> = system.overlay().peers().collect();
+        order.shuffle(&mut rng);
+        let mut moved_this_sweep = false;
+        for peer in order {
+            steps += 1;
+            // Asynchronous peers still need fresh statistics; contribution
+            // matrices change with every applied move.
+            strategy.prepare(system);
+            if let Some(p) = strategy.propose(system, peer, allow_empty) {
+                if p.gain > config.epsilon {
+                    net.send(MsgKind::ClusterLeave, 24);
+                    net.send(MsgKind::ClusterJoin, 24);
+                    system.move_peer(peer, p.to);
+                    moves += 1;
+                    moved_this_sweep = true;
+                }
+            }
+        }
+        scost_per_sweep.push(scost_normalized(system));
+        wcost_per_sweep.push(wcost_normalized(system));
+        if !moved_this_sweep {
+            converged = true;
+            break;
+        }
+    }
+    AsyncOutcome {
+        steps,
+        moves,
+        converged,
+        scost_per_sweep,
+        wcost_per_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_overlay::{ContentStore, Overlay, Theta};
+    use recluster_types::{ClusterId, Document, Query, Sym, Workload};
+
+    use crate::equilibrium::is_nash_equilibrium;
+    use crate::strategy::SelfishStrategy;
+    use crate::system::GameConfig;
+
+    fn two_category_system() -> System {
+        let ov = Overlay::singletons(6);
+        let mut store = ContentStore::new(6);
+        let mut workloads = Vec::new();
+        for i in 0..6u32 {
+            let sym = if i < 3 { Sym(1) } else { Sym(2) };
+            store.add(PeerId(i), Document::new(vec![sym]));
+            let mut w = Workload::new();
+            w.add(Query::keyword(sym), 2);
+            workloads.push(w);
+        }
+        System::new(
+            ov,
+            store,
+            workloads,
+            GameConfig {
+                alpha: 0.5,
+                theta: Theta::Linear,
+            },
+        )
+    }
+
+    #[test]
+    fn async_run_reaches_the_same_equilibrium_structure() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let outcome = run_async(
+            &mut sys,
+            &mut SelfishStrategy,
+            ProtocolConfig::default(),
+            50,
+            7,
+            &mut net,
+        );
+        assert!(outcome.converged);
+        assert!(is_nash_equilibrium(&sys, true));
+        assert_eq!(sys.overlay().non_empty_clusters(), 2);
+        assert_eq!(
+            sys.overlay().cluster_of(PeerId(0)),
+            sys.overlay().cluster_of(PeerId(2))
+        );
+        assert_eq!(
+            sys.overlay().cluster_of(PeerId(3)),
+            sys.overlay().cluster_of(PeerId(5))
+        );
+    }
+
+    #[test]
+    fn async_costs_decrease_per_sweep() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let outcome = run_async(
+            &mut sys,
+            &mut SelfishStrategy,
+            ProtocolConfig::default(),
+            50,
+            8,
+            &mut net,
+        );
+        for w in outcome.scost_per_sweep.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "async sweep raised scost");
+        }
+        assert!(outcome.moves >= 4);
+    }
+
+    #[test]
+    fn async_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sys = two_category_system();
+            let mut net = SimNetwork::new();
+            let o = run_async(
+                &mut sys,
+                &mut SelfishStrategy,
+                ProtocolConfig::default(),
+                50,
+                seed,
+                &mut net,
+            );
+            (o.steps, o.moves, sys.overlay().sizes())
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn epsilon_gates_async_moves_too() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let cfg = ProtocolConfig {
+            epsilon: 10.0,
+            ..Default::default()
+        };
+        let outcome = run_async(&mut sys, &mut SelfishStrategy, cfg, 10, 1, &mut net);
+        assert!(outcome.converged);
+        assert_eq!(outcome.moves, 0);
+    }
+
+    #[test]
+    fn never_policy_respected_async() {
+        let mut sys = two_category_system();
+        // Merge into two clusters, then forbid empty targets.
+        sys.move_peers(&[
+            (PeerId(1), ClusterId(0)),
+            (PeerId(2), ClusterId(0)),
+            (PeerId(4), ClusterId(3)),
+            (PeerId(5), ClusterId(3)),
+        ]);
+        let before = sys.overlay().non_empty_clusters();
+        let cfg = ProtocolConfig {
+            empty_targets: EmptyTargetPolicy::Never,
+            ..Default::default()
+        };
+        let mut net = SimNetwork::new();
+        let _ = run_async(&mut sys, &mut SelfishStrategy, cfg, 20, 2, &mut net);
+        assert!(sys.overlay().non_empty_clusters() <= before);
+    }
+}

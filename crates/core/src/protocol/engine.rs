@@ -1,0 +1,524 @@
+//! The round-based protocol engine.
+//!
+//! Drives a [`RelocationStrategy`] through the two-phase protocol of
+//! §3.2, charging every logical message to a [`SimNetwork`] ledger and
+//! recording per-round quality measures (the series plotted in the
+//! paper's Figure 1).
+
+use recluster_overlay::{MsgKind, SimNetwork};
+use recluster_types::{ClusterId, PeerId};
+
+use crate::cost::pcost_current;
+use crate::global::{scost_normalized, wcost_normalized};
+use crate::protocol::locks::LockSet;
+use crate::protocol::{EmptyTargetPolicy, ProtocolConfig, RelocationRequest};
+use crate::strategy::{Proposal, RelocationStrategy};
+use crate::system::System;
+
+/// What happened in one protocol round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Round number (0-based).
+    pub round: usize,
+    /// All requests forwarded by representatives (one per cluster max).
+    pub requests: Vec<RelocationRequest>,
+    /// The subset granted under the lock rule, in grant order.
+    pub granted: Vec<RelocationRequest>,
+    /// Normalized social cost after the round's moves.
+    pub scost: f64,
+    /// Normalized workload cost after the round's moves.
+    pub wcost: f64,
+    /// Non-empty clusters after the round's moves.
+    pub non_empty_clusters: usize,
+}
+
+/// The result of a full protocol run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-round records, in order. The final entry is the request-free
+    /// round that terminated the protocol (when converged).
+    pub rounds: Vec<RoundOutcome>,
+    /// Whether a round produced no requests before `max_rounds` expired.
+    pub converged: bool,
+}
+
+impl RunOutcome {
+    /// Rounds executed until convergence (excluding the terminal empty
+    /// round, matching how the paper counts "# Rounds"), or the full
+    /// budget when not converged.
+    pub fn rounds_to_converge(&self) -> usize {
+        if self.converged {
+            self.rounds.len().saturating_sub(1)
+        } else {
+            self.rounds.len()
+        }
+    }
+
+    /// Final normalized social cost.
+    pub fn final_scost(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.scost)
+    }
+
+    /// Final normalized workload cost.
+    pub fn final_wcost(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.wcost)
+    }
+
+    /// Final number of non-empty clusters.
+    pub fn final_clusters(&self) -> usize {
+        self.rounds.last().map_or(0, |r| r.non_empty_clusters)
+    }
+
+    /// Total peers moved across all rounds.
+    pub fn total_moves(&self) -> usize {
+        self.rounds.iter().map(|r| r.granted.len()).sum()
+    }
+}
+
+/// Drives the reformulation protocol for one strategy.
+#[derive(Debug)]
+pub struct ProtocolEngine<S: RelocationStrategy> {
+    strategy: S,
+    config: ProtocolConfig,
+    /// The best (lowest) individual cost each peer has held during the
+    /// current protocol run — the reference point of the `OnCostIncrease`
+    /// new-cluster rule ("its cost has significantly been increased
+    /// since the last time period").
+    min_costs: Vec<f64>,
+}
+
+impl<S: RelocationStrategy> ProtocolEngine<S> {
+    /// Creates an engine.
+    pub fn new(strategy: S, config: ProtocolConfig) -> Self {
+        assert!(config.epsilon >= 0.0, "epsilon must be non-negative");
+        ProtocolEngine {
+            strategy,
+            config,
+            min_costs: Vec::new(),
+        }
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// Phase 1 for one peer: the strategy's proposal filtered by the
+    /// empty-target policy and the `ε` threshold.
+    fn peer_request(&self, system: &System, peer: PeerId) -> Option<Proposal> {
+        let proposal = match self.config.empty_targets {
+            EmptyTargetPolicy::Never => self.strategy.propose(system, peer, false),
+            EmptyTargetPolicy::Always => self.strategy.propose(system, peer, true),
+            EmptyTargetPolicy::OnCostIncrease(threshold) => {
+                match self.strategy.propose(system, peer, false) {
+                    Some(p) => Some(p),
+                    None => {
+                        // §3.2's pioneering escape: no existing cluster
+                        // helps, and the peer's cost has risen
+                        // significantly above the best it held this run.
+                        // The escape need not improve its cost — the
+                        // payoff comes from like-minded peers following.
+                        let best = self
+                            .min_costs
+                            .get(peer.index())
+                            .copied()
+                            .unwrap_or(f64::INFINITY);
+                        let now = pcost_current(system, peer);
+                        if now - best >= threshold {
+                            system
+                                .overlay()
+                                .first_empty_cluster()
+                                .map(|to| Proposal {
+                                    to,
+                                    gain: now - best,
+                                })
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }?;
+        (proposal.gain > self.config.epsilon).then_some(proposal)
+    }
+
+    /// Executes one round. Returns the outcome; an empty `requests` list
+    /// means the protocol has terminated.
+    pub fn run_round(
+        &mut self,
+        system: &mut System,
+        net: &mut SimNetwork,
+        round: usize,
+    ) -> RoundOutcome {
+        self.strategy.prepare(system);
+        self.fold_min_costs(system, &[]);
+
+        // ---- Phase 1: gather per-cluster best requests. -------------
+        let non_empty: Vec<ClusterId> = system
+            .overlay()
+            .cluster_ids()
+            .filter(|&c| !system.overlay().cluster(c).is_empty())
+            .collect();
+
+        let mut requests: Vec<RelocationRequest> = Vec::new();
+        for &cid in &non_empty {
+            // Every member reports its gain to the representative.
+            let members: Vec<PeerId> = system.overlay().cluster(cid).members().to_vec();
+            net.send_many(MsgKind::GainReport, 16, members.len() as u64);
+
+            // The representative selects the highest-gain peer
+            // (deterministic tie-break by peer id).
+            let mut best: Option<RelocationRequest> = None;
+            for peer in members {
+                if let Some(p) = self.peer_request(system, peer) {
+                    let candidate = RelocationRequest {
+                        src: cid,
+                        dst: p.to,
+                        peer,
+                        gain: p.gain,
+                    };
+                    let replace = match &best {
+                        None => true,
+                        Some(b) => {
+                            p.gain > b.gain + f64::EPSILON
+                                || ((p.gain - b.gain).abs() <= f64::EPSILON
+                                    && candidate.peer < b.peer)
+                        }
+                    };
+                    if replace {
+                        best = Some(candidate);
+                    }
+                }
+            }
+            // Request or heartbeat to every other representative.
+            let fanout = (non_empty.len() as u64).saturating_sub(1);
+            match best {
+                Some(req) => {
+                    net.send_many(MsgKind::RelocationRequest, 24, fanout);
+                    requests.push(req);
+                }
+                None => net.send_many(MsgKind::Heartbeat, 8, fanout),
+            }
+        }
+
+        // ---- Phase 2: identical sorted list at every representative. --
+        RelocationRequest::sort_requests(&mut requests);
+        let mut locks = LockSet::new();
+        let mut granted = Vec::new();
+        for &req in &requests {
+            if req.src == req.dst {
+                continue;
+            }
+            if !self.config.use_locks || locks.admissible(req.src, req.dst) {
+                locks.grant(req.src, req.dst);
+                net.send_many(MsgKind::GrantCoordination, 16, 2);
+                granted.push(req);
+            }
+        }
+        let moves: Vec<(PeerId, ClusterId)> = granted.iter().map(|r| (r.peer, r.dst)).collect();
+        system.move_peers(&moves);
+
+        // Update the frustration reference points: track the minimum cost
+        // per peer, but *reset* movers to their fresh post-move cost so a
+        // pioneering escape consumes the accumulated frustration instead
+        // of re-firing every round.
+        let movers: Vec<PeerId> = moves.iter().map(|&(p, _)| p).collect();
+        self.fold_min_costs(system, &movers);
+
+        RoundOutcome {
+            round,
+            requests,
+            granted,
+            scost: scost_normalized(system),
+            wcost: wcost_normalized(system),
+            non_empty_clusters: system.overlay().non_empty_clusters(),
+        }
+    }
+
+    /// Folds the current individual costs into `min_costs`; peers listed
+    /// in `reset` take the current cost outright (fresh start after a
+    /// move). Departed peers get `INFINITY`.
+    fn fold_min_costs(&mut self, system: &System, reset: &[PeerId]) {
+        let n = system.overlay().n_slots();
+        self.min_costs.resize(n, f64::INFINITY);
+        for i in 0..n {
+            let p = PeerId::from_index(i);
+            let now = if system.overlay().cluster_of(p).is_some() {
+                pcost_current(system, p)
+            } else {
+                f64::INFINITY
+            };
+            if reset.contains(&p) {
+                self.min_costs[i] = now;
+            } else {
+                self.min_costs[i] = self.min_costs[i].min(now);
+            }
+        }
+    }
+
+    /// Runs rounds until a request-free round (converged) or the round
+    /// budget is exhausted. Frustration reference points persist across
+    /// runs of the same engine: "increased since the last time period"
+    /// compares against the best cost held in earlier periods, so a
+    /// workload/content shock between two runs is visible to the second.
+    pub fn run(&mut self, system: &mut System, net: &mut SimNetwork) -> RunOutcome {
+        let mut rounds = Vec::new();
+        let mut converged = false;
+        for round in 0..self.config.max_rounds {
+            let outcome = self.run_round(system, net, round);
+            let done = outcome.requests.is_empty();
+            rounds.push(outcome);
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        RunOutcome { rounds, converged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_overlay::{ContentStore, Overlay, Theta};
+    use recluster_types::{Document, Query, Sym, Workload};
+
+    use crate::equilibrium::is_nash_equilibrium;
+    use crate::strategy::SelfishStrategy;
+    use crate::system::GameConfig;
+
+    /// Four peers in two "categories": peers 0,1 hold & query Sym(1);
+    /// peers 2,3 hold & query Sym(2). Start from singletons; the selfish
+    /// protocol should pair them up.
+    fn two_category_system() -> System {
+        let ov = Overlay::singletons(4);
+        let mut store = ContentStore::new(4);
+        for (i, sym) in [(0, 1u32), (1, 1), (2, 2), (3, 2)] {
+            store.add(PeerId(i), Document::new(vec![Sym(sym)]));
+        }
+        let mut workloads = Vec::new();
+        for sym in [1u32, 1, 2, 2] {
+            let mut w = Workload::new();
+            w.add(Query::keyword(Sym(sym)), 2);
+            workloads.push(w);
+        }
+        System::new(
+            ov,
+            store,
+            workloads,
+            GameConfig {
+                alpha: 0.5,
+                theta: Theta::Linear,
+            },
+        )
+    }
+
+    #[test]
+    fn selfish_run_converges_to_category_pairs() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+        let outcome = engine.run(&mut sys, &mut net);
+        assert!(outcome.converged, "small system must converge");
+        assert_eq!(outcome.final_clusters(), 2);
+        // Pairs share their category: cluster of p0 == cluster of p1.
+        assert_eq!(
+            sys.overlay().cluster_of(PeerId(0)),
+            sys.overlay().cluster_of(PeerId(1))
+        );
+        assert_eq!(
+            sys.overlay().cluster_of(PeerId(2)),
+            sys.overlay().cluster_of(PeerId(3))
+        );
+        assert!(is_nash_equilibrium(&sys, true));
+    }
+
+    #[test]
+    fn converged_state_has_membership_only_cost() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+        let outcome = engine.run(&mut sys, &mut net);
+        // 2 clusters of 2 among 4 peers, α=0.5, linear θ → 0.5·2/4 = 0.25.
+        assert!((outcome.final_scost() - 0.25).abs() < 1e-9);
+        assert!((outcome.final_wcost() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_most_one_request_per_cluster_per_round() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+        let outcome = engine.run_round(&mut sys, &mut net, 0);
+        let mut srcs: Vec<_> = outcome.requests.iter().map(|r| r.src).collect();
+        srcs.sort();
+        srcs.dedup();
+        assert_eq!(srcs.len(), outcome.requests.len());
+    }
+
+    #[test]
+    fn granted_moves_respect_the_lock_rule() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+        for round in 0..10 {
+            let outcome = engine.run_round(&mut sys, &mut net, round);
+            let mut locks = LockSet::new();
+            for g in &outcome.granted {
+                assert!(
+                    locks.admissible(g.src, g.dst),
+                    "grant order violated the lock rule"
+                );
+                locks.grant(g.src, g.dst);
+            }
+            if outcome.requests.is_empty() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_blocks_tiny_gains() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        // With ε larger than any possible gain, nothing moves.
+        let cfg = ProtocolConfig {
+            epsilon: 10.0,
+            ..Default::default()
+        };
+        let mut engine = ProtocolEngine::new(SelfishStrategy, cfg);
+        let outcome = engine.run(&mut sys, &mut net);
+        assert!(outcome.converged);
+        assert_eq!(outcome.total_moves(), 0);
+        assert_eq!(outcome.rounds_to_converge(), 0);
+    }
+
+    #[test]
+    fn never_policy_keeps_cluster_count_fixed_or_lower() {
+        let mut sys = two_category_system();
+        // Pre-merge into 2 clusters, then forbid empty targets.
+        sys.move_peers(&[(PeerId(1), ClusterId(0)), (PeerId(3), ClusterId(2))]);
+        let before = sys.overlay().non_empty_clusters();
+        let cfg = ProtocolConfig {
+            empty_targets: EmptyTargetPolicy::Never,
+            ..Default::default()
+        };
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(SelfishStrategy, cfg);
+        let outcome = engine.run(&mut sys, &mut net);
+        assert!(outcome.final_clusters() <= before);
+    }
+
+    #[test]
+    fn network_traffic_is_charged() {
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+        engine.run(&mut sys, &mut net);
+        assert!(net.messages(MsgKind::GainReport) > 0);
+        assert!(net.total_messages() > 0);
+    }
+
+    #[test]
+    fn scost_history_is_monotone_nonincreasing_for_selfish_runs() {
+        // Not guaranteed in general games, but holds on this separable
+        // fixture and guards against sign errors in the gain.
+        let mut sys = two_category_system();
+        let mut net = SimNetwork::new();
+        let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+        let outcome = engine.run(&mut sys, &mut net);
+        for w in outcome.rounds.windows(2) {
+            assert!(
+                w[1].scost <= w[0].scost + 1e-9,
+                "scost rose: {} -> {}",
+                w[0].scost,
+                w[1].scost
+            );
+        }
+    }
+
+    #[test]
+    fn on_cost_increase_policy_allows_escape_after_shock() {
+        // 6 peers, α = 3: p0,p1 in c0 (hold & query Sym(1)); p2..p5 in
+        // c1 (hold & query Sym(2)). After p0's workload shifts to Sym(2),
+        // joining the big cluster is too expensive (membership 2.5 vs
+        // current 2.0) but seeding a singleton pays (1.5) — exactly the
+        // §3.2 new-cluster case.
+        let mut ov = Overlay::singletons(6);
+        ov.move_peer(PeerId(1), ClusterId(0));
+        for i in 3..6 {
+            ov.move_peer(PeerId(i), ClusterId(2));
+        }
+        let mut store = ContentStore::new(6);
+        for i in 0..2 {
+            store.add(PeerId(i), Document::new(vec![Sym(1)]));
+        }
+        for i in 2..6 {
+            store.add(PeerId(i as u32), Document::new(vec![Sym(2)]));
+        }
+        let mut workloads = Vec::new();
+        for sym in [1u32, 1, 2, 2, 2, 2] {
+            let mut w = Workload::new();
+            w.add(Query::keyword(Sym(sym)), 2);
+            workloads.push(w);
+        }
+        let mut sys = System::new(
+            ov,
+            store,
+            workloads,
+            GameConfig {
+                alpha: 3.0,
+                theta: Theta::Linear,
+            },
+        );
+        let mut net = SimNetwork::new();
+        let cfg = ProtocolConfig {
+            empty_targets: EmptyTargetPolicy::OnCostIncrease(0.05),
+            ..Default::default()
+        };
+        let mut engine = ProtocolEngine::new(SelfishStrategy, cfg);
+        let outcome = engine.run(&mut sys, &mut net);
+        assert!(outcome.converged);
+        assert_eq!(
+            sys.overlay().size(sys.overlay().cluster_of(PeerId(0)).unwrap()),
+            2,
+            "p0 starts in its pair"
+        );
+        // Shock: p0's interest shifts to the other category.
+        let mut w = Workload::new();
+        w.add(Query::keyword(Sym(2)), 2);
+        sys.set_workload(PeerId(0), w);
+        let shocked_scost = crate::global::scost_normalized(&sys);
+        let outcome2 = engine.run(&mut sys, &mut net);
+        assert!(outcome2.converged);
+        // p0's first move must be the §3.2 escape into a previously
+        // empty cluster (c1 — freed when p1 merged into c0 at setup).
+        let p0_move = outcome2
+            .rounds
+            .iter()
+            .flat_map(|r| r.granted.iter())
+            .find(|g| g.peer == PeerId(0))
+            .expect("p0 must escape after the shock");
+        assert_eq!(p0_move.src, ClusterId(0));
+        assert_eq!(p0_move.dst, ClusterId(1), "escape goes to the empty slot");
+        // The maintenance run must repair (some of) the shock's damage.
+        assert!(outcome2.final_scost() < shocked_scost);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be non-negative")]
+    fn negative_epsilon_panics() {
+        let _ = ProtocolEngine::new(
+            SelfishStrategy,
+            ProtocolConfig {
+                epsilon: -0.1,
+                ..Default::default()
+            },
+        );
+    }
+}

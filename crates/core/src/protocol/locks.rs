@@ -1,0 +1,131 @@
+//! The anti-cycle lock rule of phase 2 (§3.2).
+//!
+//! "To speed-up this phase, we try to avoid cycles due to groups of peers
+//! moving in loops among the same set of clusters. To achieve this, we
+//! enforce the following rule: if peer p ∈ ci moves to cj, then ci is
+//! locked with direction *leave* and cj with direction *join*. In the
+//! same round, no more peers can join ci or leave cj."
+
+use std::collections::HashSet;
+
+use recluster_types::ClusterId;
+
+/// Round-scoped cluster locks.
+///
+/// # Examples
+/// ```
+/// use recluster_core::protocol::LockSet;
+/// use recluster_types::ClusterId;
+///
+/// let mut locks = LockSet::new();
+/// locks.grant(ClusterId(0), ClusterId(1)); // c0 → c1 granted
+/// assert!(!locks.admissible(ClusterId(2), ClusterId(0))); // joining c0 blocked
+/// assert!(!locks.admissible(ClusterId(1), ClusterId(2))); // leaving c1 blocked
+/// assert!(locks.admissible(ClusterId(0), ClusterId(1)));  // more c0 → c1 fine
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LockSet {
+    /// Clusters that lost a peer this round: no one may *join* them.
+    no_join: HashSet<ClusterId>,
+    /// Clusters that gained a peer this round: no one may *leave* them.
+    no_leave: HashSet<ClusterId>,
+}
+
+impl LockSet {
+    /// An empty lock set (fresh round).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a request `src → dst` may still be granted.
+    pub fn admissible(&self, src: ClusterId, dst: ClusterId) -> bool {
+        !self.no_leave.contains(&src) && !self.no_join.contains(&dst)
+    }
+
+    /// Records a granted request `src → dst`, installing both locks.
+    pub fn grant(&mut self, src: ClusterId, dst: ClusterId) {
+        self.no_join.insert(src);
+        self.no_leave.insert(dst);
+    }
+
+    /// Whether cluster `c` is locked against joins.
+    pub fn join_locked(&self, c: ClusterId) -> bool {
+        self.no_join.contains(&c)
+    }
+
+    /// Whether cluster `c` is locked against leaves.
+    pub fn leave_locked(&self, c: ClusterId) -> bool {
+        self.no_leave.contains(&c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_locks_admit_everything() {
+        let locks = LockSet::new();
+        assert!(locks.admissible(ClusterId(0), ClusterId(1)));
+        assert!(!locks.join_locked(ClusterId(0)));
+        assert!(!locks.leave_locked(ClusterId(0)));
+    }
+
+    #[test]
+    fn grant_blocks_reverse_swap() {
+        // p: c0 → c1 granted; the swap q: c1 → c0 must be blocked on
+        // both directions.
+        let mut locks = LockSet::new();
+        locks.grant(ClusterId(0), ClusterId(1));
+        assert!(!locks.admissible(ClusterId(1), ClusterId(0)));
+    }
+
+    #[test]
+    fn grant_blocks_cycles_of_length_three() {
+        // c0→c1 and c1→c2 cannot both be granted: after c0→c1, leaving
+        // c1 is locked.
+        let mut locks = LockSet::new();
+        locks.grant(ClusterId(0), ClusterId(1));
+        assert!(!locks.admissible(ClusterId(1), ClusterId(2)));
+        // But c2→c1 (another join to c1) is fine…
+        assert!(locks.admissible(ClusterId(2), ClusterId(1)));
+        // …and so is another leave from c0.
+        assert!(locks.admissible(ClusterId(0), ClusterId(3)));
+    }
+
+    #[test]
+    fn multiple_leaves_from_same_cluster_allowed() {
+        let mut locks = LockSet::new();
+        locks.grant(ClusterId(0), ClusterId(1));
+        locks.grant(ClusterId(0), ClusterId(2));
+        assert!(locks.join_locked(ClusterId(0)));
+        assert!(locks.leave_locked(ClusterId(1)));
+        assert!(locks.leave_locked(ClusterId(2)));
+    }
+
+    #[test]
+    fn no_round_can_both_join_and_leave_a_locked_pair() {
+        // Exhaustive over small id space: after any grant (a→b), any
+        // admissible follow-up (s→d) must satisfy d ≠ a and s ≠ b.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a == b {
+                    continue;
+                }
+                let mut locks = LockSet::new();
+                locks.grant(ClusterId(a), ClusterId(b));
+                for s in 0..4u32 {
+                    for d in 0..4u32 {
+                        if s == d {
+                            continue;
+                        }
+                        if locks.admissible(ClusterId(s), ClusterId(d)) {
+                            assert_ne!(d, a, "join into leave-locked {a}");
+                            assert_ne!(s, b, "leave from join-locked {b}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

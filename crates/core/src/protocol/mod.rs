@@ -1,0 +1,141 @@
+//! The cluster reformulation protocol (§3.2).
+//!
+//! The protocol runs in rounds of two phases. Phase 1: every peer
+//! evaluates its gain (per its relocation strategy) and reports it to its
+//! cluster representative; each representative forwards the single
+//! highest-gain request — `(cid_src, cid_dst, gain)` — to all other
+//! representatives, or a bare heartbeat when nobody in the cluster wants
+//! to move. Phase 2: every representative sorts all requests by
+//! descending gain and serves them under the anti-cycle **lock rule**:
+//! granting `ci → cj` locks `ci` against joins and `cj` against leaves
+//! for the rest of the round. Because every representative processes the
+//! identical, deterministically ordered list, they reach the same grant
+//! decisions without extra coordination. The protocol stops when no
+//! relocation request clears the gain threshold `ε`.
+
+mod async_engine;
+mod engine;
+mod locks;
+
+pub use async_engine::{run_async, AsyncOutcome};
+pub use engine::{ProtocolEngine, RoundOutcome, RunOutcome};
+pub use locks::LockSet;
+
+use recluster_types::{ClusterId, PeerId};
+
+/// One relocation request as exchanged between representatives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelocationRequest {
+    /// The cluster the peer wants to leave.
+    pub src: ClusterId,
+    /// The cluster the peer wants to join.
+    pub dst: ClusterId,
+    /// The relocating peer.
+    pub peer: PeerId,
+    /// The strategy's gain value.
+    pub gain: f64,
+}
+
+impl RelocationRequest {
+    /// Deterministic phase-2 ordering: gain descending, ties broken by
+    /// `(src, dst, peer)` so all representatives sort identically.
+    pub fn sort_requests(requests: &mut [RelocationRequest]) {
+        requests.sort_by(|a, b| {
+            b.gain
+                .partial_cmp(&a.gain)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.src.cmp(&b.src))
+                .then(a.dst.cmp(&b.dst))
+                .then(a.peer.cmp(&b.peer))
+        });
+    }
+}
+
+/// Whether (and when) empty clusters are admissible relocation targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmptyTargetPolicy {
+    /// Never — §4.2: "We maintain the number of clusters fixed and the
+    /// only change we allow is the relocation of peers to different
+    /// non-empty clusters."
+    Never,
+    /// Always — the cost-minimizing view of §2.1 where all `Cmax`
+    /// clusters are candidate strategies.
+    Always,
+    /// §3.2's new-cluster rule: a peer that (a) has no improving move to
+    /// any existing non-empty cluster and (b) has seen its cost rise by
+    /// at least the given amount above the best cost it ever held during
+    /// this protocol run "decides to leave its cluster and move to one of
+    /// the empty clusters in the system, automatically becoming the
+    /// representative of this cluster" — note the move is *not* required
+    /// to be cost-improving: it is a pioneering escape whose payoff comes
+    /// from like-minded peers joining in later rounds. The reported gain
+    /// is the frustration magnitude (current − best-seen cost).
+    OnCostIncrease(f64),
+}
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolConfig {
+    /// Gain threshold `ε`: a peer issues a request only if its gain
+    /// exceeds this (the paper's §4.2 uses `ε = 0.001`).
+    pub epsilon: f64,
+    /// Round budget; a run that exhausts it without a request-free round
+    /// is reported as non-converged (the paper's third scenario).
+    pub max_rounds: usize,
+    /// Empty-cluster target policy.
+    pub empty_targets: EmptyTargetPolicy,
+    /// Whether phase 2 enforces the anti-cycle lock rule. Disabling it
+    /// (ablation) grants every request, which admits the move cycles the
+    /// rule exists to prevent.
+    pub use_locks: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            epsilon: 1e-3,
+            max_rounds: 300,
+            empty_targets: EmptyTargetPolicy::Always,
+            use_locks: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_orders_by_gain_then_ids() {
+        let mut reqs = vec![
+            RelocationRequest { src: ClusterId(2), dst: ClusterId(0), peer: PeerId(5), gain: 0.5 },
+            RelocationRequest { src: ClusterId(1), dst: ClusterId(0), peer: PeerId(4), gain: 0.9 },
+            RelocationRequest { src: ClusterId(0), dst: ClusterId(2), peer: PeerId(1), gain: 0.5 },
+        ];
+        RelocationRequest::sort_requests(&mut reqs);
+        assert_eq!(reqs[0].gain, 0.9);
+        assert_eq!(reqs[1].src, ClusterId(0), "ties broken by src ascending");
+        assert_eq!(reqs[2].src, ClusterId(2));
+    }
+
+    #[test]
+    fn sort_is_deterministic_under_permutation() {
+        let base = vec![
+            RelocationRequest { src: ClusterId(0), dst: ClusterId(1), peer: PeerId(0), gain: 0.3 },
+            RelocationRequest { src: ClusterId(1), dst: ClusterId(2), peer: PeerId(1), gain: 0.3 },
+            RelocationRequest { src: ClusterId(2), dst: ClusterId(0), peer: PeerId(2), gain: 0.7 },
+        ];
+        let mut a = base.clone();
+        let mut b = vec![base[2], base[0], base[1]];
+        RelocationRequest::sort_requests(&mut a);
+        RelocationRequest::sort_requests(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = ProtocolConfig::default();
+        assert_eq!(cfg.epsilon, 1e-3);
+        assert_eq!(cfg.empty_targets, EmptyTargetPolicy::Always);
+    }
+}

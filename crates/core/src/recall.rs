@@ -1,0 +1,299 @@
+//! The recall model `r(q, p)` as a precomputed index.
+//!
+//! §2 defines the importance of a peer for a query as
+//! `r(q,p) = result(q,p) / Σ_{pk∈P} result(q,pk)` — the recall achieved
+//! when `q` is evaluated solely on `p`. Cost evaluation needs `r(q, p)`
+//! for every (distinct query, peer) pair and, per candidate cluster, the
+//! *recall mass* `Σ_{pj∈c} r(q, pj)`. [`RecallIndex`] precomputes all of
+//! it from the content store and the union of workloads, and refreshes
+//! the cluster masses after membership changes.
+
+use std::collections::HashMap;
+
+use recluster_overlay::{ContentStore, Overlay};
+use recluster_types::{PeerId, Query, Workload};
+
+/// Identifier of a distinct query inside a [`RecallIndex`].
+pub type QueryId = u32;
+
+/// Precomputed `result(q, p)` counts, totals, per-peer workload weights,
+/// and per-cluster recall masses.
+#[derive(Debug, Clone)]
+pub struct RecallIndex {
+    /// All distinct queries appearing in any workload.
+    queries: Vec<Query>,
+    qid_of: HashMap<Query, QueryId>,
+    /// Per peer: sorted `(qid, result count)` for queries the peer can
+    /// answer (nonzero results only).
+    peer_results: Vec<Vec<(QueryId, u64)>>,
+    /// Per query: `Σ_p result(q, p)`.
+    totals: Vec<u64>,
+    /// Per peer: `(qid, relative frequency in the peer's workload)`.
+    peer_workload: Vec<Vec<(QueryId, f64)>>,
+    /// Per query × cluster: `Σ_{pj ∈ c} r(q, pj)`. Refreshed by
+    /// [`RecallIndex::refresh_mass`].
+    mass: Vec<Vec<f64>>,
+}
+
+impl RecallIndex {
+    /// Builds the index for the given content and workloads and computes
+    /// cluster masses for the overlay's current assignment.
+    ///
+    /// # Panics
+    /// Panics if `workloads.len()` differs from the overlay's peer-slot
+    /// count or the store's.
+    pub fn build(overlay: &Overlay, store: &ContentStore, workloads: &[Workload]) -> Self {
+        assert_eq!(
+            workloads.len(),
+            overlay.n_slots(),
+            "one workload per peer slot"
+        );
+        assert_eq!(store.n_peers(), overlay.n_slots(), "store/overlay mismatch");
+
+        // Collect distinct queries across all workloads.
+        let mut queries: Vec<Query> = Vec::new();
+        let mut qid_of: HashMap<Query, QueryId> = HashMap::new();
+        for w in workloads {
+            for (q, _) in w.iter() {
+                if !qid_of.contains_key(q) {
+                    qid_of.insert(q.clone(), queries.len() as QueryId);
+                    queries.push(q.clone());
+                }
+            }
+        }
+
+        // result(q, p) for every distinct query and peer.
+        let n_slots = overlay.n_slots();
+        let mut peer_results: Vec<Vec<(QueryId, u64)>> = vec![Vec::new(); n_slots];
+        let mut totals = vec![0u64; queries.len()];
+        for (slot, results) in peer_results.iter_mut().enumerate() {
+            let peer = PeerId::from_index(slot);
+            let docs = store.docs(peer);
+            if docs.is_empty() {
+                continue;
+            }
+            for (qid, q) in queries.iter().enumerate() {
+                let count = q.result_count(docs);
+                if count > 0 {
+                    results.push((qid as QueryId, count));
+                    totals[qid] += count;
+                }
+            }
+        }
+
+        // Per-peer workload weights.
+        let peer_workload = workloads
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .map(|(q, n)| (qid_of[q], n as f64 / w.total() as f64))
+                    .collect()
+            })
+            .collect();
+
+        let mut index = RecallIndex {
+            queries,
+            qid_of,
+            peer_results,
+            totals,
+            peer_workload,
+            mass: Vec::new(),
+        };
+        index.refresh_mass(overlay);
+        index
+    }
+
+    /// Recomputes the per-cluster recall masses from the overlay's
+    /// current assignment. Call after any membership change.
+    pub fn refresh_mass(&mut self, overlay: &Overlay) {
+        let cmax = overlay.cmax();
+        self.mass = vec![vec![0.0; cmax]; self.queries.len()];
+        for slot in 0..overlay.n_slots() {
+            let peer = PeerId::from_index(slot);
+            let Some(cid) = overlay.cluster_of(peer) else {
+                continue;
+            };
+            for &(qid, count) in &self.peer_results[slot] {
+                let total = self.totals[qid as usize];
+                if total > 0 {
+                    self.mass[qid as usize][cid.index()] += count as f64 / total as f64;
+                }
+            }
+        }
+    }
+
+    /// Number of distinct queries.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The distinct queries, in id order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The id of a query, if it appears in some workload.
+    pub fn qid(&self, q: &Query) -> Option<QueryId> {
+        self.qid_of.get(q).copied()
+    }
+
+    /// `result(q, p)`.
+    pub fn result(&self, qid: QueryId, peer: PeerId) -> u64 {
+        self.peer_results[peer.index()]
+            .binary_search_by_key(&qid, |&(q, _)| q)
+            .map(|i| self.peer_results[peer.index()][i].1)
+            .unwrap_or(0)
+    }
+
+    /// `Σ_p result(q, p)`.
+    pub fn total(&self, qid: QueryId) -> u64 {
+        self.totals[qid as usize]
+    }
+
+    /// `r(q, p)`; zero when the query has no results anywhere (the 0/0
+    /// case is defined as 0 — an unanswerable query costs nothing).
+    pub fn r(&self, qid: QueryId, peer: PeerId) -> f64 {
+        let total = self.totals[qid as usize];
+        if total == 0 {
+            0.0
+        } else {
+            self.result(qid, peer) as f64 / total as f64
+        }
+    }
+
+    /// Recall mass of cluster `cid` for query `qid`:
+    /// `Σ_{pj ∈ c} r(q, pj)` under the assignment last passed to
+    /// [`RecallIndex::refresh_mass`].
+    pub fn cluster_mass(&self, qid: QueryId, cid: recluster_types::ClusterId) -> f64 {
+        self.mass[qid as usize][cid.index()]
+    }
+
+    /// The `(qid, relative frequency)` pairs of a peer's workload.
+    pub fn workload_of(&self, peer: PeerId) -> &[(QueryId, f64)] {
+        &self.peer_workload[peer.index()]
+    }
+
+    /// The `(qid, result count)` pairs a peer can answer.
+    pub fn results_of(&self, peer: PeerId) -> &[(QueryId, u64)] {
+        &self.peer_results[peer.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::{ClusterId, Document, Sym};
+
+    /// 3 peers: p0 holds {1,2}, p1 holds {1},{1,3}, p2 holds {2}.
+    /// p0 queries kw(1) twice and kw(2) once; p1 queries kw(2); p2 none.
+    fn fixture() -> (Overlay, ContentStore, Vec<Workload>) {
+        let mut ov = Overlay::singletons(3);
+        ov.move_peer(PeerId(1), ClusterId(0));
+        let mut store = ContentStore::new(3);
+        store.add(PeerId(0), Document::new(vec![Sym(1), Sym(2)]));
+        store.add(PeerId(1), Document::new(vec![Sym(1)]));
+        store.add(PeerId(1), Document::new(vec![Sym(1), Sym(3)]));
+        store.add(PeerId(2), Document::new(vec![Sym(2)]));
+        let mut w0 = Workload::new();
+        w0.add(Query::keyword(Sym(1)), 2);
+        w0.add(Query::keyword(Sym(2)), 1);
+        let mut w1 = Workload::new();
+        w1.add(Query::keyword(Sym(2)), 1);
+        let workloads = vec![w0, w1, Workload::new()];
+        (ov, store, workloads)
+    }
+
+    #[test]
+    fn result_counts_match_manual_evaluation() {
+        let (ov, store, w) = fixture();
+        let idx = RecallIndex::build(&ov, &store, &w);
+        let q1 = idx.qid(&Query::keyword(Sym(1))).unwrap();
+        let q2 = idx.qid(&Query::keyword(Sym(2))).unwrap();
+        assert_eq!(idx.result(q1, PeerId(0)), 1);
+        assert_eq!(idx.result(q1, PeerId(1)), 2);
+        assert_eq!(idx.result(q1, PeerId(2)), 0);
+        assert_eq!(idx.total(q1), 3);
+        assert_eq!(idx.result(q2, PeerId(0)), 1);
+        assert_eq!(idx.result(q2, PeerId(2)), 1);
+        assert_eq!(idx.total(q2), 2);
+    }
+
+    #[test]
+    fn r_fractions_sum_to_one_over_peers() {
+        let (ov, store, w) = fixture();
+        let idx = RecallIndex::build(&ov, &store, &w);
+        for qid in 0..idx.n_queries() as QueryId {
+            let sum: f64 = (0..3).map(|p| idx.r(qid, PeerId(p))).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "qid {qid}: {sum}");
+        }
+    }
+
+    #[test]
+    fn cluster_mass_reflects_assignment() {
+        let (ov, store, w) = fixture();
+        let idx = RecallIndex::build(&ov, &store, &w);
+        let q1 = idx.qid(&Query::keyword(Sym(1))).unwrap();
+        // c0 = {p0, p1}: mass = 1/3 + 2/3 = 1.
+        assert!((idx.cluster_mass(q1, ClusterId(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(idx.cluster_mass(q1, ClusterId(2)), 0.0);
+        let q2 = idx.qid(&Query::keyword(Sym(2))).unwrap();
+        assert!((idx.cluster_mass(q2, ClusterId(0)) - 0.5).abs() < 1e-12);
+        assert!((idx.cluster_mass(q2, ClusterId(2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_mass_tracks_moves() {
+        let (mut ov, store, w) = fixture();
+        let mut idx = RecallIndex::build(&ov, &store, &w);
+        ov.move_peer(PeerId(2), ClusterId(0));
+        idx.refresh_mass(&ov);
+        let q2 = idx.qid(&Query::keyword(Sym(2))).unwrap();
+        assert!((idx.cluster_mass(q2, ClusterId(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(idx.cluster_mass(q2, ClusterId(2)), 0.0);
+    }
+
+    #[test]
+    fn workload_weights_are_relative_frequencies() {
+        let (ov, store, w) = fixture();
+        let idx = RecallIndex::build(&ov, &store, &w);
+        let wl = idx.workload_of(PeerId(0));
+        assert_eq!(wl.len(), 2);
+        let q1 = idx.qid(&Query::keyword(Sym(1))).unwrap();
+        let freq1 = wl.iter().find(|&&(q, _)| q == q1).unwrap().1;
+        assert!((freq1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!(idx.workload_of(PeerId(2)).is_empty());
+    }
+
+    #[test]
+    fn unanswerable_query_has_zero_r() {
+        let mut ov = Overlay::singletons(2);
+        ov.move_peer(PeerId(1), ClusterId(0));
+        let store = ContentStore::new(2);
+        let mut w0 = Workload::new();
+        w0.add(Query::keyword(Sym(9)), 1);
+        let idx = RecallIndex::build(&ov, &store, &[w0, Workload::new()]);
+        let q = idx.qid(&Query::keyword(Sym(9))).unwrap();
+        assert_eq!(idx.total(q), 0);
+        assert_eq!(idx.r(q, PeerId(0)), 0.0);
+        assert_eq!(idx.cluster_mass(q, ClusterId(0)), 0.0);
+    }
+
+    #[test]
+    fn departed_peers_do_not_contribute_mass() {
+        let (mut ov, store, w) = fixture();
+        let mut idx = RecallIndex::build(&ov, &store, &w);
+        ov.unassign(PeerId(1));
+        idx.refresh_mass(&ov);
+        let q1 = idx.qid(&Query::keyword(Sym(1))).unwrap();
+        // Only p0's share remains in c0. (Totals still count p1's data —
+        // callers rebuild the index when content actually changes.)
+        assert!((idx.cluster_mass(q1, ClusterId(0)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per peer slot")]
+    fn mismatched_workloads_panic() {
+        let (ov, store, _) = fixture();
+        let _ = RecallIndex::build(&ov, &store, &[]);
+    }
+}

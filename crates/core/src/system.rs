@@ -1,0 +1,272 @@
+//! The game state.
+//!
+//! [`System`] bundles everything the cost functions and strategies need:
+//! the clustered overlay, the per-peer content, the per-peer workloads,
+//! the game parameters (`α`, `θ`) and the precomputed [`RecallIndex`].
+//! It is the single mutation point for membership changes so the index
+//! masses never go stale.
+
+use recluster_overlay::{ContentStore, Overlay, Theta};
+use recluster_types::{ClusterId, Document, PeerId, Workload};
+
+use crate::recall::RecallIndex;
+
+/// Game parameters of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameConfig {
+    /// `α ≥ 0`: weight of the cluster-membership cost ("determines the
+    /// extent of influence of the cluster participation cost"). The
+    /// paper's experiments use `α = 1`.
+    pub alpha: f64,
+    /// The cluster-maintenance cost model `θ` (linear in the paper's
+    /// experiments).
+    pub theta: Theta,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            alpha: 1.0,
+            theta: Theta::Linear,
+        }
+    }
+}
+
+/// The complete state of the reformulation game.
+#[derive(Debug, Clone)]
+pub struct System {
+    overlay: Overlay,
+    store: ContentStore,
+    workloads: Vec<Workload>,
+    config: GameConfig,
+    index: RecallIndex,
+}
+
+impl System {
+    /// Builds a system and its recall index.
+    ///
+    /// # Panics
+    /// Panics if the store or workload count disagrees with the overlay's
+    /// peer-slot count, or if `alpha` is negative.
+    pub fn new(
+        overlay: Overlay,
+        store: ContentStore,
+        workloads: Vec<Workload>,
+        config: GameConfig,
+    ) -> Self {
+        assert!(
+            config.alpha >= 0.0 && config.alpha.is_finite(),
+            "alpha must be finite and non-negative"
+        );
+        let index = RecallIndex::build(&overlay, &store, &workloads);
+        System {
+            overlay,
+            store,
+            workloads,
+            config,
+            index,
+        }
+    }
+
+    /// The overlay (read-only; mutate through [`System::move_peer`] and
+    /// friends so the index stays fresh).
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The content store.
+    pub fn store(&self) -> &ContentStore {
+        &self.store
+    }
+
+    /// Per-peer workloads, indexed by peer id.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The game parameters.
+    pub fn config(&self) -> GameConfig {
+        self.config
+    }
+
+    /// Overrides the game parameters (used by the `α`-sweep experiment).
+    /// Costs change but the recall index is unaffected.
+    pub fn set_config(&mut self, config: GameConfig) {
+        assert!(config.alpha >= 0.0 && config.alpha.is_finite());
+        self.config = config;
+    }
+
+    /// The recall index.
+    pub fn index(&self) -> &RecallIndex {
+        &self.index
+    }
+
+    /// Live peer count `|P|`.
+    pub fn n_peers(&self) -> usize {
+        self.overlay.n_peers()
+    }
+
+    /// Moves a peer to another cluster and refreshes the cluster masses.
+    /// Returns the previous cluster.
+    pub fn move_peer(&mut self, peer: PeerId, to: ClusterId) -> ClusterId {
+        let from = self.overlay.move_peer(peer, to);
+        if from != to {
+            self.index.refresh_mass(&self.overlay);
+        }
+        from
+    }
+
+    /// Applies a batch of moves, refreshing masses once at the end —
+    /// the protocol's phase 2 applies all granted relocations together.
+    pub fn move_peers(&mut self, moves: &[(PeerId, ClusterId)]) {
+        let mut changed = false;
+        for &(peer, to) in moves {
+            let from = self.overlay.move_peer(peer, to);
+            changed |= from != to;
+        }
+        if changed {
+            self.index.refresh_mass(&self.overlay);
+        }
+    }
+
+    /// Replaces a peer's workload and rebuilds the index (workload-update
+    /// experiments, §4.2).
+    pub fn set_workload(&mut self, peer: PeerId, workload: Workload) {
+        self.workloads[peer.index()] = workload;
+        self.rebuild_index();
+    }
+
+    /// Replaces the workloads of many peers, rebuilding the index once.
+    pub fn set_workloads(&mut self, updates: Vec<(PeerId, Workload)>) {
+        for (peer, w) in updates {
+            self.workloads[peer.index()] = w;
+        }
+        self.rebuild_index();
+    }
+
+    /// Replaces a peer's documents and rebuilds the index (content-update
+    /// experiments, §4.2).
+    pub fn set_content(&mut self, peer: PeerId, docs: Vec<Document>) {
+        self.store.replace(peer, docs);
+        self.rebuild_index();
+    }
+
+    /// Replaces the content of many peers, rebuilding the index once.
+    pub fn set_contents(&mut self, updates: Vec<(PeerId, Vec<Document>)>) {
+        for (peer, docs) in updates {
+            self.store.replace(peer, docs);
+        }
+        self.rebuild_index();
+    }
+
+    /// Rebuilds the recall index from scratch (after content or workload
+    /// changes).
+    pub fn rebuild_index(&mut self) {
+        self.index = RecallIndex::build(&self.overlay, &self.store, &self.workloads);
+    }
+
+    /// Mutable access to the overlay for substrate-level operations
+    /// (churn); the caller must call [`System::rebuild_index`] or
+    /// [`System::refresh_mass`] afterwards as appropriate.
+    pub fn overlay_mut(&mut self) -> &mut Overlay {
+        &mut self.overlay
+    }
+
+    /// Mutable access to the content store; pair with
+    /// [`System::rebuild_index`].
+    pub fn store_mut(&mut self) -> &mut ContentStore {
+        &mut self.store
+    }
+
+    /// Mutable access to the workloads; pair with
+    /// [`System::rebuild_index`].
+    pub fn workloads_mut(&mut self) -> &mut Vec<Workload> {
+        &mut self.workloads
+    }
+
+    /// Refreshes cluster masses after external membership changes.
+    pub fn refresh_mass(&mut self) {
+        self.index.refresh_mass(&self.overlay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::{Query, Sym};
+
+    fn tiny() -> System {
+        let mut ov = Overlay::singletons(2);
+        ov.move_peer(PeerId(1), ClusterId(0));
+        let mut store = ContentStore::new(2);
+        store.add(PeerId(0), Document::new(vec![Sym(1)]));
+        store.add(PeerId(1), Document::new(vec![Sym(2)]));
+        let mut w0 = Workload::new();
+        w0.add(Query::keyword(Sym(2)), 1);
+        System::new(ov, store, vec![w0, Workload::new()], GameConfig::default())
+    }
+
+    #[test]
+    fn new_builds_consistent_index() {
+        let sys = tiny();
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        assert_eq!(sys.index().total(q), 1);
+        assert!((sys.index().cluster_mass(q, ClusterId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_peer_refreshes_mass() {
+        let mut sys = tiny();
+        sys.move_peer(PeerId(1), ClusterId(1));
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        assert_eq!(sys.index().cluster_mass(q, ClusterId(0)), 0.0);
+        assert!((sys.index().cluster_mass(q, ClusterId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_workload_rebuilds_index() {
+        let mut sys = tiny();
+        let mut w = Workload::new();
+        w.add(Query::keyword(Sym(1)), 3);
+        sys.set_workload(PeerId(1), w);
+        let q = sys.index().qid(&Query::keyword(Sym(1))).unwrap();
+        assert_eq!(sys.index().total(q), 1);
+        let wl = sys.index().workload_of(PeerId(1));
+        assert_eq!(wl.len(), 1);
+        assert!((wl[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_content_rebuilds_index() {
+        let mut sys = tiny();
+        sys.set_content(PeerId(0), vec![Document::new(vec![Sym(2)])]);
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        assert_eq!(sys.index().total(q), 2);
+    }
+
+    #[test]
+    fn batch_moves_refresh_once_and_apply_all() {
+        let mut sys = tiny();
+        sys.move_peers(&[(PeerId(0), ClusterId(1)), (PeerId(1), ClusterId(1))]);
+        assert_eq!(sys.overlay().size(ClusterId(1)), 2);
+        assert_eq!(sys.overlay().size(ClusterId(0)), 0);
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        assert!((sys.index().cluster_mass(q, ClusterId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite and non-negative")]
+    fn negative_alpha_panics() {
+        let ov = Overlay::singletons(1);
+        let store = ContentStore::new(1);
+        let _ = System::new(
+            ov,
+            store,
+            vec![Workload::new()],
+            GameConfig {
+                alpha: -1.0,
+                theta: Theta::Linear,
+            },
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Synthetic article generation.
+//!
+//! Articles are rendered as raw text — Zipf-sampled content words from the
+//! category's vocabulary, a few shared background words, interleaved with
+//! English stop-words — and then pushed through the real
+//! `TextPipeline` — exactly as the paper
+//! preprocesses its Newsgroup articles. The output is a set-of-attributes
+//! [`Document`] per article, grouped by category, plus the occurrence and
+//! document-frequency statistics the query samplers need.
+
+use rand::Rng;
+use recluster_types::{seeded_rng, Document, Interner, Sym};
+
+use crate::pipeline::{TextPipeline, STOPWORDS};
+use crate::vocabulary::VocabularyBuilder;
+use crate::zipf::Zipf;
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of article categories (the paper uses 10).
+    pub n_categories: usize,
+    /// Distinct content words per category vocabulary.
+    pub vocab_per_category: usize,
+    /// Distinct background words shared by all categories.
+    pub shared_vocab: usize,
+    /// Articles generated per category.
+    pub docs_per_category: usize,
+    /// Content-word draws per article (with replacement; the article's
+    /// attribute set is typically slightly smaller).
+    pub content_words_per_doc: usize,
+    /// Shared-background-word draws per article.
+    pub shared_words_per_doc: usize,
+    /// Zipf exponent for the rank-frequency law of content words.
+    pub zipf_exponent: f64,
+    /// Master seed; the whole corpus is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    /// Defaults sized like the paper's testbed: 10 categories, enough
+    /// articles for 200 peers to hold a handful each.
+    fn default() -> Self {
+        CorpusConfig {
+            n_categories: 10,
+            vocab_per_category: 120,
+            shared_vocab: 30,
+            docs_per_category: 200,
+            content_words_per_doc: 18,
+            shared_words_per_doc: 2,
+            zipf_exponent: 0.8,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A generated corpus: documents grouped by category plus vocabulary
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    config: CorpusConfig,
+    interner: Interner,
+    /// Rank-ordered stemmed symbols per category.
+    category_syms: Vec<Vec<Sym>>,
+    /// Stemmed symbols of the shared background vocabulary.
+    shared_syms: Vec<Sym>,
+    /// Documents per category.
+    docs_by_category: Vec<Vec<Document>>,
+    /// Occurrence counts aligned with `category_syms` (token occurrences
+    /// in the rendered texts, post-pipeline).
+    occurrences: Vec<Vec<u64>>,
+    /// Document frequencies aligned with `category_syms`.
+    doc_freq: Vec<Vec<u32>>,
+    /// Reverse map: symbol index → owning category (`None` for shared).
+    sym_category: Vec<Option<u32>>,
+}
+
+impl Corpus {
+    /// Generates a corpus from `config`. Deterministic.
+    pub fn generate(config: CorpusConfig) -> Self {
+        assert!(config.n_categories > 0, "need at least one category");
+        assert!(config.vocab_per_category > 0, "need a non-empty vocabulary");
+        let vocab = VocabularyBuilder::new(
+            config.n_categories,
+            config.vocab_per_category,
+            config.shared_vocab,
+            config.seed,
+        )
+        .build();
+
+        let mut interner = Interner::new();
+        let mut pipeline = TextPipeline::new();
+        let mut rng = seeded_rng(recluster_types::derive_seed(config.seed, 1));
+        let zipf = Zipf::new(config.vocab_per_category, config.zipf_exponent);
+
+        let mut docs_by_category = Vec::with_capacity(config.n_categories);
+        for cat in 0..config.n_categories {
+            let mut docs = Vec::with_capacity(config.docs_per_category);
+            for _ in 0..config.docs_per_category {
+                let text = render_article(
+                    &vocab.categories[cat].words,
+                    &vocab.shared,
+                    &zipf,
+                    config.content_words_per_doc,
+                    config.shared_words_per_doc,
+                    &mut rng,
+                );
+                docs.push(pipeline.process_article(&text, &mut interner));
+            }
+            docs_by_category.push(docs);
+        }
+
+        // Intern the stemmed vocabulary in rank order. Every vocabulary
+        // word that appeared in at least one article is already interned;
+        // words that never appeared are interned here with zero counts.
+        let category_syms: Vec<Vec<Sym>> = vocab
+            .categories
+            .iter()
+            .map(|c| {
+                c.words
+                    .iter()
+                    .map(|w| interner.intern(&crate::pipeline::stem(w)))
+                    .collect()
+            })
+            .collect();
+        let shared_syms: Vec<Sym> = vocab
+            .shared
+            .iter()
+            .map(|w| interner.intern(&crate::pipeline::stem(w)))
+            .collect();
+
+        let occurrences: Vec<Vec<u64>> = category_syms
+            .iter()
+            .map(|syms| syms.iter().map(|&s| pipeline.frequencies().count(s)).collect())
+            .collect();
+
+        let mut sym_category = vec![None; interner.len()];
+        for (cat, syms) in category_syms.iter().enumerate() {
+            for &s in syms {
+                sym_category[s.index()] = Some(cat as u32);
+            }
+        }
+
+        let doc_freq = compute_doc_freq(&category_syms, &docs_by_category);
+
+        Corpus {
+            config,
+            interner,
+            category_syms,
+            shared_syms,
+            docs_by_category,
+            occurrences,
+            doc_freq,
+            sym_category,
+        }
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Number of categories.
+    pub fn n_categories(&self) -> usize {
+        self.config.n_categories
+    }
+
+    /// The interner mapping stemmed words to symbols.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Documents of one category.
+    pub fn docs(&self, category: usize) -> &[Document] {
+        &self.docs_by_category[category]
+    }
+
+    /// Rank-ordered stemmed symbols of one category's vocabulary.
+    pub fn category_syms(&self, category: usize) -> &[Sym] {
+        &self.category_syms[category]
+    }
+
+    /// Stemmed symbols of the shared background vocabulary.
+    pub fn shared_syms(&self) -> &[Sym] {
+        &self.shared_syms
+    }
+
+    /// Token occurrences of each category word (aligned with
+    /// [`Corpus::category_syms`]).
+    pub fn occurrences(&self, category: usize) -> &[u64] {
+        &self.occurrences[category]
+    }
+
+    /// Document frequency (how many of the category's articles contain
+    /// the word) aligned with [`Corpus::category_syms`].
+    pub fn doc_freq(&self, category: usize) -> &[u32] {
+        &self.doc_freq[category]
+    }
+
+    /// The category owning `sym`, or `None` for shared/unknown symbols.
+    pub fn category_of(&self, sym: Sym) -> Option<usize> {
+        self.sym_category
+            .get(sym.index())
+            .copied()
+            .flatten()
+            .map(|c| c as usize)
+    }
+
+    /// Total number of documents across all categories.
+    pub fn total_docs(&self) -> usize {
+        self.docs_by_category.iter().map(Vec::len).sum()
+    }
+}
+
+/// Renders one article as raw text: content words (Zipf-ranked) and a few
+/// shared words, interleaved with stop-words roughly every third token —
+/// giving the pipeline real filtering work to do.
+fn render_article<R: Rng + ?Sized>(
+    category_words: &[String],
+    shared_words: &[String],
+    zipf: &Zipf,
+    content_draws: usize,
+    shared_draws: usize,
+    rng: &mut R,
+) -> String {
+    let mut text = String::with_capacity(16 * (content_draws + shared_draws));
+    let emit = |text: &mut String, word: &str, rng: &mut R| {
+        if !text.is_empty() {
+            text.push(' ');
+        }
+        if rng.gen_ratio(1, 3) {
+            text.push_str(STOPWORDS[rng.gen_range(0..STOPWORDS.len())]);
+            text.push(' ');
+        }
+        text.push_str(word);
+    };
+    for _ in 0..content_draws {
+        let rank = zipf.sample(rng);
+        emit(&mut text, &category_words[rank], rng);
+    }
+    for _ in 0..shared_draws {
+        if shared_words.is_empty() {
+            break;
+        }
+        let i = rng.gen_range(0..shared_words.len());
+        emit(&mut text, &shared_words[i], rng);
+    }
+    text.push('.');
+    text
+}
+
+fn compute_doc_freq(
+    category_syms: &[Vec<Sym>],
+    docs_by_category: &[Vec<Document>],
+) -> Vec<Vec<u32>> {
+    category_syms
+        .iter()
+        .enumerate()
+        .map(|(cat, syms)| {
+            syms.iter()
+                .map(|&s| {
+                    docs_by_category[cat]
+                        .iter()
+                        .filter(|d| d.contains(s))
+                        .count() as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            n_categories: 3,
+            vocab_per_category: 40,
+            shared_vocab: 10,
+            docs_per_category: 30,
+            content_words_per_doc: 12,
+            shared_words_per_doc: 2,
+            zipf_exponent: 0.9,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generates_requested_document_counts() {
+        let c = Corpus::generate(small_config(1));
+        assert_eq!(c.n_categories(), 3);
+        for cat in 0..3 {
+            assert_eq!(c.docs(cat).len(), 30);
+        }
+        assert_eq!(c.total_docs(), 90);
+    }
+
+    #[test]
+    fn documents_are_nonempty_and_use_category_vocabulary() {
+        let c = Corpus::generate(small_config(2));
+        for cat in 0..3 {
+            for doc in c.docs(cat) {
+                assert!(!doc.is_empty());
+                let own = doc
+                    .attrs()
+                    .iter()
+                    .filter(|&&s| c.category_of(s) == Some(cat))
+                    .count();
+                assert!(own > 0, "article must contain own-category words");
+            }
+        }
+    }
+
+    #[test]
+    fn category_vocabularies_are_disjoint_across_categories() {
+        let c = Corpus::generate(small_config(3));
+        for cat in 0..3 {
+            for &s in c.category_syms(cat) {
+                assert_eq!(c.category_of(s), Some(cat));
+            }
+        }
+        for &s in c.shared_syms() {
+            assert_eq!(c.category_of(s), None);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_ordering_shows_in_occurrences() {
+        let c = Corpus::generate(small_config(4));
+        for cat in 0..3 {
+            let occ = c.occurrences(cat);
+            let head: u64 = occ[..5].iter().sum();
+            let tail: u64 = occ[occ.len() - 5..].iter().sum();
+            assert!(head > tail, "rank-0 words must dominate the tail");
+        }
+    }
+
+    #[test]
+    fn doc_freq_is_consistent_with_documents() {
+        let c = Corpus::generate(small_config(5));
+        let cat = 1;
+        let syms = c.category_syms(cat);
+        let df = c.doc_freq(cat);
+        for (i, &s) in syms.iter().enumerate().take(10) {
+            let manual = c.docs(cat).iter().filter(|d| d.contains(s)).count() as u32;
+            assert_eq!(df[i], manual);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(small_config(9));
+        let b = Corpus::generate(small_config(9));
+        assert_eq!(a.docs(0), b.docs(0));
+        assert_eq!(a.occurrences(2), b.occurrences(2));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_corpora() {
+        let a = Corpus::generate(small_config(10));
+        let b = Corpus::generate(small_config(11));
+        assert_ne!(a.docs(0), b.docs(0));
+    }
+
+    #[test]
+    fn cross_category_words_only_from_shared_vocab() {
+        let c = Corpus::generate(small_config(12));
+        for cat in 0..3 {
+            for doc in c.docs(cat) {
+                for &s in doc.attrs() {
+                    if let Some(owner) = c.category_of(s) {
+                        assert_eq!(owner, cat); // else: shared background word
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn zero_categories_panics() {
+        let mut cfg = small_config(1);
+        cfg.n_categories = 0;
+        let _ = Corpus::generate(cfg);
+    }
+}

@@ -1,0 +1,199 @@
+//! Zipf-distributed sampling.
+//!
+//! Word frequencies in natural-language text follow a Zipf law, and the
+//! paper distributes query demand across peers "using a zipf
+//! distribution, thus, some peers are more demanding than others". This
+//! module implements inverse-CDF sampling over the finite Zipf
+//! distribution `P(rank = k) ∝ k^(-s)`, `k = 1..=n`, without pulling an
+//! extra dependency.
+
+use rand::Rng;
+
+/// A finite Zipf distribution over ranks `0..n` (rank 0 is the most
+/// probable).
+///
+/// # Examples
+/// ```
+/// use recluster_corpus::Zipf;
+/// use recluster_types::seeded_rng;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = seeded_rng(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights; `cdf[k]` = Σ_{i<=k} (i+1)^-s.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of `rank` (0-based).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let total = *self.cdf.last().expect("non-empty");
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        (self.cdf[rank] - lo) / total
+    }
+
+    /// Samples a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cdf.last().expect("non-empty");
+        let u: f64 = rng.gen::<f64>() * total;
+        // partition_point returns the first index whose cdf exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Splits an integer `total` into `self.len()` shares proportional to
+    /// the Zipf weights, using largest-remainder rounding so the shares
+    /// sum exactly to `total`. Used to hand out query demand to peers.
+    pub fn integer_shares(&self, total: u64) -> Vec<u64> {
+        let n = self.cdf.len();
+        let grand = *self.cdf.last().expect("non-empty");
+        let mut shares = Vec::with_capacity(n);
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
+        let mut assigned = 0u64;
+        let mut prev = 0.0;
+        for (k, &c) in self.cdf.iter().enumerate() {
+            let exact = total as f64 * (c - prev) / grand;
+            let floor = exact.floor() as u64;
+            assigned += floor;
+            shares.push(floor);
+            remainders.push((k, exact - exact.floor()));
+            prev = c;
+        }
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut leftover = total - assigned;
+        for (k, _) in remainders {
+            if leftover == 0 {
+                break;
+            }
+            shares[k] += 1;
+            leftover -= 1;
+        }
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::seeded_rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &s in &[0.0, 0.5, 1.0, 2.0] {
+            let z = Zipf::new(50, s);
+            let sum: f64 = (0..50).map(|k| z.pmf(k)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "s={s}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(20, 1.2);
+        for k in 1..20 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_skew_low() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = seeded_rng(42);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        // Rank 0 must dominate rank 50 decisively under s=1.
+        assert!(counts[0] > counts[50] * 5);
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = seeded_rng(7);
+        let n = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: emp={emp}, pmf={}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn integer_shares_sum_exactly() {
+        let z = Zipf::new(7, 1.0);
+        for &total in &[0u64, 1, 13, 200, 9999] {
+            let shares = z.integer_shares(total);
+            assert_eq!(shares.iter().sum::<u64>(), total);
+            assert_eq!(shares.len(), 7);
+        }
+    }
+
+    #[test]
+    fn integer_shares_are_monotone_for_positive_exponent() {
+        let z = Zipf::new(8, 1.0);
+        let shares = z.integer_shares(1000);
+        for w in shares.windows(2) {
+            assert!(w[0] >= w[1], "shares must decrease with rank: {shares:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(3, -1.0);
+    }
+}

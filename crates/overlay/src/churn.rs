@@ -1,0 +1,153 @@
+//! Peer churn: joins and leaves.
+//!
+//! "Peers that join or leave the system constantly and change their
+//! content and query workload frequently may render the original
+//! clustered overlay inappropriate" (§1). This module applies join/leave
+//! events to an overlay + content store pair while preserving the
+//! `Cmax = |P|` invariant, charging topology-maintenance traffic to the
+//! network ledger.
+
+use rand::Rng;
+use recluster_types::{ClusterId, Document, PeerId};
+
+use crate::content::ContentStore;
+use crate::network::{MsgKind, SimNetwork};
+use crate::overlay::Overlay;
+
+/// A churn event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnEvent {
+    /// A new peer joins cluster `cluster` carrying `docs`.
+    Join {
+        /// Cluster joined.
+        cluster: ClusterId,
+        /// Documents the newcomer shares.
+        docs: Vec<Document>,
+    },
+    /// Peer `peer` leaves the system.
+    Leave {
+        /// Departing peer.
+        peer: PeerId,
+    },
+}
+
+/// Applies one churn event. Join returns the new peer's id; leave returns
+/// the departed peer's former cluster.
+pub fn apply_event(
+    overlay: &mut Overlay,
+    store: &mut ContentStore,
+    net: &mut SimNetwork,
+    event: ChurnEvent,
+) -> Option<PeerId> {
+    match event {
+        ChurnEvent::Join { cluster, docs } => {
+            let peer = overlay.grow();
+            let slot = store.grow();
+            debug_assert_eq!(peer, slot, "overlay and store must grow in lockstep");
+            for d in docs {
+                store.add(peer, d);
+            }
+            // Join cost: one message per existing member for a fully
+            // connected cluster.
+            let size = overlay.cluster(cluster).len() as u64;
+            net.send_many(MsgKind::ClusterJoin, 24, size.max(1));
+            overlay.assign(peer, cluster);
+            Some(peer)
+        }
+        ChurnEvent::Leave { peer } => {
+            let former = overlay.unassign(peer)?;
+            let size = overlay.cluster(former).len() as u64;
+            net.send_many(MsgKind::ClusterLeave, 24, size.max(1));
+            store.replace(peer, Vec::new());
+            Some(peer)
+        }
+    }
+}
+
+/// Samples a random live peer to leave, or `None` if the overlay is
+/// empty. Deterministic given the RNG state.
+pub fn random_leave<R: Rng + ?Sized>(overlay: &Overlay, rng: &mut R) -> Option<ChurnEvent> {
+    let live: Vec<PeerId> = overlay.peers().collect();
+    if live.is_empty() {
+        return None;
+    }
+    Some(ChurnEvent::Leave {
+        peer: live[rng.gen_range(0..live.len())],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::{seeded_rng, Sym};
+
+    #[test]
+    fn join_grows_everything_in_lockstep() {
+        let mut ov = Overlay::singletons(2);
+        let mut store = ContentStore::new(2);
+        let mut net = SimNetwork::new();
+        let p = apply_event(
+            &mut ov,
+            &mut store,
+            &mut net,
+            ChurnEvent::Join {
+                cluster: ClusterId(0),
+                docs: vec![Document::new(vec![Sym(1)])],
+            },
+        )
+        .unwrap();
+        assert_eq!(p, PeerId(2));
+        assert_eq!(ov.n_peers(), 3);
+        assert_eq!(ov.cmax(), 3);
+        assert_eq!(store.n_peers(), 3);
+        assert_eq!(ov.cluster_of(p), Some(ClusterId(0)));
+        assert_eq!(store.docs(p).len(), 1);
+        assert!(net.messages(MsgKind::ClusterJoin) >= 1);
+        ov.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leave_unassigns_and_clears_content() {
+        let mut ov = Overlay::singletons(3);
+        let mut store = ContentStore::new(3);
+        store.add(PeerId(1), Document::new(vec![Sym(5)]));
+        let mut net = SimNetwork::new();
+        apply_event(&mut ov, &mut store, &mut net, ChurnEvent::Leave { peer: PeerId(1) });
+        assert_eq!(ov.n_peers(), 2);
+        assert!(store.docs(PeerId(1)).is_empty());
+        assert_eq!(ov.cluster_of(PeerId(1)), None);
+        ov.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leave_of_departed_peer_is_noop() {
+        let mut ov = Overlay::singletons(2);
+        let mut store = ContentStore::new(2);
+        let mut net = SimNetwork::new();
+        apply_event(&mut ov, &mut store, &mut net, ChurnEvent::Leave { peer: PeerId(0) });
+        let msgs = net.total_messages();
+        let res = apply_event(&mut ov, &mut store, &mut net, ChurnEvent::Leave { peer: PeerId(0) });
+        assert_eq!(res, None);
+        assert_eq!(net.total_messages(), msgs, "no-op leave sends nothing");
+    }
+
+    #[test]
+    fn random_leave_picks_live_peers() {
+        let mut ov = Overlay::singletons(5);
+        ov.unassign(PeerId(0));
+        let mut rng = seeded_rng(3);
+        for _ in 0..20 {
+            match random_leave(&ov, &mut rng) {
+                Some(ChurnEvent::Leave { peer }) => assert_ne!(peer, PeerId(0)),
+                other => panic!("expected leave event, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_leave_on_empty_overlay_is_none() {
+        let ov = Overlay::unassigned(3);
+        let mut rng = seeded_rng(4);
+        assert!(random_leave(&ov, &mut rng).is_none());
+    }
+}

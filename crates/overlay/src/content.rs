@@ -1,0 +1,128 @@
+//! Per-peer content stores.
+//!
+//! "Nodes (peers) […] have equal roles acting as both data providers and
+//! data consumers." Each peer holds a bag of documents; `result(q, p)` is
+//! the number of the peer's documents matched by `q`.
+
+use recluster_types::{Document, PeerId, Query};
+
+/// The documents held by every peer, indexed by peer id.
+#[derive(Debug, Clone, Default)]
+pub struct ContentStore {
+    docs: Vec<Vec<Document>>,
+}
+
+impl ContentStore {
+    /// An empty store with `n_peers` slots.
+    pub fn new(n_peers: usize) -> Self {
+        ContentStore {
+            docs: vec![Vec::new(); n_peers],
+        }
+    }
+
+    /// Number of peer slots.
+    pub fn n_peers(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The documents of `peer`.
+    pub fn docs(&self, peer: PeerId) -> &[Document] {
+        &self.docs[peer.index()]
+    }
+
+    /// Adds a document to `peer`'s store.
+    pub fn add(&mut self, peer: PeerId, doc: Document) {
+        self.docs[peer.index()].push(doc);
+    }
+
+    /// Replaces `peer`'s documents wholesale (content-update experiments,
+    /// §4.2: "the data in the cluster are replaced by data belonging to a
+    /// different category").
+    pub fn replace(&mut self, peer: PeerId, docs: Vec<Document>) -> Vec<Document> {
+        std::mem::replace(&mut self.docs[peer.index()], docs)
+    }
+
+    /// Replaces a fraction of `peer`'s documents: the first
+    /// `replace_count` documents are swapped for `new_docs` (callers
+    /// control which documents count as "first" by construction order).
+    pub fn replace_prefix(&mut self, peer: PeerId, replace_count: usize, new_docs: Vec<Document>) {
+        let slot = &mut self.docs[peer.index()];
+        let keep = slot.split_off(replace_count.min(slot.len()));
+        *slot = new_docs;
+        slot.extend(keep);
+    }
+
+    /// Grows the store by one (empty) peer slot.
+    pub fn grow(&mut self) -> PeerId {
+        self.docs.push(Vec::new());
+        PeerId::from_index(self.docs.len() - 1)
+    }
+
+    /// `result(q, p)`: matching documents of `peer`.
+    pub fn result_count(&self, query: &Query, peer: PeerId) -> u64 {
+        query.result_count(&self.docs[peer.index()])
+    }
+
+    /// Total documents across all peers.
+    pub fn total_docs(&self) -> usize {
+        self.docs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::Sym;
+
+    fn doc(ids: &[u32]) -> Document {
+        Document::new(ids.iter().map(|&i| Sym(i)).collect())
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut store = ContentStore::new(2);
+        store.add(PeerId(0), doc(&[1, 2]));
+        store.add(PeerId(0), doc(&[2, 3]));
+        store.add(PeerId(1), doc(&[9]));
+        assert_eq!(store.docs(PeerId(0)).len(), 2);
+        assert_eq!(store.result_count(&Query::keyword(Sym(2)), PeerId(0)), 2);
+        assert_eq!(store.result_count(&Query::keyword(Sym(2)), PeerId(1)), 0);
+        assert_eq!(store.total_docs(), 3);
+    }
+
+    #[test]
+    fn replace_returns_old_content() {
+        let mut store = ContentStore::new(1);
+        store.add(PeerId(0), doc(&[1]));
+        let old = store.replace(PeerId(0), vec![doc(&[5]), doc(&[6])]);
+        assert_eq!(old, vec![doc(&[1])]);
+        assert_eq!(store.docs(PeerId(0)).len(), 2);
+    }
+
+    #[test]
+    fn replace_prefix_keeps_tail() {
+        let mut store = ContentStore::new(1);
+        store.add(PeerId(0), doc(&[1]));
+        store.add(PeerId(0), doc(&[2]));
+        store.add(PeerId(0), doc(&[3]));
+        store.replace_prefix(PeerId(0), 2, vec![doc(&[8])]);
+        assert_eq!(store.docs(PeerId(0)), &[doc(&[8]), doc(&[3])]);
+    }
+
+    #[test]
+    fn replace_prefix_clamps_to_length() {
+        let mut store = ContentStore::new(1);
+        store.add(PeerId(0), doc(&[1]));
+        store.replace_prefix(PeerId(0), 10, vec![doc(&[7])]);
+        assert_eq!(store.docs(PeerId(0)), &[doc(&[7])]);
+    }
+
+    #[test]
+    fn grow_appends_empty_slot() {
+        let mut store = ContentStore::new(1);
+        let p = store.grow();
+        assert_eq!(p, PeerId(1));
+        assert!(store.docs(p).is_empty());
+        assert_eq!(store.n_peers(), 2);
+    }
+}

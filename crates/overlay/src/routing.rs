@@ -1,0 +1,187 @@
+//! Query routing with cluster-annotated results.
+//!
+//! "We also assume that the results of each query are annotated with the
+//! corresponding cids of the clusters that provided them" (§3.1). Peers
+//! use those annotations to track per-cluster recall. The number of
+//! results a peer sees "depends on the routing algorithm used, and if a
+//! query is evaluated against all clusters in the system, it is equal to
+//! the total number of results" — this module provides both the
+//! all-clusters flood and a directed variant.
+
+use recluster_types::{ClusterId, PeerId, Query};
+
+use crate::content::ContentStore;
+use crate::network::{MsgKind, SimNetwork};
+use crate::overlay::Overlay;
+
+/// One result record: `count` matching documents found at `peer`, which
+/// answered from `cluster` (the cid annotation of §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotatedResult {
+    /// The cluster that provided the results.
+    pub cluster: ClusterId,
+    /// The answering peer.
+    pub peer: PeerId,
+    /// Number of matching documents at that peer.
+    pub count: u64,
+}
+
+/// Evaluates `query` against *all* clusters (flooding). Returns one
+/// record per answering peer with a nonzero count; network traffic is
+/// charged to `net` (one forward per non-empty cluster, one return per
+/// answering peer).
+pub fn flood_query(
+    overlay: &Overlay,
+    store: &ContentStore,
+    query: &Query,
+    net: &mut SimNetwork,
+) -> Vec<AnnotatedResult> {
+    let clusters: Vec<ClusterId> = overlay
+        .cluster_ids()
+        .filter(|&c| !overlay.cluster(c).is_empty())
+        .collect();
+    route_to_clusters(overlay, store, query, &clusters, net)
+}
+
+/// Evaluates `query` against the given clusters only.
+pub fn route_to_clusters(
+    overlay: &Overlay,
+    store: &ContentStore,
+    query: &Query,
+    clusters: &[ClusterId],
+    net: &mut SimNetwork,
+) -> Vec<AnnotatedResult> {
+    let mut results = Vec::new();
+    for &cid in clusters {
+        let cluster = overlay.cluster(cid);
+        if cluster.is_empty() {
+            continue;
+        }
+        net.send(MsgKind::QueryForward, 16 + 4 * query.len() as u64);
+        for &peer in cluster.members() {
+            let count = store.result_count(query, peer);
+            if count > 0 {
+                net.send(MsgKind::ResultReturn, 12);
+                results.push(AnnotatedResult {
+                    cluster: cid,
+                    peer,
+                    count,
+                });
+            }
+        }
+    }
+    results
+}
+
+/// The *cluster recall* measure of §3.1: "the fraction of results
+/// returned to peer p for query q by a cluster ci to the total number of
+/// results returned for the query". Returns `(cluster, fraction)` pairs
+/// for clusters with nonzero contribution; empty when the query had no
+/// results at all.
+pub fn cluster_recall(results: &[AnnotatedResult]) -> Vec<(ClusterId, f64)> {
+    let total: u64 = results.iter().map(|r| r.count).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut by_cluster: std::collections::BTreeMap<ClusterId, u64> = Default::default();
+    for r in results {
+        *by_cluster.entry(r.cluster).or_insert(0) += r.count;
+    }
+    by_cluster
+        .into_iter()
+        .map(|(c, n)| (c, n as f64 / total as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::{Document, Sym};
+
+    /// Three peers in two clusters; peer 0 and 1 hold matching docs.
+    fn fixture() -> (Overlay, ContentStore) {
+        let mut ov = Overlay::singletons(3);
+        ov.move_peer(PeerId(1), ClusterId(0)); // c0 = {p0, p1}, c2 = {p2}
+        let mut store = ContentStore::new(3);
+        store.add(PeerId(0), Document::new(vec![Sym(1), Sym(2)]));
+        store.add(PeerId(1), Document::new(vec![Sym(1)]));
+        store.add(PeerId(1), Document::new(vec![Sym(1), Sym(3)]));
+        store.add(PeerId(2), Document::new(vec![Sym(2)]));
+        (ov, store)
+    }
+
+    #[test]
+    fn flood_finds_all_results_with_cid_annotations() {
+        let (ov, store) = fixture();
+        let mut net = SimNetwork::new();
+        let results = flood_query(&ov, &store, &Query::keyword(Sym(1)), &mut net);
+        assert_eq!(
+            results,
+            vec![
+                AnnotatedResult { cluster: ClusterId(0), peer: PeerId(0), count: 1 },
+                AnnotatedResult { cluster: ClusterId(0), peer: PeerId(1), count: 2 },
+            ]
+        );
+        // Two non-empty clusters → two forwards; two answering peers.
+        assert_eq!(net.messages(MsgKind::QueryForward), 2);
+        assert_eq!(net.messages(MsgKind::ResultReturn), 2);
+    }
+
+    #[test]
+    fn directed_routing_restricts_scope() {
+        let (ov, store) = fixture();
+        let mut net = SimNetwork::new();
+        let results =
+            route_to_clusters(&ov, &store, &Query::keyword(Sym(2)), &[ClusterId(2)], &mut net);
+        assert_eq!(
+            results,
+            vec![AnnotatedResult { cluster: ClusterId(2), peer: PeerId(2), count: 1 }]
+        );
+        assert_eq!(net.messages(MsgKind::QueryForward), 1);
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped_without_traffic() {
+        let (ov, store) = fixture();
+        let mut net = SimNetwork::new();
+        let results =
+            route_to_clusters(&ov, &store, &Query::keyword(Sym(1)), &[ClusterId(1)], &mut net);
+        assert!(results.is_empty());
+        assert_eq!(net.total_messages(), 0);
+    }
+
+    #[test]
+    fn cluster_recall_fractions_sum_to_one() {
+        let (ov, store) = fixture();
+        let mut net = SimNetwork::new();
+        let results = flood_query(&ov, &store, &Query::keyword(Sym(2)), &mut net);
+        let recall = cluster_recall(&results);
+        let sum: f64 = recall.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Sym(2): one doc at p0 (c0), one at p2 (c2) → 0.5 each.
+        assert_eq!(recall.len(), 2);
+        assert!((recall[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_recall_of_unanswerable_query_is_empty() {
+        let (ov, store) = fixture();
+        let mut net = SimNetwork::new();
+        let results = flood_query(&ov, &store, &Query::keyword(Sym(99)), &mut net);
+        assert!(results.is_empty());
+        assert!(cluster_recall(&results).is_empty());
+    }
+
+    #[test]
+    fn flood_equals_union_of_directed_routes() {
+        let (ov, store) = fixture();
+        let q = Query::keyword(Sym(1));
+        let mut net = SimNetwork::new();
+        let flooded = flood_query(&ov, &store, &q, &mut net);
+        let mut directed = Vec::new();
+        for cid in ov.cluster_ids() {
+            directed.extend(route_to_clusters(&ov, &store, &q, &[cid], &mut net));
+        }
+        assert_eq!(flooded, directed);
+    }
+}

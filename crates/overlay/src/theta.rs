@@ -1,0 +1,138 @@
+//! The cluster-maintenance cost function `θ`.
+//!
+//! "We define a monotonically increasing function θ of the number of
+//! peers belonging to a cluster […] to capture this cost. This function
+//! depends on the cluster topology, for instance, when all peers are
+//! connected to each other, θ is linear, whereas in the case of
+//! structured overlays, θ may be logarithmic." (§2.1)
+
+/// A monotone cluster-maintenance cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Theta {
+    /// `θ(n) = n` — fully connected intra-cluster topology (the paper's
+    /// experimental setting).
+    #[default]
+    Linear,
+    /// `θ(n) = log2(n + 1)` — structured (DHT-like) intra-cluster
+    /// topology.
+    Logarithmic,
+    /// `θ(n) = √n` — super-peer style hierarchies (ablation).
+    Sqrt,
+    /// `θ(n) = c` for n > 0, 0 for n = 0 — membership cost independent of
+    /// cluster size (ablation; degenerate but useful to isolate the
+    /// recall term).
+    Constant(f64),
+}
+
+impl Theta {
+    /// Evaluates `θ(size)`. `θ(0) = 0` for every model: an empty cluster
+    /// costs nothing to maintain.
+    pub fn cost(&self, size: usize) -> f64 {
+        if size == 0 {
+            return 0.0;
+        }
+        match *self {
+            Theta::Linear => size as f64,
+            Theta::Logarithmic => ((size + 1) as f64).log2(),
+            Theta::Sqrt => (size as f64).sqrt(),
+            Theta::Constant(c) => c,
+        }
+    }
+
+    /// The membership-cost term of Eq. 1 for one cluster:
+    /// `θ(|c|) / |P|`.
+    pub fn membership(&self, cluster_size: usize, n_peers: usize) -> f64 {
+        assert!(n_peers > 0, "membership cost needs a non-empty system");
+        self.cost(cluster_size) / n_peers as f64
+    }
+}
+
+impl std::fmt::Display for Theta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Theta::Linear => write!(f, "linear"),
+            Theta::Logarithmic => write!(f, "log"),
+            Theta::Sqrt => write!(f, "sqrt"),
+            Theta::Constant(c) => write!(f, "const({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_paper_example() {
+        // §2.3 two-peer example: θ linear, |P| = 2, singleton cluster
+        // membership cost = 1/2.
+        assert_eq!(Theta::Linear.membership(1, 2), 0.5);
+        assert_eq!(Theta::Linear.membership(2, 2), 1.0);
+    }
+
+    #[test]
+    fn all_models_are_monotone() {
+        for theta in [
+            Theta::Linear,
+            Theta::Logarithmic,
+            Theta::Sqrt,
+            Theta::Constant(2.0),
+        ] {
+            for n in 0..100 {
+                assert!(
+                    theta.cost(n + 1) >= theta.cost(n),
+                    "{theta} not monotone at {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cluster_costs_nothing() {
+        for theta in [
+            Theta::Linear,
+            Theta::Logarithmic,
+            Theta::Sqrt,
+            Theta::Constant(5.0),
+        ] {
+            assert_eq!(theta.cost(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn log_grows_slower_than_linear() {
+        for n in 4..200 {
+            assert!(Theta::Logarithmic.cost(n) < Theta::Linear.cost(n));
+        }
+    }
+
+    #[test]
+    fn sqrt_between_log_and_linear_for_large_n() {
+        for n in 20..200 {
+            let s = Theta::Sqrt.cost(n);
+            assert!(s < Theta::Linear.cost(n));
+            assert!(s > Theta::Logarithmic.cost(n));
+        }
+    }
+
+    #[test]
+    fn constant_is_flat_for_nonempty() {
+        let t = Theta::Constant(3.5);
+        assert_eq!(t.cost(1), 3.5);
+        assert_eq!(t.cost(50), 3.5);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Theta::Linear.to_string(), "linear");
+        assert_eq!(Theta::Logarithmic.to_string(), "log");
+        assert_eq!(Theta::Sqrt.to_string(), "sqrt");
+        assert_eq!(Theta::Constant(1.0).to_string(), "const(1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty system")]
+    fn membership_in_empty_system_panics() {
+        let _ = Theta::Linear.membership(1, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Baseline comparison (our extension, quantifying the paper's §1
+//! motivation).
+//!
+//! From the same degraded starting overlay, repair the clustering with
+//! (a) the paper's local protocol (selfish / altruistic), (b) global
+//! k-means re-clustering from scratch, (c) random relocation, and (d) no
+//! maintenance — recording final quality *and* communication cost. The
+//! paper's argument is that (a) approaches (b)'s quality at a fraction of
+//! its global-knowledge traffic.
+
+use recluster_baselines::{recluster_kmeans, KMeansConfig};
+use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
+use recluster_overlay::SimNetwork;
+
+use crate::runner::{run_protocol, StrategyKind};
+use crate::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Maintenance scheme.
+    pub name: String,
+    /// Final normalized social cost.
+    pub scost: f64,
+    /// Final normalized workload cost.
+    pub wcost: f64,
+    /// Non-empty clusters at the end.
+    pub clusters: usize,
+    /// Total messages spent by the scheme.
+    pub messages: u64,
+    /// Total bytes spent by the scheme.
+    pub bytes: u64,
+}
+
+/// Runs the comparison starting from a random `m = M` scenario-1
+/// configuration.
+pub fn run_baseline_comparison(cfg: &ExperimentConfig, max_rounds: usize) -> Vec<BaselineRow> {
+    let mut rows = Vec::new();
+
+    // Local protocol runs.
+    for kind in [
+        StrategyKind::Selfish,
+        StrategyKind::Altruistic,
+        StrategyKind::Random(0.3, cfg.seed),
+        StrategyKind::NoMaintenance,
+    ] {
+        let mut testbed = build_system(Scenario::SameCategory, InitialConfig::RandomM, cfg);
+        let mut net = SimNetwork::new();
+        let protocol = ProtocolConfig {
+            epsilon: 1e-3,
+            max_rounds,
+            empty_targets: EmptyTargetPolicy::Always,
+            use_locks: true,
+        };
+        run_protocol(&mut testbed.system, kind, protocol, &mut net);
+        rows.push(BaselineRow {
+            name: kind.label(),
+            scost: recluster_core::scost_normalized(&testbed.system),
+            wcost: recluster_core::wcost_normalized(&testbed.system),
+            clusters: testbed.system.overlay().non_empty_clusters(),
+            messages: net.total_messages(),
+            bytes: net.total_bytes(),
+        });
+    }
+
+    // Global re-clustering from scratch.
+    let mut testbed = build_system(Scenario::SameCategory, InitialConfig::RandomM, cfg);
+    let mut net = SimNetwork::new();
+    recluster_kmeans(
+        &mut testbed.system,
+        KMeansConfig {
+            k: cfg.n_categories,
+            max_iters: 50,
+            seed: cfg.seed,
+        },
+        &mut net,
+    );
+    rows.push(BaselineRow {
+        name: "kmeans-global".into(),
+        scost: recluster_core::scost_normalized(&testbed.system),
+        wcost: recluster_core::wcost_normalized(&testbed.system),
+        clusters: testbed.system.overlay().non_empty_clusters(),
+        messages: net.total_messages(),
+        bytes: net.total_bytes(),
+    });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_all_rows() {
+        let rows = run_baseline_comparison(&ExperimentConfig::small(61), 40);
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"selfish"));
+        assert!(names.contains(&"altruistic"));
+        assert!(names.contains(&"none"));
+        assert!(names.contains(&"kmeans-global"));
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn selfish_beats_no_maintenance() {
+        let rows = run_baseline_comparison(&ExperimentConfig::small(62), 60);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert!(
+            get("selfish").scost < get("none").scost,
+            "selfish {} must beat none {}",
+            get("selfish").scost,
+            get("none").scost
+        );
+    }
+
+    #[test]
+    fn selfish_matches_kmeans_quality_ballpark() {
+        let rows = run_baseline_comparison(&ExperimentConfig::small(63), 60);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        let selfish = get("selfish").scost;
+        let kmeans = get("kmeans-global").scost;
+        assert!(
+            selfish <= kmeans + 0.15,
+            "local repair ({selfish}) should approach global re-clustering ({kmeans})"
+        );
+    }
+
+    #[test]
+    fn selfish_beats_random_walk() {
+        let rows = run_baseline_comparison(&ExperimentConfig::small(64), 60);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert!(get("selfish").scost < get(&StrategyKind::Random(0.3, 64).label()).scost);
+    }
+
+    #[test]
+    fn every_active_scheme_spends_messages() {
+        let rows = run_baseline_comparison(&ExperimentConfig::small(65), 40);
+        for row in &rows {
+            if row.name != "none" {
+                assert!(row.messages > 0, "{} spent no messages", row.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Developer diagnostics: prints the dynamics of the miniature testbed.
+//! Not part of the reproduction surface — see `recluster-bench` for the
+//! paper's tables and figures.
+
+use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
+use recluster_overlay::SimNetwork;
+use recluster_sim::fig23::{run_point, UpdateMode};
+use recluster_sim::fig1::run_series;
+use recluster_sim::runner::{run_protocol, StrategyKind};
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+use recluster_sim::table1::{run_cell, Table1Config};
+
+fn main() {
+    let cfg = ExperimentConfig::small(21);
+
+    println!("== scenario 1, all inits, selfish ==");
+    let t1 = Table1Config::small(21);
+    for init in [
+        InitialConfig::Singletons,
+        InitialConfig::RandomM,
+        InitialConfig::Fewer,
+        InitialConfig::More,
+    ] {
+        for kind in [StrategyKind::Selfish, StrategyKind::Altruistic] {
+            let row = run_cell(Scenario::SameCategory, init, kind, &t1);
+            println!(
+                "  {:?} {:12} rounds={:?} clusters={} scost={:.3} wcost={:.3} nash={}",
+                init, row.strategy, row.rounds, row.clusters, row.scost, row.wcost, row.nash
+            );
+        }
+    }
+
+    println!("== fig1 series (selfish) ==");
+    let s = run_series(&cfg, StrategyKind::Selfish, 60);
+    println!("  scost: {:?}", s.scost.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!("  wcost: {:?}", s.wcost.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+
+    println!("== fig23 data-update points ==");
+    for f in [0.2, 0.5, 0.8, 1.0] {
+        let sp = run_point(&cfg, UpdateMode::DataPeers, StrategyKind::Selfish, f, 60);
+        let ap = run_point(&cfg, UpdateMode::DataPeers, StrategyKind::Altruistic, f, 60);
+        println!(
+            "  f={f}: selfish before={:.3} after={:.3} moves={} | altruistic before={:.3} after={:.3} moves={}",
+            sp.scost_before, sp.scost_after, sp.moves, ap.scost_before, ap.scost_after, ap.moves
+        );
+    }
+
+    println!("== fig23 workload-update points ==");
+    for f in [0.2, 0.5, 0.8, 1.0] {
+        let sp = run_point(&cfg, UpdateMode::WorkloadPeers, StrategyKind::Selfish, f, 60);
+        let ap = run_point(&cfg, UpdateMode::WorkloadPeers, StrategyKind::Altruistic, f, 60);
+        println!(
+            "  f={f}: selfish before={:.3} after={:.3} moves={} | altruistic before={:.3} after={:.3} moves={}",
+            sp.scost_before, sp.scost_after, sp.moves, ap.scost_before, ap.scost_after, ap.moves
+        );
+    }
+
+    println!("== scenario-2 cell (selfish) ==");
+    let row = run_cell(
+        Scenario::DifferentCategory,
+        InitialConfig::RandomM,
+        StrategyKind::Selfish,
+        &t1,
+    );
+    println!(
+        "  rounds={:?} clusters={} scost={:.3} wcost={:.3}",
+        row.rounds, row.clusters, row.scost, row.wcost
+    );
+
+    println!("== altruistic random-M trace ==");
+    let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut net = SimNetwork::new();
+    let outcome = run_protocol(
+        &mut tb.system,
+        StrategyKind::Altruistic,
+        ProtocolConfig {
+            epsilon: 1e-3,
+            max_rounds: 30,
+            empty_targets: EmptyTargetPolicy::Always,
+            use_locks: true,
+        },
+        &mut net,
+    );
+    for r in outcome.rounds.iter() {
+        println!(
+            "  round {}: requests={} granted={} scost={:.3} clusters={}",
+            r.round,
+            r.requests.len(),
+            r.granted.len(),
+            r.scost,
+            r.non_empty_clusters
+        );
+    }
+}

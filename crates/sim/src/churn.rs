@@ -1,0 +1,234 @@
+//! Churn experiment (the §1 motivation the paper defers: "peers that
+//! join or leave the system constantly … may render the original
+//! clustered overlay inappropriate").
+//!
+//! Starting from the converged scenario-1 overlay, each *period* applies
+//! a batch of churn events — departures of random peers and arrivals of
+//! fresh peers carrying hold-out articles of a random category, assigned
+//! to a random cluster (a newcomer does not know where it belongs) —
+//! then optionally runs the maintenance protocol. The social cost with
+//! and without maintenance quantifies how well the strategies "cope with
+//! the changes in the overlay configuration".
+
+use rand::Rng;
+use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
+use recluster_corpus::{QueryBias, WorkloadBuilder};
+use recluster_overlay::churn::{random_leave, ChurnEvent};
+use recluster_overlay::SimNetwork;
+use recluster_types::{derive_seed, seeded_rng, ClusterId, Workload};
+
+use crate::runner::{run_protocol, StrategyKind};
+use crate::scenario::{ideal_scenario1_system, ExperimentConfig, TestBed};
+
+/// One period's record.
+#[derive(Debug, Clone)]
+pub struct ChurnPeriod {
+    /// Period index.
+    pub period: usize,
+    /// Normalized social cost right after the churn batch.
+    pub scost_after_churn: f64,
+    /// Normalized social cost after maintenance (equals
+    /// `scost_after_churn` when maintenance is off).
+    pub scost_after_repair: f64,
+    /// Live peers at the end of the period.
+    pub peers: usize,
+    /// Relocations performed by maintenance.
+    pub moves: usize,
+}
+
+/// Configuration of the churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Periods to simulate.
+    pub periods: usize,
+    /// Departures per period.
+    pub leaves_per_period: usize,
+    /// Arrivals per period.
+    pub joins_per_period: usize,
+    /// Maintenance strategy (`None` = no maintenance).
+    pub maintenance: Option<StrategyKind>,
+    /// Round budget per maintenance run.
+    pub max_rounds: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            periods: 10,
+            leaves_per_period: 2,
+            joins_per_period: 2,
+            maintenance: Some(StrategyKind::Selfish),
+            max_rounds: 60,
+        }
+    }
+}
+
+/// Runs the churn experiment. Deterministic in `cfg.seed`.
+pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod> {
+    let mut testbed = ideal_scenario1_system(cfg);
+    let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC4A9));
+    let mut net = SimNetwork::new();
+    let mut records = Vec::with_capacity(churn.periods);
+    let demand_per_peer = (cfg.total_queries / cfg.n_peers as u64).max(1);
+
+    for period in 0..churn.periods {
+        apply_churn_batch(&mut testbed, churn, demand_per_peer, &mut rng, &mut net);
+        let scost_after_churn = recluster_core::scost_normalized(&testbed.system);
+
+        let mut moves = 0;
+        if let Some(kind) = churn.maintenance {
+            let protocol = ProtocolConfig {
+                epsilon: 1e-3,
+                max_rounds: churn.max_rounds,
+                empty_targets: EmptyTargetPolicy::Always,
+                use_locks: true,
+            };
+            let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
+            moves = outcome.total_moves();
+        }
+        records.push(ChurnPeriod {
+            period,
+            scost_after_churn,
+            scost_after_repair: recluster_core::scost_normalized(&testbed.system),
+            peers: testbed.system.overlay().n_peers(),
+            moves,
+        });
+    }
+    records
+}
+
+fn apply_churn_batch(
+    testbed: &mut TestBed,
+    churn: &ChurnConfig,
+    demand_per_peer: u64,
+    rng: &mut rand::rngs::StdRng,
+    net: &mut SimNetwork,
+) {
+    // Departures.
+    for _ in 0..churn.leaves_per_period {
+        if let Some(ChurnEvent::Leave { peer }) = random_leave(testbed.system.overlay(), rng) {
+            let sys = &mut testbed.system;
+            if let Some(former) = sys.overlay_mut().unassign(peer) {
+                let remaining = sys.overlay().cluster(former).len() as u64;
+                net.send_many(recluster_overlay::MsgKind::ClusterLeave, 24, remaining.max(1));
+            }
+            sys.store_mut().replace(peer, Vec::new());
+            sys.workloads_mut()[peer.index()] = Workload::new();
+        }
+    }
+
+    // Arrivals: a fresh peer with hold-out articles of a random category,
+    // querying that category, dropped into a random non-empty cluster.
+    let n_categories = testbed.holdout.len();
+    for _ in 0..churn.joins_per_period {
+        let cat = rng.gen_range(0..n_categories);
+        let pool = &testbed.holdout[cat];
+        let docs: Vec<_> = (0..5)
+            .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+            .collect();
+        let non_empty: Vec<ClusterId> = testbed
+            .system
+            .overlay()
+            .cluster_ids()
+            .filter(|&c| !testbed.system.overlay().cluster(c).is_empty())
+            .collect();
+        let target = non_empty[rng.gen_range(0..non_empty.len())];
+        let peer = {
+            let sys = &mut testbed.system;
+            let p = sys.overlay_mut().grow();
+            let slot = sys.store_mut().grow();
+            debug_assert_eq!(p, slot);
+            for d in docs {
+                sys.store_mut().add(p, d);
+            }
+            sys.overlay_mut().assign(p, target);
+            p
+        };
+        let mut wrng = seeded_rng(derive_seed(rng.gen(), 0x10));
+        let workload = WorkloadBuilder::new(QueryBias::Uniform)
+            .with_doc_limit(testbed.distributable_per_category)
+            .build(&testbed.corpus, cat, demand_per_peer, &mut wrng);
+        testbed.system.workloads_mut().push(workload);
+        testbed.peer_category.push(cat);
+        testbed.query_category.push(Some(cat));
+        let _ = peer;
+    }
+    testbed.system.rebuild_index();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::small(81)
+    }
+
+    #[test]
+    fn churn_degrades_and_maintenance_repairs() {
+        let churn = ChurnConfig {
+            periods: 6,
+            leaves_per_period: 1,
+            joins_per_period: 1,
+            maintenance: Some(StrategyKind::Selfish),
+            max_rounds: 40,
+        };
+        let with = run_churn(&cfg(), &churn);
+        let without = run_churn(
+            &cfg(),
+            &ChurnConfig {
+                maintenance: None,
+                ..churn
+            },
+        );
+        let avg = |rows: &[ChurnPeriod]| {
+            rows.iter().map(|r| r.scost_after_repair).sum::<f64>() / rows.len() as f64
+        };
+        assert!(
+            avg(&with) < avg(&without),
+            "maintenance must help under churn: {} vs {}",
+            avg(&with),
+            avg(&without)
+        );
+    }
+
+    #[test]
+    fn repair_never_exceeds_post_churn_cost_much() {
+        let rows = run_churn(&cfg(), &ChurnConfig::default());
+        for r in &rows {
+            assert!(
+                r.scost_after_repair <= r.scost_after_churn + 0.05,
+                "period {}: {} -> {}",
+                r.period,
+                r.scost_after_churn,
+                r.scost_after_repair
+            );
+        }
+    }
+
+    #[test]
+    fn peer_count_tracks_joins_and_leaves() {
+        let churn = ChurnConfig {
+            periods: 3,
+            leaves_per_period: 2,
+            joins_per_period: 3,
+            maintenance: None,
+            max_rounds: 10,
+        };
+        let rows = run_churn(&cfg(), &churn);
+        // Net +1 peer per period from 40.
+        assert_eq!(rows.last().unwrap().peers, 40 + 3);
+    }
+
+    #[test]
+    fn overlay_invariants_survive_churn() {
+        let rows = run_churn(&cfg(), &ChurnConfig::default());
+        assert_eq!(rows.len(), 10);
+        // Determinism.
+        let again = run_churn(&cfg(), &ChurnConfig::default());
+        for (a, b) in rows.iter().zip(again.iter()) {
+            assert_eq!(a.peers, b.peers);
+            assert!((a.scost_after_repair - b.scost_after_repair).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Experiments E3/E4 — Figures 2 and 3: social cost after maintenance
+//! under workload and data updates (§4.2).
+//!
+//! Starting from the converged scenario-1 overlay with uniform demand,
+//! one cluster (`c_cur`) is perturbed — its peers' *workload* retargets
+//! to the data of another cluster (Figure 2) or its *data* is replaced by
+//! another category (Figure 3) — by a varying fraction; the protocol then
+//! runs to quiescence with the cluster count held fixed
+//! ([`EmptyTargetPolicy::Never`], ε = 0.001 as in the paper) and the
+//! final normalized social cost is recorded.
+
+use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
+use recluster_corpus::QueryBias;
+use recluster_overlay::SimNetwork;
+use recluster_types::ClusterId;
+
+use crate::runner::{run_protocol, StrategyKind};
+use crate::scenario::{ideal_scenario1_system, ExperimentConfig};
+use crate::updates;
+
+/// Which §4.2 update is swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Fig. 2 (left): a varying fraction of `c_cur`'s peers retarget
+    /// their entire workload.
+    WorkloadPeers,
+    /// Fig. 2 (right): all of `c_cur`'s peers retarget a varying fraction
+    /// of their workload.
+    WorkloadBlend,
+    /// Fig. 3 (left): a varying fraction of `c_cur`'s peers have their
+    /// data replaced by another category.
+    DataPeers,
+    /// Fig. 3 (right): all of `c_cur`'s peers replace a varying fraction
+    /// of their data.
+    DataBlend,
+}
+
+impl UpdateMode {
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdateMode::WorkloadPeers => "updated-peers(workload)",
+            UpdateMode::WorkloadBlend => "updated-workload",
+            UpdateMode::DataPeers => "updated-peers(data)",
+            UpdateMode::DataBlend => "updated-data",
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Update fraction in `[0, 1]`.
+    pub fraction: f64,
+    /// Normalized social cost immediately after the update (before any
+    /// maintenance).
+    pub scost_before: f64,
+    /// Normalized social cost after the protocol quiesces.
+    pub scost_after: f64,
+    /// Rounds the maintenance run took.
+    pub rounds: usize,
+    /// Peers relocated.
+    pub moves: usize,
+}
+
+/// One strategy's sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// Strategy label.
+    pub strategy: String,
+    /// The update mode swept.
+    pub mode: UpdateMode,
+    /// Points in ascending fraction order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The perturbed cluster: the paper's `c_cur` (we use category-0's
+/// cluster).
+pub const C_CUR: ClusterId = ClusterId(0);
+/// The cluster holding the data the updates shift toward (`c_new`).
+pub const NEW_CATEGORY: usize = 1;
+
+/// Runs one update sweep for one strategy.
+pub fn run_update_sweep(
+    cfg: &ExperimentConfig,
+    mode: UpdateMode,
+    kind: StrategyKind,
+    fractions: &[f64],
+    max_rounds: usize,
+) -> SweepSeries {
+    let points = fractions
+        .iter()
+        .map(|&fraction| run_point(cfg, mode, kind, fraction, max_rounds))
+        .collect();
+    SweepSeries {
+        strategy: kind.label(),
+        mode,
+        points,
+    }
+}
+
+/// Runs a single `(mode, strategy, fraction)` cell from a fresh testbed.
+pub fn run_point(
+    cfg: &ExperimentConfig,
+    mode: UpdateMode,
+    kind: StrategyKind,
+    fraction: f64,
+    max_rounds: usize,
+) -> SweepPoint {
+    let mut testbed = ideal_scenario1_system(cfg);
+    let seed = recluster_types::derive_seed(cfg.seed, (fraction * 1000.0) as u64);
+    match mode {
+        UpdateMode::WorkloadPeers => {
+            updates::retarget_peers(
+                &mut testbed,
+                C_CUR,
+                NEW_CATEGORY,
+                fraction,
+                QueryBias::Uniform,
+                seed,
+            );
+        }
+        UpdateMode::WorkloadBlend => {
+            updates::blend_workload(
+                &mut testbed,
+                C_CUR,
+                NEW_CATEGORY,
+                fraction,
+                QueryBias::Uniform,
+                seed,
+            );
+        }
+        UpdateMode::DataPeers => {
+            updates::replace_data_peers(&mut testbed, C_CUR, NEW_CATEGORY, fraction);
+        }
+        UpdateMode::DataBlend => {
+            updates::blend_data(&mut testbed, C_CUR, NEW_CATEGORY, fraction);
+        }
+    }
+    let scost_before = recluster_core::scost_normalized(&testbed.system);
+    let mut net = SimNetwork::new();
+    let protocol = ProtocolConfig {
+        epsilon: 1e-3,
+        max_rounds,
+        empty_targets: EmptyTargetPolicy::Never, // §4.2: cluster count fixed
+        use_locks: true,
+    };
+    let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
+    SweepPoint {
+        fraction,
+        scost_before,
+        scost_after: recluster_core::scost_normalized(&testbed.system),
+        rounds: outcome.rounds_to_converge(),
+        moves: outcome.total_moves(),
+    }
+}
+
+/// Runs a full figure (both strategies over the standard fraction grid).
+pub fn run_figure(
+    cfg: &ExperimentConfig,
+    mode: UpdateMode,
+    fractions: &[f64],
+    max_rounds: usize,
+) -> Vec<SweepSeries> {
+    StrategyKind::paper_pair()
+        .into_iter()
+        .map(|k| run_update_sweep(cfg, mode, k, fractions, max_rounds))
+        .collect()
+}
+
+/// The fraction grid the paper plots (0, 0.1, …, 1.0).
+pub fn standard_fractions() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::small(41)
+    }
+
+    #[test]
+    fn zero_fraction_leaves_cost_at_baseline() {
+        let p = run_point(&cfg(), UpdateMode::WorkloadPeers, StrategyKind::Selfish, 0.0, 40);
+        assert!((p.scost_before - p.scost_after).abs() < 1e-6);
+        assert_eq!(p.moves, 0);
+    }
+
+    #[test]
+    fn workload_update_raises_cost_before_maintenance() {
+        let p0 = run_point(&cfg(), UpdateMode::WorkloadPeers, StrategyKind::Selfish, 0.0, 40);
+        let p1 = run_point(&cfg(), UpdateMode::WorkloadPeers, StrategyKind::Selfish, 1.0, 40);
+        assert!(
+            p1.scost_before > p0.scost_before + 0.05,
+            "full retarget must hurt: {} vs {}",
+            p1.scost_before,
+            p0.scost_before
+        );
+    }
+
+    #[test]
+    fn selfish_maintenance_repairs_large_workload_updates() {
+        let p = run_point(&cfg(), UpdateMode::WorkloadPeers, StrategyKind::Selfish, 1.0, 60);
+        assert!(p.moves > 0, "selfish peers must relocate");
+        assert!(
+            p.scost_after < p.scost_before - 0.05,
+            "maintenance must repair: {} -> {}",
+            p.scost_before,
+            p.scost_after
+        );
+    }
+
+    #[test]
+    fn altruistic_ignores_small_workload_updates() {
+        // The paper: providers only move once external demand overtakes
+        // what they serve at home — a 20% update must not trigger moves.
+        let p = run_point(
+            &cfg(),
+            UpdateMode::WorkloadPeers,
+            StrategyKind::Altruistic,
+            0.2,
+            60,
+        );
+        assert_eq!(p.moves, 0, "altruists must sit tight at 20%");
+    }
+
+    #[test]
+    fn selfish_cannot_repair_data_updates_but_altruists_can() {
+        // Fig. 3's claim: after a data change the selfish strategy does
+        // not recover quality (the affected peers' workloads are
+        // unchanged), while altruistic providers relocate to where their
+        // new data is demanded and end up strictly better.
+        let selfish = run_point(&cfg(), UpdateMode::DataPeers, StrategyKind::Selfish, 0.8, 60);
+        let altruistic = run_point(
+            &cfg(),
+            UpdateMode::DataPeers,
+            StrategyKind::Altruistic,
+            0.8,
+            60,
+        );
+        assert!(
+            selfish.scost_after >= selfish.scost_before - 0.02,
+            "selfish must not repair data updates: {} -> {}",
+            selfish.scost_before,
+            selfish.scost_after
+        );
+        assert!(altruistic.moves > 0, "altruists must relocate providers");
+        assert!(
+            altruistic.scost_after <= selfish.scost_after + 1e-9,
+            "altruistic ({}) must not lose to selfish ({}) on data updates",
+            altruistic.scost_after,
+            selfish.scost_after
+        );
+    }
+
+    #[test]
+    fn altruists_tip_on_large_workload_updates() {
+        // Fig. 2's altruistic claim: providers move only once the demand
+        // from c_cur overtakes what they serve at home — at 100% the
+        // demand balance tips for every provider and the move repairs
+        // the cost.
+        let p = run_point(
+            &cfg(),
+            UpdateMode::WorkloadPeers,
+            StrategyKind::Altruistic,
+            1.0,
+            60,
+        );
+        assert!(p.moves > 0, "altruists must move at 100%");
+        assert!(
+            p.scost_after < p.scost_before - 0.02,
+            "altruistic repair failed: {} -> {}",
+            p.scost_before,
+            p.scost_after
+        );
+    }
+
+    #[test]
+    fn standard_fraction_grid_is_the_papers() {
+        let f = standard_fractions();
+        assert_eq!(f.len(), 11);
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[10], 1.0);
+    }
+
+    #[test]
+    fn sweep_collects_all_points() {
+        let series = run_update_sweep(
+            &cfg(),
+            UpdateMode::WorkloadBlend,
+            StrategyKind::Selfish,
+            &[0.0, 0.5, 1.0],
+            40,
+        );
+        assert_eq!(series.points.len(), 3);
+        assert_eq!(series.mode, UpdateMode::WorkloadBlend);
+    }
+}

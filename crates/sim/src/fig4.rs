@@ -1,0 +1,167 @@
+//! Experiment E5 — Figure 4: the influence of `α` (§4.2).
+//!
+//! "We consider the case of peers following the selfish strategy and
+//! evaluate the individual cost of a single peer when its query workload
+//! gradually changes over time. As the value of α increases, the
+//! membership cost becomes more expensive, thus a larger portion of the
+//! query workload needs to change for a peer to benefit from joining a
+//! cluster with more members."
+
+use recluster_core::{best_response, pcost, GameConfig};
+use recluster_corpus::{QueryBias, WorkloadBuilder};
+use recluster_types::{derive_seed, seeded_rng, PeerId};
+
+use crate::scenario::{ideal_scenario1_system, ExperimentConfig};
+
+/// The individual-cost curve of the probe peer for one `α`.
+#[derive(Debug, Clone)]
+pub struct AlphaCurve {
+    /// The `α` value.
+    pub alpha: f64,
+    /// `(workload-change fraction, individual cost after playing the
+    /// selfish best response)` points.
+    pub points: Vec<(f64, f64)>,
+    /// The smallest swept fraction at which the peer relocates
+    /// (`None` if it never does).
+    pub relocation_threshold: Option<f64>,
+}
+
+/// Runs Figure 4: sweeps the probe peer's workload-change fraction for
+/// each `α`, recording its post-best-response individual cost.
+pub fn run_fig4(cfg: &ExperimentConfig, alphas: &[f64], fractions: &[f64]) -> Vec<AlphaCurve> {
+    alphas
+        .iter()
+        .map(|&alpha| run_curve(cfg, alpha, fractions))
+        .collect()
+}
+
+/// Runs the sweep for one `α`.
+pub fn run_curve(cfg: &ExperimentConfig, alpha: f64, fractions: &[f64]) -> AlphaCurve {
+    let mut points = Vec::with_capacity(fractions.len());
+    let mut relocation_threshold = None;
+    for &fraction in fractions {
+        let (cost, moved) = probe_cost(cfg, alpha, fraction);
+        if moved && relocation_threshold.is_none() {
+            relocation_threshold = Some(fraction);
+        }
+        points.push((fraction, cost));
+    }
+    AlphaCurve {
+        alpha,
+        points,
+        relocation_threshold,
+    }
+}
+
+/// Builds the ideal scenario-1 testbed with the destination enlarged
+/// (clusters 2 and 3 folded into cluster 1, so relocating means
+/// "joining a cluster with more members" as Fig. 4 discusses), shifts
+/// `fraction` of the probe peer's workload to the neighbor category,
+/// sets `α`, and returns the probe's individual cost after it plays its
+/// selfish best response (over non-empty clusters — the §4.2 setting)
+/// plus whether it moved.
+fn probe_cost(cfg: &ExperimentConfig, alpha: f64, fraction: f64) -> (f64, bool) {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut testbed = ideal_scenario1_system(cfg);
+    let mut game = testbed.system.config();
+    game = GameConfig { alpha, ..game };
+    testbed.system.set_config(game);
+
+    // Enlarge the destination: the α-dependence of the relocation
+    // threshold only shows when the destination is substantially larger
+    // than the probe's home cluster (the membership delta scales with
+    // the size difference).
+    let big = recluster_types::ClusterId::from_index(crate::fig23::NEW_CATEGORY);
+    let mut merges = Vec::new();
+    for donor in [2usize, 3] {
+        let cid = recluster_types::ClusterId::from_index(donor);
+        for &m in testbed.system.overlay().cluster(cid).members() {
+            merges.push((m, big));
+        }
+    }
+    testbed.system.move_peers(&merges);
+
+    let probe: PeerId = testbed.system.overlay().cluster(crate::fig23::C_CUR).members()[0];
+    let new_category = crate::fig23::NEW_CATEGORY;
+
+    // Blend the probe's workload: keep (1-f), spend f on one provider of
+    // the new category.
+    let old = testbed.system.workloads()[probe.index()].clone();
+    let total = old.total();
+    let moved_demand = (fraction * total as f64).round() as u64;
+    let mut blended = old.apportion(total - moved_demand);
+    let mut rng = seeded_rng(derive_seed(cfg.seed, 0x4A + (fraction * 100.0) as u64));
+    let fresh = WorkloadBuilder::new(QueryBias::Uniform)
+        .with_doc_limit(testbed.distributable_per_category)
+        .build(&testbed.corpus, new_category, moved_demand, &mut rng);
+    blended.merge(&fresh);
+    testbed.system.set_workload(probe, blended);
+
+    let br = best_response(&testbed.system, probe, false);
+    let moved = br.gain > 0.0;
+    let cost = pcost(&testbed.system, probe, br.cluster);
+    (cost, moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::small(51)
+    }
+
+    #[test]
+    fn zero_alpha_relocates_early() {
+        let curve = run_curve(&cfg(), 0.0, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]);
+        // With free membership the peer relocates as soon as the remote
+        // recall outweighs what its old cluster still offers (its own
+        // category's results stay behind, so the break-even is near 1/2
+        // rather than 0).
+        let threshold = curve.relocation_threshold.expect("α=0 must relocate");
+        assert!(threshold <= 0.7, "threshold {threshold} too late for α=0");
+    }
+
+    #[test]
+    fn larger_alpha_needs_larger_change() {
+        let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let curves = run_fig4(&cfg(), &[0.0, 1.0, 2.0], &fractions);
+        let thresholds: Vec<f64> = curves
+            .iter()
+            .map(|c| c.relocation_threshold.unwrap_or(2.0))
+            .collect();
+        assert!(
+            thresholds[0] <= thresholds[1] && thresholds[1] <= thresholds[2],
+            "thresholds must be non-decreasing in α: {thresholds:?}"
+        );
+    }
+
+    #[test]
+    fn cost_rises_before_relocation() {
+        let curve = run_curve(&cfg(), 2.0, &[0.0, 0.2, 0.4]);
+        // While the peer stays, its recall loss (and thus cost) grows
+        // with the changed fraction.
+        assert!(curve.points[1].1 >= curve.points[0].1 - 1e-9);
+    }
+
+    #[test]
+    fn higher_alpha_means_higher_cost_everywhere() {
+        let fractions = [0.0, 0.5, 1.0];
+        let lo = run_curve(&cfg(), 0.0, &fractions);
+        let hi = run_curve(&cfg(), 2.0, &fractions);
+        for (l, h) in lo.points.iter().zip(hi.points.iter()) {
+            assert!(h.1 >= l.1, "α=2 cost below α=0 at f={}", l.0);
+        }
+    }
+
+    #[test]
+    fn curves_cover_requested_grid() {
+        let curves = run_fig4(&cfg(), &[0.0, 1.0], &[0.0, 0.5, 1.0]);
+        assert_eq!(curves.len(), 2);
+        for c in &curves {
+            assert_eq!(c.points.len(), 3);
+            assert_eq!(c.points[0].0, 0.0);
+            assert_eq!(c.points[2].0, 1.0);
+        }
+    }
+}

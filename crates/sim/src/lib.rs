@@ -1,0 +1,41 @@
+//! Experiment harness reproducing the paper's evaluation (§4).
+//!
+//! * [`scenario`] — builds the testbed: 200 peers sharing synthetic
+//!   Newsgroup-like articles from 10 categories, the three data/query
+//!   distributions of §4.1 (same category, different categories,
+//!   uniform) and the four initial cluster configurations (i)–(iv).
+//! * [`updates`] — the §4.2 update generators: workload retargeting and
+//!   blending, data replacement and blending.
+//! * [`table1`] — Experiment E1 (Table 1): convergence, cluster counts
+//!   and costs for every scenario × initial configuration × strategy.
+//! * [`fig1`] — Experiment E2 (Figure 1): per-round social and workload
+//!   cost.
+//! * [`fig23`] — Experiments E3/E4 (Figures 2 and 3): social cost after
+//!   maintenance vs. the fraction of updated peers / workload / data.
+//! * [`fig4`] — Experiment E5 (Figure 4): individual cost of a selfish
+//!   peer under gradual workload change for α ∈ {0, 1, 2}.
+//! * [`baseline_cmp`] — our extension: message-cost and quality
+//!   comparison against global k-means re-clustering, random relocation
+//!   and no maintenance.
+//! * [`report`] — plain-text table/series rendering and CSV export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod baseline_cmp;
+pub mod churn;
+pub mod fig1;
+pub mod fig23;
+pub mod fig4;
+pub mod lookup;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod table1;
+pub mod updates;
+
+pub use runner::{run_protocol, StrategyKind};
+pub use scenario::{
+    build_system, ideal_scenario1_system, ExperimentConfig, InitialConfig, Scenario, TestBed,
+};

@@ -1,0 +1,195 @@
+//! Lookup-cost analysis — the paper's §6 open issue: "practical issues
+//! such as the maximum number of clusters that a realistic p2p system
+//! can support and the expected look-up cost with respect to the number
+//! of clusters and their sizes, need to be addressed."
+//!
+//! For a given system state we compute, over the actual query workload:
+//!
+//! * **flood cost** — messages to reach *all* results: one forward per
+//!   non-empty cluster plus one hop per member of each forwarded
+//!   cluster (intra-cluster fan-out under the fully connected topology).
+//! * **expected first-hit probes** — clusters contacted until the first
+//!   result, probing clusters uniformly at random (a peer with no
+//!   routing hints), in expectation over the workload.
+//! * **in-cluster hit rate** — the fraction of query demand answerable
+//!   without leaving the initiator's cluster (what clustering is *for*).
+//!
+//! Sweeping these against configurations with different cluster counts
+//! exposes the trade-off the paper postulates: more clusters → cheaper
+//! membership but more forwards per query; fewer → the reverse.
+
+use recluster_core::System;
+use recluster_types::ClusterId;
+
+/// Lookup-cost measures for one system state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupCosts {
+    /// Non-empty clusters.
+    pub clusters: usize,
+    /// Mean cluster size (over non-empty clusters).
+    pub mean_cluster_size: f64,
+    /// Messages per query to collect all results (flood).
+    pub flood_messages: f64,
+    /// Expected clusters probed until the first result (uniform probing
+    /// without replacement), averaged over query demand; equals the
+    /// cluster count plus one when a query has no results at all.
+    pub expected_first_hit_probes: f64,
+    /// Fraction of query demand fully answerable in the initiator's own
+    /// cluster (recall mass ≥ 1 − 1e-9).
+    pub in_cluster_hit_rate: f64,
+}
+
+/// Computes the lookup costs of the current configuration.
+pub fn lookup_costs(system: &System) -> LookupCosts {
+    let overlay = system.overlay();
+    let index = system.index();
+    let non_empty: Vec<ClusterId> = overlay
+        .cluster_ids()
+        .filter(|&c| !overlay.cluster(c).is_empty())
+        .collect();
+    let n_clusters = non_empty.len();
+    let total_members: usize = non_empty.iter().map(|&c| overlay.size(c)).sum();
+    // Flood: one forward per cluster + full intra-cluster fan-out.
+    let flood = n_clusters as f64 + total_members as f64;
+
+    let mut demand_total = 0.0;
+    let mut probes_acc = 0.0;
+    let mut hit_acc = 0.0;
+    for peer in overlay.peers() {
+        let cid = overlay.cluster_of(peer).expect("live peer");
+        let wl = &system.workloads()[peer.index()];
+        let peer_total = wl.total() as f64;
+        if peer_total == 0.0 {
+            continue;
+        }
+        for &(qid, rel_freq) in index.workload_of(peer) {
+            let demand = rel_freq * peer_total;
+            demand_total += demand;
+            // Clusters holding at least one result for this query.
+            let holders = non_empty
+                .iter()
+                .filter(|&&c| index.cluster_mass(qid, c) > 0.0)
+                .count();
+            // E[probes to first success] probing n clusters uniformly
+            // without replacement with h "hit" clusters: (n+1)/(h+1).
+            let expected = if holders == 0 {
+                n_clusters as f64 + 1.0
+            } else {
+                (n_clusters as f64 + 1.0) / (holders as f64 + 1.0)
+            };
+            probes_acc += demand * expected;
+            if index.total(qid) > 0 && index.cluster_mass(qid, cid) >= 1.0 - 1e-9 {
+                hit_acc += demand;
+            }
+        }
+    }
+
+    LookupCosts {
+        clusters: n_clusters,
+        mean_cluster_size: if n_clusters == 0 {
+            0.0
+        } else {
+            total_members as f64 / n_clusters as f64
+        },
+        flood_messages: flood,
+        expected_first_hit_probes: if demand_total == 0.0 {
+            0.0
+        } else {
+            probes_acc / demand_total
+        },
+        in_cluster_hit_rate: if demand_total == 0.0 {
+            0.0
+        } else {
+            hit_acc / demand_total
+        },
+    }
+}
+
+/// Builds a family of configurations with different cluster counts by
+/// re-partitioning the ideal scenario-1 system into `k` equal groups of
+/// categories, and reports the lookup costs of each — the sweep behind
+/// the §6 question.
+pub fn sweep_cluster_counts(
+    cfg: &crate::scenario::ExperimentConfig,
+    counts: &[usize],
+) -> Vec<LookupCosts> {
+    counts
+        .iter()
+        .map(|&k| {
+            let mut tb = crate::scenario::ideal_scenario1_system(cfg);
+            let k = k.clamp(1, cfg.n_categories);
+            // Merge categories round-robin into k clusters.
+            let moves: Vec<_> = (0..cfg.n_peers)
+                .map(|i| {
+                    let peer = recluster_types::PeerId::from_index(i);
+                    let cat = tb.peer_category[i];
+                    (peer, ClusterId::from_index(cat % k))
+                })
+                .collect();
+            tb.system.move_peers(&moves);
+            lookup_costs(&tb.system)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ExperimentConfig;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::small(91)
+    }
+
+    #[test]
+    fn ideal_configuration_answers_in_cluster() {
+        let tb = crate::scenario::ideal_scenario1_system(&cfg());
+        let costs = lookup_costs(&tb.system);
+        assert_eq!(costs.clusters, 4);
+        assert!(
+            costs.in_cluster_hit_rate > 0.95,
+            "ideal clustering must answer nearly everything locally: {}",
+            costs.in_cluster_hit_rate
+        );
+    }
+
+    #[test]
+    fn flood_cost_counts_forwards_and_fanout() {
+        let tb = crate::scenario::ideal_scenario1_system(&cfg());
+        let costs = lookup_costs(&tb.system);
+        // 4 clusters + 40 members.
+        assert!((costs.flood_messages - 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_shows_the_tradeoff() {
+        let sweep = sweep_cluster_counts(&cfg(), &[1, 2, 4]);
+        assert_eq!(sweep.len(), 3);
+        // Fewer clusters → fewer forwards but bigger clusters.
+        assert!(sweep[0].flood_messages < sweep[2].flood_messages);
+        assert!(sweep[0].mean_cluster_size > sweep[2].mean_cluster_size);
+        // First-hit probing gets harder with more clusters.
+        assert!(
+            sweep[0].expected_first_hit_probes <= sweep[2].expected_first_hit_probes + 1e-9
+        );
+        // One big cluster answers everything locally.
+        assert!(sweep[0].in_cluster_hit_rate > 0.999);
+    }
+
+    #[test]
+    fn empty_workload_system_reports_zeroes() {
+        use recluster_core::{GameConfig, System};
+        use recluster_overlay::{ContentStore, Overlay};
+        use recluster_types::Workload;
+        let sys = System::new(
+            Overlay::singletons(3),
+            ContentStore::new(3),
+            vec![Workload::new(); 3],
+            GameConfig::default(),
+        );
+        let costs = lookup_costs(&sys);
+        assert_eq!(costs.in_cluster_hit_rate, 0.0);
+        assert_eq!(costs.expected_first_hit_probes, 0.0);
+        assert_eq!(costs.clusters, 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Strategy dispatch for experiment runners.
+//!
+//! Experiments select strategies by value ([`StrategyKind`]); this module
+//! maps each kind onto a concrete [`ProtocolEngine`] run.
+
+use recluster_baselines::{NoMaintenance, RandomStrategy};
+use recluster_core::{
+    AltruisticStrategy, HybridStrategy, ProtocolConfig, ProtocolEngine, RunOutcome,
+    SelfishStrategy, System,
+};
+use recluster_overlay::SimNetwork;
+
+/// The strategy roster available to experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// §3.1.1 — individual-cost minimization.
+    Selfish,
+    /// §3.1.2 — contribution maximization.
+    Altruistic,
+    /// §6 future work — convex combination with weight `λ`.
+    Hybrid(f64),
+    /// Null baseline: random moves with the given probability and seed.
+    Random(f64, u64),
+    /// Null baseline: never move.
+    NoMaintenance,
+}
+
+impl StrategyKind {
+    /// Label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            StrategyKind::Selfish => "selfish".into(),
+            StrategyKind::Altruistic => "altruistic".into(),
+            StrategyKind::Hybrid(l) => format!("hybrid(λ={l})"),
+            StrategyKind::Random(p, _) => format!("random(p={p})"),
+            StrategyKind::NoMaintenance => "none".into(),
+        }
+    }
+
+    /// The two strategies the paper evaluates.
+    pub fn paper_pair() -> [StrategyKind; 2] {
+        [StrategyKind::Selfish, StrategyKind::Altruistic]
+    }
+}
+
+/// Runs the reformulation protocol with the chosen strategy.
+pub fn run_protocol(
+    system: &mut System,
+    kind: StrategyKind,
+    config: ProtocolConfig,
+    net: &mut SimNetwork,
+) -> RunOutcome {
+    match kind {
+        StrategyKind::Selfish => ProtocolEngine::new(SelfishStrategy, config).run(system, net),
+        StrategyKind::Altruistic => {
+            ProtocolEngine::new(AltruisticStrategy::new(), config).run(system, net)
+        }
+        StrategyKind::Hybrid(lambda) => {
+            ProtocolEngine::new(HybridStrategy::new(lambda), config).run(system, net)
+        }
+        StrategyKind::Random(p, seed) => {
+            ProtocolEngine::new(RandomStrategy::new(p, seed), config).run(system, net)
+        }
+        StrategyKind::NoMaintenance => {
+            ProtocolEngine::new(NoMaintenance, config).run(system, net)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+
+    #[test]
+    fn all_kinds_run_to_completion() {
+        for kind in [
+            StrategyKind::Selfish,
+            StrategyKind::Altruistic,
+            StrategyKind::Hybrid(0.5),
+            StrategyKind::Random(0.2, 3),
+            StrategyKind::NoMaintenance,
+        ] {
+            let mut tb = build_system(
+                Scenario::SameCategory,
+                InitialConfig::RandomM,
+                &ExperimentConfig::small(13),
+            );
+            let mut net = SimNetwork::new();
+            let cfg = ProtocolConfig {
+                max_rounds: 30,
+                ..Default::default()
+            };
+            let outcome = run_protocol(&mut tb.system, kind, cfg, &mut net);
+            assert!(!outcome.rounds.is_empty() || outcome.converged);
+            tb.system.overlay().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<String> = [
+            StrategyKind::Selfish,
+            StrategyKind::Altruistic,
+            StrategyKind::Hybrid(0.5),
+            StrategyKind::Random(0.2, 3),
+            StrategyKind::NoMaintenance,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

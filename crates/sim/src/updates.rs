@@ -1,0 +1,290 @@
+//! Update generators for the §4.2 experiments.
+//!
+//! "We consider updates affecting peers in a single cluster, say cluster
+//! c_cur. These updates […] (a) affect a varying number of peers in
+//! c_cur or (b) affect all the peers in c_cur with a varying degree."
+//! Workload updates shift peers' interests to the data of another
+//! cluster; data updates replace peers' documents with articles of a
+//! different category.
+
+use recluster_corpus::{Corpus, QueryBias, WorkloadBuilder};
+use recluster_types::{derive_seed, seeded_rng, ClusterId, PeerId};
+
+use crate::scenario::TestBed;
+
+/// §4.2 workload scenario (a): "the workload of a varying number of peers
+/// in c_cur changes completely" — the first `⌊fraction·|c_cur|⌋` peers of
+/// `cluster` retarget their whole workload to `new_category`. Returns the
+/// updated peers.
+pub fn retarget_peers(
+    testbed: &mut TestBed,
+    cluster: ClusterId,
+    new_category: usize,
+    fraction: f64,
+    bias: QueryBias,
+    seed: u64,
+) -> Vec<PeerId> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let members: Vec<PeerId> = testbed.system.overlay().cluster(cluster).members().to_vec();
+    let n_updated = (fraction * members.len() as f64).floor() as usize;
+    let builder = WorkloadBuilder::new(bias).with_doc_limit(testbed.distributable_per_category);
+    let mut updates = Vec::new();
+    for (k, &peer) in members.iter().take(n_updated).enumerate() {
+        let total = testbed.system.workloads()[peer.index()].total();
+        let mut rng = seeded_rng(derive_seed(seed, 0xF000 + k as u64));
+        // "Now they become interested in data located at some other
+        // cluster c_new": the new interest spans the new category's
+        // texts, so demand spreads across all of c_new's providers (the
+        // paper's altruistic tipping point depends on this spread).
+        let new_workload = builder.build(&testbed.corpus, new_category, total, &mut rng);
+        testbed.query_category[peer.index()] = Some(new_category);
+        updates.push((peer, new_workload));
+    }
+    let updated: Vec<PeerId> = updates.iter().map(|&(p, _)| p).collect();
+    testbed.system.set_workloads(updates);
+    updated
+}
+
+/// §4.2 workload scenario (b): "the query workload of all peers in c_cur
+/// changes by a varying percentage" — every member keeps `1 − fraction`
+/// of its demand on its old queries and spends `fraction` of it on
+/// `new_category`.
+pub fn blend_workload(
+    testbed: &mut TestBed,
+    cluster: ClusterId,
+    new_category: usize,
+    fraction: f64,
+    bias: QueryBias,
+    seed: u64,
+) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let members: Vec<PeerId> = testbed.system.overlay().cluster(cluster).members().to_vec();
+    let builder = WorkloadBuilder::new(bias).with_doc_limit(testbed.distributable_per_category);
+    let mut updates = Vec::new();
+    for (k, &peer) in members.iter().enumerate() {
+        let old = &testbed.system.workloads()[peer.index()];
+        let total = old.total();
+        let moved = (fraction * total as f64).round() as u64;
+        // Keep exactly (total − moved) occurrences of the old mix…
+        let mut blended = old.apportion(total - moved);
+        // …and spend the moved demand on the new category, keeping
+        // num(Q(p)) constant.
+        let mut rng = seeded_rng(derive_seed(seed, 0xB000 + k as u64));
+        let fresh = builder.build(&testbed.corpus, new_category, moved, &mut rng);
+        blended.merge(&fresh);
+        debug_assert_eq!(blended.total(), total);
+        updates.push((peer, blended));
+    }
+    testbed.system.set_workloads(updates);
+}
+
+/// §4.2 data scenario (a): the documents of the first
+/// `⌊fraction·|c_cur|⌋` peers of `cluster` are replaced wholesale by
+/// holdout articles of `new_category`. Returns the updated peers.
+pub fn replace_data_peers(
+    testbed: &mut TestBed,
+    cluster: ClusterId,
+    new_category: usize,
+    fraction: f64,
+) -> Vec<PeerId> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let members: Vec<PeerId> = testbed.system.overlay().cluster(cluster).members().to_vec();
+    let n_updated = (fraction * members.len() as f64).floor() as usize;
+    let pool = &testbed.holdout[new_category];
+    assert!(!pool.is_empty(), "holdout pool for category {new_category} is empty");
+    let mut updates = Vec::new();
+    for (k, &peer) in members.iter().take(n_updated).enumerate() {
+        let n_docs = testbed.system.store().docs(peer).len();
+        // Disjoint slices of the holdout pool: replacement articles are
+        // fresh data of the new category, not copies of data already in
+        // the system (copies would inflate result totals).
+        let docs: Vec<_> = (0..n_docs)
+            .map(|d| pool[(k * n_docs + d) % pool.len()].clone())
+            .collect();
+        testbed.peer_category[peer.index()] = new_category;
+        updates.push((peer, docs));
+    }
+    let updated: Vec<PeerId> = updates.iter().map(|&(p, _)| p).collect();
+    testbed.system.set_contents(updates);
+    updated
+}
+
+/// §4.2 data scenario (b): every peer of `cluster` replaces `fraction` of
+/// its documents with holdout articles of `new_category`.
+pub fn blend_data(
+    testbed: &mut TestBed,
+    cluster: ClusterId,
+    new_category: usize,
+    fraction: f64,
+) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let members: Vec<PeerId> = testbed.system.overlay().cluster(cluster).members().to_vec();
+    let pool = &testbed.holdout[new_category];
+    assert!(!pool.is_empty(), "holdout pool for category {new_category} is empty");
+    let mut updates = Vec::new();
+    for (k, &peer) in members.iter().enumerate() {
+        let old_docs = testbed.system.store().docs(peer).to_vec();
+        let n_replace = (fraction * old_docs.len() as f64).round() as usize;
+        let mut docs: Vec<_> = (0..n_replace)
+            .map(|d| pool[(k * n_replace + d) % pool.len()].clone())
+            .collect();
+        docs.extend_from_slice(&old_docs[n_replace..]);
+        updates.push((peer, docs));
+    }
+    testbed.system.set_contents(updates);
+}
+
+/// Convenience: samples what fraction of a cluster's members currently
+/// query `category` (sanity metric for the update generators).
+pub fn fraction_querying(testbed: &TestBed, cluster: ClusterId, category: usize) -> f64 {
+    let members = testbed.system.overlay().cluster(cluster).members();
+    if members.is_empty() {
+        return 0.0;
+    }
+    let corpus: &Corpus = &testbed.corpus;
+    let hits = members
+        .iter()
+        .filter(|&&p| {
+            let w = &testbed.system.workloads()[p.index()];
+            let mut in_cat = 0u64;
+            let mut total = 0u64;
+            for (q, n) in w.iter() {
+                total += n;
+                if q.attrs().first().and_then(|&s| corpus.category_of(s)) == Some(category) {
+                    in_cat += n;
+                }
+            }
+            total > 0 && in_cat * 2 > total
+        })
+        .count();
+    hits as f64 / members.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ideal_scenario1_system, ExperimentConfig};
+    use recluster_corpus::QueryBias;
+
+    fn testbed() -> TestBed {
+        ideal_scenario1_system(&ExperimentConfig::small(42))
+    }
+
+    #[test]
+    fn retarget_updates_exactly_the_fraction() {
+        let mut tb = testbed();
+        let updated = retarget_peers(&mut tb, ClusterId(0), 1, 0.5, QueryBias::Uniform, 1);
+        assert_eq!(updated.len(), 5); // 10 members × 0.5
+        for p in &updated {
+            assert_eq!(tb.query_category[p.index()], Some(1));
+            // Every query word now belongs to category 1.
+            for (q, _) in tb.system.workloads()[p.index()].iter() {
+                assert_eq!(tb.corpus.category_of(q.attrs()[0]), Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn retarget_preserves_demand() {
+        let mut tb = testbed();
+        let before: u64 = tb.system.workloads().iter().map(|w| w.total()).sum();
+        retarget_peers(&mut tb, ClusterId(0), 2, 1.0, QueryBias::Uniform, 2);
+        let after: u64 = tb.system.workloads().iter().map(|w| w.total()).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn retarget_zero_fraction_is_noop() {
+        let mut tb = testbed();
+        let before = tb.system.workloads().to_vec();
+        let updated = retarget_peers(&mut tb, ClusterId(0), 1, 0.0, QueryBias::Uniform, 3);
+        assert!(updated.is_empty());
+        assert_eq!(tb.system.workloads(), &before[..]);
+    }
+
+    #[test]
+    fn blend_workload_moves_requested_share() {
+        let mut tb = testbed();
+        blend_workload(&mut tb, ClusterId(0), 1, 0.4, QueryBias::Uniform, 4);
+        let members: Vec<PeerId> = tb.system.overlay().cluster(ClusterId(0)).members().to_vec();
+        for p in members {
+            let w = &tb.system.workloads()[p.index()];
+            let (mut cat1, mut total) = (0u64, 0u64);
+            for (q, n) in w.iter() {
+                total += n;
+                if tb.corpus.category_of(q.attrs()[0]) == Some(1) {
+                    cat1 += n;
+                }
+            }
+            let share = cat1 as f64 / total as f64;
+            assert!(
+                (share - 0.4).abs() < 0.15,
+                "peer {p}: blended share {share} far from 0.4"
+            );
+        }
+    }
+
+    #[test]
+    fn blend_workload_keeps_totals() {
+        let mut tb = testbed();
+        let before: Vec<u64> = tb.system.workloads().iter().map(|w| w.total()).collect();
+        blend_workload(&mut tb, ClusterId(0), 3, 0.7, QueryBias::Uniform, 5);
+        let after: Vec<u64> = tb.system.workloads().iter().map(|w| w.total()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn replace_data_changes_content_category() {
+        let mut tb = testbed();
+        let updated = replace_data_peers(&mut tb, ClusterId(0), 2, 0.3);
+        assert_eq!(updated.len(), 3);
+        for p in &updated {
+            assert_eq!(tb.peer_category[p.index()], 2);
+            for doc in tb.system.store().docs(*p) {
+                let cat = doc
+                    .attrs()
+                    .iter()
+                    .filter_map(|&s| tb.corpus.category_of(s))
+                    .next();
+                assert_eq!(cat, Some(2));
+            }
+        }
+    }
+
+    #[test]
+    fn blend_data_replaces_the_fraction() {
+        let mut tb = testbed();
+        let peer = tb.system.overlay().cluster(ClusterId(0)).members()[0];
+        let n_docs = tb.system.store().docs(peer).len();
+        blend_data(&mut tb, ClusterId(0), 3, 0.5);
+        let docs = tb.system.store().docs(peer);
+        assert_eq!(docs.len(), n_docs);
+        let replaced = docs
+            .iter()
+            .filter(|d| {
+                d.attrs()
+                    .iter()
+                    .filter_map(|&s| tb.corpus.category_of(s))
+                    .next()
+                    == Some(3)
+            })
+            .count();
+        assert_eq!(replaced, n_docs / 2);
+    }
+
+    #[test]
+    fn fraction_querying_tracks_retargeting() {
+        let mut tb = testbed();
+        assert_eq!(fraction_querying(&tb, ClusterId(0), 1), 0.0);
+        retarget_peers(&mut tb, ClusterId(0), 1, 0.6, QueryBias::Uniform, 6);
+        let f = fraction_querying(&tb, ClusterId(0), 1);
+        assert!((f - 0.6).abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn bad_fraction_panics() {
+        let mut tb = testbed();
+        retarget_peers(&mut tb, ClusterId(0), 1, 1.5, QueryBias::Uniform, 7);
+    }
+}

@@ -1,0 +1,119 @@
+//! Dense integer identities for peers and clusters.
+//!
+//! Both id spaces are allocated densely from zero by the overlay, which
+//! lets the cost engine store per-peer and per-cluster state in flat
+//! vectors instead of hash maps (see the Rust Performance Book's guidance
+//! on hashing and allocation).
+
+use std::fmt;
+
+/// Identity of a peer (a *player* in the reformulation game).
+///
+/// Peers are numbered densely from zero within an overlay, so a `PeerId`
+/// doubles as an index into per-peer state vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+/// Identity of a cluster (`cid` in the paper).
+///
+/// The paper fixes the number of available clusters to `Cmax = |P|` and
+/// allows clusters to be empty, so cluster ids are also dense indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u32);
+
+impl PeerId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PeerId` from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        PeerId(u32::try_from(idx).expect("peer index overflows u32"))
+    }
+}
+
+impl ClusterId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ClusterId` from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        ClusterId(u32::try_from(idx).expect("cluster index overflows u32"))
+    }
+}
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_id_roundtrips_through_index() {
+        for idx in [0usize, 1, 7, 199, 65_535] {
+            assert_eq!(PeerId::from_index(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    fn cluster_id_roundtrips_through_index() {
+        for idx in [0usize, 1, 7, 199, 65_535] {
+            assert_eq!(ClusterId::from_index(idx).index(), idx);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(PeerId(1) < PeerId(2));
+        assert!(ClusterId(0) < ClusterId(10));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(PeerId(3).to_string(), "p3");
+        assert_eq!(ClusterId(12).to_string(), "c12");
+        assert_eq!(format!("{:?}", PeerId(3)), "p3");
+        assert_eq!(format!("{:?}", ClusterId(12)), "c12");
+    }
+
+    #[test]
+    #[should_panic(expected = "peer index overflows u32")]
+    fn peer_id_from_oversized_index_panics() {
+        let _ = PeerId::from_index(u32::MAX as usize + 1);
+    }
+}

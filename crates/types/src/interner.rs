@@ -1,0 +1,173 @@
+//! String interning for attribute symbols.
+//!
+//! Documents and queries are *sets of attributes* (words, after the corpus
+//! pipeline). Interning maps each distinct attribute string to a dense
+//! `u32` symbol so set operations are integer comparisons and per-symbol
+//! statistics live in flat vectors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned attribute symbol.
+///
+/// Symbols are dense indices into the [`Interner`] that produced them and
+/// are only meaningful relative to that interner.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The symbol as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a symbol from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        Sym(u32::try_from(idx).expect("symbol index overflows u32"))
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A bidirectional map between attribute strings and dense [`Sym`]s.
+///
+/// # Examples
+/// ```
+/// use recluster_types::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("database");
+/// let b = interner.intern("overlay");
+/// assert_ne!(a, b);
+/// assert_eq!(interner.intern("database"), a);
+/// assert_eq!(interner.resolve(a), "database");
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: HashMap<String, Sym>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with capacity for `n` distinct symbols.
+    pub fn with_capacity(n: usize) -> Self {
+        Interner {
+            by_name: HashMap::with_capacity(n),
+            names: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `name`, returning its symbol (existing or freshly allocated).
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Sym::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, &str)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym::from_index(i), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("alpha");
+        let a2 = it.intern("alpha");
+        assert_eq!(a, a2);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_in_insertion_order() {
+        let mut it = Interner::new();
+        for (i, w) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(it.intern(w).index(), i);
+        }
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut it = Interner::new();
+        let words = ["peer", "cluster", "recall", "selfish", "altruistic"];
+        let syms: Vec<_> = words.iter().map(|w| it.intern(w)).collect();
+        for (sym, word) in syms.iter().zip(words.iter()) {
+            assert_eq!(it.resolve(*sym), *word);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut it = Interner::new();
+        assert!(it.get("missing").is_none());
+        assert_eq!(it.len(), 0);
+        let s = it.intern("present");
+        assert_eq!(it.get("present"), Some(s));
+    }
+
+    #[test]
+    fn iter_yields_in_symbol_order() {
+        let mut it = Interner::new();
+        it.intern("x");
+        it.intern("y");
+        let collected: Vec<_> = it.iter().map(|(s, w)| (s.index(), w.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let it = Interner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Data items shared by peers.
+//!
+//! The paper adopts "a rather generic approach where each data item is
+//! described by a set of attributes (e.g., keywords for text documents)".
+//! A [`Document`] is exactly that: a deduplicated, sorted set of attribute
+//! symbols, stored as a boxed slice to keep the per-item footprint at two
+//! words.
+
+use crate::interner::Sym;
+
+/// A data item: a sorted, deduplicated set of attribute symbols.
+///
+/// # Examples
+/// ```
+/// use recluster_types::{Document, Sym};
+///
+/// let doc = Document::new(vec![Sym(3), Sym(1), Sym(3), Sym(2)]);
+/// assert_eq!(doc.attrs(), &[Sym(1), Sym(2), Sym(3)]);
+/// assert!(doc.contains(Sym(2)));
+/// assert!(!doc.contains(Sym(9)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Document {
+    attrs: Box<[Sym]>,
+}
+
+impl Document {
+    /// Builds a document from attributes in any order, deduplicating.
+    pub fn new(mut attrs: Vec<Sym>) -> Self {
+        attrs.sort_unstable();
+        attrs.dedup();
+        Document {
+            attrs: attrs.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a document from attributes already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the input is not strictly increasing.
+    pub fn from_sorted(attrs: Vec<Sym>) -> Self {
+        debug_assert!(
+            attrs.windows(2).all(|w| w[0] < w[1]),
+            "attributes must be strictly increasing"
+        );
+        Document {
+            attrs: attrs.into_boxed_slice(),
+        }
+    }
+
+    /// The sorted attribute set.
+    #[inline]
+    pub fn attrs(&self) -> &[Sym] {
+        &self.attrs
+    }
+
+    /// Number of distinct attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the document has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Whether the document carries attribute `sym`.
+    #[inline]
+    pub fn contains(&self, sym: Sym) -> bool {
+        self.attrs.binary_search(&sym).is_ok()
+    }
+
+    /// Whether every symbol of the sorted slice `needles` appears in this
+    /// document — the paper's match predicate ("its attributes are a subset
+    /// of the attributes describing d").
+    pub fn contains_all_sorted(&self, needles: &[Sym]) -> bool {
+        debug_assert!(needles.windows(2).all(|w| w[0] < w[1]));
+        // Linear merge: both sides are sorted, so one pass suffices.
+        let mut hay = self.attrs.iter();
+        'outer: for needle in needles {
+            for candidate in hay.by_ref() {
+                match candidate.cmp(needle) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ids: &[u32]) -> Document {
+        Document::new(ids.iter().map(|&i| Sym(i)).collect())
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let d = doc(&[5, 1, 5, 3, 1]);
+        assert_eq!(d.attrs(), &[Sym(1), Sym(3), Sym(5)]);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn contains_all_sorted_accepts_subsets() {
+        let d = doc(&[1, 2, 3, 7, 9]);
+        assert!(d.contains_all_sorted(&[Sym(2), Sym(7)]));
+        assert!(d.contains_all_sorted(&[Sym(1), Sym(2), Sym(3), Sym(7), Sym(9)]));
+        assert!(d.contains_all_sorted(&[]));
+    }
+
+    #[test]
+    fn contains_all_sorted_rejects_non_subsets() {
+        let d = doc(&[1, 2, 3]);
+        assert!(!d.contains_all_sorted(&[Sym(0)]));
+        assert!(!d.contains_all_sorted(&[Sym(2), Sym(4)]));
+        assert!(!d.contains_all_sorted(&[Sym(4)]));
+    }
+
+    #[test]
+    fn empty_document_matches_only_empty_query() {
+        let d = doc(&[]);
+        assert!(d.is_empty());
+        assert!(d.contains_all_sorted(&[]));
+        assert!(!d.contains_all_sorted(&[Sym(1)]));
+    }
+
+    #[test]
+    fn contains_uses_binary_search_semantics() {
+        let d = doc(&[10, 20, 30]);
+        assert!(d.contains(Sym(20)));
+        assert!(!d.contains(Sym(25)));
+    }
+
+    #[test]
+    fn from_sorted_preserves_input() {
+        let d = Document::from_sorted(vec![Sym(1), Sym(4), Sym(6)]);
+        assert_eq!(d.attrs(), &[Sym(1), Sym(4), Sym(6)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Foundational types shared by every crate in the `recluster` workspace.
+//!
+//! This crate defines the vocabulary of the system reproduced from
+//! *Recall-Based Cluster Reformulation by Selfish Peers* (Koloniari &
+//! Pitoura, ICDE 2008):
+//!
+//! * [`PeerId`] / [`ClusterId`] — dense integer identities for the players
+//!   of the reformulation game and the clusters they join.
+//! * [`Sym`] and [`Interner`] — interned attribute symbols. The paper
+//!   describes data items generically as *sets of attributes* (keywords for
+//!   text documents); we intern attribute strings once and work with `u32`
+//!   symbols everywhere else.
+//! * [`Document`] — a data item: a sorted set of attribute symbols.
+//! * [`Query`] — a sorted set of attributes; a query *matches* a document
+//!   when its attributes are a subset of the document's.
+//! * [`Workload`] — a multiset of queries (`num(q, Q(p))` in the paper's
+//!   notation), i.e. the local query workload of a peer.
+//! * [`seeded_rng`] — deterministic RNG construction used across the
+//!   workspace so every experiment is reproducible from a single `u64`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod interner;
+pub mod item;
+pub mod query;
+pub mod rng;
+pub mod workload;
+
+pub use ids::{ClusterId, PeerId};
+pub use interner::{Interner, Sym};
+pub use item::Document;
+pub use query::Query;
+pub use rng::{derive_seed, seeded_rng};
+pub use workload::Workload;

@@ -1,0 +1,137 @@
+//! Queries posed by peers.
+//!
+//! "Queries are sets of attributes. We say that a query q matches a data
+//! item d of peer p, if its attributes are a subset of the attributes
+//! describing d." In the paper's evaluation queries are single words
+//! chosen from the texts, but the model (and this type) supports arbitrary
+//! attribute sets.
+
+use crate::interner::Sym;
+use crate::item::Document;
+
+/// A query: a sorted, deduplicated set of attribute symbols.
+///
+/// # Examples
+/// ```
+/// use recluster_types::{Document, Query, Sym};
+///
+/// let q = Query::new(vec![Sym(2), Sym(5)]);
+/// let hit = Document::new(vec![Sym(1), Sym(2), Sym(5)]);
+/// let miss = Document::new(vec![Sym(2), Sym(3)]);
+/// assert!(q.matches(&hit));
+/// assert!(!q.matches(&miss));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Query {
+    attrs: Box<[Sym]>,
+}
+
+impl Query {
+    /// Builds a query from attributes in any order, deduplicating.
+    pub fn new(mut attrs: Vec<Sym>) -> Self {
+        attrs.sort_unstable();
+        attrs.dedup();
+        Query {
+            attrs: attrs.into_boxed_slice(),
+        }
+    }
+
+    /// The single-keyword query used throughout the paper's evaluation.
+    pub fn keyword(sym: Sym) -> Self {
+        Query {
+            attrs: vec![sym].into_boxed_slice(),
+        }
+    }
+
+    /// The sorted attribute set.
+    #[inline]
+    pub fn attrs(&self) -> &[Sym] {
+        &self.attrs
+    }
+
+    /// Number of distinct attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the query has no attributes. An empty query matches every
+    /// document (the subset relation holds vacuously).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The paper's match predicate: the query's attributes are a subset of
+    /// the document's.
+    #[inline]
+    pub fn matches(&self, doc: &Document) -> bool {
+        doc.contains_all_sorted(&self.attrs)
+    }
+
+    /// `result(q, p)` for a single peer: how many of `docs` this query
+    /// matches.
+    pub fn result_count(&self, docs: &[Document]) -> u64 {
+        docs.iter().filter(|d| self.matches(d)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[u32]) -> Query {
+        Query::new(ids.iter().map(|&i| Sym(i)).collect())
+    }
+
+    fn d(ids: &[u32]) -> Document {
+        Document::new(ids.iter().map(|&i| Sym(i)).collect())
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let query = q(&[9, 1, 9, 4]);
+        assert_eq!(query.attrs(), &[Sym(1), Sym(4), Sym(9)]);
+    }
+
+    #[test]
+    fn keyword_builds_singleton() {
+        let query = Query::keyword(Sym(7));
+        assert_eq!(query.attrs(), &[Sym(7)]);
+        assert_eq!(query.len(), 1);
+    }
+
+    #[test]
+    fn matches_requires_subset() {
+        let query = q(&[1, 3]);
+        assert!(query.matches(&d(&[0, 1, 2, 3])));
+        assert!(!query.matches(&d(&[1, 2])));
+        assert!(!query.matches(&d(&[3])));
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let query = q(&[]);
+        assert!(query.is_empty());
+        assert!(query.matches(&d(&[])));
+        assert!(query.matches(&d(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn result_count_counts_matching_documents() {
+        let query = q(&[2]);
+        let docs = vec![d(&[1, 2]), d(&[2, 3]), d(&[3, 4]), d(&[2])];
+        assert_eq!(query.result_count(&docs), 3);
+    }
+
+    #[test]
+    fn result_count_on_empty_collection_is_zero() {
+        assert_eq!(q(&[1]).result_count(&[]), 0);
+    }
+
+    #[test]
+    fn queries_order_lexicographically() {
+        assert!(q(&[1]) < q(&[2]));
+        assert!(q(&[1]) < q(&[1, 2]));
+    }
+}

@@ -1,0 +1,333 @@
+//! Query workloads.
+//!
+//! `Q(p)` in the paper is the *list* of queries issued by peer `p`; a
+//! query may appear multiple times, and the individual cost weighs each
+//! distinct query by its relative frequency `num(q, Q(p)) / num(Q(p))`.
+//! [`Workload`] stores that multiset in canonical sorted form so two
+//! workloads with the same counts compare equal and iteration order is
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::query::Query;
+
+/// A multiset of queries — the local query workload `Q(p)` of a peer (or
+/// the global workload `Q` when aggregated).
+///
+/// # Examples
+/// ```
+/// use recluster_types::{Query, Sym, Workload};
+///
+/// let mut w = Workload::new();
+/// w.add(Query::keyword(Sym(1)), 3);
+/// w.add(Query::keyword(Sym(2)), 1);
+/// assert_eq!(w.total(), 4);
+/// assert_eq!(w.count(&Query::keyword(Sym(1))), 3);
+/// assert!((w.frequency(&Query::keyword(Sym(1))) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Workload {
+    counts: BTreeMap<Query, u64>,
+    total: u64,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` occurrences of `query`. Adding zero occurrences is a no-op
+    /// (and does not create an entry).
+    pub fn add(&mut self, query: Query, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(query).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Removes up to `n` occurrences of `query`, returning how many were
+    /// actually removed.
+    pub fn remove(&mut self, query: &Query, n: u64) -> u64 {
+        let Some(count) = self.counts.get_mut(query) else {
+            return 0;
+        };
+        let removed = n.min(*count);
+        *count -= removed;
+        if *count == 0 {
+            self.counts.remove(query);
+        }
+        self.total -= removed;
+        removed
+    }
+
+    /// `num(q, Q)`: occurrences of `query`.
+    pub fn count(&self, query: &Query) -> u64 {
+        self.counts.get(query).copied().unwrap_or(0)
+    }
+
+    /// `num(Q)`: total number of query occurrences.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of *distinct* queries.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the workload contains no queries.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Relative frequency `num(q, Q) / num(Q)`; zero for an empty workload.
+    pub fn frequency(&self, query: &Query) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(query) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates `(query, count)` in canonical (sorted-query) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Query, u64)> {
+        self.counts.iter().map(|(q, &n)| (q, n))
+    }
+
+    /// Merges another workload into this one.
+    pub fn merge(&mut self, other: &Workload) {
+        for (q, n) in other.iter() {
+            self.add(q.clone(), n);
+        }
+    }
+
+    /// Removes all queries.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+
+    /// Scales every count by `keep_num/keep_den` using floor division,
+    /// dropping queries whose count reaches zero. Used by the update
+    /// generators when "the query workload of all peers in c_cur changes
+    /// by a varying percentage" (§4.2).
+    pub fn scale_down(&mut self, keep_num: u64, keep_den: u64) {
+        assert!(keep_den > 0, "scale_down denominator must be positive");
+        let old = std::mem::take(&mut self.counts);
+        self.total = 0;
+        for (q, n) in old {
+            let kept = n * keep_num / keep_den;
+            if kept > 0 {
+                self.total += kept;
+                self.counts.insert(q, kept);
+            }
+        }
+    }
+
+    /// Returns a workload with the same query mix but exactly
+    /// `target_total` occurrences, apportioned proportionally with the
+    /// largest-remainder method (deterministic: remainder ties broken by
+    /// query order). `target_total` may not exceed the current total.
+    pub fn apportion(&self, target_total: u64) -> Workload {
+        assert!(
+            target_total <= self.total,
+            "apportion can only scale down ({target_total} > {})",
+            self.total
+        );
+        if self.total == 0 || target_total == 0 {
+            return Workload::new();
+        }
+        let mut out = Workload::new();
+        let mut floors: Vec<(&Query, u64, f64)> = Vec::with_capacity(self.counts.len());
+        let mut assigned = 0u64;
+        for (q, n) in self.iter() {
+            let exact = n as f64 * target_total as f64 / self.total as f64;
+            let floor = exact.floor() as u64;
+            assigned += floor;
+            floors.push((q, floor, exact - exact.floor()));
+        }
+        let mut order: Vec<usize> = (0..floors.len()).collect();
+        order.sort_by(|&a, &b| {
+            floors[b]
+                .2
+                .partial_cmp(&floors[a].2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut leftover = target_total - assigned;
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            floors[i].1 += 1;
+            leftover -= 1;
+        }
+        for (q, n, _) in floors {
+            out.add(q.clone(), n);
+        }
+        debug_assert_eq!(out.total(), target_total);
+        out
+    }
+}
+
+impl FromIterator<Query> for Workload {
+    fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
+        let mut w = Workload::new();
+        for q in iter {
+            w.add(q, 1);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Sym;
+
+    fn kw(i: u32) -> Query {
+        Query::keyword(Sym(i))
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut w = Workload::new();
+        w.add(kw(1), 2);
+        w.add(kw(1), 3);
+        w.add(kw(2), 1);
+        assert_eq!(w.count(&kw(1)), 5);
+        assert_eq!(w.count(&kw(2)), 1);
+        assert_eq!(w.count(&kw(3)), 0);
+        assert_eq!(w.total(), 6);
+        assert_eq!(w.distinct(), 2);
+    }
+
+    #[test]
+    fn add_zero_is_noop() {
+        let mut w = Workload::new();
+        w.add(kw(1), 0);
+        assert!(w.is_empty());
+        assert_eq!(w.distinct(), 0);
+    }
+
+    #[test]
+    fn remove_clamps_and_cleans_up() {
+        let mut w = Workload::new();
+        w.add(kw(1), 2);
+        assert_eq!(w.remove(&kw(1), 5), 2);
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.distinct(), 0);
+        assert_eq!(w.remove(&kw(1), 1), 0);
+    }
+
+    #[test]
+    fn frequency_normalizes_by_total() {
+        let mut w = Workload::new();
+        w.add(kw(1), 1);
+        w.add(kw(2), 3);
+        assert!((w.frequency(&kw(1)) - 0.25).abs() < 1e-12);
+        assert!((w.frequency(&kw(2)) - 0.75).abs() < 1e-12);
+        assert_eq!(Workload::new().frequency(&kw(1)), 0.0);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one_for_nonempty() {
+        let mut w = Workload::new();
+        w.add(kw(1), 7);
+        w.add(kw(5), 2);
+        w.add(kw(9), 11);
+        let sum: f64 = w.iter().map(|(q, _)| w.frequency(q)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Workload::new();
+        a.add(kw(1), 1);
+        let mut b = Workload::new();
+        b.add(kw(1), 2);
+        b.add(kw(2), 2);
+        a.merge(&b);
+        assert_eq!(a.count(&kw(1)), 3);
+        assert_eq!(a.count(&kw(2)), 2);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    fn from_iterator_counts_duplicates() {
+        let w: Workload = vec![kw(1), kw(2), kw(1)].into_iter().collect();
+        assert_eq!(w.count(&kw(1)), 2);
+        assert_eq!(w.count(&kw(2)), 1);
+    }
+
+    #[test]
+    fn scale_down_floors_and_drops() {
+        let mut w = Workload::new();
+        w.add(kw(1), 10);
+        w.add(kw(2), 1);
+        w.scale_down(1, 2);
+        assert_eq!(w.count(&kw(1)), 5);
+        assert_eq!(w.count(&kw(2)), 0);
+        assert_eq!(w.total(), 5);
+    }
+
+    #[test]
+    fn apportion_hits_exact_target() {
+        let mut w = Workload::new();
+        w.add(kw(1), 3);
+        w.add(kw(2), 3);
+        w.add(kw(3), 3);
+        for target in 0..=9 {
+            let scaled = w.apportion(target);
+            assert_eq!(scaled.total(), target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn apportion_preserves_proportions_roughly() {
+        let mut w = Workload::new();
+        w.add(kw(1), 80);
+        w.add(kw(2), 20);
+        let scaled = w.apportion(10);
+        assert_eq!(scaled.count(&kw(1)), 8);
+        assert_eq!(scaled.count(&kw(2)), 2);
+    }
+
+    #[test]
+    fn apportion_of_empty_or_zero_is_empty() {
+        assert!(Workload::new().apportion(0).is_empty());
+        let mut w = Workload::new();
+        w.add(kw(1), 5);
+        assert!(w.apportion(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "apportion can only scale down")]
+    fn apportion_up_panics() {
+        let mut w = Workload::new();
+        w.add(kw(1), 2);
+        let _ = w.apportion(3);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_deterministic() {
+        let mut w = Workload::new();
+        w.add(kw(9), 1);
+        w.add(kw(1), 1);
+        w.add(kw(5), 1);
+        let order: Vec<_> = w.iter().map(|(q, _)| q.attrs()[0].0).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut w = Workload::new();
+        w.add(kw(1), 4);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.total(), 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Facade crate: re-exports the whole `recluster` workspace public API.
+pub use recluster_baselines as baselines;
+pub use recluster_core as core;
+pub use recluster_corpus as corpus;
+pub use recluster_overlay as overlay;
+pub use recluster_sim as sim;
+pub use recluster_types as types;

@@ -1,0 +1,143 @@
+//! Cross-crate integration: corpus generation → testbed construction →
+//! protocol runs → global quality, exercising the whole pipeline the way
+//! the experiment binaries do.
+
+use recluster_core::{is_nash_equilibrium, EmptyTargetPolicy, ProtocolConfig};
+use recluster_overlay::SimNetwork;
+use recluster_sim::runner::{run_protocol, StrategyKind};
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+
+fn protocol(max_rounds: usize) -> ProtocolConfig {
+    ProtocolConfig {
+        epsilon: 1e-3,
+        max_rounds,
+        empty_targets: EmptyTargetPolicy::Always,
+        use_locks: true,
+    }
+}
+
+#[test]
+fn full_pipeline_scenario1_selfish() {
+    let cfg = ExperimentConfig::small(101);
+    let mut tb = build_system(Scenario::SameCategory, InitialConfig::Singletons, &cfg);
+    let before = recluster_core::scost_normalized(&tb.system);
+    let mut net = SimNetwork::new();
+    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(100), &mut net);
+
+    assert!(outcome.converged);
+    assert!(outcome.final_scost() < before / 2.0);
+    assert!(is_nash_equilibrium(&tb.system, true));
+    tb.system.overlay().check_invariants().unwrap();
+
+    // Clusters are category-pure at the equilibrium.
+    for cid in tb.system.overlay().cluster_ids() {
+        let members = tb.system.overlay().cluster(cid).members();
+        if members.len() > 1 {
+            let cat = tb.peer_category[members[0].index()];
+            assert!(
+                members.iter().all(|m| tb.peer_category[m.index()] == cat),
+                "mixed cluster at equilibrium"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let cfg = ExperimentConfig::small(102);
+        let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+        let mut net = SimNetwork::new();
+        let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(60), &mut net);
+        (
+            outcome.rounds_to_converge(),
+            outcome.final_scost(),
+            tb.system.overlay().sizes(),
+            net.total_messages(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn every_strategy_leaves_a_consistent_overlay() {
+    for kind in [
+        StrategyKind::Selfish,
+        StrategyKind::Altruistic,
+        StrategyKind::Hybrid(0.5),
+        StrategyKind::Random(0.2, 9),
+        StrategyKind::NoMaintenance,
+    ] {
+        let cfg = ExperimentConfig::small(103);
+        let mut tb = build_system(Scenario::DifferentCategory, InitialConfig::RandomM, &cfg);
+        let mut net = SimNetwork::new();
+        let _ = run_protocol(&mut tb.system, kind, protocol(30), &mut net);
+        tb.system.overlay().check_invariants().unwrap();
+        // Every live peer still in exactly one cluster.
+        assert_eq!(tb.system.overlay().n_peers(), cfg.n_peers);
+    }
+}
+
+#[test]
+fn scenario2_pairs_providers_with_consumers() {
+    let cfg = ExperimentConfig::small(104);
+    let mut tb = build_system(Scenario::DifferentCategory, InitialConfig::Singletons, &cfg);
+    let mut net = SimNetwork::new();
+    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(100), &mut net);
+    assert!(outcome.converged, "mutual interests must converge");
+
+    // In most multi-peer clusters, some member's query category equals
+    // another member's data category (provider/consumer co-location).
+    let mut matched = 0;
+    let mut multi = 0;
+    for cid in tb.system.overlay().cluster_ids() {
+        let members = tb.system.overlay().cluster(cid).members();
+        if members.len() < 2 {
+            continue;
+        }
+        multi += 1;
+        let has_match = members.iter().any(|a| {
+            members.iter().any(|b| {
+                a != b && tb.query_category[a.index()] == Some(tb.peer_category[b.index()])
+            })
+        });
+        if has_match {
+            matched += 1;
+        }
+    }
+    assert!(multi > 0, "some pairs must have formed");
+    assert!(
+        matched * 10 >= multi * 8,
+        "at least 80% of multi-member clusters must pair a consumer with its provider ({matched}/{multi})"
+    );
+}
+
+#[test]
+fn uniform_scenario_does_not_converge_with_selfish_peers() {
+    let cfg = ExperimentConfig::small(105);
+    let mut tb = build_system(Scenario::Uniform, InitialConfig::RandomM, &cfg);
+    let mut net = SimNetwork::new();
+    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(40), &mut net);
+    // The paper's scenario 3: "does not reach convergence".
+    assert!(!outcome.converged);
+}
+
+#[test]
+fn network_ledger_reflects_protocol_phases() {
+    use recluster_overlay::MsgKind;
+    let cfg = ExperimentConfig::small(106);
+    let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut net = SimNetwork::new();
+    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(60), &mut net);
+    // Phase 1 traffic: one gain report per live peer per round.
+    let rounds = outcome.rounds.len() as u64;
+    assert_eq!(
+        net.messages(MsgKind::GainReport),
+        rounds * cfg.n_peers as u64
+    );
+    // Every granted move cost two coordination messages.
+    assert_eq!(
+        net.messages(MsgKind::GrantCoordination),
+        2 * outcome.total_moves() as u64
+    );
+}

@@ -1,0 +1,163 @@
+//! The paper's analytical claims, verified end-to-end: the §2.3
+//! no-equilibrium example, Property 1, and the qualitative shapes of the
+//! evaluation section on the miniature testbed.
+
+use recluster_core::{
+    best_response, global, is_nash_equilibrium, pcost, GameConfig, System,
+};
+use recluster_overlay::{ContentStore, Overlay, Theta};
+use recluster_sim::fig4::run_curve;
+use recluster_sim::runner::StrategyKind;
+use recluster_sim::scenario::ExperimentConfig;
+use recluster_sim::table1::{run_cell, Table1Config};
+use recluster_sim::scenario::{InitialConfig, Scenario};
+use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
+
+/// §2.3: the two-peer system where every configuration is unstable for
+/// 0 < α < 2.
+#[test]
+fn section_2_3_no_equilibrium_example() {
+    let build = |assignment: [u32; 2], alpha: f64| {
+        let mut ov = Overlay::unassigned(2);
+        ov.assign(PeerId(0), ClusterId(assignment[0]));
+        ov.assign(PeerId(1), ClusterId(assignment[1]));
+        let mut store = ContentStore::new(2);
+        store.add(PeerId(1), Document::new(vec![Sym(1), Sym(2)]));
+        let mut w1 = Workload::new();
+        w1.add(Query::keyword(Sym(1)), 1);
+        let mut w2 = Workload::new();
+        w2.add(Query::keyword(Sym(2)), 1);
+        System::new(
+            ov,
+            store,
+            vec![w1, w2],
+            GameConfig {
+                alpha,
+                theta: Theta::Linear,
+            },
+        )
+    };
+    for alpha in [0.5, 1.0, 1.5] {
+        // All three distinct configurations are unstable.
+        for assignment in [[0, 1], [1, 0], [0, 0]] {
+            let sys = build(assignment, alpha);
+            assert!(
+                !is_nash_equilibrium(&sys, true),
+                "α={alpha}, assignment {assignment:?} must be unstable"
+            );
+        }
+    }
+    // And the paper's specific arithmetic at α = 1.
+    let sys = build([0, 1], 1.0);
+    assert!((pcost(&sys, PeerId(0), ClusterId(0)) - 1.5).abs() < 1e-12);
+    assert!((pcost(&sys, PeerId(0), ClusterId(1)) - 1.0).abs() < 1e-12);
+    assert!((pcost(&sys, PeerId(1), ClusterId(1)) - 0.5).abs() < 1e-12);
+}
+
+/// §2.2 Property 1: equal per-peer demand makes the (normalized) recall
+/// terms of SCost and WCost coincide.
+#[test]
+fn property_1_on_a_generated_testbed() {
+    let mut cfg = ExperimentConfig::small(110);
+    cfg.demand = recluster_sim::scenario::DemandSplit::Uniform;
+    let tb = recluster_sim::scenario::build_system(
+        Scenario::SameCategory,
+        InitialConfig::RandomM,
+        &cfg,
+    );
+    let sys = &tb.system;
+    assert!(global::equal_demand(sys));
+    let (social_recall, workload_recall) = global::property1_recall_terms(sys);
+    assert!(social_recall > 0.0, "random start must lose recall");
+    assert!(
+        (social_recall - sys.n_peers() as f64 * workload_recall).abs() < 1e-6,
+        "social {social_recall} vs |P|·workload {}",
+        sys.n_peers() as f64 * workload_recall
+    );
+}
+
+/// Table 1, row block 1: scenario 1 converges to a Nash equilibrium
+/// whose cost is pure membership (recall loss zero).
+#[test]
+fn table1_scenario1_reaches_membership_only_cost() {
+    let cfg = Table1Config::small(111);
+    let row = run_cell(
+        Scenario::SameCategory,
+        InitialConfig::Singletons,
+        StrategyKind::Selfish,
+        &cfg,
+    );
+    assert!(row.rounds.is_some());
+    assert!(row.nash);
+    // SCost == WCost when the recall terms vanish.
+    assert!((row.scost - row.wcost).abs() < 1e-9);
+}
+
+/// Table 1, scenario ordering: same-category < different-category <
+/// uniform in final social cost (singleton starts).
+#[test]
+fn table1_scenario_cost_ordering() {
+    let cfg = Table1Config::small(112);
+    let cost = |scenario| {
+        run_cell(
+            scenario,
+            InitialConfig::Singletons,
+            StrategyKind::Selfish,
+            &cfg,
+        )
+        .scost
+    };
+    let s1 = cost(Scenario::SameCategory);
+    let s2 = cost(Scenario::DifferentCategory);
+    let s3 = cost(Scenario::Uniform);
+    assert!(s1 < s2, "scenario 1 ({s1}) must beat scenario 2 ({s2})");
+    assert!(s2 < s3, "scenario 2 ({s2}) must beat scenario 3 ({s3})");
+}
+
+/// Figure 4: the relocation threshold is non-decreasing in α, and before
+/// relocating the peer's cost grows linearly with the changed fraction.
+#[test]
+fn figure4_threshold_monotone_in_alpha() {
+    let cfg = ExperimentConfig::small(113);
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut last = 0.0;
+    for alpha in [0.0, 1.0, 2.0] {
+        let curve = run_curve(&cfg, alpha, &fractions);
+        let threshold = curve.relocation_threshold.unwrap_or(1.5);
+        assert!(
+            threshold >= last,
+            "threshold at α={alpha} ({threshold}) below α-smaller one ({last})"
+        );
+        last = threshold;
+        // Pre-threshold, cost is non-decreasing in the fraction.
+        for w in curve.points.windows(2) {
+            if w[1].0 < threshold {
+                assert!(w[1].1 >= w[0].1 - 1e-9);
+            }
+        }
+    }
+}
+
+/// The best response never has negative gain, and its cost is a lower
+/// bound over every explicit alternative.
+#[test]
+fn best_response_is_actually_best() {
+    let cfg = ExperimentConfig::small(114);
+    let tb = recluster_sim::scenario::build_system(
+        Scenario::DifferentCategory,
+        InitialConfig::RandomM,
+        &cfg,
+    );
+    let sys = &tb.system;
+    for peer in sys.overlay().peers().take(10) {
+        let br = best_response(sys, peer, true);
+        assert!(br.gain >= 0.0);
+        let best_cost = pcost(sys, peer, br.cluster);
+        for cid in sys.overlay().cluster_ids() {
+            assert!(
+                pcost(sys, peer, cid) >= best_cost - 1e-9,
+                "{peer}: {cid} beats the best response"
+            );
+        }
+    }
+}

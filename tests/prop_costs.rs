@@ -1,0 +1,226 @@
+//! Property-based tests of the cost model (Eqs. 1–3) on randomly
+//! generated miniature systems.
+
+use proptest::prelude::*;
+use recluster_core::{
+    best_response, cost, global, is_nash_equilibrium, pcost, GameConfig, System,
+};
+use recluster_overlay::{ContentStore, Overlay, Theta};
+use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
+
+/// A randomly generated miniature system description.
+#[derive(Debug, Clone)]
+struct RandomSystem {
+    n_peers: usize,
+    /// Per peer: documents, each a set of symbol ids.
+    docs: Vec<Vec<Vec<u32>>>,
+    /// Per peer: (symbol, count) query entries.
+    queries: Vec<Vec<(u32, u8)>>,
+    /// Per peer: cluster assignment (< n_peers).
+    assignment: Vec<u32>,
+    alpha: f64,
+    theta_kind: u8,
+}
+
+fn arb_system() -> impl Strategy<Value = RandomSystem> {
+    (2usize..7).prop_flat_map(|n_peers| {
+        let docs = proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(0u32..10, 1..4),
+                0..4,
+            ),
+            n_peers,
+        );
+        let queries = proptest::collection::vec(
+            proptest::collection::vec((0u32..10, 1u8..4), 0..4),
+            n_peers,
+        );
+        let assignment = proptest::collection::vec(0u32..(n_peers as u32), n_peers);
+        (
+            Just(n_peers),
+            docs,
+            queries,
+            assignment,
+            0.0f64..3.0,
+            0u8..3,
+        )
+            .prop_map(
+                |(n_peers, docs, queries, assignment, alpha, theta_kind)| RandomSystem {
+                    n_peers,
+                    docs,
+                    queries,
+                    assignment,
+                    alpha,
+                    theta_kind,
+                },
+            )
+    })
+}
+
+fn build(desc: &RandomSystem) -> System {
+    let mut overlay = Overlay::unassigned(desc.n_peers);
+    for (i, &c) in desc.assignment.iter().enumerate() {
+        overlay.assign(PeerId::from_index(i), ClusterId(c));
+    }
+    let mut store = ContentStore::new(desc.n_peers);
+    for (i, docs) in desc.docs.iter().enumerate() {
+        for attrs in docs {
+            store.add(
+                PeerId::from_index(i),
+                Document::new(attrs.iter().map(|&a| Sym(a)).collect()),
+            );
+        }
+    }
+    let workloads: Vec<Workload> = desc
+        .queries
+        .iter()
+        .map(|qs| {
+            let mut w = Workload::new();
+            for &(sym, n) in qs {
+                w.add(Query::keyword(Sym(sym)), n as u64);
+            }
+            w
+        })
+        .collect();
+    let theta = match desc.theta_kind {
+        0 => Theta::Linear,
+        1 => Theta::Logarithmic,
+        _ => Theta::Sqrt,
+    };
+    System::new(
+        overlay,
+        store,
+        workloads,
+        GameConfig {
+            alpha: desc.alpha,
+            theta,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 2 exactly: SCost is the sum of individual costs.
+    #[test]
+    fn scost_is_sum_of_pcosts(desc in arb_system()) {
+        let sys = build(&desc);
+        let manual: f64 = sys
+            .overlay()
+            .peers()
+            .map(|p| pcost(&sys, p, sys.overlay().cluster_of(p).unwrap()))
+            .sum();
+        prop_assert!((global::scost(&sys) - manual).abs() < 1e-9);
+    }
+
+    /// The recall shares of every answerable query sum to one across
+    /// peers, and the per-cluster masses reproduce that total.
+    #[test]
+    fn recall_shares_partition_unity(desc in arb_system()) {
+        let sys = build(&desc);
+        let index = sys.index();
+        for qid in 0..index.n_queries() as u32 {
+            let share: f64 = (0..desc.n_peers)
+                .map(|i| index.r(qid, PeerId::from_index(i)))
+                .sum();
+            if index.total(qid) > 0 {
+                prop_assert!((share - 1.0).abs() < 1e-9);
+                let mass: f64 = sys
+                    .overlay()
+                    .cluster_ids()
+                    .map(|c| index.cluster_mass(qid, c))
+                    .sum();
+                prop_assert!((mass - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(share, 0.0);
+            }
+        }
+    }
+
+    /// pcost is non-negative and bounded by α·θ(|P|)/|P| + 1.
+    #[test]
+    fn pcost_is_bounded(desc in arb_system()) {
+        let sys = build(&desc);
+        let cfg = sys.config();
+        let bound = cfg.alpha * cfg.theta.cost(desc.n_peers + 1) / desc.n_peers as f64 + 1.0;
+        for peer in sys.overlay().peers() {
+            for cid in sys.overlay().cluster_ids() {
+                let c = pcost(&sys, peer, cid);
+                prop_assert!(c >= -1e-12, "negative pcost {c}");
+                prop_assert!(c <= bound + 1e-9, "pcost {c} above bound {bound}");
+            }
+        }
+    }
+
+    /// The membership terms of SCost and WCost agree (§2.2's derivation).
+    #[test]
+    fn membership_terms_agree(desc in arb_system()) {
+        let sys = build(&desc);
+        let (s_mem, _) = global::scost_terms(&sys);
+        let w_mem = global::wcost_membership_term(&sys);
+        prop_assert!((s_mem - w_mem).abs() < 1e-9);
+    }
+
+    /// Property 1: forcing equal demand makes the normalized recall
+    /// terms proportional (social = |P| · workload).
+    #[test]
+    fn property1_under_equalized_demand(desc in arb_system()) {
+        let mut desc = desc;
+        // Equalize: every peer gets the same single-query count on its
+        // first query symbol (or symbol 0 if it has none).
+        for qs in desc.queries.iter_mut() {
+            let sym = qs.first().map(|&(s, _)| s).unwrap_or(0);
+            *qs = vec![(sym, 2)];
+        }
+        let sys = build(&desc);
+        prop_assert!(global::equal_demand(&sys));
+        let (social, workload) = global::property1_recall_terms(&sys);
+        prop_assert!(
+            (social - desc.n_peers as f64 * workload).abs() < 1e-9,
+            "social {social}, workload {workload}"
+        );
+    }
+
+    /// Moving a peer away and back restores every cost exactly.
+    #[test]
+    fn move_roundtrip_restores_costs(desc in arb_system()) {
+        let mut sys = build(&desc);
+        let peer = PeerId(0);
+        let home = sys.overlay().cluster_of(peer).unwrap();
+        let away = ClusterId(((home.0 as usize + 1) % desc.n_peers) as u32);
+        let before: Vec<f64> = sys.overlay().peers().map(|p| cost::pcost_current(&sys, p)).collect();
+        sys.move_peer(peer, away);
+        sys.move_peer(peer, home);
+        let after: Vec<f64> = sys.overlay().peers().map(|p| cost::pcost_current(&sys, p)).collect();
+        for (b, a) in before.iter().zip(after.iter()) {
+            prop_assert!((b - a).abs() < 1e-12);
+        }
+    }
+
+    /// Equilibrium ⇔ no peer has positive best-response gain.
+    #[test]
+    fn equilibrium_iff_no_positive_gain(desc in arb_system()) {
+        let sys = build(&desc);
+        let nash = is_nash_equilibrium(&sys, true);
+        let max_gain = sys
+            .overlay()
+            .peers()
+            .map(|p| best_response(&sys, p, true).gain)
+            .fold(0.0f64, f64::max);
+        prop_assert_eq!(nash, max_gain <= 1e-9);
+    }
+
+    /// Playing the best response never increases the mover's cost.
+    #[test]
+    fn best_response_never_hurts_the_mover(desc in arb_system()) {
+        let mut sys = build(&desc);
+        let peer = PeerId(0);
+        let before = cost::pcost_current(&sys, peer);
+        let br = best_response(&sys, peer, true);
+        sys.move_peer(peer, br.cluster);
+        let after = cost::pcost_current(&sys, peer);
+        prop_assert!(after <= before + 1e-9, "{before} -> {after}");
+        // And the realized improvement equals the predicted gain.
+        prop_assert!((before - after - br.gain).abs() < 1e-9);
+    }
+}
