@@ -218,12 +218,7 @@ mod tests {
             store.add(PeerId(i), Document::new(vec![Sym(10), Sym(11), Sym(12)]));
             store.add(PeerId(i), Document::new(vec![Sym(7 + i)]));
         }
-        System::new(
-            ov,
-            store,
-            vec![Workload::new(); 6],
-            GameConfig::default(),
-        )
+        System::new(ov, store, vec![Workload::new(); 6], GameConfig::default())
     }
 
     #[test]

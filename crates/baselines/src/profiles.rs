@@ -20,11 +20,7 @@ pub struct PeerProfile {
 impl PeerProfile {
     /// The L2 norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Number of nonzero dimensions.

@@ -3,9 +3,7 @@
 //! period), and the global `SCost` / `WCost` measures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use recluster_core::{
-    best_response, pcost, scost_normalized, wcost_normalized,
-};
+use recluster_core::{best_response, pcost, scost_normalized, wcost_normalized};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_types::{ClusterId, PeerId};
 
@@ -63,5 +61,10 @@ fn bench_global_costs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pcost, bench_best_response, bench_global_costs);
+criterion_group!(
+    benches,
+    bench_pcost,
+    bench_best_response,
+    bench_global_costs
+);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 //! headline experiment of Table 1).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use recluster_core::{ProtocolConfig, ProtocolEngine};
 use recluster_core::{AltruisticStrategy, SelfishStrategy};
+use recluster_core::{ProtocolConfig, ProtocolEngine};
 use recluster_overlay::SimNetwork;
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 

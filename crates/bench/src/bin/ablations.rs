@@ -11,7 +11,14 @@ use recluster_sim::scenario::ExperimentConfig;
 
 fn print_rows(title: &str, rows: &[AblationRow]) {
     println!("--- {title} ---");
-    let headers = ["setting", "rounds", "#clusters", "SCost", "moves", "messages"];
+    let headers = [
+        "setting",
+        "rounds",
+        "#clusters",
+        "SCost",
+        "moves",
+        "messages",
+    ];
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -31,7 +38,12 @@ fn print_rows(title: &str, rows: &[AblationRow]) {
 fn main() {
     let seed = seed_from_env();
     let small = small_from_env();
-    banner("Ablations", "design-choice sensitivity (our extension)", seed, small);
+    banner(
+        "Ablations",
+        "design-choice sensitivity (our extension)",
+        seed,
+        small,
+    );
     let cfg = if small {
         ExperimentConfig::small(seed)
     } else {
@@ -39,8 +51,14 @@ fn main() {
     };
     let rounds = 300;
 
-    print_rows("θ shape (intra-cluster topology)", &run_theta_ablation(&cfg, rounds));
+    print_rows(
+        "θ shape (intra-cluster topology)",
+        &run_theta_ablation(&cfg, rounds),
+    );
     print_rows("ε stop threshold", &run_epsilon_sweep(&cfg, rounds));
-    print_rows("hybrid λ (0 = altruistic-like, 1 = selfish)", &run_hybrid_sweep(&cfg, rounds));
+    print_rows(
+        "hybrid λ (0 = altruistic-like, 1 = selfish)",
+        &run_hybrid_sweep(&cfg, rounds),
+    );
     print_rows("anti-cycle lock rule", &run_lock_ablation(&cfg, rounds));
 }

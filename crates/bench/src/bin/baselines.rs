@@ -13,7 +13,12 @@ use recluster_sim::scenario::ExperimentConfig;
 fn main() {
     let seed = seed_from_env();
     let small = small_from_env();
-    banner("Baselines", "the §1 motivation (our extension)", seed, small);
+    banner(
+        "Baselines",
+        "the §1 motivation (our extension)",
+        seed,
+        small,
+    );
     let cfg = if small {
         ExperimentConfig::small(seed)
     } else {

@@ -11,7 +11,12 @@ use recluster_sim::scenario::ExperimentConfig;
 fn main() {
     let seed = seed_from_env();
     let small = small_from_env();
-    banner("Churn", "overlay maintenance under churn (our extension)", seed, small);
+    banner(
+        "Churn",
+        "overlay maintenance under churn (our extension)",
+        seed,
+        small,
+    );
     let cfg = if small {
         ExperimentConfig::small(seed)
     } else {

@@ -20,7 +20,13 @@ fn main() {
     let series = run_fig1(&cfg, 300);
     let max_len = series.iter().map(|s| s.scost.len()).max().unwrap_or(0);
 
-    let headers = ["round", "scost(selfish)", "scost(altruistic)", "wcost(selfish)", "wcost(altruistic)"];
+    let headers = [
+        "round",
+        "scost(selfish)",
+        "scost(altruistic)",
+        "wcost(selfish)",
+        "wcost(altruistic)",
+    ];
     let rows: Vec<Vec<String>> = (0..max_len)
         .map(|r| {
             let cell = |v: &Vec<f64>| {
@@ -40,8 +46,14 @@ fn main() {
     println!("{}", render_table(&headers, &rows));
 
     for s in &series {
-        println!("{}", render_series(&format!("scost[{}]", s.strategy), &s.scost));
-        println!("{}", render_series(&format!("wcost[{}]", s.strategy), &s.wcost));
+        println!(
+            "{}",
+            render_series(&format!("scost[{}]", s.strategy), &s.scost)
+        );
+        println!(
+            "{}",
+            render_series(&format!("wcost[{}]", s.strategy), &s.wcost)
+        );
         println!("converged[{}] = {}", s.strategy, s.converged);
     }
     println!();

@@ -37,7 +37,11 @@ fn main() {
 
     for c in &curves {
         match c.relocation_threshold {
-            Some(t) => println!("α = {}: peer relocates once ≥ {:.0}% of its workload changed", c.alpha, t * 100.0),
+            Some(t) => println!(
+                "α = {}: peer relocates once ≥ {:.0}% of its workload changed",
+                c.alpha,
+                t * 100.0
+            ),
             None => println!("α = {}: peer never relocates on this grid", c.alpha),
         }
     }

@@ -9,7 +9,12 @@ use recluster_sim::scenario::ExperimentConfig;
 fn main() {
     let seed = seed_from_env();
     let small = small_from_env();
-    banner("Lookup cost", "the §6 open issue (our extension)", seed, small);
+    banner(
+        "Lookup cost",
+        "the §6 open issue (our extension)",
+        seed,
+        small,
+    );
     let cfg = if small {
         ExperimentConfig::small(seed)
     } else {

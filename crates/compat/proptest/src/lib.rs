@@ -1,0 +1,178 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! pins this path crate under the `proptest` package name. It provides
+//! the same surface the tests are written against:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `#[test]`
+//!   functions and `pattern in strategy` arguments;
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, `prop_flat_map`,
+//!   `prop_filter`, `prop_filter_map`, tuple/range/regex-string
+//!   strategies, [`Just`](strategy::Just) and [`prop_oneof!`];
+//! * [`collection::vec`], [`bool::ANY`];
+//! * `prop_assert!`-family macros, [`prop_assume!`] and
+//!   [`TestCaseError`](test_runner::TestCaseError).
+//!
+//! The one deliberate omission is *shrinking*: a failing case reports its
+//! generated inputs and its deterministic case seed instead of a
+//! minimized counterexample. Runs are fully deterministic per test
+//! function, so failures always reproduce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Declares property-based tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies with `name in strategy`
+/// syntax. Each function body runs once per generated case and may use
+/// the `prop_assert*` macros, `prop_assume!`, and `?` on
+/// `Result<_, TestCaseError>` values.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @impl config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(config, stringify!($name), |__rng| {
+                    let __inputs = (
+                        $($crate::strategy::Strategy::generate(&($strategy), __rng),)+
+                    );
+                    let __described = format!("{:?}", __inputs);
+                    let ($($arg,)+) = __inputs;
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    (__described, __result)
+                });
+            }
+        )*
+    };
+
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! {
+            @impl config = $config;
+            $($rest)*
+        }
+    };
+
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            @impl config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with its generated inputs) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)).into(),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            __l,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case (retrying with fresh inputs) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(concat!(
+                    "assumption failed: ",
+                    stringify!($cond)
+                ))
+                .into(),
+            );
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy),)+
+        ])
+    };
+}

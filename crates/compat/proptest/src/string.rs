@@ -1,0 +1,183 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the fragment the workspace's tests use — literal
+//! characters, `.`, character classes like `[a-z0-9_]`, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` — which is enough for
+//! patterns such as `".{0,100}"` and `"[a-z]{3,12}"`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One regex atom: a set of candidate characters.
+#[derive(Clone, Debug)]
+enum Atom {
+    /// `.` — any character except a line break.
+    AnyChar,
+    /// A character class: inclusive ranges of code points.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+/// An atom plus its repetition bounds (inclusive).
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Upper repetition bound for the open-ended `*` and `+` quantifiers.
+const OPEN_REPEAT_MAX: usize = 8;
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut members: Vec<char> = Vec::new();
+                for inner in chars.by_ref() {
+                    if inner == ']' {
+                        break;
+                    }
+                    members.push(inner);
+                }
+                let mut i = 0;
+                while i < members.len() {
+                    if i + 2 < members.len() && members[i + 1] == '-' {
+                        ranges.push((members[i], members[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((members[i], members[i]));
+                        i += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for inner in chars.by_ref() {
+                    if inner == '}' {
+                        break;
+                    }
+                    spec.push(inner);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("bad {m,n} lower bound");
+                        let hi: usize = hi.trim().parse().expect("bad {m,n} upper bound");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: usize = spec.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, OPEN_REPEAT_MAX)
+            }
+            Some('+') => {
+                chars.next();
+                (1, OPEN_REPEAT_MAX)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_char(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+        }
+        Atom::AnyChar => loop {
+            // Weight towards printable ASCII but keep the full scalar
+            // range reachable, mirroring proptest's `.` behavior.
+            let c = if rng.gen_ratio(9, 10) {
+                char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap_or('x')
+            } else {
+                match char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                    Some(c) => c,
+                    None => continue, // surrogate gap
+                }
+            };
+            if c != '\n' && c != '\r' {
+                return c;
+            }
+        },
+    }
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            out.push(sample_char(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn class_with_count_range() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-z]{3,12}", &mut rng);
+            assert!((3..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_with_bounds_avoids_newlines() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching(".{0,100}", &mut rng);
+            assert!(s.chars().count() <= 100);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = rng();
+        let s = generate_matching("ab{2}c?", &mut rng);
+        assert!(s == "abb" || s == "abbc", "{s:?}");
+        for _ in 0..50 {
+            let s = generate_matching("[0-9]+", &mut rng);
+            assert!(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

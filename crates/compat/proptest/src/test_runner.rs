@@ -1,0 +1,156 @@
+//! The case runner: deterministic per-test seeding, reject handling,
+//! and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Maximum consecutive rejects (`prop_assume!` misses) per case before
+/// the whole test errors out.
+const MAX_REJECTS_PER_CASE: u32 = 256;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it is retried with fresh
+    /// inputs and does not count as a failure.
+    Reject(String),
+    /// The case genuinely failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Convenience alias matching real proptest.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to give every test function its own seed stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `config.cases` cases of a single property.
+///
+/// `case` receives a case-specific deterministic RNG and returns the
+/// debug rendering of its generated inputs together with the case
+/// outcome. Failures panic (so the surrounding `#[test]` fails) and
+/// include the inputs and the case seed for reproduction.
+pub fn run_cases<F>(config: Config, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (String, TestCaseResult),
+{
+    let base = fnv1a(test_name.as_bytes());
+    for case_idx in 0..config.cases {
+        let mut attempt = 0u32;
+        loop {
+            // SplitMix-style finalizer over (test, case, attempt) keeps
+            // every case independent yet exactly reproducible.
+            let mut seed = base
+                .wrapping_add((case_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            seed = (seed ^ (seed >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            seed = (seed ^ (seed >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            seed ^= seed >> 31;
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(()) => break,
+                Err(TestCaseError::Reject(reason)) => {
+                    attempt += 1;
+                    assert!(
+                        attempt < MAX_REJECTS_PER_CASE,
+                        "proptest '{test_name}': case {case_idx} rejected \
+                         {MAX_REJECTS_PER_CASE} times ({reason})"
+                    );
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest '{test_name}' failed at case {case_idx} \
+                         (seed {seed:#018x}):\n{reason}\ninputs: {inputs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn passes_when_all_cases_pass() {
+        run_cases(Config::with_cases(32), "always_ok", |rng| {
+            let v: u64 = rng.gen();
+            (format!("{v}"), Ok(()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn panics_on_failure() {
+        run_cases(Config::with_cases(8), "always_fail", |_rng| {
+            ("()".to_string(), Err(TestCaseError::fail("nope")))
+        });
+    }
+
+    #[test]
+    fn rejects_retry_with_fresh_inputs() {
+        let mut saw_odd = false;
+        run_cases(Config::with_cases(16), "rejects", |rng| {
+            let v: u64 = rng.gen();
+            if v.is_multiple_of(2) {
+                (format!("{v}"), Err(TestCaseError::reject("even")))
+            } else {
+                saw_odd = true;
+                (format!("{v}"), Ok(()))
+            }
+        });
+        assert!(saw_odd);
+    }
+}

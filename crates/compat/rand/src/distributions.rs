@@ -1,0 +1,169 @@
+//! Distributions backing [`Rng::gen`](crate::Rng::gen) and
+//! [`Rng::gen_range`](crate::Rng::gen_range).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers and `bool`, uniform on `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_impl {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on `[0, 1)` with the conventional 53-bit construction.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform on `[0, 1)` with the conventional 24-bit construction.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can be sampled uniformly.
+    pub trait SampleRange<T> {
+        /// Draws one value; the range is guaranteed non-empty by the
+        /// caller ([`Rng::gen_range`](crate::Rng::gen_range) asserts it).
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    /// Maps a raw 64-bit word into `[0, span)` by 128-bit widening
+    /// multiply (Lemire reduction without the rejection step; the bias is
+    /// at most `span / 2^64` per draw, far below statistical relevance
+    /// for the spans this workspace uses).
+    #[inline]
+    fn reduce(word: u64, span: u64) -> u64 {
+        ((word as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! int_range_impl {
+        ($($ty:ty => $uty:ty),*) => {$(
+            impl SampleRange<$ty> for Range<$ty> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let span = self.end.wrapping_sub(self.start) as $uty as u64;
+                    let offset = reduce(rng.next_u64(), span) as $uty as $ty;
+                    self.start.wrapping_add(offset)
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    self.start >= self.end
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    let span = end.wrapping_sub(start) as $uty as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $uty as $ty;
+                    }
+                    let offset = reduce(rng.next_u64(), span + 1) as $uty as $ty;
+                    start.wrapping_add(offset)
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    self.start() > self.end()
+                }
+            }
+        )*};
+    }
+
+    int_range_impl!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+    );
+
+    macro_rules! float_range_impl {
+        ($($ty:ty),*) => {$(
+            impl SampleRange<$ty> for Range<$ty> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let unit: $ty = crate::distributions::Distribution::sample(
+                        &crate::distributions::Standard,
+                        rng,
+                    );
+                    let v = self.start + unit * (self.end - self.start);
+                    // Floating rounding can land exactly on `end`; clamp
+                    // back inside the half-open interval.
+                    if v >= self.end {
+                        self.end.next_down()
+                    } else {
+                        v
+                    }
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    // NaN endpoints compare as unordered => empty.
+                    self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less)
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let unit: $ty = crate::distributions::Distribution::sample(
+                        &crate::distributions::Standard,
+                        rng,
+                    );
+                    self.start() + unit * (self.end() - self.start())
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    !matches!(
+                        self.start().partial_cmp(self.end()),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    )
+                }
+            }
+        )*};
+    }
+
+    float_range_impl!(f32, f64);
+}

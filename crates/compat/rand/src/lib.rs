@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API used by this
+//! workspace.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace pins this path crate under the `rand` package name
+//! instead of the real dependency. It reimplements, with compatible
+//! signatures and deterministic behavior:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] — the core trait stack,
+//!   including `gen`, `gen_range`, `gen_bool`, `gen_ratio` and `sample`.
+//! * [`rngs::StdRng`] — a seedable generator (xoshiro256**, seeded via a
+//!   SplitMix64 expansion, as in `rand_xoshiro`). The real `StdRng` makes
+//!   no stream-stability promise across versions, so a different but
+//!   high-quality generator is a conforming substitute.
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//! * [`distributions`] — the `Standard` distribution and uniform range
+//!   sampling used by `gen`/`gen_range`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness: raw 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be non-zero");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio numerator {numerator} > denominator {denominator}"
+        );
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+        // Shifted-stream overlap would make suffix == prefix; rule it out.
+        assert_ne!(va[1..], vb[..15]);
+    }
+
+    #[test]
+    fn gen_range_covers_and_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let f = rng.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_ranges_with_non_positive_ends_stay_half_open() {
+        // Regression: the rounding clamp must step toward -inf even when
+        // `end` is zero or negative (a raw bit decrement does not).
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5000 {
+            let a = rng.gen_range(-2.0f64..0.0);
+            assert!((-2.0..0.0).contains(&a), "{a}");
+            let b = rng.gen_range(-3.0f64..-1.0);
+            assert!((-3.0..-1.0).contains(&b), "{b}");
+            let c = rng.gen_range(-1.0f32..0.0);
+            assert!((-1.0f32..0.0).contains(&c), "{c}");
+        }
+        assert!(0.0f64.next_down() < 0.0);
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in 0..20 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+}

@@ -240,12 +240,7 @@ mod tests {
         let store = ContentStore::new(2);
         let mut w = Workload::new();
         w.add(Query::keyword(Sym(42)), 5);
-        let sys = System::new(
-            ov,
-            store,
-            vec![w, Workload::new()],
-            GameConfig::default(),
-        );
+        let sys = System::new(ov, store, vec![w, Workload::new()], GameConfig::default());
         assert!((pcost_current(&sys, PeerId(0)) - 0.5).abs() < 1e-12);
     }
 

@@ -269,7 +269,10 @@ mod tests {
         // recovers, so the best set has at most one cluster.
         let sys = paper_counter_example(3.0);
         let (set, _) = best_response_set(&sys, PeerId(1), 2);
-        assert!(set.len() <= 1, "α=3 should not buy extra memberships: {set:?}");
+        assert!(
+            set.len() <= 1,
+            "α=3 should not buy extra memberships: {set:?}"
+        );
     }
 
     #[test]

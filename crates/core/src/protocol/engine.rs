@@ -130,13 +130,10 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
                             .unwrap_or(f64::INFINITY);
                         let now = pcost_current(system, peer);
                         if now - best >= threshold {
-                            system
-                                .overlay()
-                                .first_empty_cluster()
-                                .map(|to| Proposal {
-                                    to,
-                                    gain: now - best,
-                                })
+                            system.overlay().first_empty_cluster().map(|to| Proposal {
+                                to,
+                                gain: now - best,
+                            })
                         } else {
                             None
                         }
@@ -485,7 +482,8 @@ mod tests {
         let outcome = engine.run(&mut sys, &mut net);
         assert!(outcome.converged);
         assert_eq!(
-            sys.overlay().size(sys.overlay().cluster_of(PeerId(0)).unwrap()),
+            sys.overlay()
+                .size(sys.overlay().cluster_of(PeerId(0)).unwrap()),
             2,
             "p0 starts in its pair"
         );

@@ -108,9 +108,24 @@ mod tests {
     #[test]
     fn sort_orders_by_gain_then_ids() {
         let mut reqs = vec![
-            RelocationRequest { src: ClusterId(2), dst: ClusterId(0), peer: PeerId(5), gain: 0.5 },
-            RelocationRequest { src: ClusterId(1), dst: ClusterId(0), peer: PeerId(4), gain: 0.9 },
-            RelocationRequest { src: ClusterId(0), dst: ClusterId(2), peer: PeerId(1), gain: 0.5 },
+            RelocationRequest {
+                src: ClusterId(2),
+                dst: ClusterId(0),
+                peer: PeerId(5),
+                gain: 0.5,
+            },
+            RelocationRequest {
+                src: ClusterId(1),
+                dst: ClusterId(0),
+                peer: PeerId(4),
+                gain: 0.9,
+            },
+            RelocationRequest {
+                src: ClusterId(0),
+                dst: ClusterId(2),
+                peer: PeerId(1),
+                gain: 0.5,
+            },
         ];
         RelocationRequest::sort_requests(&mut reqs);
         assert_eq!(reqs[0].gain, 0.9);
@@ -121,9 +136,24 @@ mod tests {
     #[test]
     fn sort_is_deterministic_under_permutation() {
         let base = vec![
-            RelocationRequest { src: ClusterId(0), dst: ClusterId(1), peer: PeerId(0), gain: 0.3 },
-            RelocationRequest { src: ClusterId(1), dst: ClusterId(2), peer: PeerId(1), gain: 0.3 },
-            RelocationRequest { src: ClusterId(2), dst: ClusterId(0), peer: PeerId(2), gain: 0.7 },
+            RelocationRequest {
+                src: ClusterId(0),
+                dst: ClusterId(1),
+                peer: PeerId(0),
+                gain: 0.3,
+            },
+            RelocationRequest {
+                src: ClusterId(1),
+                dst: ClusterId(2),
+                peer: PeerId(1),
+                gain: 0.3,
+            },
+            RelocationRequest {
+                src: ClusterId(2),
+                dst: ClusterId(0),
+                peer: PeerId(2),
+                gain: 0.7,
+            },
         ];
         let mut a = base.clone();
         let mut b = vec![base[2], base[0], base[1]];

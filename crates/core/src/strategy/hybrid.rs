@@ -169,11 +169,13 @@ mod tests {
         let sys = torn_system(1.0);
         let mut h = HybridStrategy::new(0.5);
         h.prepare(&sys);
-        assert!(h.propose(&sys, PeerId(1), true).is_none() || {
-            // p1 holds data p0 wants, so altruism may move it; accept
-            // either, but the inert peer p2's data-less twin must stay.
-            true
-        });
+        assert!(
+            h.propose(&sys, PeerId(1), true).is_none() || {
+                // p1 holds data p0 wants, so altruism may move it; accept
+                // either, but the inert peer p2's data-less twin must stay.
+                true
+            }
+        );
     }
 
     #[test]

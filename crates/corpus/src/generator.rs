@@ -131,7 +131,11 @@ impl Corpus {
 
         let occurrences: Vec<Vec<u64>> = category_syms
             .iter()
-            .map(|syms| syms.iter().map(|&s| pipeline.frequencies().count(s)).collect())
+            .map(|syms| {
+                syms.iter()
+                    .map(|&s| pipeline.frequencies().count(s))
+                    .collect()
+            })
             .collect();
 
         let mut sym_category = vec![None; interner.len()];

@@ -15,11 +15,13 @@ use recluster_types::seeded_rng;
 use crate::pipeline::{stem, TextPipeline};
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n",
-    "p", "pr", "qu", "r", "st", "t", "tr", "v", "w", "z",
+    "b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
+    "pr", "qu", "r", "st", "t", "tr", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou"];
-const CODAS: &[&str] = &["b", "ck", "d", "f", "g", "k", "l", "m", "n", "p", "r", "t", "x", "z"];
+const CODAS: &[&str] = &[
+    "b", "ck", "d", "f", "g", "k", "l", "m", "n", "p", "r", "t", "x", "z",
+];
 
 /// The vocabulary of one category: a list of pseudo-words, ordered so that
 /// index 0 is the category's most characteristic (highest-frequency under
@@ -74,7 +76,12 @@ pub struct BuiltVocabulary {
 
 impl VocabularyBuilder {
     /// Configures a builder.
-    pub fn new(n_categories: usize, words_per_category: usize, shared_words: usize, seed: u64) -> Self {
+    pub fn new(
+        n_categories: usize,
+        words_per_category: usize,
+        shared_words: usize,
+        seed: u64,
+    ) -> Self {
         VocabularyBuilder {
             n_categories,
             words_per_category,
@@ -108,10 +115,14 @@ impl VocabularyBuilder {
         let categories = (0..self.n_categories)
             .map(|category| CategoryVocabulary {
                 category,
-                words: (0..self.words_per_category).map(|_| next_word(&mut rng)).collect(),
+                words: (0..self.words_per_category)
+                    .map(|_| next_word(&mut rng))
+                    .collect(),
             })
             .collect();
-        let shared = (0..self.shared_words).map(|_| next_word(&mut rng)).collect();
+        let shared = (0..self.shared_words)
+            .map(|_| next_word(&mut rng))
+            .collect();
         BuiltVocabulary { categories, shared }
     }
 }
@@ -156,7 +167,12 @@ mod tests {
     fn stems_are_globally_distinct() {
         let b = VocabularyBuilder::new(5, 60, 20, 3).build();
         let mut stems = HashSet::new();
-        for w in b.categories.iter().flat_map(|c| c.words.iter()).chain(b.shared.iter()) {
+        for w in b
+            .categories
+            .iter()
+            .flat_map(|c| c.words.iter())
+            .chain(b.shared.iter())
+        {
             assert!(stems.insert(stem(w)), "stem collision for {w}");
         }
     }
@@ -165,7 +181,12 @@ mod tests {
     fn no_word_is_a_stopword() {
         let p = TextPipeline::new();
         let b = VocabularyBuilder::new(3, 50, 10, 4).build();
-        for w in b.categories.iter().flat_map(|c| c.words.iter()).chain(b.shared.iter()) {
+        for w in b
+            .categories
+            .iter()
+            .flat_map(|c| c.words.iter())
+            .chain(b.shared.iter())
+        {
             assert!(!p.is_stopword(w), "{w} is a stop-word");
         }
     }

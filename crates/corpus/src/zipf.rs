@@ -37,7 +37,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative or non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -69,7 +72,9 @@ impl Zipf {
         let total = *self.cdf.last().expect("non-empty");
         let u: f64 = rng.gen::<f64>() * total;
         // partition_point returns the first index whose cdf exceeds u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// Splits an integer `total` into `self.len()` shares proportional to

@@ -112,7 +112,12 @@ mod tests {
         let mut store = ContentStore::new(3);
         store.add(PeerId(1), Document::new(vec![Sym(5)]));
         let mut net = SimNetwork::new();
-        apply_event(&mut ov, &mut store, &mut net, ChurnEvent::Leave { peer: PeerId(1) });
+        apply_event(
+            &mut ov,
+            &mut store,
+            &mut net,
+            ChurnEvent::Leave { peer: PeerId(1) },
+        );
         assert_eq!(ov.n_peers(), 2);
         assert!(store.docs(PeerId(1)).is_empty());
         assert_eq!(ov.cluster_of(PeerId(1)), None);
@@ -124,9 +129,19 @@ mod tests {
         let mut ov = Overlay::singletons(2);
         let mut store = ContentStore::new(2);
         let mut net = SimNetwork::new();
-        apply_event(&mut ov, &mut store, &mut net, ChurnEvent::Leave { peer: PeerId(0) });
+        apply_event(
+            &mut ov,
+            &mut store,
+            &mut net,
+            ChurnEvent::Leave { peer: PeerId(0) },
+        );
         let msgs = net.total_messages();
-        let res = apply_event(&mut ov, &mut store, &mut net, ChurnEvent::Leave { peer: PeerId(0) });
+        let res = apply_event(
+            &mut ov,
+            &mut store,
+            &mut net,
+            ChurnEvent::Leave { peer: PeerId(0) },
+        );
         assert_eq!(res, None);
         assert_eq!(net.total_messages(), msgs, "no-op leave sends nothing");
     }

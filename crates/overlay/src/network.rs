@@ -149,7 +149,10 @@ mod tests {
         for _ in 0..5 {
             b.send(MsgKind::Heartbeat, 8);
         }
-        assert_eq!(a.messages(MsgKind::Heartbeat), b.messages(MsgKind::Heartbeat));
+        assert_eq!(
+            a.messages(MsgKind::Heartbeat),
+            b.messages(MsgKind::Heartbeat)
+        );
         assert_eq!(a.bytes(MsgKind::Heartbeat), b.bytes(MsgKind::Heartbeat));
     }
 

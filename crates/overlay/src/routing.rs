@@ -118,8 +118,16 @@ mod tests {
         assert_eq!(
             results,
             vec![
-                AnnotatedResult { cluster: ClusterId(0), peer: PeerId(0), count: 1 },
-                AnnotatedResult { cluster: ClusterId(0), peer: PeerId(1), count: 2 },
+                AnnotatedResult {
+                    cluster: ClusterId(0),
+                    peer: PeerId(0),
+                    count: 1
+                },
+                AnnotatedResult {
+                    cluster: ClusterId(0),
+                    peer: PeerId(1),
+                    count: 2
+                },
             ]
         );
         // Two non-empty clusters → two forwards; two answering peers.
@@ -131,11 +139,20 @@ mod tests {
     fn directed_routing_restricts_scope() {
         let (ov, store) = fixture();
         let mut net = SimNetwork::new();
-        let results =
-            route_to_clusters(&ov, &store, &Query::keyword(Sym(2)), &[ClusterId(2)], &mut net);
+        let results = route_to_clusters(
+            &ov,
+            &store,
+            &Query::keyword(Sym(2)),
+            &[ClusterId(2)],
+            &mut net,
+        );
         assert_eq!(
             results,
-            vec![AnnotatedResult { cluster: ClusterId(2), peer: PeerId(2), count: 1 }]
+            vec![AnnotatedResult {
+                cluster: ClusterId(2),
+                peer: PeerId(2),
+                count: 1
+            }]
         );
         assert_eq!(net.messages(MsgKind::QueryForward), 1);
     }
@@ -144,8 +161,13 @@ mod tests {
     fn empty_clusters_are_skipped_without_traffic() {
         let (ov, store) = fixture();
         let mut net = SimNetwork::new();
-        let results =
-            route_to_clusters(&ov, &store, &Query::keyword(Sym(1)), &[ClusterId(1)], &mut net);
+        let results = route_to_clusters(
+            &ov,
+            &store,
+            &Query::keyword(Sym(1)),
+            &[ClusterId(1)],
+            &mut net,
+        );
         assert!(results.is_empty());
         assert_eq!(net.total_messages(), 0);
     }

@@ -58,7 +58,7 @@ proptest! {
                     let _ = ov.grow();
                 }
             }
-            ov.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            ov.check_invariants().map_err(TestCaseError::fail)?;
             // Cmax = slots always.
             prop_assert_eq!(ov.cmax(), ov.n_slots());
             // Size bookkeeping is consistent.

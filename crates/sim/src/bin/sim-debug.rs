@@ -4,8 +4,8 @@
 
 use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
 use recluster_overlay::SimNetwork;
-use recluster_sim::fig23::{run_point, UpdateMode};
 use recluster_sim::fig1::run_series;
+use recluster_sim::fig23::{run_point, UpdateMode};
 use recluster_sim::runner::{run_protocol, StrategyKind};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_sim::table1::{run_cell, Table1Config};
@@ -32,8 +32,20 @@ fn main() {
 
     println!("== fig1 series (selfish) ==");
     let s = run_series(&cfg, StrategyKind::Selfish, 60);
-    println!("  scost: {:?}", s.scost.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
-    println!("  wcost: {:?}", s.wcost.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "  scost: {:?}",
+        s.scost
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  wcost: {:?}",
+        s.wcost
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 
     println!("== fig23 data-update points ==");
     for f in [0.2, 0.5, 0.8, 1.0] {
@@ -47,8 +59,20 @@ fn main() {
 
     println!("== fig23 workload-update points ==");
     for f in [0.2, 0.5, 0.8, 1.0] {
-        let sp = run_point(&cfg, UpdateMode::WorkloadPeers, StrategyKind::Selfish, f, 60);
-        let ap = run_point(&cfg, UpdateMode::WorkloadPeers, StrategyKind::Altruistic, f, 60);
+        let sp = run_point(
+            &cfg,
+            UpdateMode::WorkloadPeers,
+            StrategyKind::Selfish,
+            f,
+            60,
+        );
+        let ap = run_point(
+            &cfg,
+            UpdateMode::WorkloadPeers,
+            StrategyKind::Altruistic,
+            f,
+            60,
+        );
         println!(
             "  f={f}: selfish before={:.3} after={:.3} moves={} | altruistic before={:.3} after={:.3} moves={}",
             sp.scost_before, sp.scost_after, sp.moves, ap.scost_before, ap.scost_after, ap.moves

@@ -110,7 +110,11 @@ fn apply_churn_batch(
             let sys = &mut testbed.system;
             if let Some(former) = sys.overlay_mut().unassign(peer) {
                 let remaining = sys.overlay().cluster(former).len() as u64;
-                net.send_many(recluster_overlay::MsgKind::ClusterLeave, 24, remaining.max(1));
+                net.send_many(
+                    recluster_overlay::MsgKind::ClusterLeave,
+                    24,
+                    remaining.max(1),
+                );
             }
             sys.store_mut().replace(peer, Vec::new());
             sys.workloads_mut()[peer.index()] = Workload::new();

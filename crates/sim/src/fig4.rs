@@ -81,7 +81,11 @@ fn probe_cost(cfg: &ExperimentConfig, alpha: f64, fraction: f64) -> (f64, bool) 
     }
     testbed.system.move_peers(&merges);
 
-    let probe: PeerId = testbed.system.overlay().cluster(crate::fig23::C_CUR).members()[0];
+    let probe: PeerId = testbed
+        .system
+        .overlay()
+        .cluster(crate::fig23::C_CUR)
+        .members()[0];
     let new_category = crate::fig23::NEW_CATEGORY;
 
     // Blend the probe's workload: keep (1-f), spend f on one provider of

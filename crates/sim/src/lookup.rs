@@ -169,9 +169,7 @@ mod tests {
         assert!(sweep[0].flood_messages < sweep[2].flood_messages);
         assert!(sweep[0].mean_cluster_size > sweep[2].mean_cluster_size);
         // First-hit probing gets harder with more clusters.
-        assert!(
-            sweep[0].expected_first_hit_probes <= sweep[2].expected_first_hit_probes + 1e-9
-        );
+        assert!(sweep[0].expected_first_hit_probes <= sweep[2].expected_first_hit_probes + 1e-9);
         // One big cluster answers everything locally.
         assert!(sweep[0].in_cluster_hit_rate > 0.999);
     }

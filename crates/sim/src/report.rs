@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let s = render_table(
-            &["x", "long-header"],
-            &[vec!["123456".into(), "1".into()]],
-        );
+        let s = render_table(&["x", "long-header"], &[vec!["123456".into(), "1".into()]]);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         // All lines equally wide.

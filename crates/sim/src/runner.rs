@@ -61,9 +61,7 @@ pub fn run_protocol(
         StrategyKind::Random(p, seed) => {
             ProtocolEngine::new(RandomStrategy::new(p, seed), config).run(system, net)
         }
-        StrategyKind::NoMaintenance => {
-            ProtocolEngine::new(NoMaintenance, config).run(system, net)
-        }
+        StrategyKind::NoMaintenance => ProtocolEngine::new(NoMaintenance, config).run(system, net),
     }
 }
 

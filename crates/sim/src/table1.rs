@@ -156,12 +156,7 @@ mod tests {
             InitialConfig::Fewer,
             InitialConfig::More,
         ] {
-            let row = run_cell(
-                Scenario::SameCategory,
-                init,
-                StrategyKind::Selfish,
-                &cfg,
-            );
+            let row = run_cell(Scenario::SameCategory, init, StrategyKind::Selfish, &cfg);
             assert!(row.rounds.is_some(), "{init:?} must converge");
             assert!(row.nash, "{init:?} must end at a Nash equilibrium");
             // The abstract claims convergence to well-formed clusters

@@ -91,7 +91,10 @@ pub fn replace_data_peers(
     let members: Vec<PeerId> = testbed.system.overlay().cluster(cluster).members().to_vec();
     let n_updated = (fraction * members.len() as f64).floor() as usize;
     let pool = &testbed.holdout[new_category];
-    assert!(!pool.is_empty(), "holdout pool for category {new_category} is empty");
+    assert!(
+        !pool.is_empty(),
+        "holdout pool for category {new_category} is empty"
+    );
     let mut updates = Vec::new();
     for (k, &peer) in members.iter().take(n_updated).enumerate() {
         let n_docs = testbed.system.store().docs(peer).len();
@@ -111,16 +114,14 @@ pub fn replace_data_peers(
 
 /// §4.2 data scenario (b): every peer of `cluster` replaces `fraction` of
 /// its documents with holdout articles of `new_category`.
-pub fn blend_data(
-    testbed: &mut TestBed,
-    cluster: ClusterId,
-    new_category: usize,
-    fraction: f64,
-) {
+pub fn blend_data(testbed: &mut TestBed, cluster: ClusterId, new_category: usize, fraction: f64) {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     let members: Vec<PeerId> = testbed.system.overlay().cluster(cluster).members().to_vec();
     let pool = &testbed.holdout[new_category];
-    assert!(!pool.is_empty(), "holdout pool for category {new_category} is empty");
+    assert!(
+        !pool.is_empty(),
+        "holdout pool for category {new_category} is empty"
+    );
     let mut updates = Vec::new();
     for (k, &peer) in members.iter().enumerate() {
         let old_docs = testbed.system.store().docs(peer).to_vec();

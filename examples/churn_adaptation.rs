@@ -32,7 +32,12 @@ fn main() {
     for (m, u) in maintained.iter().zip(unmaintained.iter()) {
         println!(
             "{:6} | {:5} | {:12.3} | {:11.3} | {:10.3} | {:5}",
-            m.period, m.peers, u.scost_after_repair, m.scost_after_churn, m.scost_after_repair, m.moves
+            m.period,
+            m.peers,
+            u.scost_after_repair,
+            m.scost_after_churn,
+            m.scost_after_repair,
+            m.moves
         );
     }
 

@@ -51,7 +51,11 @@ fn main() {
     }
 
     // Verify the discovered clustering is the category partition.
-    let mut tb = build_system(Scenario::SameCategory, InitialConfig::Singletons, &t1.experiment);
+    let mut tb = build_system(
+        Scenario::SameCategory,
+        InitialConfig::Singletons,
+        &t1.experiment,
+    );
     let mut net = recluster::overlay::SimNetwork::new();
     recluster::sim::runner::run_protocol(
         &mut tb.system,
@@ -66,7 +70,10 @@ fn main() {
             continue;
         }
         let first_cat = tb.peer_category[members[0].index()];
-        if members.iter().all(|m| tb.peer_category[m.index()] == first_cat) {
+        if members
+            .iter()
+            .all(|m| tb.peer_category[m.index()] == first_cat)
+        {
             pure += 1;
         }
     }

@@ -59,18 +59,21 @@ fn main() {
     let mut net = SimNetwork::new();
     let outcome = engine.run(&mut system, &mut net);
 
-    println!("\n— after {} protocol rounds —", outcome.rounds_to_converge());
+    println!(
+        "\n— after {} protocol rounds —",
+        outcome.rounds_to_converge()
+    );
     println!("converged: {}", outcome.converged);
-    println!("non-empty clusters: {}", system.overlay().non_empty_clusters());
+    println!(
+        "non-empty clusters: {}",
+        system.overlay().non_empty_clusters()
+    );
     println!(
         "normalized social cost: {:.3} (was {:.3})",
         outcome.final_scost(),
         outcome.rounds.first().map_or(0.0, |r| r.scost)
     );
-    println!(
-        "Nash equilibrium: {}",
-        is_nash_equilibrium(&system, true)
-    );
+    println!("Nash equilibrium: {}", is_nash_equilibrium(&system, true));
     println!("protocol messages: {}", net.total_messages());
 
     // The two interest groups found each other.

@@ -22,7 +22,12 @@ fn full_pipeline_scenario1_selfish() {
     let mut tb = build_system(Scenario::SameCategory, InitialConfig::Singletons, &cfg);
     let before = recluster_core::scost_normalized(&tb.system);
     let mut net = SimNetwork::new();
-    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(100), &mut net);
+    let outcome = run_protocol(
+        &mut tb.system,
+        StrategyKind::Selfish,
+        protocol(100),
+        &mut net,
+    );
 
     assert!(outcome.converged);
     assert!(outcome.final_scost() < before / 2.0);
@@ -48,7 +53,12 @@ fn full_pipeline_is_deterministic() {
         let cfg = ExperimentConfig::small(102);
         let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
         let mut net = SimNetwork::new();
-        let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(60), &mut net);
+        let outcome = run_protocol(
+            &mut tb.system,
+            StrategyKind::Selfish,
+            protocol(60),
+            &mut net,
+        );
         (
             outcome.rounds_to_converge(),
             outcome.final_scost(),
@@ -83,7 +93,12 @@ fn scenario2_pairs_providers_with_consumers() {
     let cfg = ExperimentConfig::small(104);
     let mut tb = build_system(Scenario::DifferentCategory, InitialConfig::Singletons, &cfg);
     let mut net = SimNetwork::new();
-    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(100), &mut net);
+    let outcome = run_protocol(
+        &mut tb.system,
+        StrategyKind::Selfish,
+        protocol(100),
+        &mut net,
+    );
     assert!(outcome.converged, "mutual interests must converge");
 
     // In most multi-peer clusters, some member's query category equals
@@ -117,7 +132,12 @@ fn uniform_scenario_does_not_converge_with_selfish_peers() {
     let cfg = ExperimentConfig::small(105);
     let mut tb = build_system(Scenario::Uniform, InitialConfig::RandomM, &cfg);
     let mut net = SimNetwork::new();
-    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(40), &mut net);
+    let outcome = run_protocol(
+        &mut tb.system,
+        StrategyKind::Selfish,
+        protocol(40),
+        &mut net,
+    );
     // The paper's scenario 3: "does not reach convergence".
     assert!(!outcome.converged);
 }
@@ -128,7 +148,12 @@ fn network_ledger_reflects_protocol_phases() {
     let cfg = ExperimentConfig::small(106);
     let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
     let mut net = SimNetwork::new();
-    let outcome = run_protocol(&mut tb.system, StrategyKind::Selfish, protocol(60), &mut net);
+    let outcome = run_protocol(
+        &mut tb.system,
+        StrategyKind::Selfish,
+        protocol(60),
+        &mut net,
+    );
     // Phase 1 traffic: one gain report per live peer per round.
     let rounds = outcome.rounds.len() as u64;
     assert_eq!(

@@ -2,15 +2,13 @@
 //! no-equilibrium example, Property 1, and the qualitative shapes of the
 //! evaluation section on the miniature testbed.
 
-use recluster_core::{
-    best_response, global, is_nash_equilibrium, pcost, GameConfig, System,
-};
+use recluster_core::{best_response, global, is_nash_equilibrium, pcost, GameConfig, System};
 use recluster_overlay::{ContentStore, Overlay, Theta};
 use recluster_sim::fig4::run_curve;
 use recluster_sim::runner::StrategyKind;
 use recluster_sim::scenario::ExperimentConfig;
-use recluster_sim::table1::{run_cell, Table1Config};
 use recluster_sim::scenario::{InitialConfig, Scenario};
+use recluster_sim::table1::{run_cell, Table1Config};
 use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
 
 /// §2.3: the two-peer system where every configuration is unstable for
@@ -60,11 +58,8 @@ fn section_2_3_no_equilibrium_example() {
 fn property_1_on_a_generated_testbed() {
     let mut cfg = ExperimentConfig::small(110);
     cfg.demand = recluster_sim::scenario::DemandSplit::Uniform;
-    let tb = recluster_sim::scenario::build_system(
-        Scenario::SameCategory,
-        InitialConfig::RandomM,
-        &cfg,
-    );
+    let tb =
+        recluster_sim::scenario::build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
     let sys = &tb.system;
     assert!(global::equal_demand(sys));
     let (social_recall, workload_recall) = global::property1_recall_terms(sys);

@@ -2,9 +2,7 @@
 //! generated miniature systems.
 
 use proptest::prelude::*;
-use recluster_core::{
-    best_response, cost, global, is_nash_equilibrium, pcost, GameConfig, System,
-};
+use recluster_core::{best_response, cost, global, is_nash_equilibrium, pcost, GameConfig, System};
 use recluster_overlay::{ContentStore, Overlay, Theta};
 use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
 
@@ -25,16 +23,11 @@ struct RandomSystem {
 fn arb_system() -> impl Strategy<Value = RandomSystem> {
     (2usize..7).prop_flat_map(|n_peers| {
         let docs = proptest::collection::vec(
-            proptest::collection::vec(
-                proptest::collection::vec(0u32..10, 1..4),
-                0..4,
-            ),
+            proptest::collection::vec(proptest::collection::vec(0u32..10, 1..4), 0..4),
             n_peers,
         );
-        let queries = proptest::collection::vec(
-            proptest::collection::vec((0u32..10, 1u8..4), 0..4),
-            n_peers,
-        );
+        let queries =
+            proptest::collection::vec(proptest::collection::vec((0u32..10, 1u8..4), 0..4), n_peers);
         let assignment = proptest::collection::vec(0u32..(n_peers as u32), n_peers);
         (
             Just(n_peers),
@@ -44,16 +37,16 @@ fn arb_system() -> impl Strategy<Value = RandomSystem> {
             0.0f64..3.0,
             0u8..3,
         )
-            .prop_map(
-                |(n_peers, docs, queries, assignment, alpha, theta_kind)| RandomSystem {
+            .prop_map(|(n_peers, docs, queries, assignment, alpha, theta_kind)| {
+                RandomSystem {
                     n_peers,
                     docs,
                     queries,
                     assignment,
                     alpha,
                     theta_kind,
-                },
-            )
+                }
+            })
     })
 }
 

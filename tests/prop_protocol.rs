@@ -111,12 +111,17 @@ fn toy_system(seed: u64, n_peers: usize) -> System {
     let mut workloads = Vec::new();
     for i in 0..n_peers {
         for _ in 0..rng.gen_range(0..3) {
-            let attrs: Vec<Sym> = (0..rng.gen_range(1..3)).map(|_| Sym(rng.gen_range(0..8))).collect();
+            let attrs: Vec<Sym> = (0..rng.gen_range(1..3))
+                .map(|_| Sym(rng.gen_range(0..8)))
+                .collect();
             store.add(PeerId::from_index(i), Document::new(attrs));
         }
         let mut w = Workload::new();
         for _ in 0..rng.gen_range(0..3) {
-            w.add(Query::keyword(Sym(rng.gen_range(0..8))), rng.gen_range(1..4));
+            w.add(
+                Query::keyword(Sym(rng.gen_range(0..8))),
+                rng.gen_range(1..4),
+            );
         }
         workloads.push(w);
     }

@@ -1,0 +1,58 @@
+//! Workspace smoke test: exercises every facade re-export
+//! (`recluster::types`, `::corpus`, `::overlay`, `::core`,
+//! `::baselines`, `::sim`) end-to-end on a tiny seeded system, so a
+//! manifest or re-export regression fails tier-1 directly instead of
+//! only breaking downstream binaries.
+
+use recluster::baselines::{cosine, peer_profile};
+use recluster::core::{is_nash_equilibrium, scost_normalized, wcost_normalized, ProtocolConfig};
+use recluster::overlay::Theta;
+use recluster::sim::runner::{run_protocol, StrategyKind};
+use recluster::sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+use recluster::types::{derive_seed, seeded_rng, PeerId};
+
+#[test]
+fn facade_covers_the_whole_pipeline() {
+    // types: deterministic seeding primitives.
+    let _rng = seeded_rng(derive_seed(7, 1));
+
+    // sim + corpus + overlay: build the miniature seeded testbed.
+    let cfg = ExperimentConfig::small(7);
+    assert_eq!(cfg.theta, Theta::Linear);
+    let mut tb = build_system(Scenario::SameCategory, InitialConfig::Singletons, &cfg);
+    assert_eq!(tb.system.overlay().n_peers(), cfg.n_peers);
+    assert_eq!(tb.corpus.n_categories(), cfg.n_categories);
+
+    // baselines: content profiles of the generated stores.
+    let p0 = peer_profile(tb.system.store(), PeerId(0));
+    let p1 = peer_profile(tb.system.store(), PeerId(1));
+    let sim01 = cosine(&p0, &p1);
+    assert!((0.0..=1.0 + 1e-9).contains(&sim01), "cosine {sim01}");
+
+    // core: run the reformulation protocol to quiescence and check the
+    // global cost measures.
+    let before = scost_normalized(&tb.system);
+    let mut net = recluster::overlay::SimNetwork::new();
+    let outcome = run_protocol(
+        &mut tb.system,
+        StrategyKind::Selfish,
+        ProtocolConfig {
+            max_rounds: 60,
+            ..ProtocolConfig::default()
+        },
+        &mut net,
+    );
+    let after = scost_normalized(&tb.system);
+    assert!(outcome.converged, "small testbed must converge");
+    assert!(
+        after <= before + 1e-9,
+        "protocol must not worsen social cost: {before} -> {after}"
+    );
+    assert!(after.is_finite() && wcost_normalized(&tb.system).is_finite());
+    assert!(is_nash_equilibrium(&tb.system, true));
+    assert!(net.total_messages() > 0, "protocol must exchange messages");
+    tb.system
+        .overlay()
+        .check_invariants()
+        .expect("overlay invariants after maintenance");
+}
