@@ -1,8 +1,11 @@
 //! Criterion: cost-function evaluation — a single `pcost`, a full
 //! best-response sweep over all `Cmax` clusters (what one peer does per
-//! period), and the global `SCost` / `WCost` measures.
+//! period), the global `SCost` / `WCost` measures, and the headline
+//! incremental-vs-naive comparison: repeated move-then-evaluate cycles
+//! through the delta-maintained recall index against the old
+//! full-refresh path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use recluster_core::{best_response, pcost, scost_normalized, wcost_normalized};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_types::{ClusterId, PeerId};
@@ -61,10 +64,64 @@ fn bench_global_costs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The protocol hot path in isolation: relocate a peer, then evaluate
+/// its cost at the destination — 32 times per iteration. `incremental`
+/// routes the move through `System::move_peer` (O(results-of-peer)
+/// delta); `naive-rebuild` replays the pre-incremental behavior (full
+/// `refresh_mass` after every move). The acceptance target is ≥5×
+/// between the two at paper scale.
+fn bench_move_then_eval(c: &mut Criterion) {
+    const MOVES_PER_ITER: u32 = 32;
+    let mut group = c.benchmark_group("cost/move_then_pcost");
+    group.sample_size(12);
+    for (label, tb) in testbeds() {
+        let n = tb.system.n_peers() as u32;
+        group.bench_with_input(BenchmarkId::new("incremental", label), &tb, |b, tb| {
+            b.iter_batched(
+                || tb.system.clone(),
+                |mut sys| {
+                    let mut acc = 0.0;
+                    for i in 0..MOVES_PER_ITER {
+                        let peer = PeerId(i % n);
+                        let to = ClusterId(i % 4);
+                        sys.move_peer(peer, to);
+                        acc += pcost(&sys, peer, to);
+                    }
+                    acc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("naive-rebuild", label), &tb, |b, tb| {
+            b.iter_batched(
+                || tb.system.clone(),
+                |mut sys| {
+                    let mut acc = 0.0;
+                    for i in 0..MOVES_PER_ITER {
+                        let peer = PeerId(i % n);
+                        let to = ClusterId(i % 4);
+                        // Faithful replay of the pre-incremental
+                        // System::move_peer: refresh only on real moves.
+                        let from = sys.overlay_mut().move_peer(peer, to);
+                        if from != to {
+                            sys.refresh_mass();
+                        }
+                        acc += pcost(&sys, peer, to);
+                    }
+                    acc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pcost,
     bench_best_response,
-    bench_global_costs
+    bench_global_costs,
+    bench_move_then_eval
 );
 criterion_main!(benches);

@@ -8,6 +8,28 @@ use recluster_core::{ProtocolConfig, ProtocolEngine};
 use recluster_overlay::SimNetwork;
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 
+fn bench_single_round_paper_scale(c: &mut Criterion) {
+    // The paper-scale round: before the delta-maintained index, every
+    // granted relocation paid a full O(queries × peers) mass refresh;
+    // now each is O(results of the moved peer).
+    let mut group = c.benchmark_group("protocol/round-paper-200p");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::paper(4);
+    let tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    group.bench_with_input(BenchmarkId::from_parameter("selfish"), &tb, |b, tb| {
+        b.iter_batched(
+            || tb.system.clone(),
+            |mut sys| {
+                let mut engine = ProtocolEngine::new(SelfishStrategy, ProtocolConfig::default());
+                let mut net = SimNetwork::new();
+                engine.run_round(&mut sys, &mut net, 0)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 fn bench_single_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol/round");
     let cfg = ExperimentConfig::small(4);
@@ -58,5 +80,10 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_round, bench_convergence);
+criterion_group!(
+    benches,
+    bench_single_round,
+    bench_single_round_paper_scale,
+    bench_convergence
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! Cost through progressing rounds" (§4.1) — scenario 1 from singleton
 //! clusters, selfish vs. altruistic.
 
-use recluster_bench::{banner, seed_from_env, small_from_env};
-use recluster_sim::fig1::run_fig1;
+use recluster_bench::{banner, parallelism_from_env, seed_from_env, small_from_env};
+use recluster_sim::fig1::run_fig1_with;
 use recluster_sim::report::{render_series, render_table};
 use recluster_sim::scenario::ExperimentConfig;
 
@@ -17,7 +17,7 @@ fn main() {
         ExperimentConfig::paper(seed)
     };
 
-    let series = run_fig1(&cfg, 300);
+    let series = run_fig1_with(&cfg, 300, parallelism_from_env());
     let max_len = series.iter().map(|s| s.scost.len()).max().unwrap_or(0);
 
     let headers = [

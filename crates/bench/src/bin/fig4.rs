@@ -2,8 +2,8 @@
 //! cost of one selfish peer whose workload gradually shifts to another
 //! cluster's data, for α ∈ {0, 1, 2}.
 
-use recluster_bench::{banner, seed_from_env, small_from_env};
-use recluster_sim::fig4::run_fig4;
+use recluster_bench::{banner, parallelism_from_env, seed_from_env, small_from_env};
+use recluster_sim::fig4::run_fig4_with;
 use recluster_sim::report::render_table;
 use recluster_sim::scenario::ExperimentConfig;
 
@@ -19,7 +19,7 @@ fn main() {
 
     let alphas = [0.0, 1.0, 2.0];
     let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let curves = run_fig4(&cfg, &alphas, &fractions);
+    let curves = run_fig4_with(&cfg, &alphas, &fractions, parallelism_from_env());
 
     let headers = ["fraction", "cost(α=0)", "cost(α=1)", "cost(α=2)"];
     let rows: Vec<Vec<String>> = fractions

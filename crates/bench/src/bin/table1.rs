@@ -3,9 +3,9 @@
 //! normalized social/workload costs for 3 scenarios × 4 initial
 //! configurations × 2 strategies.
 
-use recluster_bench::{banner, seed_from_env, small_from_env};
+use recluster_bench::{banner, parallelism_from_env, seed_from_env, small_from_env};
 use recluster_sim::report::{f3, render_table, rounds_cell};
-use recluster_sim::table1::{run_table1, Table1Config};
+use recluster_sim::table1::{run_table1_with, Table1Config};
 
 fn main() {
     let seed = seed_from_env();
@@ -17,7 +17,7 @@ fn main() {
         Table1Config::paper(seed)
     };
 
-    let rows = run_table1(&cfg);
+    let rows = run_table1_with(&cfg, parallelism_from_env());
     let headers = [
         "scenario",
         "init",

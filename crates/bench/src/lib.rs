@@ -21,9 +21,28 @@
 
 use std::env;
 
+use recluster_sim::Parallelism;
+
 /// Seed used by all experiment binaries unless overridden by the
 /// `RECLUSTER_SEED` environment variable.
 pub const DEFAULT_SEED: u64 = 2008;
+
+/// Reads the sweep parallelism (`RECLUSTER_THREADS`): `1` forces the
+/// sequential runner, any larger value pins that worker count, unset
+/// (or `0`) uses every available core. Parallel and sequential sweeps
+/// produce byte-identical reports (asserted in
+/// `recluster-sim/tests/determinism.rs`), so this only trades wall
+/// clock, never results.
+pub fn parallelism_from_env() -> Parallelism {
+    match env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(1) => Parallelism::Sequential,
+        Some(0) | None => Parallelism::Auto,
+        Some(n) => Parallelism::Threads(n),
+    }
+}
 
 /// Reads the experiment seed (`RECLUSTER_SEED`, default
 /// [`DEFAULT_SEED`]).
@@ -44,12 +63,14 @@ pub fn small_from_env() -> bool {
 pub fn banner(name: &str, paper_ref: &str, seed: u64, small: bool) {
     println!("=== {name} — reproduces {paper_ref} ===");
     println!(
-        "seed={seed} scale={} (set RECLUSTER_SEED / RECLUSTER_SMALL=1 to vary)",
+        "seed={seed} scale={} workers={} (set RECLUSTER_SEED / RECLUSTER_SMALL=1 / \
+         RECLUSTER_THREADS=n to vary)",
         if small {
             "small (40 peers, 4 categories)"
         } else {
             "paper (200 peers, 10 categories)"
-        }
+        },
+        parallelism_from_env().workers(),
     );
     println!();
 }

@@ -209,11 +209,18 @@ impl Bencher {
     }
 }
 
+/// Whether quick mode is on (`RECLUSTER_BENCH_QUICK=1`): samples are
+/// capped and the measurement budget shrunk so CI can smoke-run a bench
+/// in seconds. Numbers from quick runs are indicative only.
+fn quick_mode() -> bool {
+    std::env::var("RECLUSTER_BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
 fn run_benchmark<F>(
     id: &str,
     filter: Option<&str>,
-    sample_size: usize,
-    measurement_time: Duration,
+    mut sample_size: usize,
+    mut measurement_time: Duration,
     mut f: F,
 ) where
     F: FnMut(&mut Bencher),
@@ -222,6 +229,10 @@ fn run_benchmark<F>(
         if !id.contains(filter) {
             return;
         }
+    }
+    if quick_mode() {
+        sample_size = sample_size.min(5);
+        measurement_time = measurement_time.min(Duration::from_millis(100));
     }
 
     // Calibrate: one iteration, to size the per-sample iteration count

@@ -1,0 +1,3 @@
+//! The glob-import surface, mirroring `rayon::prelude`.
+
+pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};

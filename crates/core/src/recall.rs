@@ -5,13 +5,28 @@
 //! when `q` is evaluated solely on `p`. Cost evaluation needs `r(q, p)`
 //! for every (distinct query, peer) pair and, per candidate cluster, the
 //! *recall mass* `Σ_{pj∈c} r(q, pj)`. [`RecallIndex`] precomputes all of
-//! it from the content store and the union of workloads, and refreshes
-//! the cluster masses after membership changes.
+//! it from the content store and the union of workloads, and maintains
+//! the cluster masses **incrementally** across membership changes via
+//! [`RecallIndex::apply_move`] / [`RecallIndex::apply_join`] /
+//! [`RecallIndex::apply_leave`], with [`RecallIndex::rebuild`] kept as
+//! the from-scratch oracle.
+//!
+//! # Incremental-index invariants
+//!
+//! The per-cluster mass is stored as an **integer numerator**
+//! `Σ_{pj ∈ c} result(q, pj)`; the float mass is derived on lookup as
+//! `numerator / total(q)`. Integer addition is exact and
+//! order-independent, so a delta-maintained index is bit-for-bit equal
+//! to a rebuilt one after *any* sequence of membership changes (moves,
+//! joins of already-indexed peers, leaves) — property-tested in
+//! `tests/prop_incremental.rs`. Content or workload changes alter
+//! `result(q, p)` / `total(q)` themselves and still require a full
+//! [`RecallIndex::build`].
 
 use std::collections::HashMap;
 
 use recluster_overlay::{ContentStore, Overlay};
-use recluster_types::{PeerId, Query, Workload};
+use recluster_types::{ClusterId, PeerId, Query, Workload};
 
 /// Identifier of a distinct query inside a [`RecallIndex`].
 pub type QueryId = u32;
@@ -30,9 +45,13 @@ pub struct RecallIndex {
     totals: Vec<u64>,
     /// Per peer: `(qid, relative frequency in the peer's workload)`.
     peer_workload: Vec<Vec<(QueryId, f64)>>,
-    /// Per query × cluster: `Σ_{pj ∈ c} r(q, pj)`. Refreshed by
-    /// [`RecallIndex::refresh_mass`].
-    mass: Vec<Vec<f64>>,
+    /// Per query: numerator of the cluster recall mass, indexed by
+    /// cluster — `Σ_{pj ∈ c} result(q, pj)`. Maintained by the
+    /// `apply_*` deltas; [`RecallIndex::rebuild`] recomputes it.
+    mass_num: Vec<Vec<u64>>,
+    /// Cluster slots each `mass_num` row covers (the overlay's `Cmax` at
+    /// the last rebuild/growth).
+    cmax: usize,
 }
 
 impl RecallIndex {
@@ -97,28 +116,93 @@ impl RecallIndex {
             peer_results,
             totals,
             peer_workload,
-            mass: Vec::new(),
+            mass_num: Vec::new(),
+            cmax: 0,
         };
-        index.refresh_mass(overlay);
+        index.rebuild(overlay);
         index
     }
 
-    /// Recomputes the per-cluster recall masses from the overlay's
-    /// current assignment. Call after any membership change.
-    pub fn refresh_mass(&mut self, overlay: &Overlay) {
-        let cmax = overlay.cmax();
-        self.mass = vec![vec![0.0; cmax]; self.queries.len()];
+    /// Recomputes the per-cluster recall masses from scratch for the
+    /// overlay's current assignment — the oracle the incremental
+    /// `apply_*` path is checked against, and the escape hatch when the
+    /// caller has lost track of individual membership changes.
+    pub fn rebuild(&mut self, overlay: &Overlay) {
+        self.cmax = overlay.cmax();
+        self.mass_num = vec![vec![0u64; self.cmax]; self.queries.len()];
         for slot in 0..overlay.n_slots() {
             let peer = PeerId::from_index(slot);
             let Some(cid) = overlay.cluster_of(peer) else {
                 continue;
             };
             for &(qid, count) in &self.peer_results[slot] {
-                let total = self.totals[qid as usize];
-                if total > 0 {
-                    self.mass[qid as usize][cid.index()] += count as f64 / total as f64;
-                }
+                self.mass_num[qid as usize][cid.index()] += count;
             }
+        }
+    }
+
+    /// Recomputes the per-cluster recall masses from the overlay's
+    /// current assignment (alias of [`RecallIndex::rebuild`], kept for
+    /// callers that predate the incremental API).
+    pub fn refresh_mass(&mut self, overlay: &Overlay) {
+        self.rebuild(overlay);
+    }
+
+    /// Grows the mass rows to cover `cmax` cluster slots (after
+    /// [`Overlay::grow`]); existing masses are untouched.
+    pub fn ensure_cmax(&mut self, cmax: usize) {
+        if cmax > self.cmax {
+            self.cmax = cmax;
+            for row in &mut self.mass_num {
+                row.resize(cmax, 0);
+            }
+        }
+    }
+
+    /// Grows the per-peer tables to cover `n_slots` peer slots (after
+    /// [`Overlay::grow`]). New slots start with no indexed results or
+    /// workload — a newcomer's *content* enters the index only on the
+    /// next full [`RecallIndex::build`], so its membership deltas are
+    /// exact no-ops until then.
+    pub fn ensure_peer_slots(&mut self, n_slots: usize) {
+        if n_slots > self.peer_results.len() {
+            self.peer_results.resize(n_slots, Vec::new());
+            self.peer_workload.resize(n_slots, Vec::new());
+        }
+    }
+
+    /// Delta-update for a peer moving `from → to`: its result counts
+    /// leave one cluster's mass numerator and enter the other's.
+    /// O(|results of peer|), and bit-identical to a full
+    /// [`RecallIndex::rebuild`] because the numerators are integers.
+    pub fn apply_move(&mut self, peer: PeerId, from: ClusterId, to: ClusterId) {
+        if from == to {
+            return;
+        }
+        for &(qid, count) in &self.peer_results[peer.index()] {
+            let row = &mut self.mass_num[qid as usize];
+            row[from.index()] -= count;
+            row[to.index()] += count;
+        }
+    }
+
+    /// Delta-update for an already-indexed peer joining cluster `to`
+    /// (assignment of an unassigned peer slot). The peer's content must
+    /// already be part of the index's totals — churn joins that *add*
+    /// content require a full [`RecallIndex::build`].
+    pub fn apply_join(&mut self, peer: PeerId, to: ClusterId) {
+        for &(qid, count) in &self.peer_results[peer.index()] {
+            self.mass_num[qid as usize][to.index()] += count;
+        }
+    }
+
+    /// Delta-update for a peer leaving cluster `from` (churn departure).
+    /// Totals still count the departed peer's data, matching
+    /// [`RecallIndex::rebuild`] semantics — rebuild the whole index when
+    /// its content is actually dropped.
+    pub fn apply_leave(&mut self, peer: PeerId, from: ClusterId) {
+        for &(qid, count) in &self.peer_results[peer.index()] {
+            self.mass_num[qid as usize][from.index()] -= count;
         }
     }
 
@@ -162,10 +246,27 @@ impl RecallIndex {
     }
 
     /// Recall mass of cluster `cid` for query `qid`:
-    /// `Σ_{pj ∈ c} r(q, pj)` under the assignment last passed to
-    /// [`RecallIndex::refresh_mass`].
-    pub fn cluster_mass(&self, qid: QueryId, cid: recluster_types::ClusterId) -> f64 {
-        self.mass[qid as usize][cid.index()]
+    /// `Σ_{pj ∈ c} r(q, pj)` under the maintained assignment, derived as
+    /// `cluster_mass_num / total` (zero for unanswerable queries).
+    pub fn cluster_mass(&self, qid: QueryId, cid: ClusterId) -> f64 {
+        let total = self.totals[qid as usize];
+        if total == 0 {
+            0.0
+        } else {
+            self.mass_num[qid as usize][cid.index()] as f64 / total as f64
+        }
+    }
+
+    /// The integer numerator behind [`RecallIndex::cluster_mass`]:
+    /// `Σ_{pj ∈ c} result(q, pj)`. Exposed so equivalence tests can
+    /// assert delta-maintained state equals a rebuild *exactly*.
+    pub fn cluster_mass_num(&self, qid: QueryId, cid: ClusterId) -> u64 {
+        self.mass_num[qid as usize][cid.index()]
+    }
+
+    /// Cluster slots the mass rows cover.
+    pub fn mass_cmax(&self) -> usize {
+        self.cmax
     }
 
     /// The `(qid, relative frequency)` pairs of a peer's workload.
@@ -295,5 +396,72 @@ mod tests {
     fn mismatched_workloads_panic() {
         let (ov, store, _) = fixture();
         let _ = RecallIndex::build(&ov, &store, &[]);
+    }
+
+    /// Exact (bit-level) equality of all mass numerators between a
+    /// delta-maintained index and a rebuilt one.
+    fn assert_masses_identical(delta: &RecallIndex, oracle: &RecallIndex, cmax: usize) {
+        for qid in 0..delta.n_queries() as QueryId {
+            for c in 0..cmax {
+                let cid = ClusterId::from_index(c);
+                assert_eq!(
+                    delta.cluster_mass_num(qid, cid),
+                    oracle.cluster_mass_num(qid, cid),
+                    "qid {qid} cluster {c}"
+                );
+                assert!(
+                    delta.cluster_mass(qid, cid).to_bits()
+                        == oracle.cluster_mass(qid, cid).to_bits(),
+                    "float mass differs at qid {qid} cluster {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_move_is_bit_identical_to_rebuild() {
+        let (mut ov, store, w) = fixture();
+        let mut idx = RecallIndex::build(&ov, &store, &w);
+        for (peer, to) in [(1u32, 2u32), (2, 0), (0, 2), (1, 1), (2, 1)] {
+            let from = ov.move_peer(PeerId(peer), ClusterId(to));
+            idx.apply_move(PeerId(peer), from, ClusterId(to));
+            let mut oracle = idx.clone();
+            oracle.rebuild(&ov);
+            assert_masses_identical(&idx, &oracle, ov.cmax());
+        }
+    }
+
+    #[test]
+    fn apply_leave_and_join_match_rebuild() {
+        let (mut ov, store, w) = fixture();
+        let mut idx = RecallIndex::build(&ov, &store, &w);
+        let from = ov.unassign(PeerId(1)).unwrap();
+        idx.apply_leave(PeerId(1), from);
+        let mut oracle = idx.clone();
+        oracle.rebuild(&ov);
+        assert_masses_identical(&idx, &oracle, ov.cmax());
+
+        ov.assign(PeerId(1), ClusterId(2));
+        idx.apply_join(PeerId(1), ClusterId(2));
+        oracle.rebuild(&ov);
+        assert_masses_identical(&idx, &oracle, ov.cmax());
+    }
+
+    #[test]
+    fn grown_slots_are_inert_until_rebuild() {
+        let (mut ov, store, w) = fixture();
+        let mut idx = RecallIndex::build(&ov, &store, &w);
+        let newcomer = ov.grow();
+        idx.ensure_cmax(ov.cmax());
+        idx.ensure_peer_slots(ov.n_slots());
+        ov.assign(newcomer, ClusterId(0));
+        idx.apply_join(newcomer, ClusterId(0));
+        // No content indexed for the newcomer: masses unchanged, and the
+        // new cluster slot reads zero.
+        let mut oracle = idx.clone();
+        oracle.rebuild(&ov);
+        assert_masses_identical(&idx, &oracle, ov.cmax());
+        assert_eq!(idx.mass_cmax(), 4);
+        assert!(idx.results_of(newcomer).is_empty());
     }
 }

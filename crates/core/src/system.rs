@@ -6,7 +6,7 @@
 //! It is the single mutation point for membership changes so the index
 //! masses never go stale.
 
-use recluster_overlay::{ContentStore, Overlay, Theta};
+use recluster_overlay::{ChurnDelta, ChurnEvent, ContentStore, Overlay, SimNetwork, Theta};
 use recluster_types::{ClusterId, Document, PeerId, Workload};
 
 use crate::recall::RecallIndex;
@@ -106,27 +106,76 @@ impl System {
         self.overlay.n_peers()
     }
 
-    /// Moves a peer to another cluster and refreshes the cluster masses.
-    /// Returns the previous cluster.
+    /// Moves a peer to another cluster, delta-updating the cluster
+    /// masses (O(results of peer), not O(workload × peers)). Returns the
+    /// previous cluster.
     pub fn move_peer(&mut self, peer: PeerId, to: ClusterId) -> ClusterId {
         let from = self.overlay.move_peer(peer, to);
-        if from != to {
-            self.index.refresh_mass(&self.overlay);
-        }
+        self.index.apply_move(peer, from, to);
         from
     }
 
-    /// Applies a batch of moves, refreshing masses once at the end —
-    /// the protocol's phase 2 applies all granted relocations together.
+    /// Applies a batch of moves, delta-updating masses per move — the
+    /// protocol's phase 2 applies all granted relocations together.
     pub fn move_peers(&mut self, moves: &[(PeerId, ClusterId)]) {
-        let mut changed = false;
         for &(peer, to) in moves {
             let from = self.overlay.move_peer(peer, to);
-            changed |= from != to;
+            self.index.apply_move(peer, from, to);
         }
-        if changed {
-            self.index.refresh_mass(&self.overlay);
+    }
+
+    /// Assigns an unassigned (departed or freshly grown but
+    /// already-indexed) peer to a cluster, delta-updating the masses.
+    ///
+    /// # Panics
+    /// Panics if the peer is already assigned.
+    pub fn join_peer(&mut self, peer: PeerId, to: ClusterId) {
+        self.overlay.assign(peer, to);
+        self.workloads
+            .resize(self.overlay.n_slots(), Workload::new());
+        self.index.ensure_cmax(self.overlay.cmax());
+        self.index.ensure_peer_slots(self.overlay.n_slots());
+        self.index.apply_join(peer, to);
+    }
+
+    /// Removes a peer from its cluster (churn leave), delta-updating the
+    /// masses. The peer's content stays in the index's totals — call
+    /// [`System::rebuild_index`] when its documents are actually dropped
+    /// from the store. Returns the former cluster, `None` if already
+    /// departed.
+    pub fn leave_peer(&mut self, peer: PeerId) -> Option<ClusterId> {
+        let from = self.overlay.unassign(peer)?;
+        self.index.apply_leave(peer, from);
+        Some(from)
+    }
+
+    /// Applies a churn event through the overlay hook and folds the
+    /// emitted [`ChurnDelta`] into the recall index, so mid-batch
+    /// membership state stays coherent. A `Join` grows the workload
+    /// table in lockstep (empty workload; set the real one via
+    /// [`System::workloads_mut`]). Content changes — the leaver's
+    /// dropped documents, the joiner's fresh ones — enter the index
+    /// totals only on the next [`System::rebuild_index`], which churn
+    /// drivers call once per batch. Returns the delta (`None` for a
+    /// no-op leave).
+    pub fn apply_churn_event(
+        &mut self,
+        net: &mut SimNetwork,
+        event: ChurnEvent,
+    ) -> Option<ChurnDelta> {
+        let delta =
+            recluster_overlay::churn::apply_event(&mut self.overlay, &mut self.store, net, event)?;
+        match delta {
+            ChurnDelta::Left { peer, cluster } => self.index.apply_leave(peer, cluster),
+            ChurnDelta::Joined { peer, cluster } => {
+                self.workloads
+                    .resize(self.overlay.n_slots(), Workload::new());
+                self.index.ensure_cmax(self.overlay.cmax());
+                self.index.ensure_peer_slots(self.overlay.n_slots());
+                self.index.apply_join(peer, cluster);
+            }
         }
+        Some(delta)
     }
 
     /// Replaces a peer's workload and rebuilds the index (workload-update
@@ -252,6 +301,50 @@ mod tests {
         assert_eq!(sys.overlay().size(ClusterId(0)), 0);
         let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
         assert!((sys.index().cluster_mass(q, ClusterId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leave_and_join_keep_masses_consistent() {
+        let mut sys = tiny();
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        assert_eq!(sys.leave_peer(PeerId(1)), Some(ClusterId(0)));
+        assert_eq!(sys.index().cluster_mass(q, ClusterId(0)), 0.0);
+        assert_eq!(sys.n_peers(), 1);
+        sys.join_peer(PeerId(1), ClusterId(1));
+        assert!((sys.index().cluster_mass(q, ClusterId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(sys.leave_peer(PeerId(1)), Some(ClusterId(1)));
+        assert_eq!(sys.leave_peer(PeerId(1)), None, "double leave is a no-op");
+    }
+
+    #[test]
+    fn join_of_grown_peer_keeps_tables_in_lockstep() {
+        let mut sys = tiny();
+        let p = sys.overlay_mut().grow();
+        let slot = sys.store_mut().grow();
+        assert_eq!(p, slot);
+        sys.join_peer(p, ClusterId(0));
+        assert_eq!(sys.workloads().len(), sys.overlay().n_slots());
+        // The observed-statistics path walks every live peer's workload
+        // slot: a fresh joiner must not leave the table short.
+        let mut net = recluster_overlay::SimNetwork::new();
+        let obs = crate::tracker::simulate_period(&sys, &mut net);
+        assert!(obs.of(p).is_empty());
+    }
+
+    #[test]
+    fn move_peer_matches_rebuild_exactly() {
+        let mut sys = tiny();
+        sys.move_peer(PeerId(1), ClusterId(1));
+        sys.move_peer(PeerId(0), ClusterId(1));
+        let delta_index = sys.index().clone();
+        sys.rebuild_index();
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        for c in [ClusterId(0), ClusterId(1)] {
+            assert_eq!(
+                delta_index.cluster_mass_num(q, c),
+                sys.index().cluster_mass_num(q, c)
+            );
+        }
     }
 
     #[test]

@@ -11,8 +11,6 @@
 //! coincide with the oracle values computed from the [`RecallIndex`](crate::recall::RecallIndex)
 //! (property-tested in `tests/`).
 
-use std::collections::BTreeMap;
-
 use recluster_overlay::{flood_query, SimNetwork};
 use recluster_types::{ClusterId, PeerId, Query};
 
@@ -25,12 +23,24 @@ pub struct QueryObservation {
     pub query: Query,
     /// Relative frequency of the query in the peer's workload.
     pub weight: f64,
-    /// Results received, per answering cluster (cid annotations).
-    pub per_cluster: BTreeMap<ClusterId, u64>,
+    /// Results received per answering cluster (cid annotations), sorted
+    /// by cluster id with no duplicates — a compact sorted vector
+    /// instead of a tree map, built from a reused dense buffer.
+    pub per_cluster: Vec<(ClusterId, u64)>,
     /// Total results received across all clusters.
     pub total: u64,
     /// Results the peer itself holds for the query (known locally).
     pub own: u64,
+}
+
+impl QueryObservation {
+    /// Results received from cluster `cid` (zero when none).
+    pub fn cluster_count(&self, cid: ClusterId) -> u64 {
+        self.per_cluster
+            .binary_search_by_key(&cid, |&(c, _)| c)
+            .map(|i| self.per_cluster[i].1)
+            .unwrap_or(0)
+    }
 }
 
 /// Observations accumulated by all peers over one period `T`.
@@ -59,6 +69,13 @@ pub fn simulate_period(system: &System, net: &mut SimNetwork) -> PeriodObservati
     let mut served = vec![vec![0.0; cmax]; n_slots];
     let mut served_total = vec![0.0; n_slots];
 
+    // Buffers reused across every query of the period: a scratch ledger
+    // for the single flood evaluation, a dense per-cluster accumulator
+    // plus its touched-slot list (reset in O(touched), not O(cmax)).
+    let mut scratch = SimNetwork::new();
+    let mut cluster_acc: Vec<u64> = vec![0; cmax];
+    let mut touched: Vec<usize> = Vec::with_capacity(cmax);
+
     for requester in overlay.peers() {
         let rcid = overlay.cluster_of(requester).expect("live peer");
         let workload = &system.workloads()[requester.index()];
@@ -66,16 +83,17 @@ pub fn simulate_period(system: &System, net: &mut SimNetwork) -> PeriodObservati
             // Evaluate once — the remaining occurrences see identical
             // results (content is fixed within the period) — but charge
             // the network for every occurrence.
-            let mut scratch = SimNetwork::new();
+            scratch.reset();
             let results = flood_query(overlay, system.store(), query, &mut scratch);
-            for _ in 0..count {
-                net.merge(&scratch);
-            }
+            net.merge_scaled(&scratch, count);
 
-            let mut per_cluster: BTreeMap<ClusterId, u64> = BTreeMap::new();
             let mut total = 0u64;
             for r in &results {
-                *per_cluster.entry(r.cluster).or_insert(0) += r.count;
+                let slot = r.cluster.index();
+                if cluster_acc[slot] == 0 {
+                    touched.push(slot);
+                }
+                cluster_acc[slot] += r.count;
                 total += r.count;
                 // The answering peer records whom it served (Eq. 6
                 // numerator, weighted by query occurrences). Results a
@@ -87,6 +105,16 @@ pub fn simulate_period(system: &System, net: &mut SimNetwork) -> PeriodObservati
                     served_total[r.peer.index()] += credit;
                 }
             }
+            touched.sort_unstable();
+            let per_cluster: Vec<(ClusterId, u64)> = touched
+                .iter()
+                .map(|&slot| (ClusterId::from_index(slot), cluster_acc[slot]))
+                .collect();
+            for &slot in &touched {
+                cluster_acc[slot] = 0;
+            }
+            touched.clear();
+
             let own = system.store().result_count(query, requester);
             let weight = workload.frequency(query);
             observations[requester.index()].push(QueryObservation {
@@ -134,7 +162,7 @@ impl PeriodObservations {
             if obs.total == 0 {
                 continue;
             }
-            let mut inside = obs.per_cluster.get(&cid).copied().unwrap_or(0);
+            let mut inside = obs.cluster_count(cid);
             if !in_cluster {
                 inside += obs.own;
             }
@@ -272,10 +300,48 @@ mod tests {
             .find(|o| o.query == Query::keyword(Sym(1)))
             .unwrap();
         // Sym(1): 2 results from c0 (p1), 1 from c2 (p2).
-        assert_eq!(q1.per_cluster.get(&ClusterId(0)), Some(&2));
-        assert_eq!(q1.per_cluster.get(&ClusterId(2)), Some(&1));
+        assert_eq!(q1.cluster_count(ClusterId(0)), 2);
+        assert_eq!(q1.cluster_count(ClusterId(2)), 1);
+        assert_eq!(q1.cluster_count(ClusterId(1)), 0);
         assert_eq!(q1.total, 3);
         assert_eq!(q1.own, 0);
+    }
+
+    #[test]
+    fn observation_counts_match_distinct_workload_queries() {
+        let sys = fixture();
+        let mut net = SimNetwork::new();
+        let obs = simulate_period(&sys, &mut net);
+        // One observation per *distinct* query in each peer's workload,
+        // regardless of occurrence counts — the buffer-reuse refactor
+        // must not drop, duplicate, or reorder records.
+        for p in [PeerId(0), PeerId(1), PeerId(2)] {
+            assert_eq!(obs.of(p).len(), sys.workloads()[p.index()].iter().count());
+        }
+        // p0's records carry sorted, duplicate-free cluster annotations.
+        for record in obs.of(PeerId(0)) {
+            assert!(record.per_cluster.windows(2).all(|w| w[0].0 < w[1].0));
+            let sum: u64 = record.per_cluster.iter().map(|&(_, n)| n).sum();
+            assert_eq!(sum, record.total);
+        }
+    }
+
+    #[test]
+    fn period_traffic_scales_with_occurrence_counts() {
+        // p0 issues kw(1) twice: the ledger must charge both occurrences
+        // (merge_scaled path), matching the old merge-per-occurrence
+        // accounting.
+        let sys = fixture();
+        let mut net = SimNetwork::new();
+        let _ = simulate_period(&sys, &mut net);
+        let mut single = SimNetwork::new();
+        let mut w = Workload::new();
+        w.add(Query::keyword(Sym(1)), 1);
+        w.add(Query::keyword(Sym(2)), 1);
+        let mut sys1 = fixture();
+        sys1.set_workload(PeerId(0), w);
+        let _ = simulate_period(&sys1, &mut single);
+        assert!(net.total_messages() > single.total_messages());
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Equivalence suite for the delta-maintained cost engine: after *any*
+//! random sequence of moves, joins, and leaves, the incrementally
+//! updated [`RecallIndex`] must equal a from-scratch `rebuild()` —
+//! every cluster-mass numerator, derived float mass, query total, and
+//! cluster size **bit-identical**, not merely close. This is the
+//! contract that lets the protocol hot path skip the O(queries × peers)
+//! refresh after every relocation.
+
+use proptest::prelude::*;
+use recluster_core::{pcost, GameConfig, RecallIndex, System};
+use recluster_overlay::{ContentStore, Overlay, Theta};
+use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
+
+const N_PEERS: usize = 10;
+const N_SYMS: u32 = 6;
+
+/// A membership operation; values are folded into the valid range by
+/// the interpreter so any random vector is a valid script.
+#[derive(Debug, Clone)]
+enum Op {
+    Move { peer: u32, to: u32 },
+    Leave { peer: u32 },
+    Join { peer: u32, to: u32 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..N_PEERS as u32, 0u32..N_PEERS as u32)
+                .prop_map(|(peer, to)| Op::Move { peer, to }),
+            (0u32..N_PEERS as u32).prop_map(|peer| Op::Leave { peer }),
+            (0u32..N_PEERS as u32, 0u32..N_PEERS as u32)
+                .prop_map(|(peer, to)| Op::Join { peer, to }),
+        ],
+        0..40,
+    )
+}
+
+/// Deterministic content/workload fixture: peer `i` holds documents
+/// over syms `i % N_SYMS` and `(i + 1) % N_SYMS`, and queries two syms
+/// offset from its own — every peer both provides and consumes.
+fn fixture(seed_docs: &[Vec<u32>], seed_queries: &[Vec<u32>]) -> System {
+    let mut overlay = Overlay::singletons(N_PEERS);
+    // Start from a non-trivial clustering.
+    for i in 0..N_PEERS {
+        overlay.move_peer(
+            PeerId::from_index(i),
+            ClusterId::from_index(i % (N_PEERS / 2)),
+        );
+    }
+    let mut store = ContentStore::new(N_PEERS);
+    for (i, syms) in seed_docs.iter().enumerate() {
+        for &s in syms {
+            store.add(
+                PeerId::from_index(i),
+                Document::new(vec![Sym(s % N_SYMS), Sym((s + 1) % N_SYMS)]),
+            );
+        }
+    }
+    let mut workloads = Vec::with_capacity(N_PEERS);
+    for syms in seed_queries {
+        let mut w = Workload::new();
+        for (k, &s) in syms.iter().enumerate() {
+            w.add(Query::keyword(Sym(s % N_SYMS)), 1 + (k as u64 % 3));
+        }
+        workloads.push(w);
+    }
+    workloads.resize(N_PEERS, Workload::new());
+    System::new(
+        overlay,
+        store,
+        workloads,
+        GameConfig {
+            alpha: 1.0,
+            theta: Theta::Linear,
+        },
+    )
+}
+
+/// Asserts the delta-maintained index state equals the oracle exactly.
+fn assert_index_equals_rebuild(sys: &System) -> Result<(), TestCaseError> {
+    let mut oracle: RecallIndex = sys.index().clone();
+    oracle.rebuild(sys.overlay());
+    let cmax = sys.overlay().cmax();
+    for qid in 0..sys.index().n_queries() as u32 {
+        prop_assert_eq!(
+            sys.index().total(qid),
+            oracle.total(qid),
+            "total qid {}",
+            qid
+        );
+        for c in 0..cmax {
+            let cid = ClusterId::from_index(c);
+            prop_assert_eq!(
+                sys.index().cluster_mass_num(qid, cid),
+                oracle.cluster_mass_num(qid, cid),
+                "mass numerator qid {} cluster {}",
+                qid,
+                c
+            );
+            prop_assert_eq!(
+                sys.index().cluster_mass(qid, cid).to_bits(),
+                oracle.cluster_mass(qid, cid).to_bits(),
+                "float mass qid {} cluster {}",
+                qid,
+                c
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The headline equivalence: any op sequence, checked op by op.
+    #[test]
+    fn delta_index_equals_rebuild_under_random_ops(
+        docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
+        queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
+        ops in arb_ops(),
+    ) {
+        let mut sys = fixture(&docs, &queries);
+        for op in ops {
+            match op {
+                Op::Move { peer, to } => {
+                    let peer = PeerId(peer);
+                    let to = ClusterId(to % sys.overlay().cmax() as u32);
+                    if sys.overlay().cluster_of(peer).is_some() {
+                        sys.move_peer(peer, to);
+                    }
+                }
+                Op::Leave { peer } => {
+                    let _ = sys.leave_peer(PeerId(peer));
+                }
+                Op::Join { peer, to } => {
+                    let peer = PeerId(peer);
+                    let to = ClusterId(to % sys.overlay().cmax() as u32);
+                    if sys.overlay().cluster_of(peer).is_none() {
+                        sys.join_peer(peer, to);
+                    }
+                }
+            }
+            sys.overlay().check_invariants().map_err(TestCaseError::fail)?;
+            assert_index_equals_rebuild(&sys)?;
+        }
+        // Cluster sizes agree with a scan of the assignment (the O(1)
+        // live-count and the per-cluster member lists never drift).
+        let sizes = sys.overlay().sizes();
+        let total: usize = sizes.iter().sum();
+        prop_assert_eq!(total, sys.overlay().n_peers());
+    }
+
+    /// Batch moves (the protocol's phase-2 path) are equivalent to the
+    /// same moves applied one by one, and to a rebuild.
+    #[test]
+    fn batch_moves_equal_singles_and_rebuild(
+        docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
+        queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
+        moves in proptest::collection::vec(
+            (0u32..N_PEERS as u32, 0u32..N_PEERS as u32),
+            0..12,
+        ),
+    ) {
+        let mut batched = fixture(&docs, &queries);
+        let mut single = fixture(&docs, &queries);
+        let moves: Vec<(PeerId, ClusterId)> = moves
+            .into_iter()
+            .map(|(p, c)| (PeerId(p), ClusterId(c)))
+            .collect();
+        batched.move_peers(&moves);
+        for &(p, c) in &moves {
+            single.move_peer(p, c);
+        }
+        prop_assert_eq!(batched.overlay(), single.overlay());
+        assert_index_equals_rebuild(&batched)?;
+        assert_index_equals_rebuild(&single)?;
+    }
+
+    /// `pcost` computed on the delta-maintained index equals `pcost` on
+    /// a freshly rebuilt system, bit for bit, for every peer × cluster.
+    #[test]
+    fn pcost_on_delta_index_equals_rebuilt(
+        docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
+        queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
+        moves in proptest::collection::vec(
+            (0u32..N_PEERS as u32, 0u32..N_PEERS as u32),
+            0..12,
+        ),
+    ) {
+        let mut sys = fixture(&docs, &queries);
+        for (p, c) in moves {
+            sys.move_peer(PeerId(p), ClusterId(c));
+        }
+        let mut rebuilt = sys.clone();
+        rebuilt.rebuild_index();
+        for peer in sys.overlay().peers() {
+            for cid in sys.overlay().cluster_ids() {
+                prop_assert_eq!(
+                    pcost(&sys, peer, cid).to_bits(),
+                    pcost(&rebuilt, peer, cid).to_bits(),
+                    "pcost({:?}, {:?})",
+                    peer,
+                    cid
+                );
+            }
+        }
+    }
+}

@@ -31,14 +31,54 @@ pub enum ChurnEvent {
     },
 }
 
-/// Applies one churn event. Join returns the new peer's id; leave returns
-/// the departed peer's former cluster.
+/// The membership delta an applied churn event produced, emitted so
+/// callers can delta-update derived aggregates (cluster masses, size
+/// caches) instead of rebuilding them from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnDelta {
+    /// `peer` joined `cluster` carrying fresh documents. The *content*
+    /// changed too, so recall totals need a rebuild; membership-only
+    /// aggregates can apply the delta directly.
+    Joined {
+        /// The new peer.
+        peer: PeerId,
+        /// Cluster joined.
+        cluster: ClusterId,
+    },
+    /// `peer` left `cluster` and its documents were dropped from the
+    /// store.
+    Left {
+        /// The departed peer.
+        peer: PeerId,
+        /// Its former cluster.
+        cluster: ClusterId,
+    },
+}
+
+impl ChurnDelta {
+    /// The peer the event concerned.
+    pub fn peer(&self) -> PeerId {
+        match *self {
+            ChurnDelta::Joined { peer, .. } | ChurnDelta::Left { peer, .. } => peer,
+        }
+    }
+
+    /// The cluster whose membership changed.
+    pub fn cluster(&self) -> ClusterId {
+        match *self {
+            ChurnDelta::Joined { cluster, .. } | ChurnDelta::Left { cluster, .. } => cluster,
+        }
+    }
+}
+
+/// Applies one churn event and emits the membership delta it produced
+/// (`None` for a no-op leave of an already-departed peer).
 pub fn apply_event(
     overlay: &mut Overlay,
     store: &mut ContentStore,
     net: &mut SimNetwork,
     event: ChurnEvent,
-) -> Option<PeerId> {
+) -> Option<ChurnDelta> {
     match event {
         ChurnEvent::Join { cluster, docs } => {
             let peer = overlay.grow();
@@ -52,14 +92,17 @@ pub fn apply_event(
             let size = overlay.cluster(cluster).len() as u64;
             net.send_many(MsgKind::ClusterJoin, 24, size.max(1));
             overlay.assign(peer, cluster);
-            Some(peer)
+            Some(ChurnDelta::Joined { peer, cluster })
         }
         ChurnEvent::Leave { peer } => {
             let former = overlay.unassign(peer)?;
             let size = overlay.cluster(former).len() as u64;
             net.send_many(MsgKind::ClusterLeave, 24, size.max(1));
             store.replace(peer, Vec::new());
-            Some(peer)
+            Some(ChurnDelta::Left {
+                peer,
+                cluster: former,
+            })
         }
     }
 }
@@ -86,7 +129,7 @@ mod tests {
         let mut ov = Overlay::singletons(2);
         let mut store = ContentStore::new(2);
         let mut net = SimNetwork::new();
-        let p = apply_event(
+        let delta = apply_event(
             &mut ov,
             &mut store,
             &mut net,
@@ -96,7 +139,14 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(p, PeerId(2));
+        let p = delta.peer();
+        assert_eq!(
+            delta,
+            ChurnDelta::Joined {
+                peer: PeerId(2),
+                cluster: ClusterId(0)
+            }
+        );
         assert_eq!(ov.n_peers(), 3);
         assert_eq!(ov.cmax(), 3);
         assert_eq!(store.n_peers(), 3);
@@ -112,11 +162,18 @@ mod tests {
         let mut store = ContentStore::new(3);
         store.add(PeerId(1), Document::new(vec![Sym(5)]));
         let mut net = SimNetwork::new();
-        apply_event(
+        let delta = apply_event(
             &mut ov,
             &mut store,
             &mut net,
             ChurnEvent::Leave { peer: PeerId(1) },
+        );
+        assert_eq!(
+            delta,
+            Some(ChurnDelta::Left {
+                peer: PeerId(1),
+                cluster: ClusterId(1)
+            })
         );
         assert_eq!(ov.n_peers(), 2);
         assert!(store.docs(PeerId(1)).is_empty());

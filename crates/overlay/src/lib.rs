@@ -33,6 +33,7 @@ pub mod overlay;
 pub mod routing;
 pub mod theta;
 
+pub use churn::{apply_event, ChurnDelta, ChurnEvent};
 pub use content::ContentStore;
 pub use network::{MsgKind, SimNetwork};
 pub use overlay::{Cluster, Overlay};

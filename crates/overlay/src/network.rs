@@ -117,9 +117,16 @@ impl SimNetwork {
 
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &SimNetwork) {
+        self.merge_scaled(other, 1);
+    }
+
+    /// Merges `other` as if it had been merged `n` times — one multiply
+    /// instead of `n` passes (used when identical traffic repeats, e.g.
+    /// every occurrence of a query within a period).
+    pub fn merge_scaled(&mut self, other: &SimNetwork, n: u64) {
         for i in 0..self.counts.len() {
-            self.counts[i] += other.counts[i];
-            self.bytes[i] += other.bytes[i];
+            self.counts[i] += other.counts[i] * n;
+            self.bytes[i] += other.bytes[i] * n;
         }
     }
 }
@@ -163,6 +170,21 @@ mod tests {
         net.reset();
         assert_eq!(net.total_messages(), 0);
         assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_scaled_equals_repeated_merge() {
+        let mut unit = SimNetwork::new();
+        unit.send(MsgKind::QueryForward, 12);
+        unit.send(MsgKind::ResultReturn, 7);
+        let mut looped = SimNetwork::new();
+        for _ in 0..5 {
+            looped.merge(&unit);
+        }
+        let mut scaled = SimNetwork::new();
+        scaled.merge_scaled(&unit, 5);
+        assert_eq!(looped.total_messages(), scaled.total_messages());
+        assert_eq!(looped.total_bytes(), scaled.total_bytes());
     }
 
     #[test]

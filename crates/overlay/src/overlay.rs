@@ -85,6 +85,9 @@ pub struct Overlay {
     /// peers (churn).
     assignment: Vec<Option<ClusterId>>,
     clusters: Vec<Cluster>,
+    /// Count of assigned peers, maintained incrementally so the cost
+    /// hot path reads `|P|` in O(1) instead of scanning `assignment`.
+    live: usize,
 }
 
 impl Overlay {
@@ -94,6 +97,7 @@ impl Overlay {
         Overlay {
             assignment: vec![None; n_peers],
             clusters: vec![Cluster::default(); n_peers],
+            live: 0,
         }
     }
 
@@ -113,9 +117,9 @@ impl Overlay {
     }
 
     /// Number of live (assigned) peers — `|P|` in the paper's cost
-    /// formulas.
+    /// formulas. O(1): maintained across assign/unassign.
     pub fn n_peers(&self) -> usize {
-        self.assignment.iter().filter(|a| a.is_some()).count()
+        self.live
     }
 
     /// `Cmax`: total cluster slots (including empty clusters).
@@ -176,6 +180,7 @@ impl Overlay {
         );
         self.clusters[cid.index()].insert(peer);
         self.assignment[peer.index()] = Some(cid);
+        self.live += 1;
     }
 
     /// Moves a peer to another cluster; returns its previous cluster.
@@ -201,6 +206,7 @@ impl Overlay {
         let cid = self.assignment[peer.index()].take()?;
         let removed = self.clusters[cid.index()].remove(peer);
         debug_assert!(removed, "assignment and membership diverged");
+        self.live -= 1;
         Some(cid)
     }
 
@@ -266,6 +272,13 @@ impl Overlay {
             if a.is_some() && !seen[pi] {
                 return Err(format!("p{pi} assigned but missing from its cluster"));
             }
+        }
+        let scanned = self.assignment.iter().filter(|a| a.is_some()).count();
+        if scanned != self.live {
+            return Err(format!(
+                "live-count cache {} != scanned {}",
+                self.live, scanned
+            ));
         }
         Ok(())
     }

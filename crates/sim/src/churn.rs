@@ -13,7 +13,7 @@
 use rand::Rng;
 use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
 use recluster_corpus::{QueryBias, WorkloadBuilder};
-use recluster_overlay::churn::{random_leave, ChurnEvent};
+use recluster_overlay::churn::{random_leave, ChurnDelta, ChurnEvent};
 use recluster_overlay::SimNetwork;
 use recluster_types::{derive_seed, seeded_rng, ClusterId, Workload};
 
@@ -104,20 +104,17 @@ fn apply_churn_batch(
     rng: &mut rand::rngs::StdRng,
     net: &mut SimNetwork,
 ) {
-    // Departures.
+    // Departures: the event flows through the overlay churn hook, whose
+    // emitted delta keeps the recall index's membership state coherent
+    // mid-batch; the content drop is repaired by the batch-final
+    // rebuild.
     for _ in 0..churn.leaves_per_period {
-        if let Some(ChurnEvent::Leave { peer }) = random_leave(testbed.system.overlay(), rng) {
-            let sys = &mut testbed.system;
-            if let Some(former) = sys.overlay_mut().unassign(peer) {
-                let remaining = sys.overlay().cluster(former).len() as u64;
-                net.send_many(
-                    recluster_overlay::MsgKind::ClusterLeave,
-                    24,
-                    remaining.max(1),
-                );
+        if let Some(event) = random_leave(testbed.system.overlay(), rng) {
+            if let Some(ChurnDelta::Left { peer, .. }) =
+                testbed.system.apply_churn_event(net, event)
+            {
+                testbed.system.workloads_mut()[peer.index()] = Workload::new();
             }
-            sys.store_mut().replace(peer, Vec::new());
-            sys.workloads_mut()[peer.index()] = Workload::new();
         }
     }
 
@@ -137,25 +134,26 @@ fn apply_churn_batch(
             .filter(|&c| !testbed.system.overlay().cluster(c).is_empty())
             .collect();
         let target = non_empty[rng.gen_range(0..non_empty.len())];
-        let peer = {
-            let sys = &mut testbed.system;
-            let p = sys.overlay_mut().grow();
-            let slot = sys.store_mut().grow();
-            debug_assert_eq!(p, slot);
-            for d in docs {
-                sys.store_mut().add(p, d);
-            }
-            sys.overlay_mut().assign(p, target);
-            p
-        };
+        // The join hook grows overlay/store/workloads in lockstep and
+        // delta-updates membership; the newcomer's content enters the
+        // index at the batch-final rebuild.
+        let delta = testbed
+            .system
+            .apply_churn_event(
+                net,
+                ChurnEvent::Join {
+                    cluster: target,
+                    docs,
+                },
+            )
+            .expect("join events always apply");
         let mut wrng = seeded_rng(derive_seed(rng.gen(), 0x10));
         let workload = WorkloadBuilder::new(QueryBias::Uniform)
             .with_doc_limit(testbed.distributable_per_category)
             .build(&testbed.corpus, cat, demand_per_peer, &mut wrng);
-        testbed.system.workloads_mut().push(workload);
+        testbed.system.workloads_mut()[delta.peer().index()] = workload;
         testbed.peer_category.push(cat);
         testbed.query_category.push(Some(cat));
-        let _ = peer;
     }
     testbed.system.rebuild_index();
 }

@@ -10,7 +10,7 @@
 use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
 use recluster_overlay::SimNetwork;
 
-use crate::runner::{run_protocol, StrategyKind};
+use crate::runner::{run_protocol, sweep_map, Parallelism, StrategyKind};
 use crate::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 
 /// Per-round cost series for one strategy.
@@ -28,12 +28,21 @@ pub struct CostSeries {
 }
 
 /// Runs Figure 1: the first scenario from singleton clusters, both
-/// strategies, recording costs after every round.
+/// strategies (as independent parallel cells), recording costs after
+/// every round.
 pub fn run_fig1(cfg: &ExperimentConfig, max_rounds: usize) -> Vec<CostSeries> {
-    StrategyKind::paper_pair()
-        .into_iter()
-        .map(|kind| run_series(cfg, kind, max_rounds))
-        .collect()
+    run_fig1_with(cfg, max_rounds, Parallelism::Auto)
+}
+
+/// Runs Figure 1 under an explicit parallelism mode.
+pub fn run_fig1_with(
+    cfg: &ExperimentConfig,
+    max_rounds: usize,
+    parallelism: Parallelism,
+) -> Vec<CostSeries> {
+    sweep_map(parallelism, &StrategyKind::paper_pair(), |&kind| {
+        run_series(cfg, kind, max_rounds)
+    })
 }
 
 /// Runs the per-round series for one strategy.

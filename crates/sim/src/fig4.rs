@@ -11,6 +11,7 @@ use recluster_core::{best_response, pcost, GameConfig};
 use recluster_corpus::{QueryBias, WorkloadBuilder};
 use recluster_types::{derive_seed, seeded_rng, PeerId};
 
+use crate::runner::{sweep_map, Parallelism};
 use crate::scenario::{ideal_scenario1_system, ExperimentConfig};
 
 /// The individual-cost curve of the probe peer for one `α`.
@@ -27,12 +28,22 @@ pub struct AlphaCurve {
 }
 
 /// Runs Figure 4: sweeps the probe peer's workload-change fraction for
-/// each `α`, recording its post-best-response individual cost.
+/// each `α` (one parallel cell per `α`), recording its
+/// post-best-response individual cost.
 pub fn run_fig4(cfg: &ExperimentConfig, alphas: &[f64], fractions: &[f64]) -> Vec<AlphaCurve> {
-    alphas
-        .iter()
-        .map(|&alpha| run_curve(cfg, alpha, fractions))
-        .collect()
+    run_fig4_with(cfg, alphas, fractions, Parallelism::Auto)
+}
+
+/// Runs Figure 4 under an explicit parallelism mode.
+pub fn run_fig4_with(
+    cfg: &ExperimentConfig,
+    alphas: &[f64],
+    fractions: &[f64],
+    parallelism: Parallelism,
+) -> Vec<AlphaCurve> {
+    sweep_map(parallelism, alphas, |&alpha| {
+        run_curve(cfg, alpha, fractions)
+    })
 }
 
 /// Runs the sweep for one `α`.

@@ -35,7 +35,7 @@ pub mod scenario;
 pub mod table1;
 pub mod updates;
 
-pub use runner::{run_protocol, StrategyKind};
+pub use runner::{run_protocol, sweep_map, Parallelism, StrategyKind};
 pub use scenario::{
     build_system, ideal_scenario1_system, ExperimentConfig, InitialConfig, Scenario, TestBed,
 };

@@ -1,8 +1,20 @@
-//! Strategy dispatch for experiment runners.
+//! Strategy dispatch and the deterministic sweep runner.
 //!
 //! Experiments select strategies by value ([`StrategyKind`]); this module
-//! maps each kind onto a concrete [`ProtocolEngine`] run.
+//! maps each kind onto a concrete [`ProtocolEngine`] run, and provides
+//! [`sweep_map`] — the fan-out primitive every figure/table driver uses
+//! to evaluate independent scenario cells (strategy × α × seed × …)
+//! across cores.
+//!
+//! # Determinism contract
+//!
+//! Each cell builds its own [`System`] from its own seed and shares no
+//! mutable state with its siblings, and [`sweep_map`] merges results in
+//! **index order** (the in-tree rayon shim's `collect` guarantees this),
+//! so a parallel sweep is byte-identical to the sequential one — the
+//! equivalence is asserted in `tests/determinism.rs`, not just claimed.
 
+use rayon::prelude::*;
 use recluster_baselines::{NoMaintenance, RandomStrategy};
 use recluster_core::{
     AltruisticStrategy, HybridStrategy, ProtocolConfig, ProtocolEngine, RunOutcome,
@@ -40,6 +52,55 @@ impl StrategyKind {
     /// The two strategies the paper evaluates.
     pub fn paper_pair() -> [StrategyKind; 2] {
         [StrategyKind::Selfish, StrategyKind::Altruistic]
+    }
+}
+
+/// How a sweep distributes its independent cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run cells one after another on the calling thread.
+    Sequential,
+    /// Fan cells across all available cores (the shim honours
+    /// `RAYON_NUM_THREADS`).
+    #[default]
+    Auto,
+    /// Fan cells across exactly this many worker threads.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The worker count this mode resolves to (1 = sequential).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => rayon::current_num_threads(),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
+/// Evaluates `f` over every cell, fanning across threads per
+/// `parallelism`, and returns the results **in cell order** — the
+/// parallel output is byte-identical to the sequential one as long as
+/// `f` is a pure function of its cell (which every figure/table cell
+/// is: it builds its own seeded testbed).
+pub fn sweep_map<T, R, F>(parallelism: Parallelism, cells: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match parallelism {
+        Parallelism::Sequential => cells.iter().map(f).collect(),
+        Parallelism::Auto => cells.par_iter().map(f).collect(),
+        // An explicit pool installed for this sweep only: the pinned
+        // count is scoped to the closure, so concurrent sweeps and any
+        // process-wide `build_global` pin are unaffected.
+        Parallelism::Threads(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n.max(1))
+            .build()
+            .expect("shim pool build never fails")
+            .install(|| cells.par_iter().map(f).collect()),
     }
 }
 
@@ -93,6 +154,34 @@ mod tests {
             assert!(!outcome.rounds.is_empty() || outcome.converged);
             tb.system.overlay().check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn sweep_map_parallel_equals_sequential() {
+        let cells: Vec<u64> = (0..37).collect();
+        let f = |&seed: &u64| {
+            // A cheap but seed-sensitive computation standing in for a
+            // scenario cell.
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03;
+            for _ in 0..10 {
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x3C79AC492BA7B653);
+            }
+            format!("{x:016x}")
+        };
+        let seq = sweep_map(Parallelism::Sequential, &cells, f);
+        let auto = sweep_map(Parallelism::Auto, &cells, f);
+        let two = sweep_map(Parallelism::Threads(2), &cells, f);
+        assert_eq!(seq, auto);
+        assert_eq!(seq, two);
+    }
+
+    #[test]
+    fn parallelism_workers_resolve() {
+        assert_eq!(Parallelism::Sequential.workers(), 1);
+        assert_eq!(Parallelism::Threads(4).workers(), 4);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert!(Parallelism::Auto.workers() >= 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use recluster_core::{is_nash_equilibrium, EmptyTargetPolicy, ProtocolConfig};
 use recluster_overlay::SimNetwork;
 
-use crate::runner::{run_protocol, StrategyKind};
+use crate::runner::{run_protocol, sweep_map, Parallelism, StrategyKind};
 use crate::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 
 /// One cell of Table 1.
@@ -100,10 +100,10 @@ pub fn run_cell(
     }
 }
 
-/// Runs the full Table-1 grid: 3 scenarios × 4 initial configurations ×
-/// the paper's two strategies.
-pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
+/// The Table-1 grid in report order: 3 scenarios × 4 initial
+/// configurations × the paper's two strategies.
+pub fn table1_grid() -> Vec<(Scenario, InitialConfig, StrategyKind)> {
+    let mut cells = Vec::with_capacity(24);
     for scenario in [
         Scenario::SameCategory,
         Scenario::DifferentCategory,
@@ -116,11 +116,27 @@ pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
             InitialConfig::More,
         ] {
             for strategy in StrategyKind::paper_pair() {
-                rows.push(run_cell(scenario, init, strategy, cfg));
+                cells.push((scenario, init, strategy));
             }
         }
     }
-    rows
+    cells
+}
+
+/// Runs the full Table-1 grid, fanning the independent cells across
+/// cores (results merged in grid order — byte-identical to
+/// [`run_table1_with`]`(cfg, Parallelism::Sequential)`).
+pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
+    run_table1_with(cfg, Parallelism::Auto)
+}
+
+/// Runs the full Table-1 grid under an explicit parallelism mode.
+pub fn run_table1_with(cfg: &Table1Config, parallelism: Parallelism) -> Vec<Table1Row> {
+    sweep_map(
+        parallelism,
+        &table1_grid(),
+        |&(scenario, init, strategy)| run_cell(scenario, init, strategy, cfg),
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,118 @@
+//! Determinism suite for the parallel sweep runner: a multi-threaded
+//! sweep must produce a report **byte-identical** to the sequential
+//! runner's — same cells, same order, same rendered bytes — no matter
+//! how the OS schedules the workers.
+
+use recluster_core::ProtocolConfig;
+use recluster_overlay::SimNetwork;
+use recluster_sim::report::{f3, render_table, to_csv};
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+use recluster_sim::table1::{run_table1_with, Table1Config};
+use recluster_sim::{run_protocol, sweep_map, Parallelism, StrategyKind};
+
+/// One sweep cell: strategy × seed, each building its own testbed.
+fn cells() -> Vec<(StrategyKind, u64)> {
+    let strategies = [
+        StrategyKind::Selfish,
+        StrategyKind::Altruistic,
+        StrategyKind::Hybrid(0.5),
+        StrategyKind::Random(0.2, 7),
+    ];
+    let seeds = [11u64, 22, 33];
+    let mut cells = Vec::new();
+    for &s in &strategies {
+        for &seed in &seeds {
+            cells.push((s, seed));
+        }
+    }
+    cells
+}
+
+/// Runs one cell to a rendered report row.
+fn run_cell(&(kind, seed): &(StrategyKind, u64)) -> Vec<String> {
+    let mut tb = build_system(
+        Scenario::SameCategory,
+        InitialConfig::RandomM,
+        &ExperimentConfig::small(seed),
+    );
+    let mut net = SimNetwork::new();
+    let cfg = ProtocolConfig {
+        max_rounds: 25,
+        ..Default::default()
+    };
+    let outcome = run_protocol(&mut tb.system, kind, cfg, &mut net);
+    vec![
+        kind.label(),
+        seed.to_string(),
+        outcome.rounds.len().to_string(),
+        f3(outcome.final_scost()),
+        f3(outcome.final_wcost()),
+        outcome.final_clusters().to_string(),
+        net.total_messages().to_string(),
+    ]
+}
+
+fn render(rows: &[Vec<String>]) -> (String, String) {
+    let headers = [
+        "strategy", "seed", "rounds", "scost", "wcost", "clusters", "messages",
+    ];
+    (to_csv(&headers, rows), render_table(&headers, rows))
+}
+
+#[test]
+fn parallel_sweep_report_is_byte_identical_to_sequential() {
+    let cells = cells();
+    assert!(cells.len() >= 9, "≥3 strategies × ≥3 seeds");
+
+    let sequential = sweep_map(Parallelism::Sequential, &cells, run_cell);
+    let (seq_csv, seq_table) = render(&sequential);
+
+    // Run the parallel sweep several times: scheduling noise across
+    // repetitions must never reach the report bytes.
+    for run in 0..3 {
+        let parallel = sweep_map(Parallelism::Auto, &cells, run_cell);
+        let (par_csv, par_table) = render(&parallel);
+        assert_eq!(seq_csv.as_bytes(), par_csv.as_bytes(), "csv, run {run}");
+        assert_eq!(
+            seq_table.as_bytes(),
+            par_table.as_bytes(),
+            "table, run {run}"
+        );
+    }
+
+    // A pinned two-worker pool agrees too.
+    let two = sweep_map(Parallelism::Threads(2), &cells, run_cell);
+    let (two_csv, _) = render(&two);
+    assert_eq!(seq_csv.as_bytes(), two_csv.as_bytes());
+}
+
+#[test]
+fn table1_parallel_equals_sequential() {
+    let mut cfg = Table1Config::small(19);
+    cfg.max_rounds = 15; // keep the full 24-cell grid fast
+
+    let fmt = |rows: &[recluster_sim::table1::Table1Row]| -> String {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{}|{}|{}|{:?}|{}|{}|{}|{}|{}\n",
+                    r.scenario.label(),
+                    r.init.label(),
+                    r.strategy,
+                    r.rounds,
+                    r.clusters,
+                    // Full bit-precision rendering: any float drift
+                    // between the runners would show here.
+                    r.scost.to_bits(),
+                    r.wcost.to_bits(),
+                    r.nash,
+                    r.messages
+                )
+            })
+            .collect()
+    };
+
+    let seq = fmt(&run_table1_with(&cfg, Parallelism::Sequential));
+    let par = fmt(&run_table1_with(&cfg, Parallelism::Auto));
+    assert_eq!(seq.as_bytes(), par.as_bytes());
+}

@@ -1,0 +1,168 @@
+//! Golden regression tests for the paper-figure scenario outputs.
+//!
+//! Small fixed configurations of `fig1`, `fig4`, and `table1` are
+//! rendered to text and compared against committed snapshots under
+//! `tests/golden/`, so future performance work (index refactors,
+//! parallelism changes) cannot silently shift the reproduced paper
+//! numbers. Each snapshot ends with a bit-level FNV-1a digest of every
+//! `f64` in the output, making even ulp-sized drift visible while the
+//! human-readable rows stay at the paper's 3-decimal precision.
+//!
+//! Regenerate after an *intentional* change with:
+//! `RECLUSTER_UPDATE_GOLDEN=1 cargo test -p recluster-sim --test golden`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use recluster_sim::fig1::run_fig1_with;
+use recluster_sim::fig4::run_fig4_with;
+use recluster_sim::report::{f3, rounds_cell};
+use recluster_sim::scenario::ExperimentConfig;
+use recluster_sim::table1::{run_table1_with, Table1Config};
+use recluster_sim::Parallelism;
+
+/// FNV-1a over the raw bits of every recorded float, so the digest is
+/// exactly reproducible wherever IEEE-754 doubles are.
+#[derive(Default)]
+struct BitDigest {
+    hash: u64,
+    count: usize,
+}
+
+impl BitDigest {
+    fn new() -> Self {
+        BitDigest {
+            hash: 0xcbf29ce484222325,
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        for b in x.to_bits().to_le_bytes() {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x100000001b3);
+        }
+        self.count += 1;
+    }
+
+    fn line(&self) -> String {
+        format!(
+            "f64-digest: {:016x} over {} values\n",
+            self.hash, self.count
+        )
+    }
+}
+
+fn render_fig1() -> String {
+    let series = run_fig1_with(&ExperimentConfig::small(31), 60, Parallelism::Sequential);
+    let mut out = String::from("fig1 scenario=same-category init=singletons seed=31\n");
+    let mut digest = BitDigest::new();
+    for s in &series {
+        let fmt_series = |values: &[f64], digest: &mut BitDigest| -> String {
+            values
+                .iter()
+                .map(|&v| {
+                    digest.push(v);
+                    f3(v)
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let scost = fmt_series(&s.scost, &mut digest);
+        let wcost = fmt_series(&s.wcost, &mut digest);
+        let _ = writeln!(out, "{} converged={}", s.strategy, s.converged);
+        let _ = writeln!(out, "  scost: {scost}");
+        let _ = writeln!(out, "  wcost: {wcost}");
+    }
+    out.push_str(&digest.line());
+    out
+}
+
+fn render_fig4() -> String {
+    let alphas = [0.0, 1.0, 2.0];
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let curves = run_fig4_with(
+        &ExperimentConfig::small(51),
+        &alphas,
+        &fractions,
+        Parallelism::Sequential,
+    );
+    let mut out = String::from("fig4 ideal-scenario1 seed=51\n");
+    let mut digest = BitDigest::new();
+    for c in &curves {
+        let pts = c
+            .points
+            .iter()
+            .map(|&(f, cost)| {
+                digest.push(cost);
+                format!("{f:.2}:{}", f3(cost))
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let threshold = c
+            .relocation_threshold
+            .map_or_else(|| "-".into(), |t| format!("{t:.2}"));
+        let _ = writeln!(out, "alpha={} threshold={threshold} {pts}", c.alpha);
+    }
+    out.push_str(&digest.line());
+    out
+}
+
+fn render_table1() -> String {
+    let mut cfg = Table1Config::small(21);
+    cfg.max_rounds = 40;
+    let rows = run_table1_with(&cfg, Parallelism::Sequential);
+    let mut out = String::from("table1 small seed=21 max_rounds=40\n");
+    let mut digest = BitDigest::new();
+    for r in &rows {
+        digest.push(r.scost);
+        digest.push(r.wcost);
+        let _ = writeln!(
+            out,
+            "{}|{}|{}|rounds={}|clusters={}|scost={}|wcost={}|nash={}|msgs={}",
+            r.scenario.label(),
+            r.init.label(),
+            r.strategy,
+            rounds_cell(r.rounds),
+            r.clusters,
+            f3(r.scost),
+            f3(r.wcost),
+            r.nash,
+            r.messages
+        );
+    }
+    out.push_str(&digest.line());
+    out
+}
+
+fn check(name: &str, actual: String) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var("RECLUSTER_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its committed snapshot; if the change is intentional, \
+         regenerate with RECLUSTER_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn fig1_matches_golden_snapshot() {
+    check("fig1.txt", render_fig1());
+}
+
+#[test]
+fn fig4_matches_golden_snapshot() {
+    check("fig4.txt", render_fig4());
+}
+
+#[test]
+fn table1_matches_golden_snapshot() {
+    check("table1.txt", render_table1());
+}
