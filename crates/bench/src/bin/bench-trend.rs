@@ -1,0 +1,214 @@
+//! The CI bench-trend gate.
+//!
+//! The in-tree criterion shim appends one JSON object per metric to the
+//! file named by `RECLUSTER_BENCH_JSON` (`{"id":…,"unit":…,"value":…}`).
+//! This binary turns those raw lines into the committed/uploaded
+//! `BENCH_*.json` artifacts and compares two of them:
+//!
+//! * `bench-trend finalize <raw.jsonl> <out.json>` — fold the sink lines
+//!   into a JSON array (last value wins per id, ids sorted).
+//! * `bench-trend compare <baseline.json> <current.json> [--factor F]
+//!   [--time-factor T]` — fail (exit 1) if any metric regressed by more
+//!   than its factor: `F` (default 2.0) for deterministic metrics
+//!   (message counts — any growth is a real routing regression), `T`
+//!   (default `F`) for `seconds` metrics, which CI widens to absorb
+//!   runner-vs-baseline machine variance. A metric tracked by the
+//!   baseline but **absent** from the current run also fails: a bench
+//!   that crashes or is renamed must not silently disable its own gate.
+//!
+//! Both file formats are emitted by this repo itself, so parsing is a
+//! deliberately small line-based scan, not a general JSON parser.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One tracked metric.
+#[derive(Debug, Clone, PartialEq)]
+struct Metric {
+    unit: String,
+    value: f64,
+}
+
+/// Extracts the string after `key` up to the next unescaped quote. Our
+/// ids/units never contain escapes, which `debug_assert` guards.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    let s = &rest[..end];
+    debug_assert!(!s.contains('\\'), "unexpected escape in {s:?}");
+    Some(s.to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a sink file or a finalized array: any line containing an
+/// `"id"` object contributes one metric; later lines win.
+fn parse_metrics(text: &str) -> BTreeMap<String, Metric> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id) = field_str(line, "\"id\":\"") else {
+            continue;
+        };
+        let Some(unit) = field_str(line, "\"unit\":\"") else {
+            continue;
+        };
+        let Some(value) = field_num(line, "\"value\":") else {
+            continue;
+        };
+        out.insert(id, Metric { unit, value });
+    }
+    out
+}
+
+fn finalize(raw_path: &str, out_path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(raw_path).map_err(|e| format!("cannot read {raw_path}: {e}"))?;
+    let metrics = parse_metrics(&text);
+    if metrics.is_empty() {
+        return Err(format!("{raw_path} contains no metrics"));
+    }
+    let mut out = String::from("[\n");
+    for (i, (id, m)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"id\":{id:?},\"unit\":{:?},\"value\":{:e}}}{comma}\n",
+            m.unit, m.value
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(out_path, out).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {} metrics to {out_path}", metrics.len());
+    Ok(())
+}
+
+fn compare(
+    baseline_path: &str,
+    current_path: &str,
+    factor: f64,
+    time_factor: f64,
+) -> Result<bool, String> {
+    let baseline = parse_metrics(
+        &std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?,
+    );
+    let current = parse_metrics(
+        &std::fs::read_to_string(current_path)
+            .map_err(|e| format!("cannot read {current_path}: {e}"))?,
+    );
+    if baseline.is_empty() || current.is_empty() {
+        return Err("empty metric set".into());
+    }
+
+    let mut ok = true;
+    println!(
+        "{:<55} {:>12} {:>12} {:>8}  verdict",
+        "metric", "baseline", "current", "ratio"
+    );
+    for (id, base) in &baseline {
+        let Some(cur) = current.get(id) else {
+            // A tracked metric that stopped reporting is a failure: a
+            // renamed or crashing bench must not ungate itself.
+            ok = false;
+            println!(
+                "{id:<55} {:>12.4e} {:>12} {:>8}  MISSING",
+                base.value, "-", "-"
+            );
+            continue;
+        };
+        let ratio = if base.value == 0.0 {
+            if cur.value == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            cur.value / base.value
+        };
+        let limit = if cur.unit == "seconds" {
+            time_factor
+        } else {
+            factor
+        };
+        let regressed = ratio > limit;
+        if regressed {
+            ok = false;
+        }
+        println!(
+            "{id:<55} {:>12.4e} {:>12.4e} {ratio:>8.2}  {}",
+            base.value,
+            cur.value,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for id in current.keys() {
+        if !baseline.contains_key(id) {
+            println!(
+                "{id:<55} {:>12} — new metric, add to the baseline on the next refresh",
+                "-"
+            );
+        }
+    }
+    Ok(ok)
+}
+
+fn usage() -> String {
+    "usage: bench-trend finalize <raw.jsonl> <out.json>\n       \
+     bench-trend compare <baseline.json> <current.json> [--factor F] [--time-factor T]"
+        .into()
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("finalize") if args.len() == 3 => {
+            finalize(&args[1], &args[2])?;
+            Ok(true)
+        }
+        Some("compare") if args.len() >= 3 => {
+            let mut factor = 2.0;
+            let mut time_factor = None;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                let value = rest
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(usage)?;
+                match flag.as_str() {
+                    "--factor" => factor = value,
+                    "--time-factor" => time_factor = Some(value),
+                    _ => return Err(usage()),
+                }
+            }
+            let time_factor = time_factor.unwrap_or(factor);
+            let ok = compare(&args[1], &args[2], factor, time_factor)?;
+            if ok {
+                println!(
+                    "bench-trend: no metric regressed beyond {factor}x ({time_factor}x for timings)"
+                );
+            } else {
+                println!("bench-trend: REGRESSION — see rows above");
+            }
+            Ok(ok)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! Churn experiment (our extension of the §1 motivation): peers join and
 //! leave every period; the maintenance protocol repairs the overlay
-//! incrementally. Compares maintained vs. unmaintained social cost.
+//! incrementally. Compares maintained vs. unmaintained social cost, and
+//! charges each period's query workload under the routing mode selected
+//! by `RECLUSTER_ROUTING` (`flood` | `routed` | `lossy:<k>`).
 
-use recluster_bench::{banner, seed_from_env, small_from_env};
+use recluster_bench::{banner, routing_from_env, seed_from_env, small_from_env};
 use recluster_sim::churn::{run_churn, ChurnConfig};
 use recluster_sim::report::{f3, render_table};
 use recluster_sim::runner::StrategyKind;
@@ -11,12 +13,15 @@ use recluster_sim::scenario::ExperimentConfig;
 fn main() {
     let seed = seed_from_env();
     let small = small_from_env();
+    let routing = routing_from_env();
     banner(
         "Churn",
         "overlay maintenance under churn (our extension)",
         seed,
         small,
     );
+    println!("routing={routing} (set RECLUSTER_ROUTING=flood|routed|lossy:<k> to vary)");
+    println!();
     let cfg = if small {
         ExperimentConfig::small(seed)
     } else {
@@ -29,6 +34,7 @@ fn main() {
         joins_per_period: if small { 1 } else { 4 },
         maintenance: Some(StrategyKind::Selfish),
         max_rounds: 100,
+        routing,
     };
     let maintained = run_churn(&cfg, &base);
     let unmaintained = run_churn(
@@ -46,6 +52,9 @@ fn main() {
         "scost(after churn)",
         "scost(maintained)",
         "moves",
+        "query msgs",
+        "fwd/query",
+        "FN rate",
     ];
     let rows: Vec<Vec<String>> = maintained
         .iter()
@@ -58,11 +67,20 @@ fn main() {
                 f3(m.scost_after_churn),
                 f3(m.scost_after_repair),
                 m.moves.to_string(),
+                m.query_messages.to_string(),
+                f3(m.forwards_per_query),
+                f3(m.false_negative_rate),
             ]
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
+    let total_msgs: u64 = maintained.iter().map(|r| r.query_messages).sum();
+    println!(
+        "Total query messages over {} periods: {total_msgs}",
+        base.periods
+    );
     println!("Expected shape: without maintenance the cost drifts upward as newcomers");
     println!("land in arbitrary clusters; with the selfish protocol each period's damage");
-    println!("is repaired and the cost stays near the ideal.");
+    println!("is repaired and the cost stays near the ideal. Under routed mode the");
+    println!("query columns shrink by the forward-reduction factor at identical costs.");
 }

@@ -21,7 +21,7 @@
 
 use std::env;
 
-use recluster_sim::Parallelism;
+use recluster_sim::{Parallelism, RoutingMode};
 
 /// Seed used by all experiment binaries unless overridden by the
 /// `RECLUSTER_SEED` environment variable.
@@ -41,6 +41,24 @@ pub fn parallelism_from_env() -> Parallelism {
         Some(1) => Parallelism::Sequential,
         Some(0) | None => Parallelism::Auto,
         Some(n) => Parallelism::Threads(n),
+    }
+}
+
+/// Reads the query-routing mode (`RECLUSTER_ROUTING`): `flood`
+/// (default), `routed`/`exact` for cluster-directed routing with exact
+/// summaries, or `lossy:<k>` for top-`k` lossy summaries. Exact routing
+/// returns bit-identical results to flooding (property-tested in
+/// `recluster-core/tests/prop_routing.rs`) with far fewer messages;
+/// lossy routing additionally reports its false-negative rate.
+pub fn routing_from_env() -> RoutingMode {
+    match env::var("RECLUSTER_ROUTING") {
+        Ok(s) => RoutingMode::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "RECLUSTER_ROUTING={s} not understood (flood | routed | lossy:<k>); flooding"
+            );
+            RoutingMode::Flood
+        }),
+        Err(_) => RoutingMode::Flood,
     }
 }
 
@@ -88,5 +106,14 @@ mod tests {
     fn env_seed_parsing_has_a_fallback() {
         let seed = seed_from_env();
         assert!(seed > 0);
+    }
+
+    #[test]
+    fn routing_defaults_to_flood() {
+        // The suite never sets RECLUSTER_ROUTING; the default must keep
+        // the paper's evaluation assumption.
+        if env::var("RECLUSTER_ROUTING").is_err() {
+            assert_eq!(routing_from_env(), RoutingMode::Flood);
+        }
     }
 }

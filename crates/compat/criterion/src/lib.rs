@@ -8,14 +8,22 @@
 //! [`BatchSize`], [`black_box`], [`criterion_group!`] and
 //! [`criterion_main!`] — and measures with a simple
 //! warmup-then-sample wall-clock loop, reporting min/median/mean per
-//! benchmark. Statistical analysis, plotting and baseline comparison are
-//! intentionally out of scope; `cargo bench` output is indicative, and
-//! CI only links benches with `cargo bench --no-run`.
+//! benchmark. Statistical analysis and plotting are intentionally out of
+//! scope; `cargo bench` output is indicative.
+//!
+//! One extension beyond the criterion surface: when the
+//! `RECLUSTER_BENCH_JSON` environment variable names a file, every
+//! benchmark appends its median as one JSON object per line
+//! (`{"id":…,"unit":"seconds","value":…}`), and [`record_value`] lets
+//! benches emit non-time metrics (message counts, ratios) into the same
+//! sink — the raw material of the CI bench-trend gate (see the
+//! `bench-trend` binary in `recluster-bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
@@ -216,6 +224,39 @@ fn quick_mode() -> bool {
     std::env::var("RECLUSTER_BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
+/// Appends one metric to the `RECLUSTER_BENCH_JSON` sink (no-op when the
+/// variable is unset). One JSON object per line; the `bench-trend`
+/// binary folds the lines into a proper JSON array.
+fn append_json_metric(id: &str, unit: &str, value: f64) {
+    let Some(path) = std::env::var_os("RECLUSTER_BENCH_JSON") else {
+        return;
+    };
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", json_metric_line(id, unit, value));
+        }
+        Err(e) => eprintln!("RECLUSTER_BENCH_JSON: cannot append to {path:?}: {e}"),
+    }
+}
+
+/// One sink line: a self-contained JSON object.
+fn json_metric_line(id: &str, unit: &str, value: f64) -> String {
+    format!("{{\"id\":{id:?},\"unit\":{unit:?},\"value\":{value:e}}}")
+}
+
+/// Records a non-time metric (a message count, a ratio, …) into the
+/// bench report and the `RECLUSTER_BENCH_JSON` sink. Deterministic
+/// metrics recorded this way give the CI trend gate machine-independent
+/// series next to the wall-clock medians.
+pub fn record_value(id: &str, unit: &str, value: f64) {
+    println!("bench: {id:<50} value {value} {unit}");
+    append_json_metric(id, unit, value);
+}
+
 fn run_benchmark<F>(
     id: &str,
     filter: Option<&str>,
@@ -265,6 +306,7 @@ fn run_benchmark<F>(
         fmt_time(median),
         fmt_time(mean),
     );
+    append_json_metric(id, "seconds", median);
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -327,5 +369,19 @@ mod tests {
     fn benchmark_id_renders() {
         assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn json_metric_lines_are_self_contained_objects() {
+        let line = json_metric_line("cost/pcost", "seconds", 1.25e-6);
+        assert_eq!(
+            line,
+            "{\"id\":\"cost/pcost\",\"unit\":\"seconds\",\"value\":1.25e-6}"
+        );
+        let count = json_metric_line("routing/messages", "msgs", 42.0);
+        assert_eq!(
+            count,
+            "{\"id\":\"routing/messages\",\"unit\":\"msgs\",\"value\":4.2e1}"
+        );
     }
 }

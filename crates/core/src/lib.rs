@@ -23,7 +23,8 @@
 //! * [`tracker`] — the *observed* statistics path: peers learn
 //!   per-cluster recall and contribution from cid-annotated query
 //!   results over a period `T`, exactly as §3.1 prescribes (equals the
-//!   oracle under flood routing).
+//!   oracle under flood routing), with a cluster-directed mode that
+//!   forwards each query only to summary-matching clusters.
 //! * [`protocol`] — the two-phase, representative-coordinated
 //!   reformulation protocol of §3.2 with its anti-cycle lock rule,
 //!   `ε`-threshold stop condition, and empty/new-cluster handling.
@@ -52,4 +53,4 @@ pub use strategy::{
     AltruisticStrategy, HybridStrategy, Proposal, RelocationStrategy, SelfishStrategy,
 };
 pub use system::{GameConfig, System};
-pub use tracker::{simulate_period, PeriodObservations};
+pub use tracker::{simulate_period, simulate_period_routed, PeriodObservations, RoutingReport};

@@ -6,7 +6,9 @@
 //! It is the single mutation point for membership changes so the index
 //! masses never go stale.
 
-use recluster_overlay::{ChurnDelta, ChurnEvent, ContentStore, Overlay, SimNetwork, Theta};
+use recluster_overlay::{
+    ChurnDelta, ChurnEvent, ClusterSummaries, ContentStore, MsgKind, Overlay, SimNetwork, Theta,
+};
 use recluster_types::{ClusterId, Document, PeerId, Workload};
 
 use crate::recall::RecallIndex;
@@ -40,6 +42,10 @@ pub struct System {
     workloads: Vec<Workload>,
     config: GameConfig,
     index: RecallIndex,
+    /// Per-cluster content summaries for cluster-directed routing,
+    /// delta-maintained by the same membership/content hooks as the
+    /// recall index.
+    summaries: ClusterSummaries,
 }
 
 impl System {
@@ -59,12 +65,14 @@ impl System {
             "alpha must be finite and non-negative"
         );
         let index = RecallIndex::build(&overlay, &store, &workloads);
+        let summaries = ClusterSummaries::build(&overlay, &store);
         System {
             overlay,
             store,
             workloads,
             config,
             index,
+            summaries,
         }
     }
 
@@ -101,6 +109,11 @@ impl System {
         &self.index
     }
 
+    /// The per-cluster content summaries (cluster-directed routing).
+    pub fn summaries(&self) -> &ClusterSummaries {
+        &self.summaries
+    }
+
     /// Live peer count `|P|`.
     pub fn n_peers(&self) -> usize {
         self.overlay.n_peers()
@@ -112,6 +125,7 @@ impl System {
     pub fn move_peer(&mut self, peer: PeerId, to: ClusterId) -> ClusterId {
         let from = self.overlay.move_peer(peer, to);
         self.index.apply_move(peer, from, to);
+        self.summaries.apply_move(self.store.docs(peer), from, to);
         from
     }
 
@@ -121,6 +135,7 @@ impl System {
         for &(peer, to) in moves {
             let from = self.overlay.move_peer(peer, to);
             self.index.apply_move(peer, from, to);
+            self.summaries.apply_move(self.store.docs(peer), from, to);
         }
     }
 
@@ -136,6 +151,8 @@ impl System {
         self.index.ensure_cmax(self.overlay.cmax());
         self.index.ensure_peer_slots(self.overlay.n_slots());
         self.index.apply_join(peer, to);
+        self.summaries.ensure_cmax(self.overlay.cmax());
+        self.summaries.apply_join(self.store.docs(peer), to);
     }
 
     /// Removes a peer from its cluster (churn leave), delta-updating the
@@ -146,6 +163,9 @@ impl System {
     pub fn leave_peer(&mut self, peer: PeerId) -> Option<ClusterId> {
         let from = self.overlay.unassign(peer)?;
         self.index.apply_leave(peer, from);
+        // The departed peer's documents become unreachable by routing
+        // even though they stay in the index totals until a rebuild.
+        self.summaries.apply_leave(self.store.docs(peer), from);
         Some(from)
     }
 
@@ -163,19 +183,57 @@ impl System {
         net: &mut SimNetwork,
         event: ChurnEvent,
     ) -> Option<ChurnDelta> {
+        // The leave hook drops the departing peer's documents from the
+        // store, so snapshot them first: the summary delta needs to know
+        // what to un-count.
+        let leaver_docs = match &event {
+            ChurnEvent::Leave { peer } if self.overlay.cluster_of(*peer).is_some() => {
+                self.store.docs(*peer).to_vec()
+            }
+            _ => Vec::new(),
+        };
         let delta =
             recluster_overlay::churn::apply_event(&mut self.overlay, &mut self.store, net, event)?;
         match delta {
-            ChurnDelta::Left { peer, cluster } => self.index.apply_leave(peer, cluster),
+            ChurnDelta::Left { peer, cluster } => {
+                self.index.apply_leave(peer, cluster);
+                self.summaries.apply_leave(&leaver_docs, cluster);
+                self.charge_summary_update(net, cluster, &leaver_docs);
+            }
             ChurnDelta::Joined { peer, cluster } => {
                 self.workloads
                     .resize(self.overlay.n_slots(), Workload::new());
                 self.index.ensure_cmax(self.overlay.cmax());
                 self.index.ensure_peer_slots(self.overlay.n_slots());
                 self.index.apply_join(peer, cluster);
+                self.summaries.ensure_cmax(self.overlay.cmax());
+                self.summaries.apply_join(self.store.docs(peer), cluster);
+                self.charge_summary_update(net, cluster, self.store.docs(peer));
             }
         }
         Some(delta)
+    }
+
+    /// Charges the traffic of propagating one cluster's summary delta to
+    /// its members: the fan-out follows the intra-cluster topology the
+    /// `θ` model encodes, the payload the size of the changed term set.
+    ///
+    /// Accounting convention: only *churn* events pay explicit
+    /// `SummaryUpdate` messages. Protocol relocations piggyback their
+    /// summary delta on the `GrantCoordination` message the move already
+    /// charges, and the upkeep is charged identically whatever the
+    /// routing mode — summaries are standing overlay infrastructure
+    /// (the lookup analysis reads them too), so flood-vs-routed ledgers
+    /// stay directly comparable.
+    fn charge_summary_update(&self, net: &mut SimNetwork, cluster: ClusterId, docs: &[Document]) {
+        let fanout = self
+            .config
+            .theta
+            .broadcast_messages(self.overlay.size(cluster));
+        if fanout > 0 {
+            let terms: usize = docs.iter().map(Document::len).sum();
+            net.send_many(MsgKind::SummaryUpdate, 16 + 4 * terms as u64, fanout);
+        }
     }
 
     /// Replaces a peer's workload and rebuilds the index (workload-update
@@ -194,24 +252,42 @@ impl System {
     }
 
     /// Replaces a peer's documents and rebuilds the index (content-update
-    /// experiments, §4.2).
+    /// experiments, §4.2). The cluster summaries absorb the change as a
+    /// delta.
     pub fn set_content(&mut self, peer: PeerId, docs: Vec<Document>) {
-        self.store.replace(peer, docs);
+        self.apply_content_delta(peer, docs);
         self.rebuild_index();
     }
 
     /// Replaces the content of many peers, rebuilding the index once.
     pub fn set_contents(&mut self, updates: Vec<(PeerId, Vec<Document>)>) {
         for (peer, docs) in updates {
-            self.store.replace(peer, docs);
+            self.apply_content_delta(peer, docs);
         }
         self.rebuild_index();
+    }
+
+    fn apply_content_delta(&mut self, peer: PeerId, docs: Vec<Document>) {
+        let cid = self.overlay.cluster_of(peer);
+        let old = self.store.replace(peer, docs);
+        if let Some(cid) = cid {
+            self.summaries
+                .apply_content_update(cid, &old, self.store.docs(peer));
+        }
     }
 
     /// Rebuilds the recall index from scratch (after content or workload
     /// changes).
     pub fn rebuild_index(&mut self) {
         self.index = RecallIndex::build(&self.overlay, &self.store, &self.workloads);
+    }
+
+    /// Rebuilds the cluster summaries from scratch — the oracle for the
+    /// delta hooks, and the repair step after mutating membership or
+    /// content through [`System::overlay_mut`] / [`System::store_mut`]
+    /// directly.
+    pub fn rebuild_summaries(&mut self) {
+        self.summaries = ClusterSummaries::build(&self.overlay, &self.store);
     }
 
     /// Mutable access to the overlay for substrate-level operations
@@ -233,7 +309,9 @@ impl System {
         &mut self.workloads
     }
 
-    /// Refreshes cluster masses after external membership changes.
+    /// Refreshes cluster masses after external membership changes. Recall
+    /// masses only — pair with [`System::rebuild_summaries`] when
+    /// cluster-directed routing is used afterwards.
     pub fn refresh_mass(&mut self) {
         self.index.refresh_mass(&self.overlay);
     }

@@ -19,7 +19,9 @@
 //! * [`routing`] — query evaluation over the overlay with results
 //!   annotated by the answering cluster's `cid` (§3.1: "the results of
 //!   each query are annotated with the corresponding cids"), flooding
-//!   and cluster-directed variants, and the *cluster recall* measure.
+//!   and cluster-directed variants, the *cluster recall* measure, and
+//!   the cluster-directed layer: delta-maintained per-cluster content
+//!   summaries and the route plans built from them.
 //! * [`churn`] — peer join/leave events that keep the `Cmax = |P|`
 //!   invariant.
 
@@ -37,5 +39,8 @@ pub use churn::{apply_event, ChurnDelta, ChurnEvent};
 pub use content::ContentStore;
 pub use network::{MsgKind, SimNetwork};
 pub use overlay::{Cluster, Overlay};
-pub use routing::{cluster_recall, flood_query, route_to_clusters, AnnotatedResult};
+pub use routing::{
+    cluster_recall, flood_query, route_to_clusters, AnnotatedResult, ClusterSummaries, RoutePlan,
+    RoutingMode, SummaryMode,
+};
 pub use theta::Theta;

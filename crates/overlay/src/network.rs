@@ -27,6 +27,9 @@ pub enum MsgKind {
     ClusterJoin,
     /// A peer leaving a cluster.
     ClusterLeave,
+    /// A cluster propagating a content-summary refresh to its members
+    /// (cluster-directed routing upkeep).
+    SummaryUpdate,
     /// Global state collection / broadcast used by centralized baselines.
     GlobalBroadcast,
 }
@@ -41,6 +44,7 @@ pub const ALL_KINDS: &[MsgKind] = &[
     MsgKind::ResultReturn,
     MsgKind::ClusterJoin,
     MsgKind::ClusterLeave,
+    MsgKind::SummaryUpdate,
     MsgKind::GlobalBroadcast,
 ];
 
@@ -66,8 +70,8 @@ fn kind_index(kind: MsgKind) -> usize {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimNetwork {
-    counts: [u64; 9],
-    bytes: [u64; 9],
+    counts: [u64; 10],
+    bytes: [u64; 10],
 }
 
 impl SimNetwork {

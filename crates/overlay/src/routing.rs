@@ -5,10 +5,24 @@
 //! use those annotations to track per-cluster recall. The number of
 //! results a peer sees "depends on the routing algorithm used, and if a
 //! query is evaluated against all clusters in the system, it is equal to
-//! the total number of results" — this module provides both the
-//! all-clusters flood and a directed variant.
+//! the total number of results" — this module provides the all-clusters
+//! flood, a directed variant, and the *cluster-directed* layer on top:
+//! per-cluster content summaries ([`ClusterSummaries`]) maintained by
+//! membership/content hooks, and the [`RoutePlan`] built from them that
+//! forwards a query only to clusters whose summary matches.
+//!
+//! With **exact** summaries the match test has no false negatives (a
+//! query matches a document only if every query attribute appears in it,
+//! so a cluster holding any result carries every query attribute in its
+//! summary); routed evaluation therefore returns exactly the flood
+//! result set while forwarding to far fewer clusters. **Lossy**
+//! summaries ([`SummaryMode::TopK`]) keep only each cluster's most
+//! frequent attributes, trading false negatives (missed results) for
+//! smaller summaries — the precision-vs-traffic axis.
 
-use recluster_types::{ClusterId, PeerId, Query};
+use std::collections::BTreeMap;
+
+use recluster_types::{ClusterId, Document, PeerId, Query, Sym};
 
 use crate::content::ContentStore;
 use crate::network::{MsgKind, SimNetwork};
@@ -71,6 +85,315 @@ pub fn route_to_clusters(
         }
     }
     results
+}
+
+/// How much of a cluster's content its summary retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryMode {
+    /// Every attribute held by any member document is summarized; the
+    /// routed result set equals flood's, bit for bit.
+    Exact,
+    /// Only each cluster's `k` most frequent attributes (ties broken by
+    /// symbol order) are summarized. Queries on dropped attributes miss
+    /// the cluster — false negatives, reported as a rate by the tracker.
+    TopK(usize),
+}
+
+impl std::fmt::Display for SummaryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaryMode::Exact => write!(f, "exact"),
+            SummaryMode::TopK(k) => write!(f, "lossy:{k}"),
+        }
+    }
+}
+
+/// How `simulate_period` forwards queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Forward every query to every non-empty cluster (the paper's
+    /// evaluation assumption) — the oracle the routed modes are checked
+    /// against.
+    #[default]
+    Flood,
+    /// Forward only to clusters whose summary matches the query.
+    Routed(SummaryMode),
+}
+
+impl RoutingMode {
+    /// Parses the `RECLUSTER_ROUTING` knob: `flood`, `routed` (or
+    /// `exact`), or `lossy:<k>`.
+    pub fn parse(s: &str) -> Option<RoutingMode> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "flood" => Some(RoutingMode::Flood),
+            "routed" | "exact" => Some(RoutingMode::Routed(SummaryMode::Exact)),
+            _ => {
+                let k = s.strip_prefix("lossy:")?.parse().ok()?;
+                Some(RoutingMode::Routed(SummaryMode::TopK(k)))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingMode::Flood => write!(f, "flood"),
+            RoutingMode::Routed(m) => write!(f, "routed({m})"),
+        }
+    }
+}
+
+/// Per-cluster content summaries: for every cluster, how many member
+/// documents carry each attribute, plus the member-document total.
+///
+/// The summaries cover **assigned** peers only (a departed peer's
+/// documents are unreachable by routing, exactly as they are by flood),
+/// and are delta-maintained by the membership/content hooks
+/// ([`ClusterSummaries::apply_move`] and friends); [`ClusterSummaries::build`]
+/// is the from-scratch oracle the deltas are property-tested against.
+///
+/// # Examples
+/// ```
+/// use recluster_overlay::{ClusterSummaries, ContentStore, Overlay};
+/// use recluster_types::{ClusterId, Document, PeerId, Query, Sym};
+///
+/// let ov = Overlay::singletons(2);
+/// let mut store = ContentStore::new(2);
+/// store.add(PeerId(0), Document::new(vec![Sym(1), Sym(2)]));
+/// let summaries = ClusterSummaries::build(&ov, &store);
+/// assert!(summaries.matches(ClusterId(0), &Query::keyword(Sym(1))));
+/// assert!(!summaries.matches(ClusterId(1), &Query::keyword(Sym(1))));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterSummaries {
+    /// Per cluster: attribute → number of member documents carrying it.
+    terms: Vec<BTreeMap<Sym, u64>>,
+    /// Per cluster: total documents held by its members.
+    docs: Vec<u64>,
+}
+
+impl ClusterSummaries {
+    /// Empty summaries over `cmax` cluster slots.
+    pub fn new(cmax: usize) -> Self {
+        ClusterSummaries {
+            terms: vec![BTreeMap::new(); cmax],
+            docs: vec![0; cmax],
+        }
+    }
+
+    /// Builds the summaries from scratch — the oracle for the delta
+    /// hooks.
+    pub fn build(overlay: &Overlay, store: &ContentStore) -> Self {
+        let mut s = Self::new(overlay.cmax());
+        for peer in overlay.peers() {
+            let cid = overlay.cluster_of(peer).expect("live peer");
+            s.add_docs(cid, store.docs(peer));
+        }
+        s
+    }
+
+    /// Grows the summary table to `cmax` cluster slots (churn joins grow
+    /// the overlay).
+    pub fn ensure_cmax(&mut self, cmax: usize) {
+        if self.terms.len() < cmax {
+            self.terms.resize(cmax, BTreeMap::new());
+            self.docs.resize(cmax, 0);
+        }
+    }
+
+    /// Number of cluster slots summarized.
+    pub fn n_clusters(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Member documents carrying `sym` in cluster `cid`.
+    pub fn term_count(&self, cid: ClusterId, sym: Sym) -> u64 {
+        self.terms[cid.index()].get(&sym).copied().unwrap_or(0)
+    }
+
+    /// Distinct attributes summarized for cluster `cid`.
+    pub fn n_terms(&self, cid: ClusterId) -> usize {
+        self.terms[cid.index()].len()
+    }
+
+    /// Total member documents of cluster `cid`.
+    pub fn doc_count(&self, cid: ClusterId) -> u64 {
+        self.docs[cid.index()]
+    }
+
+    fn add_docs(&mut self, cid: ClusterId, docs: &[Document]) {
+        let slot = &mut self.terms[cid.index()];
+        for doc in docs {
+            for &a in doc.attrs() {
+                *slot.entry(a).or_insert(0) += 1;
+            }
+        }
+        self.docs[cid.index()] += docs.len() as u64;
+    }
+
+    fn remove_docs(&mut self, cid: ClusterId, docs: &[Document]) {
+        let slot = &mut self.terms[cid.index()];
+        for doc in docs {
+            for &a in doc.attrs() {
+                match slot.get_mut(&a) {
+                    Some(n) if *n > 1 => *n -= 1,
+                    Some(_) => {
+                        slot.remove(&a);
+                    }
+                    None => debug_assert!(false, "summary underflow: {cid} lacks {a:?}"),
+                }
+            }
+        }
+        debug_assert!(self.docs[cid.index()] >= docs.len() as u64);
+        self.docs[cid.index()] -= docs.len() as u64;
+    }
+
+    /// A peer carrying `docs` moved `from` → `to`.
+    pub fn apply_move(&mut self, docs: &[Document], from: ClusterId, to: ClusterId) {
+        if from == to {
+            return;
+        }
+        self.remove_docs(from, docs);
+        self.add_docs(to, docs);
+    }
+
+    /// A peer carrying `docs` joined cluster `to`.
+    pub fn apply_join(&mut self, docs: &[Document], to: ClusterId) {
+        self.add_docs(to, docs);
+    }
+
+    /// A peer carrying `docs` left cluster `from`.
+    pub fn apply_leave(&mut self, docs: &[Document], from: ClusterId) {
+        self.remove_docs(from, docs);
+    }
+
+    /// A member of cluster `cid` replaced `old` documents with `new`.
+    pub fn apply_content_update(&mut self, cid: ClusterId, old: &[Document], new: &[Document]) {
+        self.remove_docs(cid, old);
+        self.add_docs(cid, new);
+    }
+
+    /// Exact membership test: could cluster `cid` hold results for
+    /// `query`? `true` iff the cluster has documents and every query
+    /// attribute appears in its summary. No false negatives; false
+    /// positives only for multi-attribute queries whose attributes never
+    /// co-occur in one document.
+    pub fn matches(&self, cid: ClusterId, query: &Query) -> bool {
+        self.docs[cid.index()] > 0
+            && query
+                .attrs()
+                .iter()
+                .all(|a| self.terms[cid.index()].contains_key(a))
+    }
+
+    /// The `k` most frequent attributes of cluster `cid` (ties broken by
+    /// symbol order) — the lossy summary's retained set, sorted by
+    /// symbol.
+    pub fn top_k_terms(&self, cid: ClusterId, k: usize) -> Vec<Sym> {
+        let mut ranked: Vec<(Sym, u64)> = self.terms[cid.index()]
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        let mut kept: Vec<Sym> = ranked.into_iter().map(|(s, _)| s).collect();
+        kept.sort_unstable();
+        kept
+    }
+}
+
+/// A routing snapshot built from the summaries: an inverted
+/// attribute → clusters index over the (possibly truncated) summary
+/// terms, used to plan which clusters a query is forwarded to.
+///
+/// Build once per period (summaries change only between periods) and
+/// call [`RoutePlan::route`] per query.
+#[derive(Debug, Clone)]
+pub struct RoutePlan {
+    mode: SummaryMode,
+    /// attribute → clusters whose summary retains it (ascending ids).
+    by_term: BTreeMap<Sym, Vec<ClusterId>>,
+    /// Clusters with at least one summarized document (ascending ids).
+    with_docs: Vec<ClusterId>,
+}
+
+impl RoutePlan {
+    /// Builds the plan from the current summaries under `mode`.
+    pub fn build(summaries: &ClusterSummaries, mode: SummaryMode) -> Self {
+        let mut by_term: BTreeMap<Sym, Vec<ClusterId>> = BTreeMap::new();
+        let mut with_docs = Vec::new();
+        for c in 0..summaries.n_clusters() {
+            let cid = ClusterId::from_index(c);
+            if summaries.doc_count(cid) == 0 {
+                continue;
+            }
+            with_docs.push(cid);
+            match mode {
+                SummaryMode::Exact => {
+                    for &sym in summaries.terms[c].keys() {
+                        by_term.entry(sym).or_default().push(cid);
+                    }
+                }
+                SummaryMode::TopK(k) => {
+                    for sym in summaries.top_k_terms(cid, k) {
+                        by_term.entry(sym).or_default().push(cid);
+                    }
+                }
+            }
+        }
+        RoutePlan {
+            mode,
+            by_term,
+            with_docs,
+        }
+    }
+
+    /// The summary precision this plan was built with.
+    pub fn mode(&self) -> SummaryMode {
+        self.mode
+    }
+
+    /// Clusters holding at least one summarized document.
+    pub fn with_docs(&self) -> &[ClusterId] {
+        &self.with_docs
+    }
+
+    /// The clusters `query` is forwarded to: those retaining every query
+    /// attribute (an empty query matches every cluster with documents).
+    /// Ascending cluster ids, so routed evaluation visits clusters in
+    /// the same order flood does.
+    pub fn route(&self, query: &Query) -> Vec<ClusterId> {
+        let mut out = Vec::new();
+        self.route_into(query, &mut out);
+        out
+    }
+
+    /// [`RoutePlan::route`] into a reused buffer (cleared first) — the
+    /// per-query hot path of the routed tracker.
+    pub fn route_into(&self, query: &Query, out: &mut Vec<ClusterId>) {
+        out.clear();
+        let mut attrs = query.attrs().iter();
+        let Some(first) = attrs.next() else {
+            out.extend_from_slice(&self.with_docs);
+            return;
+        };
+        let Some(base) = self.by_term.get(first) else {
+            return;
+        };
+        out.extend_from_slice(base);
+        for a in attrs {
+            let Some(list) = self.by_term.get(a) else {
+                out.clear();
+                return;
+            };
+            out.retain(|c| list.binary_search(c).is_ok());
+            if out.is_empty() {
+                return;
+            }
+        }
+    }
 }
 
 /// The *cluster recall* measure of §3.1: "the fraction of results
@@ -205,5 +528,138 @@ mod tests {
             directed.extend(route_to_clusters(&ov, &store, &q, &[cid], &mut net));
         }
         assert_eq!(flooded, directed);
+    }
+
+    #[test]
+    fn summaries_build_counts_member_documents() {
+        let (ov, store) = fixture();
+        let s = ClusterSummaries::build(&ov, &store);
+        // c0 = {p0, p1}: Sym(1) in 3 docs, Sym(2) in 1, Sym(3) in 1.
+        assert_eq!(s.term_count(ClusterId(0), Sym(1)), 3);
+        assert_eq!(s.term_count(ClusterId(0), Sym(2)), 1);
+        assert_eq!(s.term_count(ClusterId(0), Sym(3)), 1);
+        assert_eq!(s.doc_count(ClusterId(0)), 3);
+        // c1 is empty, c2 = {p2} with one Sym(2) doc.
+        assert_eq!(s.doc_count(ClusterId(1)), 0);
+        assert_eq!(s.term_count(ClusterId(2), Sym(2)), 1);
+        assert_eq!(s.n_terms(ClusterId(2)), 1);
+    }
+
+    #[test]
+    fn summary_hooks_match_rebuild() {
+        let (mut ov, mut store) = fixture();
+        let mut s = ClusterSummaries::build(&ov, &store);
+
+        // Move p1 to c2.
+        let docs: Vec<Document> = store.docs(PeerId(1)).to_vec();
+        let from = ov.move_peer(PeerId(1), ClusterId(2));
+        s.apply_move(&docs, from, ClusterId(2));
+        assert_eq!(s, ClusterSummaries::build(&ov, &store));
+
+        // p0 leaves.
+        let docs: Vec<Document> = store.docs(PeerId(0)).to_vec();
+        let from = ov.unassign(PeerId(0)).unwrap();
+        s.apply_leave(&docs, from);
+        assert_eq!(s, ClusterSummaries::build(&ov, &store));
+
+        // p0 rejoins c1 with its old content.
+        ov.assign(PeerId(0), ClusterId(1));
+        s.apply_join(&docs, ClusterId(1));
+        assert_eq!(s, ClusterSummaries::build(&ov, &store));
+
+        // p2 replaces its content.
+        let old: Vec<Document> = store.docs(PeerId(2)).to_vec();
+        let new = vec![Document::new(vec![Sym(7)])];
+        store.replace(PeerId(2), new.clone());
+        s.apply_content_update(ClusterId(2), &old, &new);
+        assert_eq!(s, ClusterSummaries::build(&ov, &store));
+    }
+
+    #[test]
+    fn exact_match_has_no_false_negatives() {
+        let (ov, store) = fixture();
+        let s = ClusterSummaries::build(&ov, &store);
+        for sym in 1..4 {
+            let q = Query::keyword(Sym(sym));
+            for cid in ov.cluster_ids() {
+                let mut net = SimNetwork::new();
+                let results = route_to_clusters(&ov, &store, &q, &[cid], &mut net);
+                if !results.is_empty() {
+                    assert!(s.matches(cid, &q), "summary missed {cid} for Sym({sym})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_plan_targets_only_summarized_clusters() {
+        let (ov, store) = fixture();
+        let s = ClusterSummaries::build(&ov, &store);
+        let plan = RoutePlan::build(&s, SummaryMode::Exact);
+        assert_eq!(plan.with_docs(), &[ClusterId(0), ClusterId(2)]);
+        // Sym(2) lives in c0 (p0) and c2 (p2); Sym(1) only in c0.
+        assert_eq!(
+            plan.route(&Query::keyword(Sym(2))),
+            vec![ClusterId(0), ClusterId(2)]
+        );
+        assert_eq!(plan.route(&Query::keyword(Sym(1))), vec![ClusterId(0)]);
+        assert!(plan.route(&Query::keyword(Sym(99))).is_empty());
+        // Conjunction: both attrs must be retained by the cluster.
+        assert_eq!(
+            plan.route(&Query::new(vec![Sym(1), Sym(2)])),
+            vec![ClusterId(0)]
+        );
+        // The empty query goes everywhere documents are.
+        assert_eq!(
+            plan.route(&Query::new(Vec::new())),
+            vec![ClusterId(0), ClusterId(2)]
+        );
+    }
+
+    #[test]
+    fn top_k_summaries_drop_rare_terms() {
+        let (ov, store) = fixture();
+        let s = ClusterSummaries::build(&ov, &store);
+        // c0 terms by frequency: Sym(1)×3, Sym(2)×1, Sym(3)×1.
+        assert_eq!(s.top_k_terms(ClusterId(0), 1), vec![Sym(1)]);
+        // Tie between Sym(2) and Sym(3) broken by symbol order.
+        assert_eq!(s.top_k_terms(ClusterId(0), 2), vec![Sym(1), Sym(2)]);
+        let plan = RoutePlan::build(&s, SummaryMode::TopK(1));
+        // Sym(2) was dropped from c0's summary but kept in c2's.
+        assert_eq!(plan.route(&Query::keyword(Sym(2))), vec![ClusterId(2)]);
+    }
+
+    #[test]
+    fn routing_mode_parses_and_displays() {
+        assert_eq!(RoutingMode::parse("flood"), Some(RoutingMode::Flood));
+        assert_eq!(
+            RoutingMode::parse("routed"),
+            Some(RoutingMode::Routed(SummaryMode::Exact))
+        );
+        assert_eq!(
+            RoutingMode::parse("EXACT"),
+            Some(RoutingMode::Routed(SummaryMode::Exact))
+        );
+        assert_eq!(
+            RoutingMode::parse("lossy:16"),
+            Some(RoutingMode::Routed(SummaryMode::TopK(16)))
+        );
+        assert_eq!(RoutingMode::parse("nonsense"), None);
+        assert_eq!(RoutingMode::parse("lossy:x"), None);
+        assert_eq!(RoutingMode::Flood.to_string(), "flood");
+        assert_eq!(
+            RoutingMode::Routed(SummaryMode::TopK(8)).to_string(),
+            "routed(lossy:8)"
+        );
+    }
+
+    #[test]
+    fn ensure_cmax_grows_empty_slots() {
+        let mut s = ClusterSummaries::new(2);
+        s.ensure_cmax(4);
+        assert_eq!(s.n_clusters(), 4);
+        assert_eq!(s.doc_count(ClusterId(3)), 0);
+        s.ensure_cmax(1); // never shrinks
+        assert_eq!(s.n_clusters(), 4);
     }
 }

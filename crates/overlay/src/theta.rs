@@ -45,6 +45,24 @@ impl Theta {
         assert!(n_peers > 0, "membership cost needs a non-empty system");
         self.cost(cluster_size) / n_peers as f64
     }
+
+    /// Messages needed to propagate one intra-cluster update (e.g. a
+    /// content-summary refresh) to all `size` members, following the
+    /// topology this `θ` model encodes: fully connected clusters notify
+    /// every member directly, structured overlays pay a logarithmic
+    /// multicast, super-peer hierarchies a square-root one, and the
+    /// constant model a single hop. Zero for an empty cluster.
+    pub fn broadcast_messages(&self, size: usize) -> u64 {
+        if size == 0 {
+            return 0;
+        }
+        match *self {
+            Theta::Linear => size as u64,
+            Theta::Logarithmic => ((size + 1) as f64).log2().ceil() as u64,
+            Theta::Sqrt => (size as f64).sqrt().ceil() as u64,
+            Theta::Constant(_) => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for Theta {
@@ -134,5 +152,22 @@ mod tests {
     #[should_panic(expected = "non-empty system")]
     fn membership_in_empty_system_panics() {
         let _ = Theta::Linear.membership(1, 0);
+    }
+
+    #[test]
+    fn broadcast_fanout_follows_topology() {
+        assert_eq!(Theta::Linear.broadcast_messages(8), 8);
+        assert_eq!(Theta::Logarithmic.broadcast_messages(8), 4); // ⌈log2(9)⌉
+        assert_eq!(Theta::Sqrt.broadcast_messages(9), 3);
+        assert_eq!(Theta::Constant(5.0).broadcast_messages(8), 1);
+        for theta in [
+            Theta::Linear,
+            Theta::Logarithmic,
+            Theta::Sqrt,
+            Theta::Constant(2.0),
+        ] {
+            assert_eq!(theta.broadcast_messages(0), 0);
+            assert!(theta.broadcast_messages(1) >= 1);
+        }
     }
 }

@@ -14,10 +14,10 @@ use rand::Rng;
 use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
 use recluster_corpus::{QueryBias, WorkloadBuilder};
 use recluster_overlay::churn::{random_leave, ChurnDelta, ChurnEvent};
-use recluster_overlay::SimNetwork;
+use recluster_overlay::{RoutingMode, SimNetwork};
 use recluster_types::{derive_seed, seeded_rng, ClusterId, Workload};
 
-use crate::runner::{run_protocol, StrategyKind};
+use crate::runner::{measure_query_traffic, run_protocol, StrategyKind};
 use crate::scenario::{ideal_scenario1_system, ExperimentConfig, TestBed};
 
 /// One period's record.
@@ -34,6 +34,14 @@ pub struct ChurnPeriod {
     pub peers: usize,
     /// Relocations performed by maintenance.
     pub moves: usize,
+    /// Messages the period's query workload cost under the configured
+    /// routing mode (forwards + result returns).
+    pub query_messages: u64,
+    /// Forward messages per query occurrence under the configured mode.
+    pub forwards_per_query: f64,
+    /// Fraction of flood results the routing missed (nonzero only for
+    /// lossy summaries).
+    pub false_negative_rate: f64,
 }
 
 /// Configuration of the churn experiment.
@@ -49,6 +57,8 @@ pub struct ChurnConfig {
     pub maintenance: Option<StrategyKind>,
     /// Round budget per maintenance run.
     pub max_rounds: usize,
+    /// How each period's query workload is forwarded.
+    pub routing: RoutingMode,
 }
 
 impl Default for ChurnConfig {
@@ -59,6 +69,7 @@ impl Default for ChurnConfig {
             joins_per_period: 2,
             maintenance: Some(StrategyKind::Selfish),
             max_rounds: 60,
+            routing: RoutingMode::Flood,
         }
     }
 }
@@ -86,12 +97,22 @@ pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod
             let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
             moves = outcome.total_moves();
         }
+
+        // The period's query workload, forwarded per the configured
+        // routing mode over the (repaired) overlay, on its own ledger so
+        // the per-period record isolates query traffic from maintenance
+        // traffic.
+        let (query_net, routing) = measure_query_traffic(&testbed.system, churn.routing);
+
         records.push(ChurnPeriod {
             period,
             scost_after_churn,
             scost_after_repair: recluster_core::scost_normalized(&testbed.system),
             peers: testbed.system.overlay().n_peers(),
             moves,
+            query_messages: query_net.total_messages(),
+            forwards_per_query: routing.forwards_per_query(),
+            false_negative_rate: routing.false_negative_rate(),
         });
     }
     records
@@ -174,6 +195,7 @@ mod tests {
             joins_per_period: 1,
             maintenance: Some(StrategyKind::Selfish),
             max_rounds: 40,
+            routing: RoutingMode::Flood,
         };
         let with = run_churn(&cfg(), &churn);
         let without = run_churn(
@@ -216,6 +238,7 @@ mod tests {
             joins_per_period: 3,
             maintenance: None,
             max_rounds: 10,
+            routing: RoutingMode::Flood,
         };
         let rows = run_churn(&cfg(), &churn);
         // Net +1 peer per period from 40.
@@ -231,6 +254,39 @@ mod tests {
         for (a, b) in rows.iter().zip(again.iter()) {
             assert_eq!(a.peers, b.peers);
             assert!((a.scost_after_repair - b.scost_after_repair).abs() < 1e-12);
+            assert_eq!(a.query_messages, b.query_messages);
+        }
+    }
+
+    #[test]
+    fn routed_churn_repairs_identically_with_less_traffic() {
+        use recluster_overlay::SummaryMode;
+        let flood = run_churn(&cfg(), &ChurnConfig::default());
+        let routed = run_churn(
+            &cfg(),
+            &ChurnConfig {
+                routing: RoutingMode::Routed(SummaryMode::Exact),
+                ..ChurnConfig::default()
+            },
+        );
+        for (f, r) in flood.iter().zip(routed.iter()) {
+            // Routing changes what queries *cost*, never what the
+            // protocol decides: costs and moves are identical.
+            assert_eq!(
+                f.scost_after_repair.to_bits(),
+                r.scost_after_repair.to_bits()
+            );
+            assert_eq!(f.moves, r.moves);
+            assert_eq!(f.peers, r.peers);
+            assert!(
+                r.query_messages < f.query_messages,
+                "period {}: routed {} >= flood {}",
+                f.period,
+                r.query_messages,
+                f.query_messages
+            );
+            assert_eq!(r.false_negative_rate, 0.0);
+            assert!(r.forwards_per_query < f.forwards_per_query);
         }
     }
 }

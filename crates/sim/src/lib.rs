@@ -35,7 +35,8 @@ pub mod scenario;
 pub mod table1;
 pub mod updates;
 
-pub use runner::{run_protocol, sweep_map, Parallelism, StrategyKind};
+pub use recluster_overlay::{RoutingMode, SummaryMode};
+pub use runner::{measure_query_traffic, run_protocol, sweep_map, Parallelism, StrategyKind};
 pub use scenario::{
     build_system, ideal_scenario1_system, ExperimentConfig, InitialConfig, Scenario, TestBed,
 };

@@ -19,6 +19,7 @@
 //! membership but more forwards per query; fewer → the reverse.
 
 use recluster_core::System;
+use recluster_overlay::{RoutePlan, SummaryMode};
 use recluster_types::ClusterId;
 
 /// Lookup-cost measures for one system state.
@@ -30,6 +31,10 @@ pub struct LookupCosts {
     pub mean_cluster_size: f64,
     /// Messages per query to collect all results (flood).
     pub flood_messages: f64,
+    /// Forwards per query under cluster-directed routing with exact
+    /// summaries, in expectation over the query demand — what replaces
+    /// the flood's one-forward-per-cluster term.
+    pub routed_forwards: f64,
     /// Expected clusters probed until the first result (uniform probing
     /// without replacement), averaged over query demand; equals the
     /// cluster count plus one when a query has no results at all.
@@ -51,6 +56,19 @@ pub fn lookup_costs(system: &System) -> LookupCosts {
     let total_members: usize = non_empty.iter().map(|&c| overlay.size(c)).sum();
     // Flood: one forward per cluster + full intra-cluster fan-out.
     let flood = n_clusters as f64 + total_members as f64;
+
+    // Expected forwards under cluster-directed routing with exact
+    // summaries, over the same demand distribution.
+    let plan = RoutePlan::build(system.summaries(), SummaryMode::Exact);
+    let mut routed_acc = 0.0;
+    let mut routed_demand = 0.0;
+    for peer in overlay.peers() {
+        let wl = &system.workloads()[peer.index()];
+        for (query, count) in wl.iter() {
+            routed_acc += plan.route(query).len() as f64 * count as f64;
+            routed_demand += count as f64;
+        }
+    }
 
     let mut demand_total = 0.0;
     let mut probes_acc = 0.0;
@@ -92,6 +110,11 @@ pub fn lookup_costs(system: &System) -> LookupCosts {
             total_members as f64 / n_clusters as f64
         },
         flood_messages: flood,
+        routed_forwards: if routed_demand == 0.0 {
+            0.0
+        } else {
+            routed_acc / routed_demand
+        },
         expected_first_hit_probes: if demand_total == 0.0 {
             0.0
         } else {
@@ -159,6 +182,20 @@ mod tests {
         let costs = lookup_costs(&tb.system);
         // 4 clusters + 40 members.
         assert!((costs.flood_messages - 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routed_forwards_beat_flooding_every_cluster() {
+        let tb = crate::scenario::ideal_scenario1_system(&cfg());
+        let costs = lookup_costs(&tb.system);
+        // Exact summaries never forward to more clusters than exist and,
+        // with category-clustered content, target far fewer.
+        assert!(costs.routed_forwards <= costs.clusters as f64);
+        assert!(
+            costs.routed_forwards < costs.clusters as f64,
+            "routing should skip clusters without matching content"
+        );
+        assert!(costs.routed_forwards >= 1.0 - 1e-9);
     }
 
     #[test]

@@ -17,10 +17,10 @@
 use rayon::prelude::*;
 use recluster_baselines::{NoMaintenance, RandomStrategy};
 use recluster_core::{
-    AltruisticStrategy, HybridStrategy, ProtocolConfig, ProtocolEngine, RunOutcome,
-    SelfishStrategy, System,
+    simulate_period_routed, AltruisticStrategy, HybridStrategy, ProtocolConfig, ProtocolEngine,
+    RoutingReport, RunOutcome, SelfishStrategy, System,
 };
-use recluster_overlay::SimNetwork;
+use recluster_overlay::{RoutingMode, SimNetwork};
 
 /// The strategy roster available to experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +104,16 @@ where
     }
 }
 
+/// Runs one query-observation period under `mode` on a fresh ledger and
+/// returns the ledger together with the routing report — the
+/// query-traffic probe the churn experiment and the experiment binaries
+/// use to compare flood against cluster-directed routing.
+pub fn measure_query_traffic(system: &System, mode: RoutingMode) -> (SimNetwork, RoutingReport) {
+    let mut net = SimNetwork::new();
+    let (_, report) = simulate_period_routed(system, &mut net, mode);
+    (net, report)
+}
+
 /// Runs the reformulation protocol with the chosen strategy.
 pub fn run_protocol(
     system: &mut System,
@@ -174,6 +184,23 @@ mod tests {
         let two = sweep_map(Parallelism::Threads(2), &cells, f);
         assert_eq!(seq, auto);
         assert_eq!(seq, two);
+    }
+
+    #[test]
+    fn query_traffic_probe_shows_routed_savings() {
+        use recluster_overlay::SummaryMode;
+        let tb = build_system(
+            Scenario::SameCategory,
+            InitialConfig::Singletons,
+            &ExperimentConfig::small(17),
+        );
+        let (flood_net, flood) = measure_query_traffic(&tb.system, RoutingMode::Flood);
+        let (routed_net, routed) =
+            measure_query_traffic(&tb.system, RoutingMode::Routed(SummaryMode::Exact));
+        assert_eq!(flood.returned_results, routed.returned_results);
+        assert_eq!(routed.missed_results, 0);
+        assert!(routed.forwards < flood.forwards);
+        assert!(routed_net.total_messages() < flood_net.total_messages());
     }
 
     #[test]

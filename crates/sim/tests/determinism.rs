@@ -86,6 +86,30 @@ fn parallel_sweep_report_is_byte_identical_to_sequential() {
     assert_eq!(seq_csv.as_bytes(), two_csv.as_bytes());
 }
 
+/// CI runs this suite under a thread matrix (`RECLUSTER_THREADS=1,2,8`,
+/// mirrored into `RAYON_NUM_THREADS` so the shim's auto mode follows):
+/// a pool pinned to the matrix width must agree with the sequential
+/// runner byte for byte, so merge-order bugs in the rayon shim cannot
+/// hide behind a single-thread runner.
+#[test]
+fn matrix_pinned_pool_equals_sequential() {
+    let width: usize = std::env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let cells = cells();
+    let sequential = sweep_map(Parallelism::Sequential, &cells, run_cell);
+    let pinned = sweep_map(Parallelism::Threads(width), &cells, run_cell);
+    let (seq_csv, _) = render(&sequential);
+    let (pin_csv, _) = render(&pinned);
+    assert_eq!(
+        seq_csv.as_bytes(),
+        pin_csv.as_bytes(),
+        "{width}-thread pool diverged from sequential"
+    );
+}
+
 #[test]
 fn table1_parallel_equals_sequential() {
     let mut cfg = Table1Config::small(19);

@@ -135,6 +135,15 @@ fn render_table1() -> String {
     out
 }
 
+/// The trailing `f64-digest:` line of a snapshot (every float's raw
+/// bits feed it, so it pinpoints sub-rounding drift).
+fn digest_line(text: &str) -> &str {
+    text.lines()
+        .rev()
+        .find(|l| l.starts_with("f64-digest:"))
+        .unwrap_or("<no digest line>")
+}
+
 fn check(name: &str, actual: String) {
     let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
         .iter()
@@ -145,10 +154,36 @@ fn check(name: &str, actual: String) {
     }
     let expected = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
-    assert_eq!(
-        actual, expected,
-        "{name} drifted from its committed snapshot; if the change is intentional, \
-         regenerate with RECLUSTER_UPDATE_GOLDEN=1"
+    if actual == expected {
+        return;
+    }
+    // Point straight at the damage: the first diverging line (1-based)
+    // and the two bit-level digests, instead of a bare inequality.
+    let diverged = actual
+        .lines()
+        .zip(expected.lines())
+        .position(|(a, e)| a != e)
+        .map(|i| {
+            format!(
+                "first diverging line {}:\n  actual:   {}\n  expected: {}",
+                i + 1,
+                actual.lines().nth(i).unwrap_or(""),
+                expected.lines().nth(i).unwrap_or(""),
+            )
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "line counts differ: actual {} vs expected {} (common prefix identical)",
+                actual.lines().count(),
+                expected.lines().count()
+            )
+        });
+    panic!(
+        "{name} drifted from its committed snapshot.\n{diverged}\n\
+         actual   {}\nexpected {}\n\
+         If the change is intentional, regenerate with RECLUSTER_UPDATE_GOLDEN=1",
+        digest_line(&actual),
+        digest_line(&expected),
     );
 }
 

@@ -7,6 +7,7 @@
 use recluster::sim::churn::{run_churn, ChurnConfig};
 use recluster::sim::runner::StrategyKind;
 use recluster::sim::scenario::ExperimentConfig;
+use recluster::sim::{RoutingMode, SummaryMode};
 
 fn main() {
     let cfg = ExperimentConfig::small(11);
@@ -16,6 +17,10 @@ fn main() {
         joins_per_period: 2,
         maintenance: Some(StrategyKind::Selfish),
         max_rounds: 60,
+        // Queries visit only summary-matching clusters; with exact
+        // summaries the results equal flooding's, at a fraction of the
+        // messages.
+        routing: RoutingMode::Routed(SummaryMode::Exact),
     };
 
     let maintained = run_churn(&cfg, &base);
@@ -27,17 +32,18 @@ fn main() {
         },
     );
 
-    println!("period | peers | unmaintained | after churn | maintained | moves");
-    println!("-------+-------+--------------+-------------+------------+------");
+    println!("period | peers | unmaintained | after churn | maintained | moves | query msgs");
+    println!("-------+-------+--------------+-------------+------------+-------+-----------");
     for (m, u) in maintained.iter().zip(unmaintained.iter()) {
         println!(
-            "{:6} | {:5} | {:12.3} | {:11.3} | {:10.3} | {:5}",
+            "{:6} | {:5} | {:12.3} | {:11.3} | {:10.3} | {:5} | {:10}",
             m.period,
             m.peers,
             u.scost_after_repair,
             m.scost_after_churn,
             m.scost_after_repair,
-            m.moves
+            m.moves,
+            m.query_messages
         );
     }
 
