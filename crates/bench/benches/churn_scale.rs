@@ -1,0 +1,54 @@
+//! The `churn_10k` scale scenario: 10 000+ peers churning under exact
+//! cluster-directed routing with selfish maintenance, end to end —
+//! the workload the delta-maintained engine (incremental recall index,
+//! content-update deltas, per-peer cost cache) exists for. One full
+//! deterministic run feeds the bench-trend gate:
+//!
+//! * deterministic metrics (average per-period repaired cost, query
+//!   messages per period, forwards per query, total relocations) are
+//!   seeded and machine-independent — any drift is a real regression of
+//!   routing precision or protocol quality, gated hard at 2×;
+//! * the wall-clock seconds of the whole run are recorded into the
+//!   `BENCH_pr.json` artifact for trend-watching but deliberately kept
+//!   *out* of the committed baseline: a 15 s single-shot measured on
+//!   one machine gated against heterogeneous shared runners would be
+//!   pure flake, and an O(peers × queries) rebuild sneaking back is
+//!   already caught structurally (it would also shift no deterministic
+//!   metric yet be visible in the artifact's timing history).
+//!
+//! The run executes once (no `b.iter` loop): at this scale a single
+//! pass is the measurement, and all count metrics are exact.
+
+use recluster_sim::churn::{churn_10k_config, run_churn};
+
+fn main() {
+    let seed = 2008;
+    let (cfg, churn) = churn_10k_config(seed);
+    let start = std::time::Instant::now();
+    let rows = run_churn(&cfg, &churn);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let n = rows.len() as f64;
+    let avg_repair = rows.iter().map(|r| r.scost_after_repair).sum::<f64>() / n;
+    let avg_msgs = rows.iter().map(|r| r.query_messages).sum::<u64>() as f64 / n;
+    let avg_fwd = rows.iter().map(|r| r.forwards_per_query).sum::<f64>() / n;
+    let moves: usize = rows.iter().map(|r| r.moves).sum();
+    let peers = rows.last().map_or(0, |r| r.peers);
+
+    println!(
+        "churn_10k: {} peers, {} periods, avg repaired scost {avg_repair:.6}, \
+         {avg_msgs:.0} query msgs/period, {avg_fwd:.3} fwd/query, {moves} moves, {elapsed:.2}s",
+        peers,
+        rows.len(),
+    );
+
+    criterion::record_value("churn/churn_10k/avg_scost_after_repair", "cost", avg_repair);
+    criterion::record_value(
+        "churn/churn_10k/query_messages_per_period",
+        "msgs",
+        avg_msgs,
+    );
+    criterion::record_value("churn/churn_10k/forwards_per_query", "msgs", avg_fwd);
+    criterion::record_value("churn/churn_10k/total_moves", "moves", moves as f64);
+    criterion::record_value("churn/churn_10k/run_seconds", "seconds", elapsed);
+}

@@ -30,16 +30,17 @@ pub fn membership_cost(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
 /// cluster (with the peer itself counted inside).
 pub fn recall_loss(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
     let index = system.index();
-    let in_cluster = system.overlay().cluster_of(peer) == Some(cid);
+    if system.overlay().cluster_of(peer) == Some(cid) {
+        // The in-cluster arithmetic is shared with the cost cache so the
+        // cached value is bit-identical to this direct computation.
+        return crate::costcache::recall_loss_in(index, peer, cid);
+    }
     let mut loss = 0.0;
     for &(qid, weight) in index.workload_of(peer) {
         if index.total(qid) == 0 {
             continue; // unanswerable query: no recall to lose
         }
-        let mut inside = index.cluster_mass(qid, cid);
-        if !in_cluster {
-            inside += index.r(qid, peer);
-        }
+        let inside = index.cluster_mass(qid, cid) + index.r(qid, peer);
         // Clamp for float safety: mass + own share can exceed 1 by ulps.
         loss += weight * (1.0 - inside.min(1.0));
     }
@@ -127,7 +128,11 @@ pub fn pcost_set(system: &System, peer: PeerId, clusters: &[ClusterId]) -> f64 {
     membership + loss
 }
 
-/// `pcost` of the peer's current cluster.
+/// `pcost` of the peer's current cluster. Reads the recall term from
+/// the [`CostCache`](crate::costcache::CostCache) — O(1) per call after
+/// the flush, instead of O(|Q(p)|) — and is bit-identical to
+/// [`pcost`]`(system, peer, current)` because the cache recomputes dirty
+/// entries with the same arithmetic.
 ///
 /// # Panics
 /// Panics if the peer is unassigned.
@@ -136,7 +141,7 @@ pub fn pcost_current(system: &System, peer: PeerId) -> f64 {
         .overlay()
         .cluster_of(peer)
         .unwrap_or_else(|| panic!("{peer} is unassigned"));
-    pcost(system, peer, cid)
+    membership_cost(system, peer, cid) + system.cost_cache().recall_loss_of(peer)
 }
 
 #[cfg(test)]

@@ -33,6 +33,12 @@ pub struct BestResponse {
 ///
 /// Ties are broken toward the current cluster first, then the lowest
 /// cluster id, so the result is deterministic.
+///
+/// Cost: O(non-empty clusters), not O(`Cmax`). Every empty cluster has
+/// the same cost for a given peer (size 0, no recall mass), so only the
+/// *first* empty slot can ever win a strict-improvement scan over
+/// ascending ids — it is evaluated at exactly its id position and the
+/// rest are skipped, which selects the same cluster a full scan would.
 pub fn best_response(system: &System, peer: PeerId, allow_empty: bool) -> BestResponse {
     let current = system
         .overlay()
@@ -44,22 +50,35 @@ pub fn best_response(system: &System, peer: PeerId, allow_empty: bool) -> BestRe
         gain: 0.0,
     };
     let mut best_cost = current_cost;
-    for cid in system.overlay().cluster_ids() {
+    let consider = |cid: ClusterId, best: &mut BestResponse, best_cost: &mut f64| {
         if cid == current {
-            continue;
-        }
-        let size = system.overlay().size(cid);
-        if size == 0 && !allow_empty {
-            continue;
+            return;
         }
         let cost = pcost(system, peer, cid);
-        if cost < best_cost - COST_EPS {
-            best_cost = cost;
-            best = BestResponse {
+        if cost < *best_cost - COST_EPS {
+            *best_cost = cost;
+            *best = BestResponse {
                 cluster: cid,
                 gain: current_cost - cost,
             };
         }
+    };
+    let mut pending_empty = if allow_empty {
+        system.overlay().first_empty_cluster()
+    } else {
+        None
+    };
+    for &cid in system.overlay().non_empty_ids() {
+        if let Some(empty) = pending_empty {
+            if empty < cid {
+                consider(empty, &mut best, &mut best_cost);
+                pending_empty = None;
+            }
+        }
+        consider(cid, &mut best, &mut best_cost);
+    }
+    if let Some(empty) = pending_empty {
+        consider(empty, &mut best, &mut best_cost);
     }
     best
 }

@@ -7,16 +7,55 @@
 //! we divide by `|P|` (the mean individual cost), which reproduces the
 //! paper's value of `0.1` for the ideal 10-cluster configuration of 200
 //! peers at `α = 1` with linear `θ` (`20/200 = 0.1`).
+//!
+//! Both criteria read the per-peer recall terms from the
+//! [`CostCache`](crate::costcache::CostCache): a call after `k` peers
+//! changed recomputes only those `k` entries (plus the O(peers) final
+//! sum), instead of re-deriving every peer's workload-weighted loss.
+//!
+//! # Examples
+//!
+//! Two peers holding each other's interests pay only the membership
+//! term once co-clustered:
+//!
+//! ```
+//! use recluster_core::{scost_normalized, wcost_normalized, GameConfig, System};
+//! use recluster_overlay::{ContentStore, Overlay};
+//! use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
+//!
+//! let mut ov = Overlay::singletons(2);
+//! ov.move_peer(PeerId(1), ClusterId(0));
+//! let mut store = ContentStore::new(2);
+//! store.add(PeerId(0), Document::new(vec![Sym(2)]));
+//! store.add(PeerId(1), Document::new(vec![Sym(1)]));
+//! let mut w0 = Workload::new();
+//! w0.add(Query::keyword(Sym(1)), 1);
+//! let mut w1 = Workload::new();
+//! w1.add(Query::keyword(Sym(2)), 1);
+//! let sys = System::new(ov, store, vec![w0, w1], GameConfig::default());
+//!
+//! // One cluster of 2 among 2 peers, α = 1, linear θ: θ(2)/2 = 1 each;
+//! // no recall is lost, so both normalized criteria equal 1.0.
+//! assert!((scost_normalized(&sys) - 1.0).abs() < 1e-12);
+//! assert!((wcost_normalized(&sys) - 1.0).abs() < 1e-12);
+//! ```
 
-use crate::cost::{pcost_current, recall_loss};
+use crate::cost::membership_cost;
 use crate::system::System;
 
-/// `SCost(S)` (Eq. 2): the sum of all individual costs.
+/// `SCost(S)` (Eq. 2): the sum of all individual costs — the O(1)
+/// membership terms computed on the fly plus the cached recall terms,
+/// summed in peer order (bit-identical to summing
+/// [`pcost_current`](crate::cost::pcost_current) directly).
 pub fn scost(system: &System) -> f64 {
+    let cache = system.cost_cache();
     system
         .overlay()
         .peers()
-        .map(|p| pcost_current(system, p))
+        .map(|p| {
+            let cid = system.overlay().cluster_of(p).expect("live peer");
+            membership_cost(system, p, cid) + cache.recall_loss_of(p)
+        })
         .sum()
 }
 
@@ -33,14 +72,14 @@ pub fn scost_normalized(system: &System) -> f64 {
 /// The two terms of `SCost` separately: `(membership, recall)`. Useful
 /// for Property-1 checks and for the `α`-ablation benches.
 pub fn scost_terms(system: &System) -> (f64, f64) {
-    let recall: f64 = system
-        .overlay()
-        .peers()
-        .map(|p| {
-            let cid = system.overlay().cluster_of(p).expect("live peer");
-            recall_loss(system, p, cid)
-        })
-        .sum();
+    let recall: f64 = {
+        let cache = system.cost_cache();
+        system
+            .overlay()
+            .peers()
+            .map(|p| cache.recall_loss_of(p))
+            .sum()
+    };
     (scost(system) - recall, recall)
 }
 
@@ -75,32 +114,19 @@ pub fn wcost(system: &System) -> f64 {
     wcost_membership_term(system) + wcost_recall_term(system)
 }
 
-/// The recall term of `WCost` alone.
+/// The recall term of `WCost` alone: the cached per-peer contributions
+/// `Σ_q num(q, Q(pi)) · (1 − mass)` summed in peer order over the
+/// cached live demand `num(Q)`. O(changed peers) to refresh the cache
+/// plus O(peers) to sum.
 pub fn wcost_recall_term(system: &System) -> f64 {
-    let index = system.index();
-    let global_total: u64 = system
-        .overlay()
-        .peers()
-        .map(|p| system.workloads()[p.index()].total())
-        .sum();
+    let cache = system.cost_cache();
+    let global_total = cache.live_demand();
     if global_total == 0 {
         return 0.0;
     }
     let mut acc = 0.0;
     for peer in system.overlay().peers() {
-        let cid = system.overlay().cluster_of(peer).expect("live peer");
-        let peer_total = system.workloads()[peer.index()].total();
-        if peer_total == 0 {
-            continue;
-        }
-        for &(qid, rel_freq) in index.workload_of(peer) {
-            if index.total(qid) == 0 {
-                continue;
-            }
-            let num_q_pi = rel_freq * peer_total as f64; // num(q, Q(pi))
-            let loss = 1.0 - index.cluster_mass(qid, cid).min(1.0);
-            acc += num_q_pi * loss;
-        }
+        acc += cache.wrecall_of(peer);
     }
     acc / global_total as f64
 }

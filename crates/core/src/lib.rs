@@ -15,6 +15,9 @@
 //!   join-inclusive membership semantics of §2.3.
 //! * [`global`] — the global quality criteria `SCost` (Eq. 2) and
 //!   `WCost` (Eq. 3) plus their normalized forms, and Property 1.
+//! * [`costcache`] — per-peer cached cost terms, delta-maintained by the
+//!   same mutator hooks as the index, so the global criteria and the
+//!   per-round cost reports are O(changed peers) between reads.
 //! * [`equilibrium`] — best responses and exact Nash-equilibrium
 //!   checking (§2.3), including the two-peer no-equilibrium example.
 //! * [`strategy`] — the relocation strategies of §3.1: selfish
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod costcache;
 pub mod equilibrium;
 pub mod global;
 pub mod protocol;
@@ -42,6 +46,7 @@ pub mod system;
 pub mod tracker;
 
 pub use cost::{pcost, pcost_set};
+pub use costcache::CostCache;
 pub use equilibrium::{best_response, best_response_set, is_nash_equilibrium, BestResponse};
 pub use global::{scost, scost_normalized, wcost, wcost_normalized};
 pub use protocol::{

@@ -156,11 +156,7 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
         self.fold_min_costs(system, &[]);
 
         // ---- Phase 1: gather per-cluster best requests. -------------
-        let non_empty: Vec<ClusterId> = system
-            .overlay()
-            .cluster_ids()
-            .filter(|&c| !system.overlay().cluster(c).is_empty())
-            .collect();
+        let non_empty: Vec<ClusterId> = system.overlay().non_empty_ids().to_vec();
 
         let mut requests: Vec<RelocationRequest> = Vec::new();
         for &cid in &non_empty {

@@ -6,27 +6,42 @@
 //! for every (distinct query, peer) pair and, per candidate cluster, the
 //! *recall mass* `Σ_{pj∈c} r(q, pj)`. [`RecallIndex`] precomputes all of
 //! it from the content store and the union of workloads, and maintains
-//! the cluster masses **incrementally** across membership changes via
-//! [`RecallIndex::apply_move`] / [`RecallIndex::apply_join`] /
-//! [`RecallIndex::apply_leave`], with [`RecallIndex::rebuild`] kept as
-//! the from-scratch oracle.
+//! **all** of its state incrementally:
+//!
+//! * membership changes via [`RecallIndex::apply_move`] /
+//!   [`RecallIndex::apply_join`] / [`RecallIndex::apply_leave`]
+//!   (O(results-of-peer) each), with [`RecallIndex::rebuild`] as the
+//!   mass oracle;
+//! * content changes via [`RecallIndex::apply_content_update`]
+//!   (O(candidate queries × docs-of-peer) — candidates come from an
+//!   attribute → query inverted index, so only queries that could match
+//!   the changed documents are re-evaluated);
+//! * workload changes via [`RecallIndex::set_workload`], which registers
+//!   genuinely new queries with [`RecallIndex::ensure_query`]
+//!   (O(peers) per *new* distinct query — the unavoidable cost of a
+//!   fresh result column) and rewrites one peer's weight row.
+//!
+//! [`RecallIndex::rebuild_from`] is the full content-aware oracle: it
+//! recomputes every result count, total, weight row and mass numerator
+//! for the **current query universe** from the store and workloads.
 //!
 //! # Incremental-index invariants
 //!
 //! The per-cluster mass is stored as an **integer numerator**
 //! `Σ_{pj ∈ c} result(q, pj)`; the float mass is derived on lookup as
-//! `numerator / total(q)`. Integer addition is exact and
-//! order-independent, so a delta-maintained index is bit-for-bit equal
-//! to a rebuilt one after *any* sequence of membership changes (moves,
-//! joins of already-indexed peers, leaves) — property-tested in
-//! `tests/prop_incremental.rs`. Content or workload changes alter
-//! `result(q, p)` / `total(q)` themselves and still require a full
-//! [`RecallIndex::build`].
+//! `numerator / total(q)`. Result counts and totals are integers too, so
+//! every delta is exact and order-independent, and a delta-maintained
+//! index is bit-for-bit equal to [`RecallIndex::rebuild_from`] after
+//! *any* interleaving of membership, content, and workload changes —
+//! property-tested in `tests/prop_incremental.rs`. (A from-scratch
+//! [`RecallIndex::build`] may number queries differently and drop
+//! stale ones, but derived quantities — `r`, masses, `pcost` — are
+//! bit-identical under either numbering.)
 
 use std::collections::HashMap;
 
 use recluster_overlay::{ContentStore, Overlay};
-use recluster_types::{ClusterId, PeerId, Query, Workload};
+use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
 
 /// Identifier of a distinct query inside a [`RecallIndex`].
 pub type QueryId = u32;
@@ -52,6 +67,15 @@ pub struct RecallIndex {
     /// Cluster slots each `mass_num` row covers (the overlay's `Cmax` at
     /// the last rebuild/growth).
     cmax: usize,
+    /// Attribute → ids of queries containing it (ascending). A non-empty
+    /// query can only match a document that carries *all* its attributes,
+    /// so the union of these buckets over a document set covers every
+    /// query with a nonzero result there — the candidate set content
+    /// deltas re-evaluate.
+    by_attr: HashMap<Sym, Vec<QueryId>>,
+    /// Ids of attribute-less queries, which match every document and so
+    /// are always candidates.
+    universal: Vec<QueryId>,
 }
 
 impl RecallIndex {
@@ -69,39 +93,224 @@ impl RecallIndex {
         );
         assert_eq!(store.n_peers(), overlay.n_slots(), "store/overlay mismatch");
 
-        // Collect distinct queries across all workloads.
-        let mut queries: Vec<Query> = Vec::new();
-        let mut qid_of: HashMap<Query, QueryId> = HashMap::new();
+        let n_slots = overlay.n_slots();
+        let mut index = RecallIndex {
+            queries: Vec::new(),
+            qid_of: HashMap::new(),
+            peer_results: vec![Vec::new(); n_slots],
+            totals: Vec::new(),
+            peer_workload: Vec::new(),
+            mass_num: Vec::new(),
+            cmax: 0,
+            by_attr: HashMap::new(),
+            universal: Vec::new(),
+        };
+
+        // Collect distinct queries across all workloads (ids in first-seen
+        // order), populating the attribute → query inverted index.
         for w in workloads {
             for (q, _) in w.iter() {
-                if !qid_of.contains_key(q) {
-                    qid_of.insert(q.clone(), queries.len() as QueryId);
-                    queries.push(q.clone());
-                }
+                index.register_query(q);
             }
         }
 
-        // result(q, p) for every distinct query and peer.
-        let n_slots = overlay.n_slots();
-        let mut peer_results: Vec<Vec<(QueryId, u64)>> = vec![Vec::new(); n_slots];
-        let mut totals = vec![0u64; queries.len()];
-        for (slot, results) in peer_results.iter_mut().enumerate() {
-            let peer = PeerId::from_index(slot);
-            let docs = store.docs(peer);
-            if docs.is_empty() {
-                continue;
+        // result(q, p) for every distinct query and peer, restricted to
+        // the candidate queries sharing an attribute with the peer's
+        // documents (exact: any other query has zero results there).
+        for slot in 0..n_slots {
+            let row = index.row_for(store.docs(PeerId::from_index(slot)));
+            for &(qid, count) in &row {
+                index.totals[qid as usize] += count;
             }
-            for (qid, q) in queries.iter().enumerate() {
-                let count = q.result_count(docs);
-                if count > 0 {
-                    results.push((qid as QueryId, count));
-                    totals[qid] += count;
-                }
-            }
+            index.peer_results[slot] = row;
         }
 
         // Per-peer workload weights.
-        let peer_workload = workloads
+        index.peer_workload = workloads
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .map(|(q, n)| (index.qid_of[q], n as f64 / w.total() as f64))
+                    .collect()
+            })
+            .collect();
+
+        index.rebuild(overlay);
+        index
+    }
+
+    /// Registers `query` in the universe (no result column yet): id maps,
+    /// a zeroed total, a zeroed mass row, and the inverted-index buckets.
+    /// Returns the id (existing or fresh).
+    fn register_query(&mut self, query: &Query) -> QueryId {
+        if let Some(&id) = self.qid_of.get(query) {
+            return id;
+        }
+        let qid = self.queries.len() as QueryId;
+        self.qid_of.insert(query.clone(), qid);
+        if query.is_empty() {
+            self.universal.push(qid);
+        } else {
+            for &a in query.attrs() {
+                self.by_attr.entry(a).or_default().push(qid);
+            }
+        }
+        self.queries.push(query.clone());
+        self.totals.push(0);
+        self.mass_num.push(vec![0; self.cmax]);
+        qid
+    }
+
+    /// The `(qid, result count)` row of a document set: candidate queries
+    /// come from the inverted index (plus the attribute-less ones), so
+    /// only queries that can possibly match are evaluated. Ascending qids,
+    /// nonzero counts only — exactly what a full scan would produce.
+    fn row_for(&self, docs: &[Document]) -> Vec<(QueryId, u64)> {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: Vec<QueryId> = self.universal.clone();
+        for doc in docs {
+            for a in doc.attrs() {
+                if let Some(bucket) = self.by_attr.get(a) {
+                    candidates.extend_from_slice(bucket);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut row = Vec::with_capacity(candidates.len());
+        for qid in candidates {
+            let count = self.queries[qid as usize].result_count(docs);
+            if count > 0 {
+                row.push((qid, count));
+            }
+        }
+        row
+    }
+
+    /// Registers `query` and, when it is genuinely new, computes its full
+    /// result column (counts, total, mass contributions of assigned
+    /// holders) — O(peers × docs-of-peer) for a new query, O(1) for a
+    /// known one. New ids are appended, so existing rows stay sorted.
+    pub fn ensure_query(
+        &mut self,
+        query: &Query,
+        overlay: &Overlay,
+        store: &ContentStore,
+    ) -> QueryId {
+        if let Some(&id) = self.qid_of.get(query) {
+            return id;
+        }
+        let qid = self.register_query(query);
+        debug_assert_eq!(store.n_peers(), self.peer_results.len());
+        for slot in 0..self.peer_results.len() {
+            let peer = PeerId::from_index(slot);
+            let count = query.result_count(store.docs(peer));
+            if count > 0 {
+                self.peer_results[slot].push((qid, count));
+                self.totals[qid as usize] += count;
+                if let Some(cid) = overlay.cluster_of(peer) {
+                    self.mass_num[qid as usize][cid.index()] += count;
+                }
+            }
+        }
+        qid
+    }
+
+    /// Delta-update for a peer's content being replaced by `new_docs`:
+    /// the old result row (still stored here) leaves the totals — and the
+    /// mass of `cid` when the peer is assigned — and a freshly evaluated
+    /// row enters both. O(candidate queries × docs); bit-identical to
+    /// [`RecallIndex::rebuild_from`] because every quantity is an
+    /// integer. Pass `cid = None` for an unassigned peer (e.g. retiring a
+    /// churn leaver's documents after [`RecallIndex::apply_leave`]).
+    pub fn apply_content_update(
+        &mut self,
+        peer: PeerId,
+        cid: Option<ClusterId>,
+        new_docs: &[Document],
+    ) {
+        let old = std::mem::take(&mut self.peer_results[peer.index()]);
+        for &(qid, count) in &old {
+            self.totals[qid as usize] -= count;
+            if let Some(c) = cid {
+                self.mass_num[qid as usize][c.index()] -= count;
+            }
+        }
+        let row = self.row_for(new_docs);
+        for &(qid, count) in &row {
+            self.totals[qid as usize] += count;
+            if let Some(c) = cid {
+                self.mass_num[qid as usize][c.index()] += count;
+            }
+        }
+        self.peer_results[peer.index()] = row;
+    }
+
+    /// Delta-update for a peer's workload being replaced: registers any
+    /// genuinely new queries (via [`RecallIndex::ensure_query`]) and
+    /// rewrites the peer's weight row. Totals and masses of existing
+    /// queries are untouched — workload changes never alter
+    /// `result(q, p)`.
+    pub fn set_workload(
+        &mut self,
+        peer: PeerId,
+        workload: &Workload,
+        overlay: &Overlay,
+        store: &ContentStore,
+    ) {
+        let total = workload.total();
+        let mut row = Vec::with_capacity(workload.distinct());
+        for (q, n) in workload.iter() {
+            let qid = self.ensure_query(q, overlay, store);
+            row.push((qid, n as f64 / total as f64));
+        }
+        self.peer_workload[peer.index()] = row;
+    }
+
+    /// Recomputes every result count, total, workload weight and mass
+    /// numerator from the store, workloads and assignment, for the
+    /// **current query universe** (ids preserved, stale queries kept) —
+    /// the content-aware oracle the `apply_content_update` /
+    /// `set_workload` deltas are property-tested against. Deliberately
+    /// brute-force: every query is evaluated against every peer.
+    ///
+    /// # Panics
+    /// Panics if the slot counts disagree, or if a workload contains a
+    /// query that was never registered.
+    pub fn rebuild_from(
+        &mut self,
+        overlay: &Overlay,
+        store: &ContentStore,
+        workloads: &[Workload],
+    ) {
+        assert_eq!(
+            workloads.len(),
+            overlay.n_slots(),
+            "one workload per peer slot"
+        );
+        assert_eq!(store.n_peers(), overlay.n_slots(), "store/overlay mismatch");
+        let n_slots = overlay.n_slots();
+        self.totals = vec![0; self.queries.len()];
+        self.peer_results = vec![Vec::new(); n_slots];
+        for slot in 0..n_slots {
+            let docs = store.docs(PeerId::from_index(slot));
+            if docs.is_empty() {
+                continue;
+            }
+            let mut row = Vec::new();
+            for (qid, q) in self.queries.iter().enumerate() {
+                let count = q.result_count(docs);
+                if count > 0 {
+                    row.push((qid as QueryId, count));
+                    self.totals[qid] += count;
+                }
+            }
+            self.peer_results[slot] = row;
+        }
+        let qid_of = &self.qid_of;
+        self.peer_workload = workloads
             .iter()
             .map(|w| {
                 w.iter()
@@ -109,18 +318,7 @@ impl RecallIndex {
                     .collect()
             })
             .collect();
-
-        let mut index = RecallIndex {
-            queries,
-            qid_of,
-            peer_results,
-            totals,
-            peer_workload,
-            mass_num: Vec::new(),
-            cmax: 0,
-        };
-        index.rebuild(overlay);
-        index
+        self.rebuild(overlay);
     }
 
     /// Recomputes the per-cluster recall masses from scratch for the
@@ -161,9 +359,10 @@ impl RecallIndex {
 
     /// Grows the per-peer tables to cover `n_slots` peer slots (after
     /// [`Overlay::grow`]). New slots start with no indexed results or
-    /// workload — a newcomer's *content* enters the index only on the
-    /// next full [`RecallIndex::build`], so its membership deltas are
-    /// exact no-ops until then.
+    /// workload — a newcomer's *content* enters the index through
+    /// [`RecallIndex::apply_content_update`], its workload through
+    /// [`RecallIndex::set_workload`]; until then its membership deltas
+    /// are exact no-ops.
     pub fn ensure_peer_slots(&mut self, n_slots: usize) {
         if n_slots > self.peer_results.len() {
             self.peer_results.resize(n_slots, Vec::new());
@@ -189,7 +388,7 @@ impl RecallIndex {
     /// Delta-update for an already-indexed peer joining cluster `to`
     /// (assignment of an unassigned peer slot). The peer's content must
     /// already be part of the index's totals — churn joins that *add*
-    /// content require a full [`RecallIndex::build`].
+    /// content follow up with [`RecallIndex::apply_content_update`].
     pub fn apply_join(&mut self, peer: PeerId, to: ClusterId) {
         for &(qid, count) in &self.peer_results[peer.index()] {
             self.mass_num[qid as usize][to.index()] += count;
@@ -198,8 +397,9 @@ impl RecallIndex {
 
     /// Delta-update for a peer leaving cluster `from` (churn departure).
     /// Totals still count the departed peer's data, matching
-    /// [`RecallIndex::rebuild`] semantics — rebuild the whole index when
-    /// its content is actually dropped.
+    /// [`RecallIndex::rebuild`] semantics — when its documents are
+    /// actually dropped from the store, follow up with
+    /// [`RecallIndex::apply_content_update`]`(peer, None, &[])`.
     pub fn apply_leave(&mut self, peer: PeerId, from: ClusterId) {
         for &(qid, count) in &self.peer_results[peer.index()] {
             self.mass_num[qid as usize][from.index()] -= count;

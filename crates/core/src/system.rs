@@ -3,14 +3,20 @@
 //! [`System`] bundles everything the cost functions and strategies need:
 //! the clustered overlay, the per-peer content, the per-peer workloads,
 //! the game parameters (`α`, `θ`) and the precomputed [`RecallIndex`].
-//! It is the single mutation point for membership changes so the index
-//! masses never go stale.
+//! It is the single mutation point for membership, content *and*
+//! workload changes, so the index, the routing summaries and the
+//! [`CostCache`] never go stale: every mutator applies a symmetric
+//! delta to all three, and the from-scratch rebuilds are kept only as
+//! oracles (and as repair steps after the `*_mut` escape hatches).
+
+use std::cell::{Ref, RefCell};
 
 use recluster_overlay::{
     ChurnDelta, ChurnEvent, ClusterSummaries, ContentStore, MsgKind, Overlay, SimNetwork, Theta,
 };
 use recluster_types::{ClusterId, Document, PeerId, Workload};
 
+use crate::costcache::CostCache;
 use crate::recall::RecallIndex;
 
 /// Game parameters of Eq. 1.
@@ -46,6 +52,9 @@ pub struct System {
     /// delta-maintained by the same membership/content hooks as the
     /// recall index.
     summaries: ClusterSummaries,
+    /// Per-peer cached cost terms (recall loss + `WCost` contribution),
+    /// dirty-tracked by every mutator and flushed lazily on read.
+    cache: RefCell<CostCache>,
 }
 
 impl System {
@@ -66,6 +75,7 @@ impl System {
         );
         let index = RecallIndex::build(&overlay, &store, &workloads);
         let summaries = ClusterSummaries::build(&overlay, &store);
+        let cache = RefCell::new(CostCache::new_all_dirty(overlay.n_slots()));
         System {
             overlay,
             store,
@@ -73,6 +83,7 @@ impl System {
             config,
             index,
             summaries,
+            cache,
         }
     }
 
@@ -98,7 +109,9 @@ impl System {
     }
 
     /// Overrides the game parameters (used by the `α`-sweep experiment).
-    /// Costs change but the recall index is unaffected.
+    /// Costs change but the recall index and the cached recall terms are
+    /// unaffected (`α`/`θ` only enter the membership terms, which are
+    /// computed on the fly).
     pub fn set_config(&mut self, config: GameConfig) {
         assert!(config.alpha >= 0.0 && config.alpha.is_finite());
         self.config = config;
@@ -114,9 +127,55 @@ impl System {
         &self.summaries
     }
 
+    /// The per-peer cost cache, flushed: any peers dirtied by earlier
+    /// mutations are recomputed before the reference is handed out.
+    /// Don't hold the returned [`Ref`] across calls that mutate the
+    /// system or re-enter the cache (e.g.
+    /// [`pcost_current`](crate::cost::pcost_current)).
+    pub fn cost_cache(&self) -> Ref<'_, CostCache> {
+        {
+            let mut cache = self.cache.borrow_mut();
+            cache.flush(&self.index, &self.overlay, &self.workloads);
+        }
+        self.cache.borrow()
+    }
+
+    /// Marks the whole cost cache stale; the next read recomputes every
+    /// peer's terms, the holder lists and the live demand from scratch —
+    /// the oracle the delta-maintained path is property-tested against.
+    pub fn rebuild_cost_cache(&mut self) {
+        self.cache.get_mut().mark_all();
+    }
+
     /// Live peer count `|P|`.
     pub fn n_peers(&self) -> usize {
         self.overlay.n_peers()
+    }
+
+    /// Marks the cache entries whose terms depend on the mass of `a` (or
+    /// `b`) for any query `peer` currently holds results for — the exact
+    /// dependency set of a membership change.
+    fn mark_mass_dependents(&mut self, peer: PeerId, a: ClusterId, b: Option<ClusterId>) {
+        let index = &self.index;
+        let overlay = &self.overlay;
+        let cache = self.cache.get_mut();
+        for &(qid, _) in index.results_of(peer) {
+            cache.mark_holders(qid as usize, |slot| {
+                let c = overlay.cluster_of(PeerId::from_index(slot as usize));
+                c == Some(a) || (b.is_some() && c == b)
+            });
+        }
+    }
+
+    /// Marks every holder of every query in `peer`'s current result row —
+    /// the dependency set of a *totals* change (content updates), which
+    /// moves the mass ratio of those queries in every cluster.
+    fn mark_total_dependents(&mut self, peer: PeerId) {
+        let index = &self.index;
+        let cache = self.cache.get_mut();
+        for &(qid, _) in index.results_of(peer) {
+            cache.mark_holders(qid as usize, |_| true);
+        }
     }
 
     /// Moves a peer to another cluster, delta-updating the cluster
@@ -124,8 +183,12 @@ impl System {
     /// previous cluster.
     pub fn move_peer(&mut self, peer: PeerId, to: ClusterId) -> ClusterId {
         let from = self.overlay.move_peer(peer, to);
-        self.index.apply_move(peer, from, to);
-        self.summaries.apply_move(self.store.docs(peer), from, to);
+        if from != to {
+            self.index.apply_move(peer, from, to);
+            self.summaries.apply_move(self.store.docs(peer), from, to);
+            self.mark_mass_dependents(peer, from, Some(to));
+            self.cache.get_mut().mark(peer.index());
+        }
         from
     }
 
@@ -133,9 +196,7 @@ impl System {
     /// protocol's phase 2 applies all granted relocations together.
     pub fn move_peers(&mut self, moves: &[(PeerId, ClusterId)]) {
         for &(peer, to) in moves {
-            let from = self.overlay.move_peer(peer, to);
-            self.index.apply_move(peer, from, to);
-            self.summaries.apply_move(self.store.docs(peer), from, to);
+            self.move_peer(peer, to);
         }
     }
 
@@ -153,31 +214,42 @@ impl System {
         self.index.apply_join(peer, to);
         self.summaries.ensure_cmax(self.overlay.cmax());
         self.summaries.apply_join(self.store.docs(peer), to);
+        self.cache.get_mut().ensure_slots(self.overlay.n_slots());
+        self.mark_mass_dependents(peer, to, None);
+        let demand = self.workloads[peer.index()].total();
+        let cache = self.cache.get_mut();
+        cache.mark(peer.index());
+        cache.add_live_demand(demand);
     }
 
     /// Removes a peer from its cluster (churn leave), delta-updating the
-    /// masses. The peer's content stays in the index's totals — call
-    /// [`System::rebuild_index`] when its documents are actually dropped
-    /// from the store. Returns the former cluster, `None` if already
-    /// departed.
+    /// masses. The peer's content stays in the store — and therefore in
+    /// the index's totals — exactly as a rebuild would see it; when the
+    /// documents are actually dropped, route the change through
+    /// [`System::set_content`] or [`System::apply_churn_event`] instead.
+    /// Returns the former cluster, `None` if already departed.
     pub fn leave_peer(&mut self, peer: PeerId) -> Option<ClusterId> {
         let from = self.overlay.unassign(peer)?;
         self.index.apply_leave(peer, from);
         // The departed peer's documents become unreachable by routing
-        // even though they stay in the index totals until a rebuild.
+        // even though they stay in the store (and the index totals).
         self.summaries.apply_leave(self.store.docs(peer), from);
+        self.mark_mass_dependents(peer, from, None);
+        let demand = self.workloads[peer.index()].total();
+        let cache = self.cache.get_mut();
+        cache.mark(peer.index());
+        cache.sub_live_demand(demand);
         Some(from)
     }
 
     /// Applies a churn event through the overlay hook and folds the
-    /// emitted [`ChurnDelta`] into the recall index, so mid-batch
-    /// membership state stays coherent. A `Join` grows the workload
-    /// table in lockstep (empty workload; set the real one via
-    /// [`System::workloads_mut`]). Content changes — the leaver's
-    /// dropped documents, the joiner's fresh ones — enter the index
-    /// totals only on the next [`System::rebuild_index`], which churn
-    /// drivers call once per batch. Returns the delta (`None` for a
-    /// no-op leave).
+    /// emitted [`ChurnDelta`] into every derived structure — recall
+    /// index (masses *and* content totals), routing summaries and cost
+    /// cache — so the system stays exactly consistent event by event; no
+    /// follow-up rebuild is needed. A `Join` grows the workload table in
+    /// lockstep (empty workload; set the real one via
+    /// [`System::set_workload`]). Returns the delta (`None` for a no-op
+    /// leave).
     pub fn apply_churn_event(
         &mut self,
         net: &mut SimNetwork,
@@ -196,9 +268,18 @@ impl System {
             recluster_overlay::churn::apply_event(&mut self.overlay, &mut self.store, net, event)?;
         match delta {
             ChurnDelta::Left { peer, cluster } => {
+                // Totals for the leaver's result queries are about to
+                // shrink: every holder's ratios move, whatever its
+                // cluster — mark them while the old row is still stored.
+                self.mark_total_dependents(peer);
                 self.index.apply_leave(peer, cluster);
+                self.index.apply_content_update(peer, None, &[]);
                 self.summaries.apply_leave(&leaver_docs, cluster);
                 self.charge_summary_update(net, cluster, &leaver_docs);
+                let demand = self.workloads[peer.index()].total();
+                let cache = self.cache.get_mut();
+                cache.mark(peer.index());
+                cache.sub_live_demand(demand);
             }
             ChurnDelta::Joined { peer, cluster } => {
                 self.workloads
@@ -206,9 +287,18 @@ impl System {
                 self.index.ensure_cmax(self.overlay.cmax());
                 self.index.ensure_peer_slots(self.overlay.n_slots());
                 self.index.apply_join(peer, cluster);
+                self.index
+                    .apply_content_update(peer, Some(cluster), self.store.docs(peer));
                 self.summaries.ensure_cmax(self.overlay.cmax());
                 self.summaries.apply_join(self.store.docs(peer), cluster);
                 self.charge_summary_update(net, cluster, self.store.docs(peer));
+                self.cache.get_mut().ensure_slots(self.overlay.n_slots());
+                // The fresh row is stored now: its holders see new totals.
+                self.mark_total_dependents(peer);
+                let demand = self.workloads[peer.index()].total();
+                let cache = self.cache.get_mut();
+                cache.mark(peer.index());
+                cache.add_live_demand(demand);
             }
         }
         Some(delta)
@@ -236,50 +326,84 @@ impl System {
         }
     }
 
-    /// Replaces a peer's workload and rebuilds the index (workload-update
-    /// experiments, §4.2).
+    /// Replaces a peer's workload (workload-update experiments, §4.2),
+    /// delta-maintaining the index: genuinely new queries get fresh
+    /// result columns (O(peers) each), known ones just a new weight —
+    /// no rebuild. Only this peer's cached terms are invalidated.
     pub fn set_workload(&mut self, peer: PeerId, workload: Workload) {
+        {
+            let index = &self.index;
+            let cache = self.cache.get_mut();
+            for &(qid, _) in index.workload_of(peer) {
+                cache.remove_holder(qid as usize, peer.index());
+            }
+        }
+        let assigned = self.overlay.cluster_of(peer).is_some();
+        let old_demand = self.workloads[peer.index()].total();
+        self.index
+            .set_workload(peer, &workload, &self.overlay, &self.store);
         self.workloads[peer.index()] = workload;
-        self.rebuild_index();
+        let new_demand = self.workloads[peer.index()].total();
+        let index = &self.index;
+        let cache = self.cache.get_mut();
+        for &(qid, _) in index.workload_of(peer) {
+            cache.add_holder(qid as usize, peer.index());
+        }
+        if assigned {
+            cache.sub_live_demand(old_demand);
+            cache.add_live_demand(new_demand);
+        }
+        cache.mark(peer.index());
     }
 
-    /// Replaces the workloads of many peers, rebuilding the index once.
+    /// Replaces the workloads of many peers, one delta each.
     pub fn set_workloads(&mut self, updates: Vec<(PeerId, Workload)>) {
         for (peer, w) in updates {
-            self.workloads[peer.index()] = w;
+            self.set_workload(peer, w);
         }
-        self.rebuild_index();
     }
 
-    /// Replaces a peer's documents and rebuilds the index (content-update
-    /// experiments, §4.2). The cluster summaries absorb the change as a
-    /// delta.
+    /// Replaces a peer's documents (content-update experiments, §4.2),
+    /// delta-maintaining the recall index and the cluster summaries —
+    /// no rebuild. Peers holding the affected queries in their workloads
+    /// are re-cached lazily.
     pub fn set_content(&mut self, peer: PeerId, docs: Vec<Document>) {
         self.apply_content_delta(peer, docs);
-        self.rebuild_index();
     }
 
-    /// Replaces the content of many peers, rebuilding the index once.
+    /// Replaces the content of many peers, one delta each.
     pub fn set_contents(&mut self, updates: Vec<(PeerId, Vec<Document>)>) {
         for (peer, docs) in updates {
             self.apply_content_delta(peer, docs);
         }
-        self.rebuild_index();
     }
 
     fn apply_content_delta(&mut self, peer: PeerId, docs: Vec<Document>) {
         let cid = self.overlay.cluster_of(peer);
+        // Holders of the *old* result row see their totals change…
+        self.mark_total_dependents(peer);
         let old = self.store.replace(peer, docs);
         if let Some(cid) = cid {
             self.summaries
                 .apply_content_update(cid, &old, self.store.docs(peer));
         }
+        self.index
+            .apply_content_update(peer, cid, self.store.docs(peer));
+        // …and so do holders of the *new* row.
+        self.mark_total_dependents(peer);
     }
 
-    /// Rebuilds the recall index from scratch (after content or workload
-    /// changes).
+    /// Rebuilds the recall index from scratch. With every mutator
+    /// delta-maintaining the index this is no longer needed on any hot
+    /// path; it remains the repair step after mutating state through
+    /// [`System::overlay_mut`] / [`System::store_mut`] /
+    /// [`System::workloads_mut`], and the from-scratch reference the
+    /// equivalence suites compare the deltas against.
     pub fn rebuild_index(&mut self) {
         self.index = RecallIndex::build(&self.overlay, &self.store, &self.workloads);
+        // A fresh build renumbers query ids: the cache's holder lists
+        // are keyed by qid, so everything must be re-derived.
+        self.cache.get_mut().mark_all();
     }
 
     /// Rebuilds the cluster summaries from scratch — the oracle for the
@@ -290,22 +414,29 @@ impl System {
         self.summaries = ClusterSummaries::build(&self.overlay, &self.store);
     }
 
-    /// Mutable access to the overlay for substrate-level operations
-    /// (churn); the caller must call [`System::rebuild_index`] or
-    /// [`System::refresh_mass`] afterwards as appropriate.
+    /// Mutable access to the overlay for substrate-level operations;
+    /// the caller must call [`System::rebuild_index`] or
+    /// [`System::refresh_mass`] afterwards as appropriate. The cost
+    /// cache is conservatively invalidated wholesale.
     pub fn overlay_mut(&mut self) -> &mut Overlay {
+        self.cache.get_mut().mark_all();
         &mut self.overlay
     }
 
     /// Mutable access to the content store; pair with
-    /// [`System::rebuild_index`].
+    /// [`System::rebuild_index`] (and [`System::rebuild_summaries`] when
+    /// routing is used afterwards). Prefer [`System::set_content`],
+    /// which applies the change as a delta instead.
     pub fn store_mut(&mut self) -> &mut ContentStore {
+        self.cache.get_mut().mark_all();
         &mut self.store
     }
 
     /// Mutable access to the workloads; pair with
-    /// [`System::rebuild_index`].
+    /// [`System::rebuild_index`]. Prefer [`System::set_workload`], which
+    /// applies the change as a delta instead.
     pub fn workloads_mut(&mut self) -> &mut Vec<Workload> {
+        self.cache.get_mut().mark_all();
         &mut self.workloads
     }
 
@@ -314,6 +445,7 @@ impl System {
     /// cluster-directed routing is used afterwards.
     pub fn refresh_mass(&mut self) {
         self.index.refresh_mass(&self.overlay);
+        self.cache.get_mut().mark_all();
     }
 }
 
@@ -351,7 +483,7 @@ mod tests {
     }
 
     #[test]
-    fn set_workload_rebuilds_index() {
+    fn set_workload_delta_maintains_index() {
         let mut sys = tiny();
         let mut w = Workload::new();
         w.add(Query::keyword(Sym(1)), 3);
@@ -364,7 +496,7 @@ mod tests {
     }
 
     #[test]
-    fn set_content_rebuilds_index() {
+    fn set_content_delta_maintains_index() {
         let mut sys = tiny();
         sys.set_content(PeerId(0), vec![Document::new(vec![Sym(2)])]);
         let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
@@ -423,6 +555,58 @@ mod tests {
                 sys.index().cluster_mass_num(q, c)
             );
         }
+    }
+
+    #[test]
+    fn churn_leave_retires_content_from_totals() {
+        let mut sys = tiny();
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        assert_eq!(sys.index().total(q), 1);
+        let mut net = SimNetwork::new();
+        let delta = sys.apply_churn_event(&mut net, ChurnEvent::Leave { peer: PeerId(1) });
+        assert_eq!(
+            delta,
+            Some(ChurnDelta::Left {
+                peer: PeerId(1),
+                cluster: ClusterId(0)
+            })
+        );
+        // The leaver's document left the store *and* the totals — no
+        // rebuild required.
+        assert_eq!(sys.index().total(q), 0);
+        assert_eq!(sys.index().cluster_mass(q, ClusterId(0)), 0.0);
+    }
+
+    #[test]
+    fn churn_join_indexes_fresh_content_immediately() {
+        let mut sys = tiny();
+        let mut net = SimNetwork::new();
+        let delta = sys
+            .apply_churn_event(
+                &mut net,
+                ChurnEvent::Join {
+                    cluster: ClusterId(0),
+                    docs: vec![Document::new(vec![Sym(2)])],
+                },
+            )
+            .unwrap();
+        let q = sys.index().qid(&Query::keyword(Sym(2))).unwrap();
+        assert_eq!(sys.index().total(q), 2, "newcomer's doc counted");
+        assert_eq!(sys.index().cluster_mass_num(q, ClusterId(0)), 2);
+        assert_eq!(sys.index().result(q, delta.peer()), 1);
+    }
+
+    #[test]
+    fn cost_cache_flushes_after_moves() {
+        let mut sys = tiny();
+        let (_, recall_before) = crate::global::scost_terms(&sys);
+        assert_eq!(recall_before, 0.0, "co-clustered pair loses nothing");
+        // p1 takes its Sym(2) doc to another cluster: p0 now loses its
+        // whole workload's recall, and the cache must notice.
+        sys.move_peer(PeerId(1), ClusterId(1));
+        let (_, recall_after) = crate::global::scost_terms(&sys);
+        assert!((recall_after - 1.0).abs() < 1e-12);
+        assert!(sys.cost_cache().is_fresh());
     }
 
     #[test]

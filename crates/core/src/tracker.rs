@@ -10,6 +10,33 @@
 //! exactly those observations; under flood routing the derived estimates
 //! coincide with the oracle values computed from the [`RecallIndex`](crate::recall::RecallIndex)
 //! (property-tested in `tests/`).
+//!
+//! # Examples
+//!
+//! A peer whose query is answered by another cluster observes exactly
+//! that cluster in its cid annotations:
+//!
+//! ```
+//! use recluster_core::{simulate_period, GameConfig, System};
+//! use recluster_overlay::{ContentStore, Overlay, SimNetwork};
+//! use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
+//!
+//! let ov = Overlay::singletons(2);
+//! let mut store = ContentStore::new(2);
+//! store.add(PeerId(1), Document::new(vec![Sym(7)]));
+//! let mut w = Workload::new();
+//! w.add(Query::keyword(Sym(7)), 2);
+//! let sys = System::new(ov, store, vec![w, Workload::new()], GameConfig::default());
+//!
+//! let mut net = SimNetwork::new();
+//! let obs = simulate_period(&sys, &mut net);
+//! let record = &obs.of(PeerId(0))[0];
+//! assert_eq!(record.cluster_count(ClusterId(1)), 1);
+//! assert_eq!(record.total, 1);
+//! assert!(net.total_messages() > 0);
+//! ```
+
+use std::collections::BTreeMap;
 
 use recluster_overlay::{route_to_clusters, RoutePlan, RoutingMode, SimNetwork, SummaryMode};
 use recluster_types::{ClusterId, PeerId, Query};
@@ -48,9 +75,11 @@ impl QueryObservation {
 pub struct PeriodObservations {
     /// Per peer: one record per distinct query in its workload.
     observations: Vec<Vec<QueryObservation>>,
-    /// Per peer × cluster: demand-weighted results served to that
-    /// cluster's members (contribution numerators).
-    served: Vec<Vec<f64>>,
+    /// Per peer: demand-weighted results served to each requesting
+    /// cluster's members (contribution numerators). Sparse — a peer
+    /// serves few distinct clusters, and a dense peers × `Cmax` matrix
+    /// would be quadratic in system size.
+    served: Vec<BTreeMap<ClusterId, f64>>,
     /// Per peer: total demand-weighted results served.
     served_total: Vec<f64>,
     /// Snapshot of cluster sizes (peers learn them from representatives).
@@ -140,16 +169,13 @@ pub fn simulate_period_routed(
     let n_slots = overlay.n_slots();
     let cmax = overlay.cmax();
     let mut observations: Vec<Vec<QueryObservation>> = vec![Vec::new(); n_slots];
-    let mut served = vec![vec![0.0; cmax]; n_slots];
+    let mut served: Vec<BTreeMap<ClusterId, f64>> = vec![BTreeMap::new(); n_slots];
     let mut served_total = vec![0.0; n_slots];
 
     // The period-constant routing state: membership and content change
     // only *between* periods, so the non-empty cluster list and the
     // route plan are built once.
-    let non_empty: Vec<ClusterId> = overlay
-        .cluster_ids()
-        .filter(|&c| !overlay.cluster(c).is_empty())
-        .collect();
+    let non_empty: Vec<ClusterId> = overlay.non_empty_ids().to_vec();
     let plan = match mode {
         RoutingMode::Flood => None,
         RoutingMode::Routed(precision) => Some(RoutePlan::build(system.summaries(), precision)),
@@ -220,7 +246,7 @@ pub fn simulate_period_routed(
                 // no contribution credit — matching the oracle.
                 if r.peer != requester {
                     let credit = count as f64 * r.count as f64;
-                    served[r.peer.index()][rcid.index()] += credit;
+                    *served[r.peer.index()].entry(rcid).or_insert(0.0) += credit;
                     served_total[r.peer.index()] += credit;
                 }
             }
@@ -301,7 +327,7 @@ impl PeriodObservations {
         if total == 0.0 {
             0.0
         } else {
-            self.served[peer.index()][cid.index()] / total
+            self.served[peer.index()].get(&cid).copied().unwrap_or(0.0) / total
         }
     }
 

@@ -1,29 +1,43 @@
 //! Equivalence suite for the delta-maintained cost engine: after *any*
-//! random sequence of moves, joins, and leaves, the incrementally
-//! updated [`RecallIndex`] must equal a from-scratch `rebuild()` —
-//! every cluster-mass numerator, derived float mass, query total, and
-//! cluster size **bit-identical**, not merely close. This is the
-//! contract that lets the protocol hot path skip the O(queries × peers)
-//! refresh after every relocation.
+//! random interleaving of membership changes (moves, joins, leaves),
+//! churn events, content updates and workload updates, the incrementally
+//! updated state must equal its from-scratch oracle **bit-identically**:
+//!
+//! * the [`RecallIndex`] (result rows, totals, workload weights, mass
+//!   numerators, derived float masses) against
+//!   [`RecallIndex::rebuild_from`], and
+//! * the per-peer [`CostCache`](recluster_core::CostCache) (recall and
+//!   `WCost` terms, live demand) against a wholesale
+//!   [`System::rebuild_cost_cache`].
+//!
+//! This is the contract that lets the protocol and the churn driver
+//! skip every O(queries × peers) rebuild: content updates and churn are
+//! O(changed peers) too, not just relocations.
 
 use proptest::prelude::*;
 use recluster_core::{pcost, GameConfig, RecallIndex, System};
-use recluster_overlay::{ContentStore, Overlay, Theta};
+use recluster_overlay::{ChurnEvent, ContentStore, Overlay, SimNetwork, Theta};
 use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
 
 const N_PEERS: usize = 10;
 const N_SYMS: u32 = 6;
 
-/// A membership operation; values are folded into the valid range by
-/// the interpreter so any random vector is a valid script.
+/// A membership/content/workload operation; values are folded into the
+/// valid range by the interpreter so any random vector is a valid
+/// script.
 #[derive(Debug, Clone)]
 enum Op {
     Move { peer: u32, to: u32 },
     Leave { peer: u32 },
     Join { peer: u32, to: u32 },
+    ChurnLeave { peer: u32 },
+    ChurnJoin { to: u32, doc_syms: Vec<u32> },
+    SetContent { peer: u32, doc_syms: Vec<u32> },
+    SetWorkload { peer: u32, q_syms: Vec<u32> },
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let syms = || proptest::collection::vec(0u32..N_SYMS, 0..4);
     proptest::collection::vec(
         prop_oneof![
             (0u32..N_PEERS as u32, 0u32..N_PEERS as u32)
@@ -31,6 +45,13 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
             (0u32..N_PEERS as u32).prop_map(|peer| Op::Leave { peer }),
             (0u32..N_PEERS as u32, 0u32..N_PEERS as u32)
                 .prop_map(|(peer, to)| Op::Join { peer, to }),
+            (0u32..N_PEERS as u32).prop_map(|peer| Op::ChurnLeave { peer }),
+            (0u32..N_PEERS as u32, syms())
+                .prop_map(|(to, doc_syms)| Op::ChurnJoin { to, doc_syms }),
+            (0u32..N_PEERS as u32, syms())
+                .prop_map(|(peer, doc_syms)| Op::SetContent { peer, doc_syms }),
+            (0u32..N_PEERS as u32, syms())
+                .prop_map(|(peer, q_syms)| Op::SetWorkload { peer, q_syms }),
         ],
         0..40,
     )
@@ -77,11 +98,98 @@ fn fixture(seed_docs: &[Vec<u32>], seed_queries: &[Vec<u32>]) -> System {
     )
 }
 
-/// Asserts the delta-maintained index state equals the oracle exactly.
+/// Interprets an op against the system through the public hooks.
+fn apply(sys: &mut System, net: &mut SimNetwork, op: Op) {
+    match op {
+        Op::Move { peer, to } => {
+            let peer = PeerId(peer);
+            let to = ClusterId(to % sys.overlay().cmax() as u32);
+            if sys.overlay().cluster_of(peer).is_some() {
+                sys.move_peer(peer, to);
+            }
+        }
+        Op::Leave { peer } => {
+            let _ = sys.leave_peer(PeerId(peer));
+        }
+        Op::Join { peer, to } => {
+            let peer = PeerId(peer);
+            let to = ClusterId(to % sys.overlay().cmax() as u32);
+            if sys.overlay().cluster_of(peer).is_none() {
+                sys.join_peer(peer, to);
+            }
+        }
+        Op::ChurnLeave { peer } => {
+            let peer = PeerId(peer % sys.overlay().n_slots() as u32);
+            if sys
+                .apply_churn_event(net, ChurnEvent::Leave { peer })
+                .is_some()
+            {
+                // Churn drivers clear the leaver's workload as well.
+                sys.set_workload(peer, Workload::new());
+            }
+        }
+        Op::ChurnJoin { to, doc_syms } => {
+            let cluster = ClusterId(to % sys.overlay().cmax() as u32);
+            let docs: Vec<Document> = doc_syms
+                .iter()
+                .map(|&s| Document::new(vec![Sym(s % N_SYMS), Sym((s + 1) % N_SYMS)]))
+                .collect();
+            if let Some(delta) = sys.apply_churn_event(net, ChurnEvent::Join { cluster, docs }) {
+                // Newcomers get a workload querying their own syms — some
+                // of these queries may be new to the index.
+                let mut w = Workload::new();
+                for &s in &doc_syms {
+                    w.add(Query::keyword(Sym((s + 2) % N_SYMS)), 1 + u64::from(s % 2));
+                }
+                sys.set_workload(delta.peer(), w);
+            }
+        }
+        Op::SetContent { peer, doc_syms } => {
+            let peer = PeerId(peer % sys.overlay().n_slots() as u32);
+            let docs = doc_syms
+                .into_iter()
+                .map(|s| Document::new(vec![Sym(s % N_SYMS), Sym((s + 2) % N_SYMS)]))
+                .collect();
+            sys.set_content(peer, docs);
+        }
+        Op::SetWorkload { peer, q_syms } => {
+            let peer = PeerId(peer % sys.overlay().n_slots() as u32);
+            let mut w = Workload::new();
+            for (k, &s) in q_syms.iter().enumerate() {
+                w.add(Query::keyword(Sym(s % N_SYMS)), 1 + (k as u64 % 2));
+                if k % 2 == 1 {
+                    // Conjunctions can be genuinely new queries.
+                    w.add(Query::new(vec![Sym(s % N_SYMS), Sym((s + 1) % N_SYMS)]), 1);
+                }
+            }
+            sys.set_workload(peer, w);
+        }
+    }
+}
+
+/// Asserts the delta-maintained index state equals the content-aware
+/// oracle exactly: result rows, totals, workload weights, mass
+/// numerators, and the derived float masses.
 fn assert_index_equals_rebuild(sys: &System) -> Result<(), TestCaseError> {
     let mut oracle: RecallIndex = sys.index().clone();
-    oracle.rebuild(sys.overlay());
+    oracle.rebuild_from(sys.overlay(), sys.store(), sys.workloads());
     let cmax = sys.overlay().cmax();
+    for slot in 0..sys.overlay().n_slots() {
+        let peer = PeerId::from_index(slot);
+        prop_assert_eq!(
+            sys.index().results_of(peer),
+            oracle.results_of(peer),
+            "result row of peer {}",
+            slot
+        );
+        let delta_w = sys.index().workload_of(peer);
+        let oracle_w = oracle.workload_of(peer);
+        prop_assert_eq!(delta_w.len(), oracle_w.len(), "weight row of peer {}", slot);
+        for (d, o) in delta_w.iter().zip(oracle_w) {
+            prop_assert_eq!(d.0, o.0);
+            prop_assert_eq!(d.1.to_bits(), o.1.to_bits(), "weight bits of peer {}", slot);
+        }
+    }
     for qid in 0..sys.index().n_queries() as u32 {
         prop_assert_eq!(
             sys.index().total(qid),
@@ -110,39 +218,50 @@ fn assert_index_equals_rebuild(sys: &System) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Asserts the delta-maintained cost cache equals a wholesale rebuild
+/// bit for bit: both recall terms of every slot, and the live demand.
+fn assert_cache_equals_rebuild(sys: &System) -> Result<(), TestCaseError> {
+    let mut oracle = sys.clone();
+    oracle.rebuild_cost_cache();
+    let delta = sys.cost_cache();
+    let fresh = oracle.cost_cache();
+    prop_assert_eq!(delta.live_demand(), fresh.live_demand(), "live demand");
+    for slot in 0..sys.overlay().n_slots() {
+        let p = PeerId::from_index(slot);
+        prop_assert_eq!(
+            delta.recall_loss_of(p).to_bits(),
+            fresh.recall_loss_of(p).to_bits(),
+            "recall term of peer {}",
+            slot
+        );
+        prop_assert_eq!(
+            delta.wrecall_of(p).to_bits(),
+            fresh.wrecall_of(p).to_bits(),
+            "wcost term of peer {}",
+            slot
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// The headline equivalence: any op sequence, checked op by op.
+    /// The headline equivalence: any interleaving of membership, churn,
+    /// content and workload ops, checked op by op against all oracles.
     #[test]
-    fn delta_index_equals_rebuild_under_random_ops(
+    fn delta_state_equals_rebuild_under_random_ops(
         docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
         queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
         ops in arb_ops(),
     ) {
         let mut sys = fixture(&docs, &queries);
+        let mut net = SimNetwork::new();
         for op in ops {
-            match op {
-                Op::Move { peer, to } => {
-                    let peer = PeerId(peer);
-                    let to = ClusterId(to % sys.overlay().cmax() as u32);
-                    if sys.overlay().cluster_of(peer).is_some() {
-                        sys.move_peer(peer, to);
-                    }
-                }
-                Op::Leave { peer } => {
-                    let _ = sys.leave_peer(PeerId(peer));
-                }
-                Op::Join { peer, to } => {
-                    let peer = PeerId(peer);
-                    let to = ClusterId(to % sys.overlay().cmax() as u32);
-                    if sys.overlay().cluster_of(peer).is_none() {
-                        sys.join_peer(peer, to);
-                    }
-                }
-            }
+            apply(&mut sys, &mut net, op);
             sys.overlay().check_invariants().map_err(TestCaseError::fail)?;
             assert_index_equals_rebuild(&sys)?;
+            assert_cache_equals_rebuild(&sys)?;
         }
         // Cluster sizes agree with a scan of the assignment (the O(1)
         // live-count and the per-cluster member lists never drift).
@@ -175,25 +294,27 @@ proptest! {
         prop_assert_eq!(batched.overlay(), single.overlay());
         assert_index_equals_rebuild(&batched)?;
         assert_index_equals_rebuild(&single)?;
+        assert_cache_equals_rebuild(&batched)?;
     }
 
     /// `pcost` computed on the delta-maintained index equals `pcost` on
-    /// a freshly rebuilt system, bit for bit, for every peer × cluster.
+    /// a freshly rebuilt system, bit for bit, for every peer × cluster —
+    /// even across content and workload changes, where a fresh
+    /// [`System::rebuild_index`] renumbers query ids.
     #[test]
     fn pcost_on_delta_index_equals_rebuilt(
         docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
         queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
-        moves in proptest::collection::vec(
-            (0u32..N_PEERS as u32, 0u32..N_PEERS as u32),
-            0..12,
-        ),
+        ops in arb_ops(),
     ) {
         let mut sys = fixture(&docs, &queries);
-        for (p, c) in moves {
-            sys.move_peer(PeerId(p), ClusterId(c));
+        let mut net = SimNetwork::new();
+        for op in ops {
+            apply(&mut sys, &mut net, op);
         }
         let mut rebuilt = sys.clone();
         rebuilt.rebuild_index();
+        rebuilt.rebuild_cost_cache();
         for peer in sys.overlay().peers() {
             for cid in sys.overlay().cluster_ids() {
                 prop_assert_eq!(
@@ -205,5 +326,14 @@ proptest! {
                 );
             }
         }
+        // The global criteria agree too — they read the cost cache.
+        prop_assert_eq!(
+            recluster_core::scost(&sys).to_bits(),
+            recluster_core::scost(&rebuilt).to_bits()
+        );
+        prop_assert_eq!(
+            recluster_core::wcost(&sys).to_bits(),
+            recluster_core::wcost(&rebuilt).to_bits()
+        );
     }
 }

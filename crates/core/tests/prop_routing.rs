@@ -33,6 +33,7 @@ enum Op {
     ChurnLeave { peer: u32 },
     ChurnJoin { to: u32, doc_syms: Vec<u32> },
     ContentUpdate { peer: u32, doc_syms: Vec<u32> },
+    WorkloadUpdate { peer: u32, q_syms: Vec<u32> },
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
@@ -46,6 +47,8 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
                 .prop_map(|(to, doc_syms)| Op::ChurnJoin { to, doc_syms }),
             (0u32..N_PEERS as u32, syms())
                 .prop_map(|(peer, doc_syms)| Op::ContentUpdate { peer, doc_syms }),
+            (0u32..N_PEERS as u32, syms())
+                .prop_map(|(peer, q_syms)| Op::WorkloadUpdate { peer, q_syms }),
         ],
         0..24,
     )
@@ -124,6 +127,17 @@ fn apply(sys: &mut System, net: &mut SimNetwork, op: Op) {
                 .map(|s| Document::new(vec![Sym(s % N_SYMS), Sym((s + 2) % N_SYMS)]))
                 .collect();
             sys.set_content(peer, docs);
+        }
+        Op::WorkloadUpdate { peer, q_syms } => {
+            let peer = PeerId(peer % sys.overlay().n_slots() as u32);
+            let mut w = Workload::new();
+            for (k, &s) in q_syms.iter().enumerate() {
+                w.add(Query::keyword(Sym(s % N_SYMS)), 1 + (k as u64 % 3));
+                if k % 2 == 0 {
+                    w.add(Query::new(vec![Sym(s % N_SYMS), Sym((s + 2) % N_SYMS)]), 1);
+                }
+            }
+            sys.set_workload(peer, w);
         }
     }
 }

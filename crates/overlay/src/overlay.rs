@@ -88,6 +88,10 @@ pub struct Overlay {
     /// Count of assigned peers, maintained incrementally so the cost
     /// hot path reads `|P|` in O(1) instead of scanning `assignment`.
     live: usize,
+    /// Ids of non-empty clusters, ascending — maintained across
+    /// assign/unassign/move so best-response scans and per-round
+    /// representative gathering are O(non-empty), not O(Cmax).
+    non_empty: Vec<ClusterId>,
 }
 
 impl Overlay {
@@ -98,6 +102,7 @@ impl Overlay {
             assignment: vec![None; n_peers],
             clusters: vec![Cluster::default(); n_peers],
             live: 0,
+            non_empty: Vec::new(),
         }
     }
 
@@ -156,17 +161,43 @@ impl Overlay {
     }
 
     /// Number of non-empty clusters (what Table 1's "#Clusters" reports).
+    /// O(1): read off the maintained non-empty list.
     pub fn non_empty_clusters(&self) -> usize {
-        self.clusters.iter().filter(|c| !c.is_empty()).count()
+        self.non_empty.len()
+    }
+
+    /// Ids of all non-empty clusters in ascending order, maintained
+    /// incrementally — the O(non-empty) alternative to filtering
+    /// [`Overlay::cluster_ids`] by size.
+    pub fn non_empty_ids(&self) -> &[ClusterId] {
+        &self.non_empty
     }
 
     /// The first empty cluster slot, if any (used when a peer seeds a new
-    /// cluster, §3.2).
+    /// cluster, §3.2). O(non-empty): the answer is the smallest id absent
+    /// from the sorted non-empty list.
     pub fn first_empty_cluster(&self) -> Option<ClusterId> {
-        self.clusters
-            .iter()
-            .position(Cluster::is_empty)
-            .map(ClusterId::from_index)
+        for (i, &cid) in self.non_empty.iter().enumerate() {
+            if cid.index() != i {
+                return Some(ClusterId::from_index(i));
+            }
+        }
+        (self.non_empty.len() < self.clusters.len())
+            .then(|| ClusterId::from_index(self.non_empty.len()))
+    }
+
+    /// Records that `cid` went from empty to non-empty.
+    fn note_filled(&mut self, cid: ClusterId) {
+        if let Err(pos) = self.non_empty.binary_search(&cid) {
+            self.non_empty.insert(pos, cid);
+        }
+    }
+
+    /// Records that `cid` became empty.
+    fn note_emptied(&mut self, cid: ClusterId) {
+        if let Ok(pos) = self.non_empty.binary_search(&cid) {
+            self.non_empty.remove(pos);
+        }
     }
 
     /// Assigns an unassigned peer to a cluster.
@@ -178,6 +209,9 @@ impl Overlay {
             self.assignment[peer.index()].is_none(),
             "{peer} is already assigned; use move_peer"
         );
+        if self.clusters[cid.index()].is_empty() {
+            self.note_filled(cid);
+        }
         self.clusters[cid.index()].insert(peer);
         self.assignment[peer.index()] = Some(cid);
         self.live += 1;
@@ -195,6 +229,12 @@ impl Overlay {
         }
         let removed = self.clusters[from.index()].remove(peer);
         debug_assert!(removed, "assignment and membership diverged");
+        if self.clusters[from.index()].is_empty() {
+            self.note_emptied(from);
+        }
+        if self.clusters[to.index()].is_empty() {
+            self.note_filled(to);
+        }
         self.clusters[to.index()].insert(peer);
         self.assignment[peer.index()] = Some(to);
         from
@@ -206,6 +246,9 @@ impl Overlay {
         let cid = self.assignment[peer.index()].take()?;
         let removed = self.clusters[cid.index()].remove(peer);
         debug_assert!(removed, "assignment and membership diverged");
+        if self.clusters[cid.index()].is_empty() {
+            self.note_emptied(cid);
+        }
         self.live -= 1;
         Some(cid)
     }
@@ -278,6 +321,16 @@ impl Overlay {
             return Err(format!(
                 "live-count cache {} != scanned {}",
                 self.live, scanned
+            ));
+        }
+        let scanned_non_empty: Vec<ClusterId> = (0..self.clusters.len())
+            .filter(|&c| !self.clusters[c].is_empty())
+            .map(ClusterId::from_index)
+            .collect();
+        if scanned_non_empty != self.non_empty {
+            return Err(format!(
+                "non-empty cache {:?} != scanned {:?}",
+                self.non_empty, scanned_non_empty
             ));
         }
         Ok(())

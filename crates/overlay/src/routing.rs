@@ -19,6 +19,30 @@
 //! summaries ([`SummaryMode::TopK`]) keep only each cluster's most
 //! frequent attributes, trading false negatives (missed results) for
 //! smaller summaries — the precision-vs-traffic axis.
+//!
+//! # Examples
+//!
+//! A route plan built from exact summaries forwards a query only to the
+//! clusters that can answer it:
+//!
+//! ```
+//! use recluster_overlay::{ClusterSummaries, ContentStore, Overlay, RoutePlan, SummaryMode};
+//! use recluster_types::{ClusterId, Document, PeerId, Query, Sym};
+//!
+//! let ov = Overlay::singletons(3);
+//! let mut store = ContentStore::new(3);
+//! store.add(PeerId(0), Document::new(vec![Sym(1)]));
+//! store.add(PeerId(2), Document::new(vec![Sym(1), Sym(2)]));
+//! let summaries = ClusterSummaries::build(&ov, &store);
+//! let plan = RoutePlan::build(&summaries, SummaryMode::Exact);
+//!
+//! // Sym(1) lives in clusters 0 and 2; the Sym(1)∧Sym(2) conjunction
+//! // only in cluster 2. Flooding would visit both plus any other
+//! // non-empty cluster.
+//! assert_eq!(plan.route(&Query::keyword(Sym(1))), vec![ClusterId(0), ClusterId(2)]);
+//! assert_eq!(plan.route(&Query::new(vec![Sym(1), Sym(2)])), vec![ClusterId(2)]);
+//! assert!(plan.route(&Query::keyword(Sym(9))).is_empty());
+//! ```
 
 use std::collections::BTreeMap;
 

@@ -9,13 +9,41 @@
 //! then optionally runs the maintenance protocol. The social cost with
 //! and without maintenance quantifies how well the strategies "cope with
 //! the changes in the overlay configuration".
+//!
+//! Every churn event flows through the `System` hooks, which
+//! delta-maintain the recall index (masses *and* content totals), the
+//! routing summaries and the cost cache — a period costs O(events +
+//! affected peers), never a full `rebuild_index()`, which is what makes
+//! the [`churn_10k_config`] scale (10 000+ peers under routed queries)
+//! tractable.
+//!
+//! # Examples
+//!
+//! One maintained period on the miniature testbed:
+//!
+//! ```
+//! use recluster_sim::churn::{run_churn, ChurnConfig};
+//! use recluster_sim::scenario::ExperimentConfig;
+//!
+//! let churn = ChurnConfig {
+//!     periods: 1,
+//!     leaves_per_period: 1,
+//!     joins_per_period: 1,
+//!     maintenance: None,
+//!     ..ChurnConfig::default()
+//! };
+//! let records = run_churn(&ExperimentConfig::small(7), &churn);
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(records[0].peers, 40, "one leave + one join is net zero");
+//! assert!(records[0].query_messages > 0);
+//! ```
 
 use rand::Rng;
 use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
 use recluster_corpus::{QueryBias, WorkloadBuilder};
 use recluster_overlay::churn::{random_leave, ChurnDelta, ChurnEvent};
-use recluster_overlay::{RoutingMode, SimNetwork};
-use recluster_types::{derive_seed, seeded_rng, ClusterId, Workload};
+use recluster_overlay::{RoutingMode, SimNetwork, SummaryMode};
+use recluster_types::{derive_seed, seeded_rng, Workload};
 
 use crate::runner::{measure_query_traffic, run_protocol, StrategyKind};
 use crate::scenario::{ideal_scenario1_system, ExperimentConfig, TestBed};
@@ -74,6 +102,28 @@ impl Default for ChurnConfig {
     }
 }
 
+/// The `churn_10k` scenario: 10 000+ peers from the ideal scenario-1
+/// clustering, 25 leaves + 25 joins per period, selfish maintenance,
+/// queries forwarded under **exact cluster-directed routing**. Feasible
+/// only because every structure is delta-maintained: a period never
+/// pays a full `rebuild_index()` (O(queries × peers), ~10⁷ result
+/// evaluations at this scale) and the routed tracker never floods.
+/// Deterministic in `seed` — the golden suite pins its digest and the
+/// `churn_scale` bench records its per-period cost metric.
+pub fn churn_10k_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
+    (
+        ExperimentConfig::large(seed),
+        ChurnConfig {
+            periods: 4,
+            leaves_per_period: 25,
+            joins_per_period: 25,
+            maintenance: Some(StrategyKind::Selfish),
+            max_rounds: 6,
+            routing: RoutingMode::Routed(SummaryMode::Exact),
+        },
+    )
+}
+
 /// Runs the churn experiment. Deterministic in `cfg.seed`.
 pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod> {
     let mut testbed = ideal_scenario1_system(cfg);
@@ -125,16 +175,16 @@ fn apply_churn_batch(
     rng: &mut rand::rngs::StdRng,
     net: &mut SimNetwork,
 ) {
-    // Departures: the event flows through the overlay churn hook, whose
-    // emitted delta keeps the recall index's membership state coherent
-    // mid-batch; the content drop is repaired by the batch-final
-    // rebuild.
+    // Departures: the event flows through the System churn hook, which
+    // delta-updates membership masses, retires the leaver's documents
+    // from the recall totals, and invalidates exactly the affected
+    // cached cost terms — no rebuild, mid-batch state is always exact.
     for _ in 0..churn.leaves_per_period {
         if let Some(event) = random_leave(testbed.system.overlay(), rng) {
             if let Some(ChurnDelta::Left { peer, .. }) =
                 testbed.system.apply_churn_event(net, event)
             {
-                testbed.system.workloads_mut()[peer.index()] = Workload::new();
+                testbed.system.set_workload(peer, Workload::new());
             }
         }
     }
@@ -148,16 +198,14 @@ fn apply_churn_batch(
         let docs: Vec<_> = (0..5)
             .map(|_| pool[rng.gen_range(0..pool.len())].clone())
             .collect();
-        let non_empty: Vec<ClusterId> = testbed
-            .system
-            .overlay()
-            .cluster_ids()
-            .filter(|&c| !testbed.system.overlay().cluster(c).is_empty())
-            .collect();
-        let target = non_empty[rng.gen_range(0..non_empty.len())];
-        // The join hook grows overlay/store/workloads in lockstep and
-        // delta-updates membership; the newcomer's content enters the
-        // index at the batch-final rebuild.
+        let target = {
+            let non_empty = testbed.system.overlay().non_empty_ids();
+            non_empty[rng.gen_range(0..non_empty.len())]
+        };
+        // The join hook grows overlay/store/workloads in lockstep,
+        // delta-updates membership, and indexes the newcomer's content
+        // immediately; `set_workload` registers any genuinely new
+        // queries with fresh result columns.
         let delta = testbed
             .system
             .apply_churn_event(
@@ -172,11 +220,10 @@ fn apply_churn_batch(
         let workload = WorkloadBuilder::new(QueryBias::Uniform)
             .with_doc_limit(testbed.distributable_per_category)
             .build(&testbed.corpus, cat, demand_per_peer, &mut wrng);
-        testbed.system.workloads_mut()[delta.peer().index()] = workload;
+        testbed.system.set_workload(delta.peer(), workload);
         testbed.peer_category.push(cat);
         testbed.query_category.push(Some(cat));
     }
-    testbed.system.rebuild_index();
 }
 
 #[cfg(test)]

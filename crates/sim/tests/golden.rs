@@ -14,6 +14,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use recluster_sim::churn::{churn_10k_config, run_churn};
 use recluster_sim::fig1::run_fig1_with;
 use recluster_sim::fig4::run_fig4_with;
 use recluster_sim::report::{f3, rounds_cell};
@@ -135,6 +136,36 @@ fn render_table1() -> String {
     out
 }
 
+fn render_churn_10k() -> String {
+    let (cfg, churn) = churn_10k_config(2008);
+    let rows = run_churn(&cfg, &churn);
+    let mut out = format!(
+        "churn_10k peers={} periods={} leaves={} joins={} routing={} seed=2008\n",
+        cfg.n_peers, churn.periods, churn.leaves_per_period, churn.joins_per_period, churn.routing
+    );
+    let mut digest = BitDigest::new();
+    for r in &rows {
+        digest.push(r.scost_after_churn);
+        digest.push(r.scost_after_repair);
+        digest.push(r.forwards_per_query);
+        digest.push(r.false_negative_rate);
+        let _ = writeln!(
+            out,
+            "period={}|peers={}|churned={}|repaired={}|moves={}|msgs={}|fwd/q={}|fn={}",
+            r.period,
+            r.peers,
+            f3(r.scost_after_churn),
+            f3(r.scost_after_repair),
+            r.moves,
+            r.query_messages,
+            f3(r.forwards_per_query),
+            f3(r.false_negative_rate),
+        );
+    }
+    out.push_str(&digest.line());
+    out
+}
+
 /// The trailing `f64-digest:` line of a snapshot (every float's raw
 /// bits feed it, so it pinpoints sub-rounding drift).
 fn digest_line(text: &str) -> &str {
@@ -200,4 +231,15 @@ fn fig4_matches_golden_snapshot() {
 #[test]
 fn table1_matches_golden_snapshot() {
     check("table1.txt", render_table1());
+}
+
+/// The 10k-peer churn scenario under routed queries — no per-period
+/// `rebuild_index()` anywhere on its path, pinned to the bit. ~15 s in
+/// release and far too slow unoptimized, so it is ignored by the debug
+/// tier-1 run; CI executes it via `--include-ignored` in the release
+/// golden step (and regeneration needs the same flag).
+#[test]
+#[ignore = "10k peers: release-only, run with --include-ignored"]
+fn churn_10k_matches_golden_snapshot() {
+    check("churn_10k.txt", render_churn_10k());
 }

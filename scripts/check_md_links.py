@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Scope: inline markdown links/images `[text](target)` whose target is a
+repo-relative path. Skipped on purpose:
+
+* absolute URLs (`http:`, `https:`, `mailto:`) — no network in CI;
+* pure in-page anchors (`#...`);
+* paths that escape the repository root (GitHub-web relative URLs such
+  as the `../../actions/...` badge links resolve against github.com,
+  not the working tree).
+
+Anchors on repo files (`docs/FOO.md#section`) are checked for file
+existence only. Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+FILES = ["README.md", "ROADMAP.md"]
+DOCS_DIR = "docs"
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def targets(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Strip fenced code blocks: their bracket syntax is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    return LINK_RE.findall(text)
+
+
+def main():
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = [f for f in FILES if os.path.exists(os.path.join(repo, f))]
+    docs = os.path.join(repo, DOCS_DIR)
+    if os.path.isdir(docs):
+        files += [
+            os.path.join(DOCS_DIR, f) for f in sorted(os.listdir(docs)) if f.endswith(".md")
+        ]
+
+    broken = []
+    checked = 0
+    for rel in files:
+        base = os.path.dirname(os.path.join(repo, rel))
+        for target in targets(os.path.join(repo, rel)):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = os.path.normpath(os.path.join(base, target.split("#")[0]))
+            if not path.startswith(repo + os.sep):
+                continue  # escapes the repo: a github-web relative URL
+            checked += 1
+            if not os.path.exists(path):
+                broken.append(f"{rel}: ({target}) -> missing {os.path.relpath(path, repo)}")
+
+    for line in broken:
+        print(f"BROKEN  {line}")
+    print(f"check_md_links: {checked} repo-relative links checked in {len(files)} files")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
