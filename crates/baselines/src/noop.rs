@@ -5,7 +5,7 @@
 //! degraded it — the lower bound every maintenance scheme is measured
 //! against.
 
-use recluster_core::{Proposal, RelocationStrategy, System};
+use recluster_core::{Proposal, RelocationStrategy, SystemView};
 use recluster_types::PeerId;
 
 /// A strategy that never relocates anyone.
@@ -17,7 +17,12 @@ impl RelocationStrategy for NoMaintenance {
         "none"
     }
 
-    fn propose(&self, _system: &System, _peer: PeerId, _allow_empty: bool) -> Option<Proposal> {
+    fn propose(
+        &self,
+        _view: &SystemView<'_>,
+        _peer: PeerId,
+        _allow_empty: bool,
+    ) -> Option<Proposal> {
         None
     }
 }
@@ -25,20 +30,21 @@ impl RelocationStrategy for NoMaintenance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use recluster_core::{GameConfig, ProtocolConfig, ProtocolEngine};
+    use recluster_core::{GameConfig, ProtocolConfig, ProtocolEngine, System};
     use recluster_overlay::{ContentStore, Overlay, SimNetwork};
     use recluster_types::Workload;
 
     #[test]
     fn never_proposes() {
-        let sys = System::new(
+        let mut sys = System::new(
             Overlay::singletons(3),
             ContentStore::new(3),
             vec![Workload::new(); 3],
             GameConfig::default(),
         );
+        let view = sys.view();
         for i in 0..3 {
-            assert!(NoMaintenance.propose(&sys, PeerId(i), true).is_none());
+            assert!(NoMaintenance.propose(&view, PeerId(i), true).is_none());
         }
     }
 

@@ -5,9 +5,9 @@
 //! claim its signal matters. The reported "gain" is a constant so the
 //! protocol's ranking and `ε` threshold remain well defined.
 
-use std::cell::Cell;
+use std::sync::Mutex;
 
-use recluster_core::{Proposal, RelocationStrategy, System};
+use recluster_core::{Proposal, RelocationStrategy, SystemView};
 use recluster_types::{ClusterId, PeerId};
 
 /// A strategy that proposes uniformly random moves with probability
@@ -15,7 +15,13 @@ use recluster_types::{ClusterId, PeerId};
 #[derive(Debug)]
 pub struct RandomStrategy {
     move_prob: f64,
-    state: Cell<u64>,
+    /// The PRNG stream. `RelocationStrategy` requires `Sync`, so the
+    /// interior mutability lives behind a `Mutex` — but the stream is
+    /// only deterministic when `propose` calls happen in peer order,
+    /// which is why [`RandomStrategy`] opts out of phase-1 sharding
+    /// (`sharded_phase1` = false): the engine then never contends on
+    /// this lock.
+    state: Mutex<u64>,
 }
 
 impl RandomStrategy {
@@ -30,15 +36,16 @@ impl RandomStrategy {
         );
         RandomStrategy {
             move_prob,
-            state: Cell::new(seed | 1),
+            state: Mutex::new(seed | 1),
         }
     }
 
     /// SplitMix64 step over the interior state (the trait's `propose`
-    /// takes `&self`, so the stream lives in a `Cell`).
+    /// takes `&self`, so the stream lives behind the `Sync` cell).
     fn next_u64(&self) -> u64 {
-        let mut z = self.state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
-        self.state.set(z);
+        let mut state = self.state.lock().expect("PRNG lock poisoned");
+        let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        *state = z;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
@@ -54,15 +61,15 @@ impl RelocationStrategy for RandomStrategy {
         "random"
     }
 
-    fn propose(&self, system: &System, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
+    fn propose(&self, view: &SystemView<'_>, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
         if self.next_f64() >= self.move_prob {
             return None;
         }
-        let current = system.overlay().cluster_of(peer)?;
-        let candidates: Vec<ClusterId> = system
+        let current = view.overlay().cluster_of(peer)?;
+        let candidates: Vec<ClusterId> = view
             .overlay()
             .cluster_ids()
-            .filter(|&c| c != current && (allow_empty || !system.overlay().cluster(c).is_empty()))
+            .filter(|&c| c != current && (allow_empty || !view.overlay().cluster(c).is_empty()))
             .collect();
         if candidates.is_empty() {
             return None;
@@ -70,12 +77,19 @@ impl RelocationStrategy for RandomStrategy {
         let to = candidates[(self.next_u64() % candidates.len() as u64) as usize];
         Some(Proposal { to, gain: 1.0 })
     }
+
+    /// The proposal stream is stateful: each call advances the PRNG, so
+    /// byte-identical runs require the engine to keep phase-1 calls in
+    /// sequential peer order.
+    fn sharded_phase1(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use recluster_core::GameConfig;
+    use recluster_core::{GameConfig, System};
     use recluster_overlay::{ContentStore, Overlay};
     use recluster_types::Workload;
 
@@ -91,19 +105,21 @@ mod tests {
     #[test]
     fn zero_probability_never_moves() {
         let s = RandomStrategy::new(0.0, 1);
-        let system = sys(4);
+        let mut system = sys(4);
+        let view = system.view();
         for i in 0..4 {
-            assert!(s.propose(&system, PeerId(i), true).is_none());
+            assert!(s.propose(&view, PeerId(i), true).is_none());
         }
     }
 
     #[test]
     fn certain_probability_always_proposes() {
         let s = RandomStrategy::new(1.0, 1);
-        let system = sys(4);
+        let mut system = sys(4);
+        let view = system.view();
         for i in 0..4 {
-            let p = s.propose(&system, PeerId(i), true).unwrap();
-            assert_ne!(Some(p.to), system.overlay().cluster_of(PeerId(i)));
+            let p = s.propose(&view, PeerId(i), true).unwrap();
+            assert_ne!(Some(p.to), view.overlay().cluster_of(PeerId(i)));
         }
     }
 
@@ -115,17 +131,19 @@ mod tests {
         system.move_peer(PeerId(2), ClusterId(0));
         let s = RandomStrategy::new(1.0, 2);
         // Only empty clusters exist as alternatives → None when barred.
-        assert!(s.propose(&system, PeerId(0), false).is_none());
-        assert!(s.propose(&system, PeerId(0), true).is_some());
+        let view = system.view();
+        assert!(s.propose(&view, PeerId(0), false).is_none());
+        assert!(s.propose(&view, PeerId(0), true).is_some());
     }
 
     #[test]
     fn stream_is_deterministic() {
         let run = |seed| {
             let s = RandomStrategy::new(0.5, seed);
-            let system = sys(6);
+            let mut system = sys(6);
+            let view = system.view();
             (0..6u32)
-                .map(|i| s.propose(&system, PeerId(i), true).map(|p| p.to))
+                .map(|i| s.propose(&view, PeerId(i), true).map(|p| p.to))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));

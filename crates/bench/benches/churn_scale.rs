@@ -1,8 +1,10 @@
-//! The `churn_10k` scale scenario: 10 000+ peers churning under exact
-//! cluster-directed routing with selfish maintenance, end to end —
-//! the workload the delta-maintained engine (incremental recall index,
-//! content-update deltas, per-peer cost cache) exists for. One full
-//! deterministic run feeds the bench-trend gate:
+//! The churn scale scenarios: 10 000 and 100 000 peers churning under
+//! exact cluster-directed routing with selfish maintenance, end to
+//! end — the workloads the delta-maintained engine (incremental recall
+//! index, content-update deltas, per-peer cost cache) and the
+//! `SystemView` read/write split (sparse tracker walk, snapshot-backed
+//! phase 1, proposal memoization) exist for. Each full deterministic
+//! run feeds the bench-trend gate:
 //!
 //! * deterministic metrics (average per-period repaired cost, query
 //!   messages per period, forwards per query, total relocations) are
@@ -19,13 +21,12 @@
 //! The run executes once (no `b.iter` loop): at this scale a single
 //! pass is the measurement, and all count metrics are exact.
 
-use recluster_sim::churn::{churn_10k_config, run_churn};
+use recluster_sim::churn::{churn_100k_config, churn_10k_config, run_churn, ChurnConfig};
+use recluster_sim::scenario::ExperimentConfig;
 
-fn main() {
-    let seed = 2008;
-    let (cfg, churn) = churn_10k_config(seed);
+fn run_scale(name: &str, cfg: &ExperimentConfig, churn: &ChurnConfig) {
     let start = std::time::Instant::now();
-    let rows = run_churn(&cfg, &churn);
+    let rows = run_churn(cfg, churn);
     let elapsed = start.elapsed().as_secs_f64();
 
     let n = rows.len() as f64;
@@ -36,19 +37,35 @@ fn main() {
     let peers = rows.last().map_or(0, |r| r.peers);
 
     println!(
-        "churn_10k: {} peers, {} periods, avg repaired scost {avg_repair:.6}, \
+        "{name}: {} peers, {} periods, avg repaired scost {avg_repair:.6}, \
          {avg_msgs:.0} query msgs/period, {avg_fwd:.3} fwd/query, {moves} moves, {elapsed:.2}s",
         peers,
         rows.len(),
     );
 
-    criterion::record_value("churn/churn_10k/avg_scost_after_repair", "cost", avg_repair);
     criterion::record_value(
-        "churn/churn_10k/query_messages_per_period",
+        &format!("churn/{name}/avg_scost_after_repair"),
+        "cost",
+        avg_repair,
+    );
+    criterion::record_value(
+        &format!("churn/{name}/query_messages_per_period"),
         "msgs",
         avg_msgs,
     );
-    criterion::record_value("churn/churn_10k/forwards_per_query", "msgs", avg_fwd);
-    criterion::record_value("churn/churn_10k/total_moves", "moves", moves as f64);
-    criterion::record_value("churn/churn_10k/run_seconds", "seconds", elapsed);
+    criterion::record_value(&format!("churn/{name}/forwards_per_query"), "msgs", avg_fwd);
+    criterion::record_value(&format!("churn/{name}/total_moves"), "moves", moves as f64);
+    criterion::record_value(&format!("churn/{name}/run_seconds"), "seconds", elapsed);
+}
+
+fn main() {
+    let seed = 2008;
+    let (cfg, churn) = churn_10k_config(seed);
+    run_scale("churn_10k", &cfg, &churn);
+    // 100 000 peers — affordable in-gate since the read/write split:
+    // sparse tracker walk + snapshot phase 1 put a full period at
+    // seconds, so the deterministic quality/traffic metrics are cheap
+    // to pin at the scale the engine is built for.
+    let (cfg, churn) = churn_100k_config(seed);
+    run_scale("churn_100k", &cfg, &churn);
 }

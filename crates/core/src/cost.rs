@@ -14,11 +14,11 @@
 
 use recluster_types::{ClusterId, PeerId};
 
-use crate::system::System;
+use crate::view::SystemRead;
 
 /// Membership term of Eq. 1 for `peer` evaluated at cluster `cid`:
 /// `α · θ(size') / |P|` with the join-inclusive size.
-pub fn membership_cost(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
+pub fn membership_cost<S: SystemRead + ?Sized>(system: &S, peer: PeerId, cid: ClusterId) -> f64 {
     let in_cluster = system.overlay().cluster_of(peer) == Some(cid);
     let size = system.overlay().size(cid) + usize::from(!in_cluster);
     let cfg = system.config();
@@ -28,7 +28,7 @@ pub fn membership_cost(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
 /// Recall-loss term of Eq. 1 for `peer` evaluated at cluster `cid`: the
 /// workload-weighted recall obtainable only from peers *outside* the
 /// cluster (with the peer itself counted inside).
-pub fn recall_loss(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
+pub fn recall_loss<S: SystemRead + ?Sized>(system: &S, peer: PeerId, cid: ClusterId) -> f64 {
     let index = system.index();
     if system.overlay().cluster_of(peer) == Some(cid) {
         // The in-cluster arithmetic is shared with the cost cache so the
@@ -71,7 +71,7 @@ pub fn recall_loss(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
 /// assert!((pcost(&sys, PeerId(0), ClusterId(0)) - 1.5).abs() < 1e-12);
 /// assert!((pcost(&sys, PeerId(0), ClusterId(1)) - 1.0).abs() < 1e-12);
 /// ```
-pub fn pcost(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
+pub fn pcost<S: SystemRead + ?Sized>(system: &S, peer: PeerId, cid: ClusterId) -> f64 {
     membership_cost(system, peer, cid) + recall_loss(system, peer, cid)
 }
 
@@ -86,7 +86,7 @@ pub fn pcost(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
 ///
 /// # Panics
 /// Panics in debug builds if `clusters` contains duplicates.
-pub fn pcost_set(system: &System, peer: PeerId, clusters: &[ClusterId]) -> f64 {
+pub fn pcost_set<S: SystemRead + ?Sized>(system: &S, peer: PeerId, clusters: &[ClusterId]) -> f64 {
     debug_assert!(
         {
             let mut seen = clusters.to_vec();
@@ -136,12 +136,12 @@ pub fn pcost_set(system: &System, peer: PeerId, clusters: &[ClusterId]) -> f64 {
 ///
 /// # Panics
 /// Panics if the peer is unassigned.
-pub fn pcost_current(system: &System, peer: PeerId) -> f64 {
+pub fn pcost_current<S: SystemRead + ?Sized>(system: &S, peer: PeerId) -> f64 {
     let cid = system
         .overlay()
         .cluster_of(peer)
         .unwrap_or_else(|| panic!("{peer} is unassigned"));
-    membership_cost(system, peer, cid) + system.cost_cache().recall_loss_of(peer)
+    membership_cost(system, peer, cid) + system.cached_recall_loss(peer)
 }
 
 #[cfg(test)]
@@ -150,7 +150,7 @@ mod tests {
     use recluster_overlay::{ContentStore, Overlay, Theta};
     use recluster_types::{Document, Query, Sym, Workload};
 
-    use crate::system::GameConfig;
+    use crate::system::{GameConfig, System};
 
     /// The §2.3 example system: two peers in singleton clusters, all
     /// results held by p2 (our PeerId(1)).

@@ -57,6 +57,14 @@ pub struct CostCache {
     /// Everything is stale (fresh system, or an escape-hatch mutation):
     /// the next flush rebuilds values, holders and live demand wholesale.
     all_dirty: bool,
+    /// Per peer slot: monotone count of invalidations (how often the
+    /// slot was first-marked since construction). Never reset by a
+    /// flush — proposal memoization compares it to detect "this peer's
+    /// cached terms may have changed since I memoized".
+    marks: Vec<u64>,
+    /// Monotone count of wholesale invalidations ([`CostCache::mark_all`]
+    /// calls) — the per-slot counters' global companion.
+    all_marks: u64,
 }
 
 impl CostCache {
@@ -70,6 +78,8 @@ impl CostCache {
             dirty: vec![false; n_slots],
             dirty_list: Vec::new(),
             all_dirty: true,
+            marks: vec![0; n_slots],
+            all_marks: 0,
         }
     }
 
@@ -97,6 +107,7 @@ impl CostCache {
 
     pub(crate) fn mark_all(&mut self) {
         self.all_dirty = true;
+        self.all_marks += 1;
         self.dirty_list.clear();
         self.dirty.iter_mut().for_each(|d| *d = false);
     }
@@ -106,7 +117,33 @@ impl CostCache {
             return;
         }
         self.dirty[slot] = true;
+        self.marks[slot] += 1;
         self.dirty_list.push(slot as u32);
+    }
+
+    /// Monotone invalidation count of a peer slot — unchanged means the
+    /// slot was never (first-)marked since the caller last read it. Used
+    /// by [`ProposalMemo`](crate::protocol::ProposalMemo) as the "cache
+    /// entry stayed clean" gate.
+    pub fn slot_marks(&self, slot: usize) -> u64 {
+        self.marks.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Monotone count of wholesale invalidations (escape-hatch
+    /// mutations, rebuilds). Any change invalidates every memo.
+    pub fn all_marks(&self) -> u64 {
+        self.all_marks
+    }
+
+    /// The live peer slots holding query `qid` in their workloads (the
+    /// query → holders inverse of `RecallIndex::workload_of`), unordered;
+    /// empty for unknown ids. Only meaningful on a *flushed* cache —
+    /// read it through [`System::cost_cache`](crate::system::System::cost_cache)
+    /// or a [`SystemView`](crate::view::SystemView). Includes unassigned
+    /// holders (their workloads persist across churn); callers that need
+    /// live demand must filter by assignment.
+    pub fn holders_of(&self, qid: usize) -> &[u32] {
+        self.holders.get(qid).map_or(&[], Vec::as_slice)
     }
 
     /// Grows the per-slot tables (churn joins grow the overlay); fresh
@@ -116,6 +153,7 @@ impl CostCache {
             self.recall.push(0.0);
             self.wrecall.push(0.0);
             self.dirty.push(false);
+            self.marks.push(0);
             let slot = self.dirty.len() - 1;
             self.mark(slot);
         }
@@ -212,6 +250,7 @@ impl CostCache {
         self.recall = vec![0.0; n_slots];
         self.wrecall = vec![0.0; n_slots];
         self.dirty = vec![false; n_slots];
+        self.marks.resize(n_slots, 0);
         self.dirty_list.clear();
         self.live_demand = 0;
         self.holders = vec![Vec::new(); index.n_queries()];

@@ -9,7 +9,7 @@
 use recluster_types::{ClusterId, PeerId};
 
 use crate::cost::{pcost, pcost_current};
-use crate::system::System;
+use crate::view::SystemRead;
 
 /// Float slack used when comparing costs, so ulp-level noise never counts
 /// as an "improvement".
@@ -39,7 +39,11 @@ pub struct BestResponse {
 /// *first* empty slot can ever win a strict-improvement scan over
 /// ascending ids — it is evaluated at exactly its id position and the
 /// rest are skipped, which selects the same cluster a full scan would.
-pub fn best_response(system: &System, peer: PeerId, allow_empty: bool) -> BestResponse {
+pub fn best_response<S: SystemRead + ?Sized>(
+    system: &S,
+    peer: PeerId,
+    allow_empty: bool,
+) -> BestResponse {
     let current = system
         .overlay()
         .cluster_of(peer)
@@ -85,7 +89,7 @@ pub fn best_response(system: &System, peer: PeerId, allow_empty: bool) -> BestRe
 
 /// Whether the current configuration is a (pure) Nash equilibrium: no
 /// peer can strictly lower its cost by relocating.
-pub fn is_nash_equilibrium(system: &System, allow_empty: bool) -> bool {
+pub fn is_nash_equilibrium<S: SystemRead + ?Sized>(system: &S, allow_empty: bool) -> bool {
     system
         .overlay()
         .peers()
@@ -97,19 +101,30 @@ pub fn is_nash_equilibrium(system: &System, allow_empty: bool) -> bool {
 /// empty slot) up to `max_set_size` and returns the cheapest, with its
 /// cost. Exponential in `max_set_size` — intended for analysis on small
 /// systems, not for the protocol hot path.
-pub fn best_response_set(
-    system: &System,
+pub fn best_response_set<S: SystemRead + ?Sized>(
+    system: &S,
     peer: PeerId,
     max_set_size: usize,
 ) -> (Vec<ClusterId>, f64) {
-    let mut candidates: Vec<ClusterId> = system
-        .overlay()
-        .cluster_ids()
-        .filter(|&c| !system.overlay().cluster(c).is_empty())
-        .collect();
+    let mut candidates: Vec<ClusterId> = system.overlay().non_empty_ids().to_vec();
     if let Some(empty) = system.overlay().first_empty_cluster() {
         candidates.push(empty);
     }
+    best_response_set_over(system, peer, &candidates, max_set_size)
+}
+
+/// [`best_response_set`] over an explicit candidate list. The candidate
+/// clusters of the §2.1 game (non-empty ids plus the first empty slot)
+/// are identical for every peer, so callers sweeping *many* peers
+/// against one fixed configuration — the ablation drivers — compute the
+/// list once (a plain borrow of the overlay's maintained non-empty ids)
+/// instead of re-deriving it per peer.
+pub fn best_response_set_over<S: SystemRead + ?Sized>(
+    system: &S,
+    peer: PeerId,
+    candidates: &[ClusterId],
+    max_set_size: usize,
+) -> (Vec<ClusterId>, f64) {
     let mut best_set = Vec::new();
     let mut best_cost = crate::cost::pcost_set(system, peer, &[]);
     // Subset enumeration by bitmask over the candidate list.
@@ -133,7 +148,7 @@ pub fn best_response_set(
 
 /// The largest best-response gain over all peers (zero at equilibrium) —
 /// a convergence diagnostic.
-pub fn max_gain(system: &System, allow_empty: bool) -> f64 {
+pub fn max_gain<S: SystemRead + ?Sized>(system: &S, allow_empty: bool) -> f64 {
     system
         .overlay()
         .peers()
@@ -147,7 +162,7 @@ mod tests {
     use recluster_overlay::{ContentStore, Overlay, Theta};
     use recluster_types::{Document, Query, Sym, Workload};
 
-    use crate::system::GameConfig;
+    use crate::system::{GameConfig, System};
 
     /// The §2.3 counter-example: Q(p1) = {q1} answered only by p2,
     /// Q(p2) = {q2} answered only by p2, linear θ, α > 0.

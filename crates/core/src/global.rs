@@ -41,26 +41,25 @@
 //! ```
 
 use crate::cost::membership_cost;
-use crate::system::System;
+use crate::view::SystemRead;
 
 /// `SCost(S)` (Eq. 2): the sum of all individual costs — the O(1)
 /// membership terms computed on the fly plus the cached recall terms,
 /// summed in peer order (bit-identical to summing
 /// [`pcost_current`](crate::cost::pcost_current) directly).
-pub fn scost(system: &System) -> f64 {
-    let cache = system.cost_cache();
+pub fn scost<S: SystemRead + ?Sized>(system: &S) -> f64 {
     system
         .overlay()
         .peers()
         .map(|p| {
             let cid = system.overlay().cluster_of(p).expect("live peer");
-            membership_cost(system, p, cid) + cache.recall_loss_of(p)
+            membership_cost(system, p, cid) + system.cached_recall_loss(p)
         })
         .sum()
 }
 
 /// Normalized social cost: `SCost / |P|` (the mean individual cost).
-pub fn scost_normalized(system: &System) -> f64 {
+pub fn scost_normalized<S: SystemRead + ?Sized>(system: &S) -> f64 {
     let n = system.n_peers();
     if n == 0 {
         0.0
@@ -71,22 +70,19 @@ pub fn scost_normalized(system: &System) -> f64 {
 
 /// The two terms of `SCost` separately: `(membership, recall)`. Useful
 /// for Property-1 checks and for the `α`-ablation benches.
-pub fn scost_terms(system: &System) -> (f64, f64) {
-    let recall: f64 = {
-        let cache = system.cost_cache();
-        system
-            .overlay()
-            .peers()
-            .map(|p| cache.recall_loss_of(p))
-            .sum()
-    };
+pub fn scost_terms<S: SystemRead + ?Sized>(system: &S) -> (f64, f64) {
+    let recall: f64 = system
+        .overlay()
+        .peers()
+        .map(|p| system.cached_recall_loss(p))
+        .sum();
     (scost(system) - recall, recall)
 }
 
 /// The membership term of `WCost` (Eq. 3, first term):
 /// `α · Σ_c |c|·θ(|c|) / |P|` — each cluster's maintenance cost counted
 /// once per member (equal to the membership term of `SCost`, §2.2).
-pub fn wcost_membership_term(system: &System) -> f64 {
+pub fn wcost_membership_term<S: SystemRead + ?Sized>(system: &S) -> f64 {
     let cfg = system.config();
     let n_peers = system.n_peers();
     if n_peers == 0 {
@@ -110,7 +106,7 @@ pub fn wcost_membership_term(system: &System) -> f64 {
 /// the global workload `Q` weighted equally,
 /// `(1/num(Q)) Σ_pi Σ_q num(q, Q(pi)) · Σ_{pj ∉ P(s_i)} r(q, pj)`
 /// (the simplification derived in §2.2).
-pub fn wcost(system: &System) -> f64 {
+pub fn wcost<S: SystemRead + ?Sized>(system: &S) -> f64 {
     wcost_membership_term(system) + wcost_recall_term(system)
 }
 
@@ -118,15 +114,14 @@ pub fn wcost(system: &System) -> f64 {
 /// `Σ_q num(q, Q(pi)) · (1 − mass)` summed in peer order over the
 /// cached live demand `num(Q)`. O(changed peers) to refresh the cache
 /// plus O(peers) to sum.
-pub fn wcost_recall_term(system: &System) -> f64 {
-    let cache = system.cost_cache();
-    let global_total = cache.live_demand();
+pub fn wcost_recall_term<S: SystemRead + ?Sized>(system: &S) -> f64 {
+    let global_total = system.cached_live_demand();
     if global_total == 0 {
         return 0.0;
     }
     let mut acc = 0.0;
     for peer in system.overlay().peers() {
-        acc += cache.wrecall_of(peer);
+        acc += system.cached_wrecall(peer);
     }
     acc / global_total as f64
 }
@@ -140,7 +135,7 @@ pub fn wcost_recall_term(system: &System) -> f64 {
 /// normalized `WCost` directly comparable to the normalized `SCost`
 /// (they coincide exactly on both terms under Property 1's equal-demand
 /// premise, and both equal `0.1` on the paper's ideal 10×20 clustering).
-pub fn wcost_normalized(system: &System) -> f64 {
+pub fn wcost_normalized<S: SystemRead + ?Sized>(system: &S) -> f64 {
     let n = system.n_peers();
     if n == 0 {
         0.0
@@ -154,14 +149,14 @@ pub fn wcost_normalized(system: &System) -> f64 {
 /// are proportional — specifically `social_recall = |P| · workload_recall`.
 /// Returns `(social_recall, workload_recall)` so callers can assert the
 /// relation.
-pub fn property1_recall_terms(system: &System) -> (f64, f64) {
+pub fn property1_recall_terms<S: SystemRead + ?Sized>(system: &S) -> (f64, f64) {
     let (_, social_recall) = scost_terms(system);
     (social_recall, wcost_recall_term(system))
 }
 
 /// Whether all live peers issue the same number of queries (the premise
 /// of Property 1).
-pub fn equal_demand(system: &System) -> bool {
+pub fn equal_demand<S: SystemRead + ?Sized>(system: &S) -> bool {
     let mut totals = system
         .overlay()
         .peers()
@@ -179,7 +174,7 @@ mod tests {
     use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
 
     use crate::cost::pcost;
-    use crate::system::GameConfig;
+    use crate::system::{GameConfig, System};
 
     /// 4 peers, 2 categories; peers 0,1 hold+query Sym(1); peers 2,3 hold
     /// and query Sym(2). `demand[i]` sets per-peer query counts.

@@ -18,6 +18,10 @@
 //! * [`costcache`] — per-peer cached cost terms, delta-maintained by the
 //!   same mutator hooks as the index, so the global criteria and the
 //!   per-round cost reports are O(changed peers) between reads.
+//! * [`view`] — the read/write split: [`SystemView`], the `Sync`
+//!   snapshot parallel phase-1 rounds evaluate against, the
+//!   [`SystemRead`] trait the cost functions are generic over, and the
+//!   [`Epochs`] change journal behind cross-round proposal memoization.
 //! * [`equilibrium`] — best responses and exact Nash-equilibrium
 //!   checking (§2.3), including the two-peer no-equilibrium example.
 //! * [`strategy`] — the relocation strategies of §3.1: selfish
@@ -44,14 +48,17 @@ pub mod recall;
 pub mod strategy;
 pub mod system;
 pub mod tracker;
+pub mod view;
 
-pub use cost::{pcost, pcost_set};
+pub use cost::{pcost, pcost_current, pcost_set};
 pub use costcache::CostCache;
-pub use equilibrium::{best_response, best_response_set, is_nash_equilibrium, BestResponse};
+pub use equilibrium::{
+    best_response, best_response_set, best_response_set_over, is_nash_equilibrium, BestResponse,
+};
 pub use global::{scost, scost_normalized, wcost, wcost_normalized};
 pub use protocol::{
-    run_async, AsyncOutcome, EmptyTargetPolicy, ProtocolConfig, ProtocolEngine, RelocationRequest,
-    RoundOutcome, RunOutcome,
+    run_async, AsyncOutcome, EmptyTargetPolicy, ProposalMemo, ProtocolConfig, ProtocolEngine,
+    RelocationRequest, RoundOutcome, RunOutcome,
 };
 pub use recall::RecallIndex;
 pub use strategy::{
@@ -59,3 +66,4 @@ pub use strategy::{
 };
 pub use system::{GameConfig, System};
 pub use tracker::{simulate_period, simulate_period_routed, PeriodObservations, RoutingReport};
+pub use view::{Epochs, SystemRead, SystemView};

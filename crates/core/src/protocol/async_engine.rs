@@ -67,7 +67,10 @@ pub fn run_async<S: RelocationStrategy>(
             // Asynchronous peers still need fresh statistics; contribution
             // matrices change with every applied move.
             strategy.prepare(system);
-            if let Some(p) = strategy.propose(system, peer, allow_empty) {
+            // A per-activation view: flushes the cache touched by the
+            // previous activation's move, then reads are plain borrows.
+            let proposal = strategy.propose(&system.view(), peer, allow_empty);
+            if let Some(p) = proposal {
                 if p.gain > config.epsilon {
                     net.send(MsgKind::ClusterLeave, 24);
                     net.send(MsgKind::ClusterJoin, 24);

@@ -4,16 +4,31 @@
 //! §3.2, charging every logical message to a [`SimNetwork`] ledger and
 //! recording per-round quality measures (the series plotted in the
 //! paper's Figure 1).
+//!
+//! Phase 1 is a pure read of global state: the engine builds one
+//! [`SystemView`] per round (flushing the cost cache exactly once), then
+//! computes every peer's proposal against it — sharded across the rayon
+//! shim's workers when the system is large and the strategy's `propose`
+//! is pure, merged back in peer order so the parallel round is
+//! **byte-identical** to the sequential one (asserted in
+//! `crates/sim/tests/determinism.rs`). Proposals of
+//! [`memoizable`](RelocationStrategy::memoizable) strategies are
+//! additionally memoized across rounds through a [`ProposalMemo`]:
+//! peers whose epoch stamps did not move re-emit their previous
+//! proposal in O(1).
 
+use rayon::prelude::*;
 use recluster_overlay::{MsgKind, SimNetwork};
 use recluster_types::{ClusterId, PeerId};
 
 use crate::cost::pcost_current;
 use crate::global::{scost_normalized, wcost_normalized};
 use crate::protocol::locks::LockSet;
+use crate::protocol::memo::ProposalMemo;
 use crate::protocol::{EmptyTargetPolicy, ProtocolConfig, RelocationRequest};
 use crate::strategy::{Proposal, RelocationStrategy};
 use crate::system::System;
+use crate::view::SystemView;
 
 /// What happened in one protocol round.
 #[derive(Debug, Clone)]
@@ -30,6 +45,12 @@ pub struct RoundOutcome {
     pub wcost: f64,
     /// Non-empty clusters after the round's moves.
     pub non_empty_clusters: usize,
+    /// Phase-1 proposals computed from scratch this round (the "dirty"
+    /// peers whose memo stamps had moved — every peer when memoization
+    /// is off or the strategy is not memoizable).
+    pub proposals_recomputed: usize,
+    /// Phase-1 proposals re-emitted from the memo without recomputation.
+    pub proposals_memoized: usize,
 }
 
 /// The result of a full protocol run.
@@ -73,6 +94,16 @@ impl RunOutcome {
     pub fn total_moves(&self) -> usize {
         self.rounds.iter().map(|r| r.granted.len()).sum()
     }
+
+    /// Total phase-1 proposals computed from scratch across all rounds.
+    pub fn total_recomputed(&self) -> usize {
+        self.rounds.iter().map(|r| r.proposals_recomputed).sum()
+    }
+
+    /// Total phase-1 proposals served from the memo across all rounds.
+    pub fn total_memoized(&self) -> usize {
+        self.rounds.iter().map(|r| r.proposals_memoized).sum()
+    }
 }
 
 /// Drives the reformulation protocol for one strategy.
@@ -85,16 +116,29 @@ pub struct ProtocolEngine<S: RelocationStrategy> {
     /// new-cluster rule ("its cost has significantly been increased
     /// since the last time period").
     min_costs: Vec<f64>,
+    /// Cross-round proposal memo (engine-lifetime, like `min_costs`:
+    /// the stamps make stale entries self-invalidating within a system
+    /// lineage, and entries from a *different* system never validate —
+    /// the memo is keyed on the journal's system id — so it safely
+    /// persists across runs of the same engine).
+    memo: ProposalMemo,
+    /// `config.memoize_proposals`, further gated by the
+    /// `RECLUSTER_MEMO=0` environment override (read once here).
+    memo_enabled: bool,
 }
 
 impl<S: RelocationStrategy> ProtocolEngine<S> {
     /// Creates an engine.
     pub fn new(strategy: S, config: ProtocolConfig) -> Self {
         assert!(config.epsilon >= 0.0, "epsilon must be non-negative");
+        let memo_enabled =
+            config.memoize_proposals && std::env::var("RECLUSTER_MEMO").map_or(true, |v| v != "0");
         ProtocolEngine {
             strategy,
             config,
             min_costs: Vec::new(),
+            memo: ProposalMemo::new(),
+            memo_enabled,
         }
     }
 
@@ -108,67 +152,127 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
         self.config
     }
 
-    /// Phase 1 for one peer: the strategy's proposal filtered by the
-    /// empty-target policy and the `ε` threshold.
-    fn peer_request(&self, system: &System, peer: PeerId) -> Option<Proposal> {
+    /// The `allow_empty` flag the configured policy hands to the
+    /// strategy's `propose` (the `OnCostIncrease` escape reaches empty
+    /// clusters through its own rule, not through the strategy).
+    fn base_allow_empty(&self) -> bool {
+        matches!(self.config.empty_targets, EmptyTargetPolicy::Always)
+    }
+
+    /// Applies the empty-target policy and the `ε` threshold to a raw
+    /// strategy proposal — the cheap, per-round part of a peer's phase-1
+    /// request, deliberately *outside* the memo (the §3.2 escape depends
+    /// on `min_costs`, which moves every round).
+    fn apply_policy(
+        &self,
+        view: &SystemView<'_>,
+        peer: PeerId,
+        raw: Option<Proposal>,
+    ) -> Option<Proposal> {
         let proposal = match self.config.empty_targets {
-            EmptyTargetPolicy::Never => self.strategy.propose(system, peer, false),
-            EmptyTargetPolicy::Always => self.strategy.propose(system, peer, true),
-            EmptyTargetPolicy::OnCostIncrease(threshold) => {
-                match self.strategy.propose(system, peer, false) {
-                    Some(p) => Some(p),
-                    None => {
-                        // §3.2's pioneering escape: no existing cluster
-                        // helps, and the peer's cost has risen
-                        // significantly above the best it held this run.
-                        // The escape need not improve its cost — the
-                        // payoff comes from like-minded peers following.
-                        let best = self
-                            .min_costs
-                            .get(peer.index())
-                            .copied()
-                            .unwrap_or(f64::INFINITY);
-                        let now = pcost_current(system, peer);
-                        if now - best >= threshold {
-                            system.overlay().first_empty_cluster().map(|to| Proposal {
-                                to,
-                                gain: now - best,
-                            })
-                        } else {
-                            None
-                        }
+            EmptyTargetPolicy::Never | EmptyTargetPolicy::Always => raw,
+            EmptyTargetPolicy::OnCostIncrease(threshold) => match raw {
+                Some(p) => Some(p),
+                None => {
+                    // §3.2's pioneering escape: no existing cluster
+                    // helps, and the peer's cost has risen
+                    // significantly above the best it held this run.
+                    // The escape need not improve its cost — the
+                    // payoff comes from like-minded peers following.
+                    let best = self
+                        .min_costs
+                        .get(peer.index())
+                        .copied()
+                        .unwrap_or(f64::INFINITY);
+                    let now = pcost_current(view, peer);
+                    if now - best >= threshold {
+                        view.overlay().first_empty_cluster().map(|to| Proposal {
+                            to,
+                            gain: now - best,
+                        })
+                    } else {
+                        None
                     }
                 }
-            }
+            },
         }?;
         (proposal.gain > self.config.epsilon).then_some(proposal)
     }
 
-    /// Executes one round. Returns the outcome; an empty `requests` list
-    /// means the protocol has terminated.
-    pub fn run_round(
+    /// Phase 1 against a snapshot: every live peer's raw proposal —
+    /// memo hits re-emitted, misses recomputed (sharded by peer range
+    /// across the rayon shim when the system is large enough and the
+    /// strategy's `propose` is pure; the index-order merge makes the
+    /// sharded result byte-identical to the sequential one) — then the
+    /// per-cluster representative selection and message charging in
+    /// exactly the sequential order. Returns the forwarded requests and
+    /// the (recomputed, memoized) proposal counts.
+    fn phase1(
         &mut self,
-        system: &mut System,
+        view: &SystemView<'_>,
         net: &mut SimNetwork,
-        round: usize,
-    ) -> RoundOutcome {
-        self.strategy.prepare(system);
-        self.fold_min_costs(system, &[]);
+    ) -> (Vec<RelocationRequest>, usize, usize) {
+        let allow_empty = self.base_allow_empty();
+        let non_empty: Vec<ClusterId> = view.overlay().non_empty_ids().to_vec();
+        // The flattened gain-report order: clusters ascending, members
+        // ascending within each — identical to the nested loops below.
+        let peers: Vec<PeerId> = non_empty
+            .iter()
+            .flat_map(|&cid| view.overlay().cluster(cid).members().iter().copied())
+            .collect();
 
-        // ---- Phase 1: gather per-cluster best requests. -------------
-        let non_empty: Vec<ClusterId> = system.overlay().non_empty_ids().to_vec();
+        let memo_on = self.memo_enabled && self.strategy.memoizable();
+        let gate = memo_on.then(|| ProposalMemo::round_gate(view, allow_empty));
+        let memo = &self.memo;
+        let strategy = &self.strategy;
+        let compute = |&peer: &PeerId| -> (Option<Proposal>, bool) {
+            if let Some(gate) = &gate {
+                if let Some(hit) = memo.lookup(gate, view, peer) {
+                    return (hit, true);
+                }
+            }
+            (strategy.propose(view, peer, allow_empty), false)
+        };
+        let sharded =
+            self.strategy.sharded_phase1() && peers.len() >= self.config.min_parallel_peers;
+        let raw: Vec<(Option<Proposal>, bool)> = if sharded {
+            peers.par_iter().map(compute).collect()
+        } else {
+            peers.iter().map(compute).collect()
+        };
 
+        // Write recomputed proposals back into the memo and tally.
+        let mut recomputed = 0;
+        let mut memoized = 0;
+        if memo_on {
+            for (&peer, &(proposal, hit)) in peers.iter().zip(&raw) {
+                if hit {
+                    memoized += 1;
+                } else {
+                    recomputed += 1;
+                    self.memo.store(view, peer, allow_empty, proposal);
+                }
+            }
+        } else {
+            recomputed = peers.len();
+        }
+
+        // Per-cluster representative selection, in the exact order (and
+        // with the exact message charges) of the sequential protocol.
         let mut requests: Vec<RelocationRequest> = Vec::new();
+        let mut next = 0;
         for &cid in &non_empty {
             // Every member reports its gain to the representative.
-            let members: Vec<PeerId> = system.overlay().cluster(cid).members().to_vec();
+            let members = view.overlay().cluster(cid).members();
             net.send_many(MsgKind::GainReport, 16, members.len() as u64);
 
             // The representative selects the highest-gain peer
             // (deterministic tie-break by peer id).
             let mut best: Option<RelocationRequest> = None;
-            for peer in members {
-                if let Some(p) = self.peer_request(system, peer) {
+            for &peer in members {
+                let (proposal, _) = raw[next];
+                next += 1;
+                if let Some(p) = self.apply_policy(view, peer, proposal) {
                     let candidate = RelocationRequest {
                         src: cid,
                         dst: p.to,
@@ -198,6 +302,27 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
                 None => net.send_many(MsgKind::Heartbeat, 8, fanout),
             }
         }
+        (requests, recomputed, memoized)
+    }
+
+    /// Executes one round. Returns the outcome; an empty `requests` list
+    /// means the protocol has terminated.
+    pub fn run_round(
+        &mut self,
+        system: &mut System,
+        net: &mut SimNetwork,
+        round: usize,
+    ) -> RoundOutcome {
+        self.strategy.prepare(system);
+
+        // ---- Phase 1: pure reads against one snapshot. --------------
+        // `view()` flushes the cost cache exactly once; everything after
+        // is `&self` with no interior mutability, safe to shard.
+        let (mut requests, recomputed, memoized) = {
+            let view = system.view();
+            self.fold_min_costs(&view, &[]);
+            self.phase1(&view, net)
+        };
 
         // ---- Phase 2: identical sorted list at every representative. --
         RelocationRequest::sort_requests(&mut requests);
@@ -221,28 +346,31 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
         // pioneering escape consumes the accumulated frustration instead
         // of re-firing every round.
         let movers: Vec<PeerId> = moves.iter().map(|&(p, _)| p).collect();
-        self.fold_min_costs(system, &movers);
+        let view = system.view();
+        self.fold_min_costs(&view, &movers);
 
         RoundOutcome {
             round,
             requests,
             granted,
-            scost: scost_normalized(system),
-            wcost: wcost_normalized(system),
-            non_empty_clusters: system.overlay().non_empty_clusters(),
+            scost: scost_normalized(&view),
+            wcost: wcost_normalized(&view),
+            non_empty_clusters: view.overlay().non_empty_clusters(),
+            proposals_recomputed: recomputed,
+            proposals_memoized: memoized,
         }
     }
 
     /// Folds the current individual costs into `min_costs`; peers listed
     /// in `reset` take the current cost outright (fresh start after a
     /// move). Departed peers get `INFINITY`.
-    fn fold_min_costs(&mut self, system: &System, reset: &[PeerId]) {
-        let n = system.overlay().n_slots();
+    fn fold_min_costs(&mut self, view: &SystemView<'_>, reset: &[PeerId]) {
+        let n = view.overlay().n_slots();
         self.min_costs.resize(n, f64::INFINITY);
         for i in 0..n {
             let p = PeerId::from_index(i);
-            let now = if system.overlay().cluster_of(p).is_some() {
-                pcost_current(system, p)
+            let now = if view.overlay().cluster_of(p).is_some() {
+                pcost_current(view, p)
             } else {
                 f64::INFINITY
             };

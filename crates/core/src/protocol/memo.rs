@@ -1,0 +1,299 @@
+//! Cross-round proposal memoization.
+//!
+//! Phase 1 of every protocol round asks each peer for its proposal — a
+//! pure function of the peer's workload rows, the candidate clusters'
+//! sizes and recall masses, `|P|` and the game parameters. Between two
+//! rounds most of those inputs do not change: a round that granted `k`
+//! relocations touched `2k` clusters and dirtied the cost-cache entries
+//! of the movers' query co-holders, and a churn-free, update-free round
+//! touched nothing at all. [`ProposalMemo`] exploits this: it stamps
+//! every stored proposal with the [`Epochs`](crate::view::Epochs) clock
+//! and the cost cache's invalidation counters, and re-emits it — without
+//! recomputation — exactly when
+//!
+//! 1. the peer's cache entry stayed clean (its per-slot mark counter and
+//!    the wholesale counter are unchanged, so its workload rows and its
+//!    current cluster's recall terms are untouched), and
+//! 2. no candidate cluster's size or mass changed (every candidate's
+//!    epoch stamp, and the global stamp, are at or before the memo's
+//!    clock value).
+//!
+//! Under those two conditions a fresh
+//! [`best_response`](crate::equilibrium::best_response) reads exactly
+//! the same values as the memoized call did, so the memoized proposal is
+//! **bit-identical** to recomputation — property-tested against
+//! arbitrary interleavings of moves, churn, content and workload updates
+//! in `crates/core/tests/prop_view_memo.rs`. The net effect: a phase-1
+//! round after quiet rounds costs O(1) per clean peer instead of
+//! O(candidates × workload), and the terminal (request-free) round of
+//! every run is nearly free.
+//!
+//! Only strategies that declare
+//! [`memoizable`](crate::strategy::RelocationStrategy::memoizable) opt
+//! in — the gate conditions cover the selfish best response completely,
+//! but not round-level state like the altruistic contribution matrix.
+
+use recluster_types::PeerId;
+
+use crate::strategy::Proposal;
+use crate::view::SystemView;
+
+/// One peer's memoized proposal plus the stamps it is valid under.
+#[derive(Debug, Clone, Copy, Default)]
+struct MemoEntry {
+    /// The journal clock value when the proposal was computed.
+    sys_stamp: u64,
+    /// The peer's cost-cache mark counter at computation time.
+    slot_marks: u64,
+    /// The cache's wholesale mark counter at computation time.
+    all_marks: u64,
+    /// Whether empty clusters were admissible when computed.
+    allow_empty: bool,
+    /// Whether this entry holds a proposal at all.
+    occupied: bool,
+    /// The memoized proposal.
+    proposal: Option<Proposal>,
+}
+
+/// The per-round summary of the candidate-cluster gate: the newest
+/// stamp among the global epoch and every candidate cluster's epoch.
+/// Computed once per round (O(candidates)) and compared against each
+/// entry's clock value (O(1) per peer).
+#[derive(Debug, Clone, Copy)]
+pub struct RoundGate {
+    max_candidate_epoch: u64,
+    allow_empty: bool,
+}
+
+/// Memoized per-peer proposals with epoch-stamped validity.
+#[derive(Debug, Clone, Default)]
+pub struct ProposalMemo {
+    /// The system lineage the entries were computed against
+    /// ([`Epochs::system_id`](crate::view::Epochs::system_id); 0 =
+    /// empty memo). Stamps of different systems are not comparable —
+    /// two fresh systems both start their clocks at zero — so a store
+    /// against a new lineage drops every old entry, and lookups against
+    /// a different lineage always miss.
+    system_id: u64,
+    entries: Vec<MemoEntry>,
+}
+
+impl ProposalMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the round's candidate gate from the view: the maximum
+    /// of the global stamp and every candidate cluster's stamp (all
+    /// non-empty clusters, plus the first empty slot when empty targets
+    /// are admissible). Entries stamped at or after this value saw every
+    /// candidate in its current state.
+    pub fn round_gate(view: &SystemView<'_>, allow_empty: bool) -> RoundGate {
+        let epochs = view.epochs();
+        let mut max = epochs.global();
+        for &cid in view.overlay().non_empty_ids() {
+            max = max.max(epochs.cluster(cid));
+        }
+        if allow_empty {
+            if let Some(empty) = view.overlay().first_empty_cluster() {
+                max = max.max(epochs.cluster(empty));
+            }
+        }
+        RoundGate {
+            max_candidate_epoch: max,
+            allow_empty,
+        }
+    }
+
+    /// Looks up `peer`'s memoized proposal. `Some(proposal)` means the
+    /// entry is valid under the gate — re-emitting it is bit-identical
+    /// to recomputing; `None` means the caller must recompute (and
+    /// should [`store`](ProposalMemo::store) the result).
+    pub fn lookup(
+        &self,
+        gate: &RoundGate,
+        view: &SystemView<'_>,
+        peer: PeerId,
+    ) -> Option<Option<Proposal>> {
+        if self.system_id != view.epochs().system_id() {
+            return None;
+        }
+        let e = self.entries.get(peer.index())?;
+        let cache = view.cost_cache();
+        (e.occupied
+            && e.allow_empty == gate.allow_empty
+            && e.sys_stamp >= gate.max_candidate_epoch
+            && e.slot_marks == cache.slot_marks(peer.index())
+            && e.all_marks == cache.all_marks())
+        .then_some(e.proposal)
+    }
+
+    /// Stores a freshly computed proposal with the current stamps.
+    pub fn store(
+        &mut self,
+        view: &SystemView<'_>,
+        peer: PeerId,
+        allow_empty: bool,
+        proposal: Option<Proposal>,
+    ) {
+        let system_id = view.epochs().system_id();
+        if self.system_id != system_id {
+            // A different system lineage: none of the old stamps mean
+            // anything here — start over.
+            self.entries.clear();
+            self.system_id = system_id;
+        }
+        if self.entries.len() <= peer.index() {
+            self.entries.resize(peer.index() + 1, MemoEntry::default());
+        }
+        let cache = view.cost_cache();
+        self.entries[peer.index()] = MemoEntry {
+            sys_stamp: view.epochs().now(),
+            slot_marks: cache.slot_marks(peer.index()),
+            all_marks: cache.all_marks(),
+            allow_empty,
+            occupied: true,
+            proposal,
+        };
+    }
+
+    /// Drops every entry (e.g. when the engine switches system).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{best_response, COST_EPS};
+    use crate::system::{GameConfig, System};
+    use recluster_overlay::{ContentStore, Overlay, Theta};
+    use recluster_types::{ClusterId, Document, Query, Sym, Workload};
+
+    fn fixture() -> System {
+        let ov = Overlay::singletons(3);
+        let mut store = ContentStore::new(3);
+        store.add(PeerId(1), Document::new(vec![Sym(1)]));
+        store.add(PeerId(2), Document::new(vec![Sym(2)]));
+        let mut w0 = Workload::new();
+        w0.add(Query::keyword(Sym(1)), 1);
+        let mut w2 = Workload::new();
+        w2.add(Query::keyword(Sym(2)), 1);
+        System::new(
+            ov,
+            store,
+            vec![w0, Workload::new(), w2],
+            GameConfig {
+                alpha: 1.0,
+                theta: Theta::Linear,
+            },
+        )
+    }
+
+    fn proposal_of(sys: &mut System, peer: PeerId) -> Option<Proposal> {
+        let br = best_response(&sys.view(), peer, true);
+        (br.gain > COST_EPS).then_some(Proposal {
+            to: br.cluster,
+            gain: br.gain,
+        })
+    }
+
+    #[test]
+    fn memo_hits_when_nothing_changed() {
+        let mut sys = fixture();
+        let mut memo = ProposalMemo::new();
+        let fresh = proposal_of(&mut sys, PeerId(0));
+        memo.store(&sys.view(), PeerId(0), true, fresh);
+        let view = sys.view();
+        let gate = ProposalMemo::round_gate(&view, true);
+        assert_eq!(memo.lookup(&gate, &view, PeerId(0)), Some(fresh));
+    }
+
+    #[test]
+    fn memo_misses_after_candidate_cluster_changed() {
+        let mut sys = fixture();
+        let mut memo = ProposalMemo::new();
+        let fresh = proposal_of(&mut sys, PeerId(0));
+        memo.store(&sys.view(), PeerId(0), true, fresh);
+        // p2's move changes two candidate clusters' sizes: every memo
+        // must be re-checked against a fresh best response.
+        sys.move_peer(PeerId(2), ClusterId(1));
+        let view = sys.view();
+        let gate = ProposalMemo::round_gate(&view, true);
+        assert_eq!(memo.lookup(&gate, &view, PeerId(0)), None);
+    }
+
+    #[test]
+    fn memo_misses_after_own_workload_changed() {
+        let mut sys = fixture();
+        let mut memo = ProposalMemo::new();
+        let fresh = proposal_of(&mut sys, PeerId(0));
+        memo.store(&sys.view(), PeerId(0), true, fresh);
+        let mut w = Workload::new();
+        w.add(Query::keyword(Sym(2)), 1);
+        sys.set_workload(PeerId(0), w);
+        {
+            let view = sys.view();
+            let gate = ProposalMemo::round_gate(&view, true);
+            assert_eq!(memo.lookup(&gate, &view, PeerId(0)), None);
+        }
+        // …and the fresh proposal differs (the peer now wants p2's
+        // cluster), which is exactly why the gate had to fire.
+        let after = proposal_of(&mut sys, PeerId(0)).expect("still wants to move");
+        assert_eq!(after.to, ClusterId(2));
+    }
+
+    #[test]
+    fn memo_distinguishes_allow_empty() {
+        let mut sys = fixture();
+        let mut memo = ProposalMemo::new();
+        memo.store(&sys.view(), PeerId(0), true, None);
+        let view = sys.view();
+        let gate = ProposalMemo::round_gate(&view, false);
+        assert_eq!(
+            memo.lookup(&gate, &view, PeerId(0)),
+            None,
+            "a proposal computed with empty targets must not serve a round without them"
+        );
+    }
+
+    #[test]
+    fn memo_never_crosses_system_lineages() {
+        // A fresh system's clocks and mark counters are all zero — the
+        // same values another fresh system's stamps carry. Entries are
+        // keyed on the lineage id precisely so one engine reused on a
+        // second system recomputes instead of replaying the first
+        // system's proposals.
+        let mut sys_a = fixture();
+        let mut memo = ProposalMemo::new();
+        let fresh = proposal_of(&mut sys_a, PeerId(0));
+        memo.store(&sys_a.view(), PeerId(0), true, fresh);
+        let mut sys_b = fixture();
+        let view_b = sys_b.view();
+        let gate = ProposalMemo::round_gate(&view_b, true);
+        assert_eq!(memo.lookup(&gate, &view_b, PeerId(0)), None);
+        // Storing against the new lineage adopts it and works normally.
+        memo.store(&view_b, PeerId(0), true, None);
+        assert_eq!(memo.lookup(&gate, &view_b, PeerId(0)), Some(None));
+        // ...and a clone forks a *fresh* lineage too: after the fork the
+        // two histories diverge with independently advancing clocks, so
+        // stamps taken on one must never validate against the other.
+        let mut clone = sys_a.clone();
+        let view_c = clone.view();
+        let mut memo2 = ProposalMemo::new();
+        memo2.store(&sys_a.view(), PeerId(0), true, fresh);
+        let gate_c = ProposalMemo::round_gate(&view_c, true);
+        assert_eq!(memo2.lookup(&gate_c, &view_c, PeerId(0)), None);
+    }
+
+    #[test]
+    fn memo_misses_for_unknown_peers() {
+        let mut sys = fixture();
+        let memo = ProposalMemo::new();
+        let view = sys.view();
+        let gate = ProposalMemo::round_gate(&view, true);
+        assert_eq!(memo.lookup(&gate, &view, PeerId(0)), None);
+    }
+}

@@ -16,10 +16,12 @@
 mod async_engine;
 mod engine;
 mod locks;
+mod memo;
 
 pub use async_engine::{run_async, AsyncOutcome};
 pub use engine::{ProtocolEngine, RoundOutcome, RunOutcome};
 pub use locks::LockSet;
+pub use memo::{ProposalMemo, RoundGate};
 
 use recluster_types::{ClusterId, PeerId};
 
@@ -88,6 +90,20 @@ pub struct ProtocolConfig {
     /// (ablation) grants every request, which admits the move cycles the
     /// rule exists to prevent.
     pub use_locks: bool,
+    /// Minimum live-peer count at which phase 1 shards proposal
+    /// computation across the rayon shim's workers (peers split by
+    /// index range, results merged in peer order — byte-identical to
+    /// sequential). Below the threshold the spawn overhead outweighs the
+    /// work; `usize::MAX` forces sequential, `1` forces sharding.
+    /// Strategies with stateful `propose` implementations
+    /// ([`sharded_phase1`](crate::strategy::RelocationStrategy::sharded_phase1)
+    /// = false) always run sequentially.
+    pub min_parallel_peers: usize,
+    /// Whether to memoize proposals across rounds for strategies that
+    /// declare [`memoizable`](crate::strategy::RelocationStrategy::memoizable).
+    /// Bit-identical either way; the `RECLUSTER_MEMO=0` environment
+    /// knob force-disables it for A/B runs without touching configs.
+    pub memoize_proposals: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -97,6 +113,8 @@ impl Default for ProtocolConfig {
             max_rounds: 300,
             empty_targets: EmptyTargetPolicy::Always,
             use_locks: true,
+            min_parallel_peers: 4096,
+            memoize_proposals: true,
         }
     }
 }

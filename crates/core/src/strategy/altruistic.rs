@@ -30,6 +30,7 @@ use recluster_types::{ClusterId, PeerId};
 use crate::equilibrium::COST_EPS;
 use crate::strategy::{membership_increase, Proposal, RelocationStrategy};
 use crate::system::System;
+use crate::view::SystemView;
 
 /// The altruistic strategy.
 ///
@@ -104,12 +105,12 @@ impl RelocationStrategy for AltruisticStrategy {
         }
     }
 
-    fn propose(&self, system: &System, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
+    fn propose(&self, view: &SystemView<'_>, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
         assert!(
             !self.totals.is_empty(),
             "AltruisticStrategy::prepare must run before propose"
         );
-        let current = system.overlay().cluster_of(peer)?;
+        let current = view.overlay().cluster_of(peer)?;
         if self.totals[peer.index()] == 0.0 {
             return None; // the peer serves nobody; altruism is moot
         }
@@ -117,8 +118,8 @@ impl RelocationStrategy for AltruisticStrategy {
         // clusters have zero contribution and are therefore never
         // selected, regardless of `allow_empty`.
         let mut best: Option<(ClusterId, f64)> = None;
-        for cid in system.overlay().cluster_ids() {
-            if system.overlay().cluster(cid).is_empty() && !allow_empty {
+        for cid in view.overlay().cluster_ids() {
+            if view.overlay().cluster(cid).is_empty() && !allow_empty {
                 continue;
             }
             let c = self.contribution(peer, cid);
@@ -136,7 +137,7 @@ impl RelocationStrategy for AltruisticStrategy {
         }
         let clgain = contribution_new
             - self.contribution(peer, current)
-            - membership_increase(system, peer, cnew);
+            - membership_increase(view, peer, cnew);
         if clgain > COST_EPS {
             Some(Proposal {
                 to: cnew,
@@ -189,30 +190,30 @@ mod tests {
 
     #[test]
     fn provider_moves_to_its_biggest_consumer() {
-        let sys = provider_system(3, 1, 0.0);
+        let mut sys = provider_system(3, 1, 0.0);
         let mut s = AltruisticStrategy::new();
         s.prepare(&sys);
-        let p = s.propose(&sys, PeerId(0), true).unwrap();
+        let p = s.propose(&sys.view(), PeerId(0), true).unwrap();
         assert_eq!(p.to, ClusterId(1));
         assert!(p.gain > 0.0);
     }
 
     #[test]
     fn non_serving_peer_does_not_move() {
-        let sys = provider_system(3, 1, 0.0);
+        let mut sys = provider_system(3, 1, 0.0);
         let mut s = AltruisticStrategy::new();
         s.prepare(&sys);
-        assert!(s.propose(&sys, PeerId(1), true).is_none());
+        assert!(s.propose(&sys.view(), PeerId(1), true).is_none());
     }
 
     #[test]
     fn membership_increase_gates_the_move() {
         // With a huge α the destination's membership growth outweighs the
         // contribution benefit.
-        let sys = provider_system(3, 1, 10.0);
+        let mut sys = provider_system(3, 1, 10.0);
         let mut s = AltruisticStrategy::new();
         s.prepare(&sys);
-        assert!(s.propose(&sys, PeerId(0), true).is_none());
+        assert!(s.propose(&sys.view(), PeerId(0), true).is_none());
     }
 
     #[test]
@@ -223,14 +224,14 @@ mod tests {
         sys.move_peer(PeerId(1), ClusterId(0));
         let mut s = AltruisticStrategy::new();
         s.prepare(&sys);
-        assert!(s.propose(&sys, PeerId(0), true).is_none());
+        assert!(s.propose(&sys.view(), PeerId(0), true).is_none());
 
         // Demand flips: p2 now dominates → p0 relocates to c2.
         let mut sys = provider_system(1, 5, 0.0);
         sys.move_peer(PeerId(1), ClusterId(0));
         let mut s = AltruisticStrategy::new();
         s.prepare(&sys);
-        let p = s.propose(&sys, PeerId(0), true).unwrap();
+        let p = s.propose(&sys.view(), PeerId(0), true).unwrap();
         assert_eq!(p.to, ClusterId(2));
     }
 
@@ -242,14 +243,14 @@ mod tests {
         sys.move_peer(PeerId(1), ClusterId(0));
         let mut s = AltruisticStrategy::new();
         s.prepare(&sys);
-        assert!(s.propose(&sys, PeerId(0), true).is_none());
+        assert!(s.propose(&sys.view(), PeerId(0), true).is_none());
     }
 
     #[test]
     #[should_panic(expected = "prepare must run")]
     fn propose_without_prepare_panics() {
-        let sys = provider_system(1, 1, 1.0);
+        let mut sys = provider_system(1, 1, 1.0);
         let s = AltruisticStrategy::new();
-        let _ = s.propose(&sys, PeerId(0), true);
+        let _ = s.propose(&sys.view(), PeerId(0), true);
     }
 }

@@ -21,6 +21,7 @@ use crate::cost::{pcost, pcost_current};
 use crate::equilibrium::COST_EPS;
 use crate::strategy::{membership_increase, AltruisticStrategy, Proposal, RelocationStrategy};
 use crate::system::System;
+use crate::view::SystemView;
 
 /// The hybrid strategy with mixing weight `λ ∈ [0, 1]`.
 #[derive(Debug, Clone)]
@@ -60,22 +61,22 @@ impl RelocationStrategy for HybridStrategy {
         self.altruism.prepare(system);
     }
 
-    fn propose(&self, system: &System, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
-        let current = system.overlay().cluster_of(peer)?;
-        let current_cost = pcost_current(system, peer);
+    fn propose(&self, view: &SystemView<'_>, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
+        let current = view.overlay().cluster_of(peer)?;
+        let current_cost = pcost_current(view, peer);
         let current_contribution = self.altruism.contribution(peer, current);
         let mut best: Option<(ClusterId, f64)> = None;
-        for cid in system.overlay().cluster_ids() {
+        for cid in view.overlay().cluster_ids() {
             if cid == current {
                 continue;
             }
-            if system.overlay().cluster(cid).is_empty() && !allow_empty {
+            if view.overlay().cluster(cid).is_empty() && !allow_empty {
                 continue;
             }
-            let pgain = current_cost - pcost(system, peer, cid);
+            let pgain = current_cost - pcost(view, peer, cid);
             let clgain = self.altruism.contribution(peer, cid)
                 - current_contribution
-                - membership_increase(system, peer, cid);
+                - membership_increase(view, peer, cid);
             let score = self.lambda * pgain + (1.0 - self.lambda) * clgain;
             let better = match best {
                 None => score > COST_EPS,
@@ -122,11 +123,11 @@ mod tests {
 
     #[test]
     fn lambda_one_matches_selfish() {
-        let sys = torn_system(1.0);
+        let mut sys = torn_system(1.0);
         let mut h = HybridStrategy::new(1.0);
         h.prepare(&sys);
-        let hybrid = h.propose(&sys, PeerId(0), true);
-        let selfish = SelfishStrategy.propose(&sys, PeerId(0), true);
+        let hybrid = h.propose(&sys.view(), PeerId(0), true);
+        let selfish = SelfishStrategy.propose(&sys.view(), PeerId(0), true);
         assert_eq!(
             hybrid.map(|p| p.to),
             selfish.map(|p| p.to),
@@ -139,10 +140,10 @@ mod tests {
 
     #[test]
     fn lambda_zero_follows_contribution() {
-        let sys = torn_system(0.0);
+        let mut sys = torn_system(0.0);
         let mut h = HybridStrategy::new(0.0);
         h.prepare(&sys);
-        let p = h.propose(&sys, PeerId(0), true).unwrap();
+        let p = h.propose(&sys.view(), PeerId(0), true).unwrap();
         assert_eq!(p.to, ClusterId(2), "pure altruism chases the consumer");
     }
 
@@ -150,12 +151,12 @@ mod tests {
     fn intermediate_lambda_interpolates() {
         // The torn peer picks the selfish destination for large λ and the
         // altruistic one for small λ; both must appear across the sweep.
-        let sys = torn_system(0.0);
+        let mut sys = torn_system(0.0);
         let mut destinations = std::collections::HashSet::new();
         for &lambda in &[0.0, 0.25, 0.5, 0.75, 1.0] {
             let mut h = HybridStrategy::new(lambda);
             h.prepare(&sys);
-            if let Some(p) = h.propose(&sys, PeerId(0), true) {
+            if let Some(p) = h.propose(&sys.view(), PeerId(0), true) {
                 destinations.insert(p.to);
             }
         }
@@ -166,11 +167,11 @@ mod tests {
     #[test]
     fn no_proposal_when_nothing_scores_positive() {
         // A peer with no queries and no consumers has nothing to gain.
-        let sys = torn_system(1.0);
+        let mut sys = torn_system(1.0);
         let mut h = HybridStrategy::new(0.5);
         h.prepare(&sys);
         assert!(
-            h.propose(&sys, PeerId(1), true).is_none() || {
+            h.propose(&sys.view(), PeerId(1), true).is_none() || {
                 // p1 holds data p0 wants, so altruism may move it; accept
                 // either, but the inert peer p2's data-less twin must stay.
                 true

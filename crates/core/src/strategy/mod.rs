@@ -20,6 +20,7 @@ pub use selfish::SelfishStrategy;
 use recluster_types::{ClusterId, PeerId};
 
 use crate::system::System;
+use crate::view::{SystemRead, SystemView};
 
 /// A relocation proposal: the destination and the strategy's gain value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +33,18 @@ pub struct Proposal {
 }
 
 /// A peer-relocation strategy.
-pub trait RelocationStrategy {
+///
+/// `Sync` is a supertrait because [`propose`] is a pure read evaluated
+/// against a [`SystemView`] — the engine's phase 1 shares one strategy
+/// reference across the rayon shim's workers. A strategy whose
+/// `propose` is *not* a pure function of `(view, peer, allow_empty)`
+/// (e.g. one drawing from an internal RNG stream) must return `false`
+/// from [`sharded_phase1`] so the engine keeps its call order
+/// sequential and deterministic.
+///
+/// [`propose`]: RelocationStrategy::propose
+/// [`sharded_phase1`]: RelocationStrategy::sharded_phase1
+pub trait RelocationStrategy: Sync {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 
@@ -47,7 +59,32 @@ pub trait RelocationStrategy {
     /// (positive-gain) move. `allow_empty` controls whether empty
     /// clusters are admissible destinations (§4.2 forbids them to keep
     /// the cluster count fixed; §3.2's new-cluster rule requires them).
-    fn propose(&self, system: &System, peer: PeerId, allow_empty: bool) -> Option<Proposal>;
+    ///
+    /// Takes a [`SystemView`] — a `Sync` snapshot with a pre-flushed
+    /// cost cache — so the engine can fan proposal computation across
+    /// threads with no interior mutability in the read path.
+    fn propose(&self, view: &SystemView<'_>, peer: PeerId, allow_empty: bool) -> Option<Proposal>;
+
+    /// Whether [`propose`](RelocationStrategy::propose) is a pure
+    /// function of its arguments, making it safe to shard peers across
+    /// threads (results are merged in peer order either way, so sharding
+    /// never changes the bytes — only whether calls may interleave).
+    fn sharded_phase1(&self) -> bool {
+        true
+    }
+
+    /// Whether this strategy's proposals depend *only* on the inputs the
+    /// [`Epochs`](crate::view::Epochs) journal and the cost cache's mark
+    /// counters track — the peer's own workload/terms, the candidate
+    /// clusters' sizes and recall masses, `|P|`, result totals and the
+    /// game parameters. When true, the engine memoizes proposals across
+    /// rounds ([`ProposalMemo`](crate::protocol::ProposalMemo)): a peer
+    /// whose stamps are unchanged re-emits its previous proposal without
+    /// recomputation. Strategies with round-level state of their own
+    /// (contribution matrices, RNG streams) must leave this `false`.
+    fn memoizable(&self) -> bool {
+        false
+    }
 }
 
 /// "The increase in the membership cost of c_new p will cause if it
@@ -65,7 +102,11 @@ pub trait RelocationStrategy {
 /// similar-sized clusters (preserving the Fig. 2/3 tipping behaviour)
 /// yet grows linearly when joining a much larger cluster (blocking the
 /// snowball).
-pub fn membership_increase(system: &System, peer: PeerId, cid: ClusterId) -> f64 {
+pub fn membership_increase<S: SystemRead + ?Sized>(
+    system: &S,
+    peer: PeerId,
+    cid: ClusterId,
+) -> f64 {
     let n_dst = system.overlay().size(cid);
     let n_src = system
         .overlay()

@@ -8,7 +8,7 @@ use recluster_types::PeerId;
 
 use crate::equilibrium::{best_response, COST_EPS};
 use crate::strategy::{Proposal, RelocationStrategy};
-use crate::system::System;
+use crate::view::SystemView;
 
 /// The selfish strategy: pure individual-cost minimization.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,8 +19,8 @@ impl RelocationStrategy for SelfishStrategy {
         "selfish"
     }
 
-    fn propose(&self, system: &System, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
-        let br = best_response(system, peer, allow_empty);
+    fn propose(&self, view: &SystemView<'_>, peer: PeerId, allow_empty: bool) -> Option<Proposal> {
+        let br = best_response(view, peer, allow_empty);
         if br.gain > COST_EPS {
             Some(Proposal {
                 to: br.cluster,
@@ -30,6 +30,14 @@ impl RelocationStrategy for SelfishStrategy {
             None
         }
     }
+
+    /// `best_response` reads exactly the quantities the change journal
+    /// stamps — the peer's workload rows, the candidate clusters' sizes
+    /// and masses, `|P|` and the game parameters — so the memo's
+    /// validity gate covers it completely.
+    fn memoizable(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -38,7 +46,7 @@ mod tests {
     use recluster_overlay::{ContentStore, Overlay, Theta};
     use recluster_types::{ClusterId, Document, Query, Sym, Workload};
 
-    use crate::system::GameConfig;
+    use crate::system::{GameConfig, System};
 
     /// Two peers; p0's single query is answered only by p1.
     fn seeker_system(alpha: f64) -> System {
@@ -60,8 +68,10 @@ mod tests {
 
     #[test]
     fn proposes_move_toward_results() {
-        let sys = seeker_system(1.0);
-        let p = SelfishStrategy.propose(&sys, PeerId(0), true).unwrap();
+        let mut sys = seeker_system(1.0);
+        let p = SelfishStrategy
+            .propose(&sys.view(), PeerId(0), true)
+            .unwrap();
         assert_eq!(p.to, ClusterId(1));
         // pgain = (0.5 + 1) − (1 + 0) = 0.5.
         assert!((p.gain - 0.5).abs() < 1e-12);
@@ -71,15 +81,19 @@ mod tests {
     fn no_proposal_when_satisfied() {
         let mut sys = seeker_system(1.0);
         sys.move_peer(PeerId(0), ClusterId(1));
-        assert!(SelfishStrategy.propose(&sys, PeerId(0), true).is_none());
+        assert!(SelfishStrategy
+            .propose(&sys.view(), PeerId(0), true)
+            .is_none());
     }
 
     #[test]
     fn high_alpha_suppresses_the_move() {
         // With α = 3, joining (membership 2·3/2 = 3) beats staying
         // (0.5·3 + 1 = 2.5)? No: 3 > 2.5, so the peer stays.
-        let sys = seeker_system(3.0);
-        assert!(SelfishStrategy.propose(&sys, PeerId(0), true).is_none());
+        let mut sys = seeker_system(3.0);
+        assert!(SelfishStrategy
+            .propose(&sys.view(), PeerId(0), true)
+            .is_none());
     }
 
     #[test]
@@ -88,9 +102,9 @@ mod tests {
         // joins it (membership drops 1.0 → 0.5 with no recall loss).
         let mut sys = seeker_system(1.0);
         sys.move_peer(PeerId(0), ClusterId(1));
-        let with_empty = SelfishStrategy.propose(&sys, PeerId(1), true);
+        let with_empty = SelfishStrategy.propose(&sys.view(), PeerId(1), true);
         assert!(with_empty.is_some());
-        let without_empty = SelfishStrategy.propose(&sys, PeerId(1), false);
+        let without_empty = SelfishStrategy.propose(&sys.view(), PeerId(1), false);
         assert!(without_empty.is_none());
     }
 

@@ -18,6 +18,7 @@ use recluster_types::{ClusterId, Document, PeerId, Workload};
 
 use crate::costcache::CostCache;
 use crate::recall::RecallIndex;
+use crate::view::{Epochs, SystemRead, SystemView};
 
 /// Game parameters of Eq. 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +56,9 @@ pub struct System {
     /// Per-peer cached cost terms (recall loss + `WCost` contribution),
     /// dirty-tracked by every mutator and flushed lazily on read.
     cache: RefCell<CostCache>,
+    /// Change journal for proposal memoization: per-cluster stamps for
+    /// size/mass changes, a global stamp for system-wide shifts.
+    epochs: Epochs,
 }
 
 impl System {
@@ -76,6 +80,7 @@ impl System {
         let index = RecallIndex::build(&overlay, &store, &workloads);
         let summaries = ClusterSummaries::build(&overlay, &store);
         let cache = RefCell::new(CostCache::new_all_dirty(overlay.n_slots()));
+        let epochs = Epochs::new(overlay.cmax());
         System {
             overlay,
             store,
@@ -84,6 +89,7 @@ impl System {
             index,
             summaries,
             cache,
+            epochs,
         }
     }
 
@@ -115,6 +121,8 @@ impl System {
     pub fn set_config(&mut self, config: GameConfig) {
         assert!(config.alpha >= 0.0 && config.alpha.is_finite());
         self.config = config;
+        // α/θ enter every pcost: all memoized proposals are stale.
+        self.epochs.bump_global();
     }
 
     /// The recall index.
@@ -138,6 +146,35 @@ impl System {
             cache.flush(&self.index, &self.overlay, &self.workloads);
         }
         self.cache.borrow()
+    }
+
+    /// Builds a [`SystemView`]: flushes the cost cache once, then hands
+    /// out a `Sync` snapshot of shared borrows — overlay, store,
+    /// workloads, index, summaries, the flushed cache and the change
+    /// journal. Phase 1 of a protocol round (and any other parallel
+    /// read) evaluates costs against the view with `&self` and no
+    /// interior mutability; results are bit-identical to reading the
+    /// `System` directly. Requires `&mut self` only to flush without a
+    /// `RefCell` guard — nothing observable is modified.
+    pub fn view(&mut self) -> SystemView<'_> {
+        let cache = self.cache.get_mut();
+        cache.flush(&self.index, &self.overlay, &self.workloads);
+        SystemView {
+            overlay: &self.overlay,
+            store: &self.store,
+            workloads: &self.workloads,
+            config: self.config,
+            index: &self.index,
+            summaries: &self.summaries,
+            cache,
+            epochs: &self.epochs,
+        }
+    }
+
+    /// The change journal (per-cluster and global stamps) — the inputs
+    /// of the proposal-memo validity gate.
+    pub fn epochs(&self) -> &Epochs {
+        &self.epochs
     }
 
     /// Marks the whole cost cache stale; the next read recomputes every
@@ -188,6 +225,10 @@ impl System {
             self.summaries.apply_move(self.store.docs(peer), from, to);
             self.mark_mass_dependents(peer, from, Some(to));
             self.cache.get_mut().mark(peer.index());
+            // Sizes and recall masses changed in exactly these two
+            // clusters; every other cluster's pcost column is untouched.
+            self.epochs.bump_cluster(from);
+            self.epochs.bump_cluster(to);
         }
         from
     }
@@ -220,6 +261,10 @@ impl System {
         let cache = self.cache.get_mut();
         cache.mark(peer.index());
         cache.add_live_demand(demand);
+        // |P| changed: every membership term (and so every memoized
+        // proposal) is stale.
+        self.epochs.ensure_cmax(self.overlay.cmax());
+        self.epochs.bump_global();
     }
 
     /// Removes a peer from its cluster (churn leave), delta-updating the
@@ -239,6 +284,8 @@ impl System {
         let cache = self.cache.get_mut();
         cache.mark(peer.index());
         cache.sub_live_demand(demand);
+        // |P| changed: global invalidation.
+        self.epochs.bump_global();
         Some(from)
     }
 
@@ -301,6 +348,11 @@ impl System {
                 cache.add_live_demand(demand);
             }
         }
+        // Churn changes |P| *and* result totals (the leaver's/joiner's
+        // documents leave/enter every `r(q, p)` denominator): global
+        // invalidation either way.
+        self.epochs.ensure_cmax(self.overlay.cmax());
+        self.epochs.bump_global();
         Some(delta)
     }
 
@@ -379,6 +431,9 @@ impl System {
     }
 
     fn apply_content_delta(&mut self, peer: PeerId, docs: Vec<Document>) {
+        // Result totals shift: masses move in every cluster holding the
+        // affected queries' results — global invalidation.
+        self.epochs.bump_global();
         let cid = self.overlay.cluster_of(peer);
         // Holders of the *old* result row see their totals change…
         self.mark_total_dependents(peer);
@@ -446,6 +501,39 @@ impl System {
     pub fn refresh_mass(&mut self) {
         self.index.refresh_mass(&self.overlay);
         self.cache.get_mut().mark_all();
+    }
+}
+
+impl SystemRead for System {
+    fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    fn index(&self) -> &RecallIndex {
+        &self.index
+    }
+
+    fn config(&self) -> GameConfig {
+        self.config
+    }
+
+    fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    // The cached reads go through `cost_cache()`, which flushes pending
+    // recomputations behind the `RefCell` — the lazy single-threaded
+    // route. `SystemView` serves the same values as plain loads.
+    fn cached_recall_loss(&self, peer: PeerId) -> f64 {
+        self.cost_cache().recall_loss_of(peer)
+    }
+
+    fn cached_wrecall(&self, peer: PeerId) -> f64 {
+        self.cost_cache().wrecall_of(peer)
+    }
+
+    fn cached_live_demand(&self) -> u64 {
+        self.cost_cache().live_demand()
     }
 }
 

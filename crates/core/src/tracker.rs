@@ -166,8 +166,14 @@ pub fn simulate_period_routed(
     mode: RoutingMode,
 ) -> (PeriodObservations, RoutingReport) {
     let overlay = system.overlay();
+    let index = system.index();
     let n_slots = overlay.n_slots();
     let cmax = overlay.cmax();
+    // The flushed cost cache supplies the query → holder lists: the
+    // period walks each *distinct* query once instead of once per
+    // holder, which removes the O(peers × workload) evaluation factor —
+    // at scale most peers share their queries with thousands of others.
+    let cache = system.cost_cache();
     let mut observations: Vec<Vec<QueryObservation>> = vec![Vec::new(); n_slots];
     let mut served: Vec<BTreeMap<ClusterId, f64>> = vec![BTreeMap::new(); n_slots];
     let mut served_total = vec![0.0; n_slots];
@@ -190,84 +196,146 @@ pub fn simulate_period_routed(
         missed_results: 0,
     };
 
+    /// One distinct query's shared evaluation — identical for every
+    /// holder (content is fixed within the period), fanned out to the
+    /// per-peer observations afterwards.
+    struct QueryEval {
+        per_cluster: Vec<(ClusterId, u64)>,
+        total: u64,
+    }
+
     // Buffers reused across every query of the period: a scratch ledger
-    // for the single evaluation, a dense per-cluster accumulator plus
-    // its touched-slot list (reset in O(touched), not O(cmax)).
+    // for the single evaluation, dense per-cluster accumulators (result
+    // counts, live demand) plus their touched-slot lists (reset in
+    // O(touched), not O(cmax)).
     let mut scratch = SimNetwork::new();
     let mut cluster_acc: Vec<u64> = vec![0; cmax];
     let mut touched: Vec<usize> = Vec::with_capacity(cmax);
     let mut routed_targets: Vec<ClusterId> = Vec::new();
+    let mut demand_acc: Vec<u64> = vec![0; cmax];
+    let mut demand_touched: Vec<usize> = Vec::new();
 
-    for requester in overlay.peers() {
-        let rcid = overlay.cluster_of(requester).expect("live peer");
-        let workload = &system.workloads()[requester.index()];
-        for (query, count) in workload.iter() {
-            // Evaluate once — the remaining occurrences see identical
-            // results (content is fixed within the period) — but charge
-            // the network for every occurrence.
-            scratch.reset();
-            let targets: &[ClusterId] = match &plan {
-                None => &non_empty,
-                Some(plan) => {
-                    plan.route_into(query, &mut routed_targets);
-                    &routed_targets
-                }
+    let mut evals: Vec<Option<QueryEval>> = Vec::with_capacity(index.n_queries());
+    for qid in 0..index.n_queries() {
+        let query = &index.queries()[qid];
+        // Live demand for this query, bucketed by requesting cluster.
+        // Workload entries always carry ≥ 1 occurrence, so "has a live
+        // holder" and "has live demand" coincide; holder order does not
+        // matter — the buckets are exact integer sums.
+        let mut total_demand: u64 = 0;
+        for &slot in cache.holders_of(qid) {
+            let holder = PeerId::from_index(slot as usize);
+            let Some(rcid) = overlay.cluster_of(holder) else {
+                continue; // departed peers issue no queries
             };
-            let results = route_to_clusters(overlay, system.store(), query, targets, &mut scratch);
-            net.merge_scaled(&scratch, count);
+            let count = system.workloads()[slot as usize].count(query);
+            total_demand += count;
+            if demand_acc[rcid.index()] == 0 {
+                demand_touched.push(rcid.index());
+            }
+            demand_acc[rcid.index()] += count;
+        }
+        if total_demand == 0 {
+            evals.push(None); // no live demand: the period never routes it
+            continue;
+        }
+        demand_touched.sort_unstable();
 
-            report.query_events += count;
-            report.flood_forwards += non_empty.len() as u64 * count;
-            report.forwards += scratch.messages(recluster_overlay::MsgKind::QueryForward) * count;
-            if lossy {
-                // Accounting only (uncharged): what flooding would have
-                // found in the clusters the lossy summary skipped.
-                for &cid in &non_empty {
-                    if targets.binary_search(&cid).is_ok() {
-                        continue;
-                    }
-                    for &peer in overlay.cluster(cid).members() {
-                        report.missed_results += system.store().result_count(query, peer) * count;
-                    }
+        // Evaluate once; charge the network for every occurrence of
+        // every live holder (the ledger totals are linear, so one
+        // `merge_scaled` by the demand sum equals the per-holder walk).
+        scratch.reset();
+        let targets: &[ClusterId] = match &plan {
+            None => &non_empty,
+            Some(plan) => {
+                plan.route_into(query, &mut routed_targets);
+                &routed_targets
+            }
+        };
+        let results = route_to_clusters(overlay, system.store(), query, targets, &mut scratch);
+        net.merge_scaled(&scratch, total_demand);
+
+        report.query_events += total_demand;
+        report.flood_forwards += non_empty.len() as u64 * total_demand;
+        report.forwards +=
+            scratch.messages(recluster_overlay::MsgKind::QueryForward) * total_demand;
+        if lossy {
+            // Accounting only (uncharged): what flooding would have
+            // found in the clusters the lossy summary skipped.
+            for &cid in &non_empty {
+                if targets.binary_search(&cid).is_ok() {
+                    continue;
+                }
+                for &peer in overlay.cluster(cid).members() {
+                    report.missed_results +=
+                        system.store().result_count(query, peer) * total_demand;
                 }
             }
+        }
 
-            let mut total = 0u64;
-            for r in &results {
-                let slot = r.cluster.index();
-                if cluster_acc[slot] == 0 {
-                    touched.push(slot);
+        let mut total = 0u64;
+        for r in &results {
+            let slot = r.cluster.index();
+            if cluster_acc[slot] == 0 {
+                touched.push(slot);
+            }
+            cluster_acc[slot] += r.count;
+            total += r.count;
+            // The answering peer records whom it served (Eq. 6
+            // numerator, weighted by query occurrences). Results a peer
+            // finds in its own store are not "sent" and carry no
+            // contribution credit, so the peer's own occurrences leave
+            // its home-cluster bucket. Every credit is a product/sum of
+            // integers well below 2⁵³, so this bucketed accumulation is
+            // bit-identical to crediting requester by requester.
+            for &ci in &demand_touched {
+                let mut demand = demand_acc[ci];
+                if overlay.cluster_of(r.peer) == Some(ClusterId::from_index(ci)) {
+                    demand -= system.workloads()[r.peer.index()].count(query);
                 }
-                cluster_acc[slot] += r.count;
-                total += r.count;
-                // The answering peer records whom it served (Eq. 6
-                // numerator, weighted by query occurrences). Results a
-                // peer finds in its own store are not "sent" and carry
-                // no contribution credit — matching the oracle.
-                if r.peer != requester {
-                    let credit = count as f64 * r.count as f64;
-                    *served[r.peer.index()].entry(rcid).or_insert(0.0) += credit;
+                if demand > 0 {
+                    let credit = demand as f64 * r.count as f64;
+                    *served[r.peer.index()]
+                        .entry(ClusterId::from_index(ci))
+                        .or_insert(0.0) += credit;
                     served_total[r.peer.index()] += credit;
                 }
             }
-            touched.sort_unstable();
-            let per_cluster: Vec<(ClusterId, u64)> = touched
-                .iter()
-                .map(|&slot| (ClusterId::from_index(slot), cluster_acc[slot]))
-                .collect();
-            for &slot in &touched {
-                cluster_acc[slot] = 0;
-            }
-            touched.clear();
-            report.returned_results += total * count;
+        }
+        touched.sort_unstable();
+        let per_cluster: Vec<(ClusterId, u64)> = touched
+            .iter()
+            .map(|&slot| (ClusterId::from_index(slot), cluster_acc[slot]))
+            .collect();
+        for &slot in &touched {
+            cluster_acc[slot] = 0;
+        }
+        touched.clear();
+        for &ci in &demand_touched {
+            demand_acc[ci] = 0;
+        }
+        demand_touched.clear();
+        report.returned_results += total * total_demand;
+        evals.push(Some(QueryEval { per_cluster, total }));
+    }
+    drop(cache);
 
+    // Fan the shared evaluations out to every live holder, in the exact
+    // (peer id, workload order) the per-requester walk produced.
+    for requester in overlay.peers() {
+        let workload = &system.workloads()[requester.index()];
+        for (query, _count) in workload.iter() {
+            let qid = index.qid(query).expect("workload queries are indexed") as usize;
+            let eval = evals[qid]
+                .as_ref()
+                .expect("a live holder implies the query was evaluated");
             let own = system.store().result_count(query, requester);
             let weight = workload.frequency(query);
             observations[requester.index()].push(QueryObservation {
                 query: query.clone(),
                 weight,
-                per_cluster,
-                total,
+                per_cluster: eval.per_cluster.clone(),
+                total: eval.total,
                 own,
             });
         }

@@ -14,158 +14,13 @@
 //! skip every O(queries × peers) rebuild: content updates and churn are
 //! O(changed peers) too, not just relocations.
 
+mod common;
+
+use common::{apply, arb_ops, arb_seed_syms, fixture, N_PEERS};
 use proptest::prelude::*;
-use recluster_core::{pcost, GameConfig, RecallIndex, System};
-use recluster_overlay::{ChurnEvent, ContentStore, Overlay, SimNetwork, Theta};
-use recluster_types::{ClusterId, Document, PeerId, Query, Sym, Workload};
-
-const N_PEERS: usize = 10;
-const N_SYMS: u32 = 6;
-
-/// A membership/content/workload operation; values are folded into the
-/// valid range by the interpreter so any random vector is a valid
-/// script.
-#[derive(Debug, Clone)]
-enum Op {
-    Move { peer: u32, to: u32 },
-    Leave { peer: u32 },
-    Join { peer: u32, to: u32 },
-    ChurnLeave { peer: u32 },
-    ChurnJoin { to: u32, doc_syms: Vec<u32> },
-    SetContent { peer: u32, doc_syms: Vec<u32> },
-    SetWorkload { peer: u32, q_syms: Vec<u32> },
-}
-
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    let syms = || proptest::collection::vec(0u32..N_SYMS, 0..4);
-    proptest::collection::vec(
-        prop_oneof![
-            (0u32..N_PEERS as u32, 0u32..N_PEERS as u32)
-                .prop_map(|(peer, to)| Op::Move { peer, to }),
-            (0u32..N_PEERS as u32).prop_map(|peer| Op::Leave { peer }),
-            (0u32..N_PEERS as u32, 0u32..N_PEERS as u32)
-                .prop_map(|(peer, to)| Op::Join { peer, to }),
-            (0u32..N_PEERS as u32).prop_map(|peer| Op::ChurnLeave { peer }),
-            (0u32..N_PEERS as u32, syms())
-                .prop_map(|(to, doc_syms)| Op::ChurnJoin { to, doc_syms }),
-            (0u32..N_PEERS as u32, syms())
-                .prop_map(|(peer, doc_syms)| Op::SetContent { peer, doc_syms }),
-            (0u32..N_PEERS as u32, syms())
-                .prop_map(|(peer, q_syms)| Op::SetWorkload { peer, q_syms }),
-        ],
-        0..40,
-    )
-}
-
-/// Deterministic content/workload fixture: peer `i` holds documents
-/// over syms `i % N_SYMS` and `(i + 1) % N_SYMS`, and queries two syms
-/// offset from its own — every peer both provides and consumes.
-fn fixture(seed_docs: &[Vec<u32>], seed_queries: &[Vec<u32>]) -> System {
-    let mut overlay = Overlay::singletons(N_PEERS);
-    // Start from a non-trivial clustering.
-    for i in 0..N_PEERS {
-        overlay.move_peer(
-            PeerId::from_index(i),
-            ClusterId::from_index(i % (N_PEERS / 2)),
-        );
-    }
-    let mut store = ContentStore::new(N_PEERS);
-    for (i, syms) in seed_docs.iter().enumerate() {
-        for &s in syms {
-            store.add(
-                PeerId::from_index(i),
-                Document::new(vec![Sym(s % N_SYMS), Sym((s + 1) % N_SYMS)]),
-            );
-        }
-    }
-    let mut workloads = Vec::with_capacity(N_PEERS);
-    for syms in seed_queries {
-        let mut w = Workload::new();
-        for (k, &s) in syms.iter().enumerate() {
-            w.add(Query::keyword(Sym(s % N_SYMS)), 1 + (k as u64 % 3));
-        }
-        workloads.push(w);
-    }
-    workloads.resize(N_PEERS, Workload::new());
-    System::new(
-        overlay,
-        store,
-        workloads,
-        GameConfig {
-            alpha: 1.0,
-            theta: Theta::Linear,
-        },
-    )
-}
-
-/// Interprets an op against the system through the public hooks.
-fn apply(sys: &mut System, net: &mut SimNetwork, op: Op) {
-    match op {
-        Op::Move { peer, to } => {
-            let peer = PeerId(peer);
-            let to = ClusterId(to % sys.overlay().cmax() as u32);
-            if sys.overlay().cluster_of(peer).is_some() {
-                sys.move_peer(peer, to);
-            }
-        }
-        Op::Leave { peer } => {
-            let _ = sys.leave_peer(PeerId(peer));
-        }
-        Op::Join { peer, to } => {
-            let peer = PeerId(peer);
-            let to = ClusterId(to % sys.overlay().cmax() as u32);
-            if sys.overlay().cluster_of(peer).is_none() {
-                sys.join_peer(peer, to);
-            }
-        }
-        Op::ChurnLeave { peer } => {
-            let peer = PeerId(peer % sys.overlay().n_slots() as u32);
-            if sys
-                .apply_churn_event(net, ChurnEvent::Leave { peer })
-                .is_some()
-            {
-                // Churn drivers clear the leaver's workload as well.
-                sys.set_workload(peer, Workload::new());
-            }
-        }
-        Op::ChurnJoin { to, doc_syms } => {
-            let cluster = ClusterId(to % sys.overlay().cmax() as u32);
-            let docs: Vec<Document> = doc_syms
-                .iter()
-                .map(|&s| Document::new(vec![Sym(s % N_SYMS), Sym((s + 1) % N_SYMS)]))
-                .collect();
-            if let Some(delta) = sys.apply_churn_event(net, ChurnEvent::Join { cluster, docs }) {
-                // Newcomers get a workload querying their own syms — some
-                // of these queries may be new to the index.
-                let mut w = Workload::new();
-                for &s in &doc_syms {
-                    w.add(Query::keyword(Sym((s + 2) % N_SYMS)), 1 + u64::from(s % 2));
-                }
-                sys.set_workload(delta.peer(), w);
-            }
-        }
-        Op::SetContent { peer, doc_syms } => {
-            let peer = PeerId(peer % sys.overlay().n_slots() as u32);
-            let docs = doc_syms
-                .into_iter()
-                .map(|s| Document::new(vec![Sym(s % N_SYMS), Sym((s + 2) % N_SYMS)]))
-                .collect();
-            sys.set_content(peer, docs);
-        }
-        Op::SetWorkload { peer, q_syms } => {
-            let peer = PeerId(peer % sys.overlay().n_slots() as u32);
-            let mut w = Workload::new();
-            for (k, &s) in q_syms.iter().enumerate() {
-                w.add(Query::keyword(Sym(s % N_SYMS)), 1 + (k as u64 % 2));
-                if k % 2 == 1 {
-                    // Conjunctions can be genuinely new queries.
-                    w.add(Query::new(vec![Sym(s % N_SYMS), Sym((s + 1) % N_SYMS)]), 1);
-                }
-            }
-            sys.set_workload(peer, w);
-        }
-    }
-}
+use recluster_core::{pcost, RecallIndex, System};
+use recluster_overlay::SimNetwork;
+use recluster_types::{ClusterId, PeerId};
 
 /// Asserts the delta-maintained index state equals the content-aware
 /// oracle exactly: result rows, totals, workload weights, mass
@@ -251,9 +106,9 @@ proptest! {
     /// content and workload ops, checked op by op against all oracles.
     #[test]
     fn delta_state_equals_rebuild_under_random_ops(
-        docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
-        queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
-        ops in arb_ops(),
+        docs in arb_seed_syms(),
+        queries in arb_seed_syms(),
+        ops in arb_ops(40),
     ) {
         let mut sys = fixture(&docs, &queries);
         let mut net = SimNetwork::new();
@@ -274,8 +129,8 @@ proptest! {
     /// same moves applied one by one, and to a rebuild.
     #[test]
     fn batch_moves_equal_singles_and_rebuild(
-        docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
-        queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
+        docs in arb_seed_syms(),
+        queries in arb_seed_syms(),
         moves in proptest::collection::vec(
             (0u32..N_PEERS as u32, 0u32..N_PEERS as u32),
             0..12,
@@ -303,9 +158,9 @@ proptest! {
     /// [`System::rebuild_index`] renumbers query ids.
     #[test]
     fn pcost_on_delta_index_equals_rebuilt(
-        docs in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
-        queries in proptest::collection::vec(proptest::collection::vec(0u32..N_SYMS, 0..4), N_PEERS),
-        ops in arb_ops(),
+        docs in arb_seed_syms(),
+        queries in arb_seed_syms(),
+        ops in arb_ops(40),
     ) {
         let mut sys = fixture(&docs, &queries);
         let mut net = SimNetwork::new();

@@ -51,6 +51,7 @@ pub fn run_baseline_comparison(cfg: &ExperimentConfig, max_rounds: usize) -> Vec
             max_rounds,
             empty_targets: EmptyTargetPolicy::Always,
             use_locks: true,
+            ..Default::default()
         };
         run_protocol(&mut testbed.system, kind, protocol, &mut net);
         rows.push(BaselineRow {

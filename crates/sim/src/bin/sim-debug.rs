@@ -102,6 +102,7 @@ fn main() {
             max_rounds: 30,
             empty_targets: EmptyTargetPolicy::Always,
             use_locks: true,
+            ..Default::default()
         },
         &mut net,
     );

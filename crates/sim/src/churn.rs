@@ -40,7 +40,7 @@
 
 use rand::Rng;
 use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
-use recluster_corpus::{QueryBias, WorkloadBuilder};
+use recluster_corpus::{QueryBias, QuerySampler, WorkloadBuilder};
 use recluster_overlay::churn::{random_leave, ChurnDelta, ChurnEvent};
 use recluster_overlay::{RoutingMode, SimNetwork, SummaryMode};
 use recluster_types::{derive_seed, seeded_rng, Workload};
@@ -124,6 +124,38 @@ pub fn churn_10k_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
     )
 }
 
+/// The `churn_100k` scenario: 100 000 peers from the ideal scenario-1
+/// clustering, 50 leaves + 50 joins per period, selfish maintenance
+/// under exact cluster-directed routing. One order of magnitude past
+/// [`churn_10k_config`] — the scale the read/write split exists for:
+///
+/// * the tracker's period walk evaluates each *distinct* query once
+///   (vocabulary-bounded) via the query → holder lists instead of
+///   walking 100 000 workloads;
+/// * phase 1 of every maintenance round runs against a [`SystemView`]
+///   snapshot (one cache flush, then pure reads, sharded across cores)
+///   and re-emits memoized proposals for peers whose epoch stamps did
+///   not move.
+///
+/// Deterministic in `seed`; the golden suite pins its digest (repaired
+/// scost sits at the paper-ideal ≈ 0.1) and `round_scale` gates the
+/// protocol metrics.
+///
+/// [`SystemView`]: recluster_core::SystemView
+pub fn churn_100k_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
+    (
+        ExperimentConfig::huge(seed),
+        ChurnConfig {
+            periods: 3,
+            leaves_per_period: 50,
+            joins_per_period: 50,
+            maintenance: Some(StrategyKind::Selfish),
+            max_rounds: 6,
+            routing: RoutingMode::Routed(SummaryMode::Exact),
+        },
+    )
+}
+
 /// Runs the churn experiment. Deterministic in `cfg.seed`.
 pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod> {
     let mut testbed = ideal_scenario1_system(cfg);
@@ -131,9 +163,20 @@ pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod
     let mut net = SimNetwork::new();
     let mut records = Vec::with_capacity(churn.periods);
     let demand_per_peer = (cfg.total_queries / cfg.n_peers as u64).max(1);
+    // Per-category query samplers for newcomers, built lazily once —
+    // sampler construction walks the category's visible docs, far too
+    // much to repeat per join at the 100k-peer scale.
+    let mut samplers: Vec<Option<QuerySampler>> = vec![None; testbed.holdout.len()];
 
     for period in 0..churn.periods {
-        apply_churn_batch(&mut testbed, churn, demand_per_peer, &mut rng, &mut net);
+        apply_churn_batch(
+            &mut testbed,
+            churn,
+            demand_per_peer,
+            &mut samplers,
+            &mut rng,
+            &mut net,
+        );
         let scost_after_churn = recluster_core::scost_normalized(&testbed.system);
 
         let mut moves = 0;
@@ -143,6 +186,7 @@ pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod
                 max_rounds: churn.max_rounds,
                 empty_targets: EmptyTargetPolicy::Always,
                 use_locks: true,
+                ..Default::default()
             };
             let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
             moves = outcome.total_moves();
@@ -172,6 +216,7 @@ fn apply_churn_batch(
     testbed: &mut TestBed,
     churn: &ChurnConfig,
     demand_per_peer: u64,
+    samplers: &mut [Option<QuerySampler>],
     rng: &mut rand::rngs::StdRng,
     net: &mut SimNetwork,
 ) {
@@ -217,9 +262,10 @@ fn apply_churn_batch(
             )
             .expect("join events always apply");
         let mut wrng = seeded_rng(derive_seed(rng.gen(), 0x10));
-        let workload = WorkloadBuilder::new(QueryBias::Uniform)
-            .with_doc_limit(testbed.distributable_per_category)
-            .build(&testbed.corpus, cat, demand_per_peer, &mut wrng);
+        let builder = WorkloadBuilder::new(QueryBias::Uniform)
+            .with_doc_limit(testbed.distributable_per_category);
+        let sampler = samplers[cat].get_or_insert_with(|| builder.sampler(&testbed.corpus, cat));
+        let workload = builder.build_with(sampler, demand_per_peer, &mut wrng);
         testbed.system.set_workload(delta.peer(), workload);
         testbed.peer_category.push(cat);
         testbed.query_category.push(Some(cat));

@@ -56,6 +56,7 @@ pub fn run_series(cfg: &ExperimentConfig, kind: StrategyKind, max_rounds: usize)
         max_rounds,
         empty_targets: EmptyTargetPolicy::Always,
         use_locks: true,
+        ..Default::default()
     };
     let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
     let mut scost = vec![initial_scost];

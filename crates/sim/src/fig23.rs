@@ -144,6 +144,7 @@ pub fn run_point(
         max_rounds,
         empty_targets: EmptyTargetPolicy::Never, // §4.2: cluster count fixed
         use_locks: true,
+        ..Default::default()
     };
     let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
     SweepPoint {

@@ -84,6 +84,7 @@ pub fn run_cell(
         max_rounds: cfg.max_rounds,
         empty_targets: EmptyTargetPolicy::Always,
         use_locks: true,
+        ..Default::default()
     };
     let outcome = run_protocol(&mut testbed.system, strategy, protocol, &mut net);
     let sys = &testbed.system;

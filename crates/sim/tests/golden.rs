@@ -14,7 +14,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use recluster_sim::churn::{churn_10k_config, run_churn};
+use recluster_sim::churn::{churn_100k_config, churn_10k_config, run_churn, ChurnPeriod};
 use recluster_sim::fig1::run_fig1_with;
 use recluster_sim::fig4::run_fig4_with;
 use recluster_sim::report::{f3, rounds_cell};
@@ -136,15 +136,19 @@ fn render_table1() -> String {
     out
 }
 
-fn render_churn_10k() -> String {
-    let (cfg, churn) = churn_10k_config(2008);
-    let rows = run_churn(&cfg, &churn);
+fn render_churn_scale(
+    name: &str,
+    cfg: &ExperimentConfig,
+    churn: &recluster_sim::churn::ChurnConfig,
+    rows: &[ChurnPeriod],
+    seed: u64,
+) -> String {
     let mut out = format!(
-        "churn_10k peers={} periods={} leaves={} joins={} routing={} seed=2008\n",
+        "{name} peers={} periods={} leaves={} joins={} routing={} seed={seed}\n",
         cfg.n_peers, churn.periods, churn.leaves_per_period, churn.joins_per_period, churn.routing
     );
     let mut digest = BitDigest::new();
-    for r in &rows {
+    for r in rows {
         digest.push(r.scost_after_churn);
         digest.push(r.scost_after_repair);
         digest.push(r.forwards_per_query);
@@ -164,6 +168,18 @@ fn render_churn_10k() -> String {
     }
     out.push_str(&digest.line());
     out
+}
+
+fn render_churn_10k() -> String {
+    let (cfg, churn) = churn_10k_config(2008);
+    let rows = run_churn(&cfg, &churn);
+    render_churn_scale("churn_10k", &cfg, &churn, &rows, 2008)
+}
+
+fn render_churn_100k() -> String {
+    let (cfg, churn) = churn_100k_config(2008);
+    let rows = run_churn(&cfg, &churn);
+    render_churn_scale("churn_100k", &cfg, &churn, &rows, 2008)
 }
 
 /// The trailing `f64-digest:` line of a snapshot (every float's raw
@@ -242,4 +258,15 @@ fn table1_matches_golden_snapshot() {
 #[ignore = "10k peers: release-only, run with --include-ignored"]
 fn churn_10k_matches_golden_snapshot() {
     check("churn_10k.txt", render_churn_10k());
+}
+
+/// The 100 000-peer churn scenario — the read/write split's proof at
+/// scale: sparse tracker walk, snapshot-backed parallel phase 1 and
+/// proposal memoization keep a period sub-O(peers) where it matters,
+/// and the repaired scost pins at the paper-ideal ≈ 0.1. Release-only
+/// via `--include-ignored`, like `churn_10k`.
+#[test]
+#[ignore = "100k peers: release-only, run with --include-ignored"]
+fn churn_100k_matches_golden_snapshot() {
+    check("churn_100k.txt", render_churn_100k());
 }

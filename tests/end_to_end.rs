@@ -13,6 +13,7 @@ fn protocol(max_rounds: usize) -> ProtocolConfig {
         max_rounds,
         empty_targets: EmptyTargetPolicy::Always,
         use_locks: true,
+        ..Default::default()
     }
 }
 
