@@ -65,5 +65,8 @@ pub use strategy::{
     AltruisticStrategy, HybridStrategy, Proposal, RelocationStrategy, SelfishStrategy,
 };
 pub use system::{GameConfig, System};
-pub use tracker::{simulate_period, simulate_period_routed, PeriodObservations, RoutingReport};
+pub use tracker::{
+    simulate_period, simulate_period_routed, simulate_period_routed_full, ForwardHistogram,
+    PeriodObservations, RoutingReport,
+};
 pub use view::{Epochs, SystemRead, SystemView};

@@ -143,6 +143,111 @@ impl RoutingReport {
     }
 }
 
+/// Occurrence-weighted distribution of per-query forward counts: how
+/// many clusters each query occurrence was forwarded to. The tail of
+/// this distribution (p99, max) is the per-query latency proxy the
+/// traffic engine reports — a mean hides the conjunctive queries that
+/// still fan out widely.
+///
+/// Counts are exact integers, so two runs of the same seeded scenario
+/// produce identical histograms; quantiles are defined as the smallest
+/// forward count covering the requested fraction of occurrences
+/// (nearest-rank), which keeps them integers too.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ForwardHistogram {
+    /// `counts[f]` = query occurrences forwarded to exactly `f` clusters.
+    counts: Vec<u64>,
+    /// Total occurrences recorded.
+    total: u64,
+}
+
+impl ForwardHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `occurrences` query occurrences that were each forwarded
+    /// to `forwards` clusters.
+    pub fn record(&mut self, forwards: usize, occurrences: u64) {
+        if occurrences == 0 {
+            return;
+        }
+        if self.counts.len() <= forwards {
+            self.counts.resize(forwards + 1, 0);
+        }
+        self.counts[forwards] += occurrences;
+        self.total += occurrences;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &ForwardHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &n) in other.counts.iter().enumerate() {
+            self.counts[slot] += n;
+        }
+        self.total += other.total;
+    }
+
+    /// Total query occurrences recorded.
+    pub fn total_occurrences(&self) -> u64 {
+        self.total
+    }
+
+    /// Nearest-rank quantile: the smallest forward count `f` such that
+    /// at least `⌈q · total⌉` occurrences were forwarded to `f` or fewer
+    /// clusters. Zero for an empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let need = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (f, &n) in self.counts.iter().enumerate() {
+            cum += n;
+            if cum >= need {
+                return f as u64;
+            }
+        }
+        self.max()
+    }
+
+    /// Median forward count.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile forward count — the tail-latency proxy.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The widest fan-out any occurrence paid.
+    pub fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |f| f as u64)
+    }
+
+    /// Mean forwards per occurrence (0.0 when empty). A ratio of exact
+    /// integer sums, so it is reproducible to the bit.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(f, &n)| f as u64 * n)
+            .sum();
+        weighted as f64 / self.total as f64
+    }
+}
+
 /// Routes every live peer's workload through the overlay (flooding all
 /// clusters, as the paper's evaluation does) and collects the per-peer
 /// observations. Network traffic is charged per query *occurrence*.
@@ -165,6 +270,20 @@ pub fn simulate_period_routed(
     net: &mut SimNetwork,
     mode: RoutingMode,
 ) -> (PeriodObservations, RoutingReport) {
+    let (obs, report, _) = simulate_period_routed_full(system, net, mode);
+    (obs, report)
+}
+
+/// [`simulate_period_routed`], additionally returning the
+/// occurrence-weighted [`ForwardHistogram`] of per-query forward counts
+/// (one record per distinct live query, weighted by its total demand).
+/// The observations and report are bit-identical to the plain variant —
+/// the histogram only *observes* the forwards already charged.
+pub fn simulate_period_routed_full(
+    system: &System,
+    net: &mut SimNetwork,
+    mode: RoutingMode,
+) -> (PeriodObservations, RoutingReport, ForwardHistogram) {
     let overlay = system.overlay();
     let index = system.index();
     let n_slots = overlay.n_slots();
@@ -195,6 +314,7 @@ pub fn simulate_period_routed(
         returned_results: 0,
         missed_results: 0,
     };
+    let mut histogram = ForwardHistogram::new();
 
     /// One distinct query's shared evaluation — identical for every
     /// holder (content is fixed within the period), fanned out to the
@@ -257,8 +377,9 @@ pub fn simulate_period_routed(
 
         report.query_events += total_demand;
         report.flood_forwards += non_empty.len() as u64 * total_demand;
-        report.forwards +=
-            scratch.messages(recluster_overlay::MsgKind::QueryForward) * total_demand;
+        let query_forwards = scratch.messages(recluster_overlay::MsgKind::QueryForward);
+        report.forwards += query_forwards * total_demand;
+        histogram.record(query_forwards as usize, total_demand);
         if lossy {
             // Accounting only (uncharged): what flooding would have
             // found in the clusters the lossy summary skipped.
@@ -350,6 +471,7 @@ pub fn simulate_period_routed(
             n_peers: overlay.n_peers(),
         },
         report,
+        histogram,
     )
 }
 
@@ -682,5 +804,57 @@ mod tests {
         assert!(obs.of(PeerId(2)).is_empty());
         // …but p2 still *served* p0's queries.
         assert!(obs.estimated_contribution(PeerId(2), ClusterId(0)) > 0.0);
+    }
+
+    #[test]
+    fn forward_histogram_quantiles_are_nearest_rank() {
+        let mut h = ForwardHistogram::new();
+        h.record(1, 90); // 90 occurrences fanned to 1 cluster
+        h.record(3, 9); // 9 to 3 clusters
+        h.record(10, 1); // one unlucky conjunction to 10
+        assert_eq!(h.total_occurrences(), 100);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), 3, "99 of 100 occurrences fan to ≤ 3");
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.max(), 10);
+        let mean = h.mean();
+        assert!((mean - 1.27).abs() < 1e-12, "mean={mean}");
+    }
+
+    #[test]
+    fn forward_histogram_empty_and_merge() {
+        let empty = ForwardHistogram::new();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        assert_eq!(empty.max(), 0);
+        assert_eq!(empty.mean(), 0.0);
+
+        let mut a = ForwardHistogram::new();
+        a.record(2, 5);
+        a.record(0, 0); // zero occurrences: ignored entirely
+        let mut b = ForwardHistogram::new();
+        b.record(4, 5);
+        a.merge(&b);
+        assert_eq!(a.total_occurrences(), 10);
+        assert_eq!(a.p50(), 2);
+        assert_eq!(a.max(), 4);
+        assert_eq!(a.mean(), 3.0);
+    }
+
+    #[test]
+    fn full_variant_matches_plain_and_reports_fanout() {
+        let sys = fixture();
+        let mode = RoutingMode::Routed(SummaryMode::Exact);
+        let mut net_a = SimNetwork::new();
+        let (obs_a, rep_a) = simulate_period_routed(&sys, &mut net_a, mode);
+        let mut net_b = SimNetwork::new();
+        let (obs_b, rep_b, hist) = simulate_period_routed_full(&sys, &mut net_b, mode);
+        assert_eq!(obs_a, obs_b);
+        assert_eq!(rep_a, rep_b);
+        assert_eq!(net_a.total_messages(), net_b.total_messages());
+        // The histogram observes exactly the forwards charged: its
+        // occurrence total and mean must agree with the report.
+        assert_eq!(hist.total_occurrences(), rep_b.query_events);
+        assert!((hist.mean() - rep_b.forwards_per_query()).abs() < 1e-12);
     }
 }

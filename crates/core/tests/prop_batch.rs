@@ -1,0 +1,102 @@
+//! Equivalence suite for **batched summary publication**: after any
+//! random interleaving of membership changes, churn events, content
+//! updates and workload updates — recorded into a
+//! [`SummaryBatch`](recluster_overlay::SummaryBatch) and flushed at
+//! arbitrary points — the *published* summaries must equal both
+//!
+//! * the per-event path: the `System`'s eagerly delta-maintained
+//!   [`ClusterSummaries`], and
+//! * the from-scratch oracle: [`ClusterSummaries::build`] over the
+//!   final overlay + store,
+//!
+//! **bit-identically** (all summary quantities are integers, so the
+//! net-sum of coalesced deltas replays exactly). This is the contract
+//! that lets the traffic engine defer publication to the repair
+//! cadence: queries route against a *stale* copy between flushes, but
+//! every flush lands exactly on what eager per-event broadcast would
+//! have produced.
+//!
+//! Shares the op universe with `prop_incremental.rs` /
+//! `prop_view_memo.rs` via `common::apply_batched`, so every mutation
+//! class `System` supports faces the batch too.
+
+mod common;
+
+use common::{apply_batched, arb_ops, arb_seed_syms, fixture};
+use proptest::prelude::*;
+use recluster_overlay::{ClusterSummaries, SimNetwork, SummaryBatch};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flush at every third op *and* at the end: each published state
+    /// must land bitwise on the eager per-event summaries, and the
+    /// final one on the from-scratch oracle as well.
+    #[test]
+    fn batched_flush_equals_per_event_and_rebuild(
+        seed_docs in arb_seed_syms(),
+        seed_queries in arb_seed_syms(),
+        ops in arb_ops(24),
+    ) {
+        let mut sys = fixture(&seed_docs, &seed_queries);
+        let mut net = SimNetwork::new();
+        let mut published = sys.summaries().clone();
+        let mut batch = SummaryBatch::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            apply_batched(&mut sys, &mut net, &mut batch, op);
+            if i % 3 == 2 {
+                batch.flush_into(&mut published);
+                published.ensure_cmax(sys.overlay().cmax());
+                prop_assert_eq!(
+                    &published,
+                    sys.summaries(),
+                    "mid-script flush diverged from the per-event path"
+                );
+            }
+        }
+        batch.flush_into(&mut published);
+        published.ensure_cmax(sys.overlay().cmax());
+        prop_assert_eq!(
+            &published,
+            sys.summaries(),
+            "final flush diverged from the per-event path"
+        );
+        let oracle = ClusterSummaries::build(sys.overlay(), sys.store());
+        prop_assert_eq!(
+            &published,
+            &oracle,
+            "final flush diverged from the from-scratch oracle"
+        );
+        prop_assert!(batch.is_empty(), "flush must drain the batch");
+    }
+
+    /// One deferred flush over the whole script equals many eager
+    /// flushes: coalescing is associative, so *where* the publication
+    /// points fall never changes where they land.
+    #[test]
+    fn flush_points_are_immaterial(
+        seed_docs in arb_seed_syms(),
+        seed_queries in arb_seed_syms(),
+        ops in arb_ops(16),
+    ) {
+        let mut eager_sys = fixture(&seed_docs, &seed_queries);
+        let mut eager_net = SimNetwork::new();
+        let mut eager_pub = eager_sys.summaries().clone();
+        let mut eager_batch = SummaryBatch::new();
+
+        let mut lazy_sys = fixture(&seed_docs, &seed_queries);
+        let mut lazy_net = SimNetwork::new();
+        let mut lazy_pub = lazy_sys.summaries().clone();
+        let mut lazy_batch = SummaryBatch::new();
+
+        for op in ops {
+            apply_batched(&mut eager_sys, &mut eager_net, &mut eager_batch, op.clone());
+            eager_batch.flush_into(&mut eager_pub);
+            apply_batched(&mut lazy_sys, &mut lazy_net, &mut lazy_batch, op);
+        }
+        lazy_batch.flush_into(&mut lazy_pub);
+        eager_pub.ensure_cmax(eager_sys.overlay().cmax());
+        lazy_pub.ensure_cmax(lazy_sys.overlay().cmax());
+        prop_assert_eq!(&eager_pub, &lazy_pub);
+    }
+}

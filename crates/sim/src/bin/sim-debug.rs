@@ -1,6 +1,20 @@
-//! Developer diagnostics: prints the dynamics of the miniature testbed.
+//! Developer diagnostics: prints the dynamics of the miniature
+//! 40-peer testbed — Table 1 cells across every initial configuration,
+//! a fig-1 cost series, fig-2/3 update points and a full per-round
+//! altruistic protocol trace.
+//!
 //! Not part of the reproduction surface — see `recluster-bench` for the
-//! paper's tables and figures.
+//! paper's tables and figures, and the `traffic_demo` bin for the
+//! streamed query-serving scenario. Runs in well under a second even in
+//! a debug build:
+//!
+//! ```text
+//! cargo run -p recluster-sim --bin sim-debug
+//! ```
+//!
+//! Output is deterministic (fixed seed 21, no wall-clock content), so
+//! diffing two runs across branches is a quick sanity check when
+//! touching the protocol or cost layers.
 
 use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
 use recluster_overlay::SimNetwork;

@@ -1,0 +1,85 @@
+//! Streams ≥1 M routed query occurrences through a 10 000-peer overlay
+//! under live churn and periodic repair, then prints the deterministic
+//! traffic report plus measured throughput.
+//!
+//! This is the operational face of [`recluster_sim::traffic`]: the same
+//! engine the golden test pins (`traffic_1m.txt`) and the
+//! `traffic_scale` bench gates, run interactively. Everything above the
+//! `---` separator is byte-identical for a fixed seed and knob set —
+//! the digest line matches the golden — and only the lines below it
+//! (wall-clock seconds, queries/s) depend on the machine.
+//!
+//! Run it from the repo root (release strongly recommended; a debug
+//! build walks the same ~1.3 M occurrences an order of magnitude
+//! slower):
+//!
+//! ```text
+//! cargo run --release -p recluster-sim --bin traffic_demo
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! | Knob | Effect |
+//! |---|---|
+//! | `RECLUSTER_SEED` | Override the experiment seed (default 2008). |
+//! | `RECLUSTER_SMALL` | `1`/`true`: run the 40-peer miniature config instead. |
+//! | `RECLUSTER_ROUTING` | `flood`, `exact` or `lossy:<k>` — routing mode for the stream. |
+//! | `RECLUSTER_TRAFFIC_QUERIES` | Override base query occurrences per slice. |
+//! | `RECLUSTER_TRAFFIC_SLICES` | Override the number of slices simulated. |
+//!
+//! The defaults stream ≈1.29 M occurrences (250 slices × 4 500 base,
+//! shaped by the ±40 % diurnal wave and five flash-crowd windows) with
+//! churn every 10 slices and repair/publication every 25. Lowering
+//! `RECLUSTER_TRAFFIC_SLICES` is the quickest way to a smoke run;
+//! changing any knob changes the digest, so only the default
+//! configuration is comparable against the golden.
+
+use std::time::Instant;
+
+use recluster_overlay::{RoutingMode, SummaryMode};
+use recluster_sim::traffic::{traffic_demo_config, traffic_small_config, TrafficEngine};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let seed = env_u64("RECLUSTER_SEED").unwrap_or(2008);
+    let small =
+        std::env::var("RECLUSTER_SMALL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    let (cfg, mut traffic) = if small {
+        traffic_small_config(seed)
+    } else {
+        traffic_demo_config(seed)
+    };
+    if let Ok(raw) = std::env::var("RECLUSTER_ROUTING") {
+        traffic.mode = RoutingMode::parse(&raw).unwrap_or_else(|| {
+            eprintln!("unknown RECLUSTER_ROUTING={raw:?}, using exact");
+            RoutingMode::Routed(SummaryMode::Exact)
+        });
+    }
+    if let Some(q) = env_u64("RECLUSTER_TRAFFIC_QUERIES") {
+        traffic.queries_per_slice = q;
+    }
+    if let Some(s) = env_u64("RECLUSTER_TRAFFIC_SLICES") {
+        traffic.slices = s as usize;
+    }
+
+    let label = if small { "traffic_small" } else { "traffic_1m" };
+    eprintln!(
+        "building {} peers, streaming {} slices x {} base queries (mode {})...",
+        cfg.n_peers, traffic.slices, traffic.queries_per_slice, traffic.mode
+    );
+    let engine = TrafficEngine::new(&cfg, traffic);
+    let start = Instant::now();
+    let report = engine.run();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    print!("{}", report.render(label, seed));
+    println!("---");
+    println!(
+        "wall: {elapsed:.2}s  queries/s: {:.0}  slices/s: {:.1}",
+        report.queries_per_sec(elapsed),
+        report.slices as f64 / elapsed.max(1e-9)
+    );
+}

@@ -17,6 +17,9 @@
 //! * [`baseline_cmp`] — our extension: message-cost and quality
 //!   comparison against global k-means re-clustering, random relocation
 //!   and no maintenance.
+//! * [`traffic`] — our extension: the streamed query-serving engine —
+//!   routed queries under live churn with batched summary publication
+//!   and throughput/p99 fan-out observability.
 //! * [`report`] — plain-text table/series rendering and CSV export.
 
 #![forbid(unsafe_code)]
@@ -33,10 +36,15 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod table1;
+pub mod traffic;
 pub mod updates;
 
 pub use recluster_overlay::{RoutingMode, SummaryMode};
 pub use runner::{measure_query_traffic, run_protocol, sweep_map, Parallelism, StrategyKind};
 pub use scenario::{
     build_system, ideal_scenario1_system, ExperimentConfig, InitialConfig, Scenario, TestBed,
+};
+pub use traffic::{
+    run_traffic, traffic_demo_config, traffic_small_config, TrafficConfig, TrafficEngine,
+    TrafficReport, TrafficWindow, WorkloadDynamics,
 };

@@ -1,0 +1,998 @@
+//! Query-serving traffic engine: a streamed, routed query workload
+//! interleaved with live churn and repair rounds on one deterministic
+//! timeline.
+//!
+//! The paper evaluates the overlay with a periodic *batch* workload
+//! ([`simulate_period_routed`](recluster_core::simulate_period_routed)
+//! walks every live workload once per period). A serving system sees
+//! something else entirely: queries arrive continuously while peers
+//! join, leave and relocate underneath them, and the routing state the
+//! queries use is necessarily *stale* — summaries propagate at the
+//! maintenance cadence, not per event. This module models that regime:
+//!
+//! * [`WorkloadDynamics`] generates the stream from the corpus's
+//!   zipf/query machinery: Zipf-distributed topic popularity whose
+//!   rank→category mapping *drifts* over time, flash-crowd windows that
+//!   multiply demand on a small topic set, and a diurnal rate swing
+//!   modeled as an integer triangle wave (never a platform-dependent
+//!   `sin`).
+//! * [`TrafficEngine`] advances a slice clock. Each slice routes its
+//!   queries through a [`RoutePlan`] built from the **published**
+//!   summaries; churn ticks apply join/leave batches whose summary
+//!   deltas are recorded into a [`SummaryBatch`] instead of being
+//!   broadcast; repair ticks flush the batch (one coalesced publication
+//!   per touched cluster), rebuild the plan, run the maintenance
+//!   protocol, and record the repair's relocations into the next batch
+//!   by membership diff.
+//! * [`TrafficReport`] aggregates throughput (queries, forwards,
+//!   results), the per-query fan-out tail
+//!   ([`ForwardHistogram`] p50/p99/max), false negatives (lossy
+//!   summaries *and* staleness), the batching ledger (per-event vs
+//!   batched `SummaryUpdate` messages), and per-repair-window rows —
+//!   everything integer-derived, pinned by a golden digest.
+//!
+//! Determinism: one seeded RNG stream drives sampling and churn; the
+//! query loop is sequential; the only parallel section is protocol
+//! phase 1, which is byte-identical to sequential under any worker
+//! count (CI runs this engine under a 1/2/8-thread matrix). Two runs of
+//! the same config produce identical reports, including
+//! [`TrafficReport::digest`].
+//!
+//! # Examples
+//!
+//! The miniature configuration streams a few thousand queries over 40
+//! peers with churn and repairs in a debug-build-friendly instant:
+//!
+//! ```
+//! use recluster_sim::traffic::{run_traffic, traffic_small_config};
+//!
+//! let (cfg, traffic) = traffic_small_config(7);
+//! let report = run_traffic(&cfg, &traffic);
+//! assert!(report.queries > 1_000);
+//! assert!(report.repairs > 0 && report.churn_events > 0);
+//! // Routing never fans wider than flooding would.
+//! assert!(report.forwards <= report.flood_forwards);
+//! // Batching publishes (far) fewer summary messages than eager
+//! // per-event broadcast.
+//! assert!(report.summary_updates_batched <= report.summary_updates_per_event);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use recluster_core::{scost_normalized, ForwardHistogram, ProtocolConfig, System};
+use recluster_corpus::{QueryBias, QuerySampler, WorkloadBuilder, Zipf};
+use recluster_overlay::churn::{random_leave, ChurnDelta, ChurnEvent};
+use recluster_overlay::{
+    ClusterSummaries, MsgKind, RoutePlan, RoutingMode, SimNetwork, SummaryBatch, SummaryMode,
+};
+use recluster_types::{derive_seed, seeded_rng, ClusterId, PeerId, Query};
+
+use crate::runner::{run_protocol, StrategyKind};
+use crate::scenario::{ideal_scenario1_system, ExperimentConfig, TestBed};
+
+/// Shape of the streamed workload and the churn/repair schedule, all in
+/// units of *slices* (the engine's time step).
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Slices to simulate.
+    pub slices: usize,
+    /// Base query occurrences per slice (before diurnal/flash shaping).
+    pub queries_per_slice: u64,
+    /// Slices per full diurnal cycle (`0` disables the swing).
+    pub diurnal_period: usize,
+    /// Peak amplitude of the diurnal swing, in percent of the base rate
+    /// (an integer triangle wave: rate goes `base − a% … base + a%`).
+    pub diurnal_amplitude_pct: u64,
+    /// Zipf exponent over topic (category) popularity ranks.
+    pub zipf_s: f64,
+    /// Slices between one-step rotations of the rank→topic mapping
+    /// (`0` disables drift).
+    pub drift_every: usize,
+    /// Slices between flash-crowd windows (`0` disables them).
+    pub flash_every: usize,
+    /// Length of each flash window, in slices.
+    pub flash_len: usize,
+    /// Topics a flash crowd concentrates on.
+    pub flash_topics: usize,
+    /// Extra demand during a flash window, in percent of the base rate.
+    pub flash_boost_pct: u64,
+    /// Slices between churn ticks (`0` disables churn).
+    pub churn_every: usize,
+    /// Departures per churn tick.
+    pub leaves_per_tick: usize,
+    /// Arrivals per churn tick.
+    pub joins_per_tick: usize,
+    /// Slices between repair ticks — also the summary *publication*
+    /// cadence (`0` disables both; the initial plan then serves the
+    /// whole run).
+    pub repair_every: usize,
+    /// Maintenance strategy run at each repair tick.
+    pub maintenance: StrategyKind,
+    /// Protocol parameters for each repair run.
+    pub protocol: ProtocolConfig,
+    /// How queries are forwarded.
+    pub mode: RoutingMode,
+}
+
+/// The deterministic workload generator: Zipf topic popularity with
+/// rank drift, flash-crowd windows, and a triangle-wave diurnal rate.
+///
+/// All shaping arithmetic is integer (the triangle wave replaces the
+/// obvious `sin`, whose libm implementation varies across platforms),
+/// so a seeded run is reproducible to the bit anywhere.
+pub struct WorkloadDynamics {
+    zipf: Zipf,
+    samplers: Vec<QuerySampler>,
+    n_categories: usize,
+}
+
+impl WorkloadDynamics {
+    /// Builds the generator over the testbed's categories: one
+    /// occurrence-biased sampler per category, restricted to the
+    /// distributed (queryable) articles, and a Zipf distribution over
+    /// popularity ranks.
+    pub fn new(testbed: &TestBed, zipf_s: f64) -> Self {
+        let n_categories = testbed.holdout.len();
+        let builder = WorkloadBuilder::new(QueryBias::Occurrence)
+            .with_doc_limit(testbed.distributable_per_category);
+        let samplers = (0..n_categories)
+            .map(|cat| builder.sampler(&testbed.corpus, cat))
+            .collect();
+        WorkloadDynamics {
+            zipf: Zipf::new(n_categories, zipf_s),
+            samplers,
+            n_categories,
+        }
+    }
+
+    /// The base rate shaped by the diurnal triangle wave at slice `t`
+    /// (flash demand not included). Pure integer arithmetic.
+    pub fn slice_rate(&self, cfg: &TrafficConfig, t: usize) -> u64 {
+        let base = cfg.queries_per_slice;
+        let period = cfg.diurnal_period;
+        if period < 2 || cfg.diurnal_amplitude_pct == 0 {
+            return base;
+        }
+        let half = (period / 2) as i64;
+        let phase = (t % period) as i64;
+        // 0 → half → 0 over one period, recentred to −half…+half.
+        let tri = if phase <= half {
+            phase
+        } else {
+            period as i64 - phase
+        };
+        let offset = 2 * tri - half;
+        let swing = base as i64 * cfg.diurnal_amplitude_pct as i64 * offset / (100 * half.max(1));
+        (base as i64 + swing).max(0) as u64
+    }
+
+    /// Extra flash-crowd occurrences at slice `t`, with the flash
+    /// window's index (`None` outside every window).
+    pub fn flash_at(&self, cfg: &TrafficConfig, t: usize) -> Option<(usize, u64)> {
+        if cfg.flash_every == 0 || cfg.flash_len == 0 || cfg.flash_topics == 0 {
+            return None;
+        }
+        if t % cfg.flash_every < cfg.flash_len {
+            let window = t / cfg.flash_every;
+            Some((window, cfg.queries_per_slice * cfg.flash_boost_pct / 100))
+        } else {
+            None
+        }
+    }
+
+    /// The topic (category) behind popularity rank `rank` at slice `t`:
+    /// the mapping rotates one step every `drift_every` slices, so the
+    /// head of the Zipf distribution wanders across the catalogue.
+    pub fn topic_at(&self, cfg: &TrafficConfig, t: usize, rank: usize) -> usize {
+        let shift = t.checked_div(cfg.drift_every).unwrap_or(0);
+        (rank + shift) % self.n_categories
+    }
+
+    /// Samples one slice's query stream, coalesced to distinct queries
+    /// with occurrence counts (sorted — `BTreeMap` — so downstream
+    /// iteration order is deterministic). Advances `rng` by exactly the
+    /// occurrence count drawn.
+    pub fn sample_slice(
+        &self,
+        cfg: &TrafficConfig,
+        t: usize,
+        rng: &mut StdRng,
+    ) -> BTreeMap<Query, u64> {
+        let mut out: BTreeMap<Query, u64> = BTreeMap::new();
+        for _ in 0..self.slice_rate(cfg, t) {
+            let rank = self.zipf.sample(rng);
+            let cat = self.topic_at(cfg, t, rank);
+            *out.entry(self.samplers[cat].sample(rng)).or_insert(0) += 1;
+        }
+        if let Some((window, extra)) = self.flash_at(cfg, t) {
+            // The window's topic set is a deterministic function of its
+            // index, spread over the catalogue by a co-prime-ish stride.
+            for _ in 0..extra {
+                let pick = rng.gen_range(0..cfg.flash_topics);
+                let cat = (window * 7 + pick) % self.n_categories;
+                *out.entry(self.samplers[cat].sample(rng)).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+/// One repair window's aggregates (the stretch of slices since the
+/// previous repair tick, plus the tail window at the end of the run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficWindow {
+    /// Slice index at which the window closed.
+    pub slice: usize,
+    /// Query occurrences routed in the window.
+    pub queries: u64,
+    /// `QueryForward` messages charged.
+    pub forwards: u64,
+    /// Results returned to requesters.
+    pub returned: u64,
+    /// Results flooding would have returned but routing missed.
+    pub missed: u64,
+    /// Relocations the window's repair performed (0 for the tail).
+    pub moves: usize,
+    /// Normalized social cost at window close.
+    pub scost: f64,
+}
+
+/// What a [`TrafficEngine`] run did, in exact integers plus
+/// integer-derived floats — reproducible to the bit for a fixed config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// Routing mode the stream ran under.
+    pub mode: RoutingMode,
+    /// Slices simulated.
+    pub slices: usize,
+    /// Live peers at the end of the run.
+    pub peers: usize,
+    /// Query occurrences streamed.
+    pub queries: u64,
+    /// Distinct (cluster, query) evaluations actually computed — cache
+    /// misses; the amortization the eval cache buys is visible as
+    /// `queries × clusters` minus this.
+    pub distinct_evaluations: u64,
+    /// `QueryForward` messages charged.
+    pub forwards: u64,
+    /// `QueryForward` messages flooding every live non-empty cluster
+    /// would have charged.
+    pub flood_forwards: u64,
+    /// Results returned to requesters (occurrence-weighted).
+    pub returned_results: u64,
+    /// Results flooding would have returned but routing missed —
+    /// lossy-summary drops *plus* staleness (a cluster whose content
+    /// arrived after the last publication), occurrence-weighted.
+    pub missed_results: u64,
+    /// Churn events applied (joins + leaves).
+    pub churn_events: u64,
+    /// Repair runs executed.
+    pub repairs: usize,
+    /// Total relocations across all repairs.
+    pub moves: usize,
+    /// Summary-delta events coalesced through the batch.
+    pub summary_events: u64,
+    /// `SummaryUpdate` messages the batched flushes published.
+    pub summary_updates_batched: u64,
+    /// `SummaryUpdate` messages eager per-event publication would have
+    /// cost (charged by the `System` churn hooks; the baseline the
+    /// batch is saving against).
+    pub summary_updates_per_event: u64,
+    /// Occurrence-weighted per-query fan-out distribution.
+    pub histogram: ForwardHistogram,
+    /// Per-repair-window rows (repairs plus the tail window).
+    pub windows: Vec<TrafficWindow>,
+    /// Normalized social cost at the end of the run.
+    pub final_scost: f64,
+}
+
+impl TrafficReport {
+    /// Fraction of flood results the routed stream failed to return
+    /// (lossy drops + staleness).
+    pub fn false_negative_rate(&self) -> f64 {
+        let total = self.returned_results + self.missed_results;
+        if total == 0 {
+            0.0
+        } else {
+            self.missed_results as f64 / total as f64
+        }
+    }
+
+    /// Forward messages per query occurrence.
+    pub fn forwards_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.forwards as f64 / self.queries as f64
+        }
+    }
+
+    /// Throughput for a measured wall-clock duration. The only
+    /// machine-dependent number in the report, which is why the elapsed
+    /// time is an argument instead of a field: everything stored is
+    /// deterministic.
+    pub fn queries_per_sec(&self, elapsed_seconds: f64) -> f64 {
+        if elapsed_seconds <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / elapsed_seconds
+        }
+    }
+
+    /// FNV-1a digest over every deterministic field (counters as
+    /// integers, floats by raw bits) — one number that moves if
+    /// anything in the run moved.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.slices as u64);
+        h.u64(self.peers as u64);
+        h.u64(self.queries);
+        h.u64(self.distinct_evaluations);
+        h.u64(self.forwards);
+        h.u64(self.flood_forwards);
+        h.u64(self.returned_results);
+        h.u64(self.missed_results);
+        h.u64(self.churn_events);
+        h.u64(self.repairs as u64);
+        h.u64(self.moves as u64);
+        h.u64(self.summary_events);
+        h.u64(self.summary_updates_batched);
+        h.u64(self.summary_updates_per_event);
+        h.u64(self.histogram.total_occurrences());
+        h.u64(self.histogram.p50());
+        h.u64(self.histogram.p99());
+        h.u64(self.histogram.max());
+        for w in &self.windows {
+            h.u64(w.slice as u64);
+            h.u64(w.queries);
+            h.u64(w.forwards);
+            h.u64(w.returned);
+            h.u64(w.missed);
+            h.u64(w.moves as u64);
+            h.f64(w.scost);
+        }
+        h.f64(self.final_scost);
+        h.finish()
+    }
+
+    /// Renders the report as the golden-snapshot text: a header, one
+    /// row per window, a summary block, and the digest line. No
+    /// wall-clock anything — byte-stable across machines.
+    pub fn render(&self, name: &str, seed: u64) -> String {
+        let mut out = format!(
+            "{name} mode={} slices={} peers={} seed={seed}\n",
+            self.mode, self.slices, self.peers
+        );
+        for w in &self.windows {
+            let _ = writeln!(
+                out,
+                "window@{}|queries={}|forwards={}|returned={}|missed={}|moves={}|scost={:.3}",
+                w.slice, w.queries, w.forwards, w.returned, w.missed, w.moves, w.scost
+            );
+        }
+        let _ = writeln!(
+            out,
+            "queries={} forwards={} flood={} fwd/q={:.3} fn={:.6}",
+            self.queries,
+            self.forwards,
+            self.flood_forwards,
+            self.forwards_per_query(),
+            self.false_negative_rate()
+        );
+        let _ = writeln!(
+            out,
+            "fanout p50={} p99={} max={} evals={}",
+            self.histogram.p50(),
+            self.histogram.p99(),
+            self.histogram.max(),
+            self.distinct_evaluations
+        );
+        let _ = writeln!(
+            out,
+            "churn={} repairs={} moves={} summary_events={} summary_msgs batched={} per_event={}",
+            self.churn_events,
+            self.repairs,
+            self.moves,
+            self.summary_events,
+            self.summary_updates_batched,
+            self.summary_updates_per_event
+        );
+        let _ = writeln!(out, "final_scost={:.6}", self.final_scost);
+        let _ = writeln!(out, "traffic-digest: {:016x}", self.digest());
+        out
+    }
+}
+
+/// Tiny FNV-1a accumulator for [`TrafficReport::digest`] — same offset
+/// basis and prime as the golden suite's `BitDigest`.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-cluster result cache behind the streamed evaluation: for each
+/// `(cluster, query)` pair the total result count and the number of
+/// answering peers, invalidated per cluster whenever membership or
+/// content changes. Between invalidations a repeated query costs one
+/// map lookup per target cluster instead of a member walk — the
+/// amortization that makes a million-occurrence stream tractable.
+struct EvalCache {
+    per_cluster: Vec<BTreeMap<Query, (u64, u64)>>,
+    misses: u64,
+}
+
+impl EvalCache {
+    fn new(cmax: usize) -> Self {
+        EvalCache {
+            per_cluster: vec![BTreeMap::new(); cmax],
+            misses: 0,
+        }
+    }
+
+    fn ensure_cmax(&mut self, cmax: usize) {
+        if self.per_cluster.len() < cmax {
+            self.per_cluster.resize(cmax, BTreeMap::new());
+        }
+    }
+
+    fn invalidate(&mut self, cid: ClusterId) {
+        self.per_cluster[cid.index()].clear();
+    }
+
+    /// `(results, answering peers)` of `query` in `cid`, from cache or
+    /// by walking the cluster's members once.
+    fn eval(&mut self, system: &System, cid: ClusterId, query: &Query) -> (u64, u64) {
+        if let Some(&hit) = self.per_cluster[cid.index()].get(query) {
+            return hit;
+        }
+        self.misses += 1;
+        let mut results = 0u64;
+        let mut peers = 0u64;
+        for &peer in system.overlay().cluster(cid).members() {
+            let count = system.store().result_count(query, peer);
+            if count > 0 {
+                results += count;
+                peers += 1;
+            }
+        }
+        self.per_cluster[cid.index()].insert(query.clone(), (results, peers));
+        (results, peers)
+    }
+}
+
+/// The streamed-traffic engine. Build with [`TrafficEngine::new`], run
+/// to completion with [`TrafficEngine::run`] (or use the [`run_traffic`]
+/// convenience).
+pub struct TrafficEngine {
+    testbed: TestBed,
+    cfg: TrafficConfig,
+    dynamics: WorkloadDynamics,
+    rng: StdRng,
+    /// The summaries queries route against — stale between flushes.
+    published: ClusterSummaries,
+    /// Pending deltas since the last publication.
+    batch: SummaryBatch,
+    plan: Option<RoutePlan>,
+    cache: EvalCache,
+    /// Maintenance-side ledger (churn, protocol, eager summary hooks).
+    net: SimNetwork,
+    demand_per_peer: u64,
+    // Running aggregates.
+    histogram: ForwardHistogram,
+    windows: Vec<TrafficWindow>,
+    queries: u64,
+    forwards: u64,
+    flood_forwards: u64,
+    returned: u64,
+    missed: u64,
+    churn_events: u64,
+    repairs: usize,
+    moves: usize,
+    summary_events: u64,
+    summary_updates_batched: u64,
+    // Window-relative marks.
+    win_queries: u64,
+    win_forwards: u64,
+    win_returned: u64,
+    win_missed: u64,
+}
+
+impl TrafficEngine {
+    /// Builds the engine over the ideal scenario-1 overlay for `cfg`
+    /// (cluster k = category k — the converged state a serving system
+    /// operates from), with the initial summaries published and an
+    /// initial route plan in place.
+    pub fn new(cfg: &ExperimentConfig, traffic: TrafficConfig) -> Self {
+        let testbed = ideal_scenario1_system(cfg);
+        let dynamics = WorkloadDynamics::new(&testbed, traffic.zipf_s);
+        let published = testbed.system.summaries().clone();
+        let plan = match traffic.mode {
+            RoutingMode::Flood => None,
+            RoutingMode::Routed(precision) => Some(RoutePlan::build(&published, precision)),
+        };
+        let cmax = testbed.system.overlay().cmax();
+        let demand_per_peer = (cfg.total_queries / cfg.n_peers as u64).max(1);
+        TrafficEngine {
+            rng: seeded_rng(derive_seed(cfg.seed, 0x7AF1C)),
+            dynamics,
+            published,
+            batch: SummaryBatch::new(),
+            plan,
+            cache: EvalCache::new(cmax),
+            net: SimNetwork::new(),
+            demand_per_peer,
+            testbed,
+            cfg: traffic,
+            histogram: ForwardHistogram::new(),
+            windows: Vec::new(),
+            queries: 0,
+            forwards: 0,
+            flood_forwards: 0,
+            returned: 0,
+            missed: 0,
+            churn_events: 0,
+            repairs: 0,
+            moves: 0,
+            summary_events: 0,
+            summary_updates_batched: 0,
+            win_queries: 0,
+            win_forwards: 0,
+            win_returned: 0,
+            win_missed: 0,
+        }
+    }
+
+    /// Runs the full schedule and returns the report.
+    pub fn run(mut self) -> TrafficReport {
+        for t in 0..self.cfg.slices {
+            if self.cfg.churn_every > 0 && t > 0 && t % self.cfg.churn_every == 0 {
+                self.churn_tick();
+            }
+            if self.cfg.repair_every > 0 && t > 0 && t % self.cfg.repair_every == 0 {
+                self.repair_tick(t);
+            }
+            self.query_slice(t);
+        }
+        self.close_window(self.cfg.slices, 0);
+        let final_scost = scost_normalized(&self.testbed.system);
+        TrafficReport {
+            mode: self.cfg.mode,
+            slices: self.cfg.slices,
+            peers: self.testbed.system.overlay().n_peers(),
+            queries: self.queries,
+            distinct_evaluations: self.cache.misses,
+            forwards: self.forwards,
+            flood_forwards: self.flood_forwards,
+            returned_results: self.returned,
+            missed_results: self.missed,
+            churn_events: self.churn_events,
+            repairs: self.repairs,
+            moves: self.moves,
+            summary_events: self.summary_events,
+            summary_updates_batched: self.summary_updates_batched,
+            summary_updates_per_event: self.net.messages(MsgKind::SummaryUpdate),
+            histogram: self.histogram,
+            windows: self.windows,
+            final_scost,
+        }
+    }
+
+    /// One churn tick: leaves then joins, every summary delta recorded
+    /// into the batch (the `System` hooks keep the *oracle* summaries
+    /// eagerly exact; the published copy waits for the next flush).
+    fn churn_tick(&mut self) {
+        for _ in 0..self.cfg.leaves_per_tick {
+            let Some(event) = random_leave(self.testbed.system.overlay(), &mut self.rng) else {
+                continue;
+            };
+            let ChurnEvent::Leave { peer } = event else {
+                unreachable!("random_leave only emits leaves");
+            };
+            // Snapshot before the hook drops the docs from the store.
+            let docs = self.testbed.system.store().docs(peer).to_vec();
+            if let Some(ChurnDelta::Left { peer, cluster }) =
+                self.testbed.system.apply_churn_event(&mut self.net, event)
+            {
+                self.testbed
+                    .system
+                    .set_workload(peer, recluster_types::Workload::new());
+                self.batch.record_leave(&docs, cluster);
+                self.cache.invalidate(cluster);
+                self.churn_events += 1;
+            }
+        }
+        let n_categories = self.testbed.holdout.len();
+        for _ in 0..self.cfg.joins_per_tick {
+            let cat = self.rng.gen_range(0..n_categories);
+            let pool = &self.testbed.holdout[cat];
+            let docs: Vec<_> = (0..5)
+                .map(|_| pool[self.rng.gen_range(0..pool.len())].clone())
+                .collect();
+            let target = {
+                let non_empty = self.testbed.system.overlay().non_empty_ids();
+                non_empty[self.rng.gen_range(0..non_empty.len())]
+            };
+            let delta = self
+                .testbed
+                .system
+                .apply_churn_event(
+                    &mut self.net,
+                    ChurnEvent::Join {
+                        cluster: target,
+                        docs,
+                    },
+                )
+                .expect("join events always apply");
+            let peer = delta.peer();
+            let mut wrng = seeded_rng(derive_seed(self.rng.gen(), 0x10));
+            let builder = WorkloadBuilder::new(QueryBias::Uniform)
+                .with_doc_limit(self.testbed.distributable_per_category);
+            let sampler = builder.sampler(&self.testbed.corpus, cat);
+            let workload = builder.build_with(&sampler, self.demand_per_peer, &mut wrng);
+            self.testbed.system.set_workload(peer, workload);
+            self.testbed.peer_category.push(cat);
+            self.testbed.query_category.push(Some(cat));
+            self.batch
+                .record_join(self.testbed.system.store().docs(peer), target);
+            self.cache.ensure_cmax(self.testbed.system.overlay().cmax());
+            self.cache.invalidate(target);
+            self.churn_events += 1;
+        }
+    }
+
+    /// One repair tick: flush → republish → repair → record the
+    /// repair's moves for the *next* flush. Queries between this tick
+    /// and the next therefore see the pre-repair content map — exactly
+    /// the staleness a real publication cadence implies.
+    fn repair_tick(&mut self, t: usize) {
+        // Publish: apply the coalesced deltas and charge one broadcast
+        // per *touched* cluster (events that cancelled out cost zero).
+        let stats = self.batch.flush_into(&mut self.published);
+        // Joins may have grown the slot space past the highest *touched*
+        // slot; mirror the oracle's width so untouched trailing slots
+        // compare equal.
+        self.published
+            .ensure_cmax(self.testbed.system.overlay().cmax());
+        self.summary_events += stats.events;
+        let theta = self.testbed.system.config().theta;
+        for &(cid, terms) in &stats.clusters {
+            let fanout = theta.broadcast_messages(self.testbed.system.overlay().size(cid));
+            let _ = terms; // payload size would be 16 + 4·terms bytes
+            self.summary_updates_batched += fanout;
+        }
+        debug_assert_eq!(
+            &self.published,
+            self.testbed.system.summaries(),
+            "flush must land exactly on the eagerly maintained oracle"
+        );
+        self.plan = match self.cfg.mode {
+            RoutingMode::Flood => None,
+            RoutingMode::Routed(precision) => Some(RoutePlan::build(&self.published, precision)),
+        };
+
+        // Repair, then diff membership to feed the next batch: the
+        // protocol relocates peers through the System hooks (eager
+        // oracle), and the published view learns about it at the next
+        // flush, like every other delta.
+        let n_slots = self.testbed.system.overlay().n_slots();
+        let before: Vec<Option<ClusterId>> = (0..n_slots)
+            .map(|s| {
+                self.testbed
+                    .system
+                    .overlay()
+                    .cluster_of(PeerId::from_index(s))
+            })
+            .collect();
+        let outcome = run_protocol(
+            &mut self.testbed.system,
+            self.cfg.maintenance,
+            self.cfg.protocol,
+            &mut self.net,
+        );
+        let window_moves = outcome.total_moves();
+        self.moves += window_moves;
+        self.repairs += 1;
+        for (slot, &was) in before.iter().enumerate() {
+            let peer = PeerId::from_index(slot);
+            let now = self.testbed.system.overlay().cluster_of(peer);
+            if was == now {
+                continue;
+            }
+            let docs = self.testbed.system.store().docs(peer);
+            match (was, now) {
+                (Some(from), Some(to)) => {
+                    self.batch.record_move(docs, from, to);
+                    self.cache.invalidate(from);
+                    self.cache.invalidate(to);
+                }
+                // The protocol never churns peers, but stay total.
+                (None, Some(to)) => {
+                    self.batch.record_join(docs, to);
+                    self.cache.invalidate(to);
+                }
+                (Some(from), None) => {
+                    self.batch.record_leave(docs, from);
+                    self.cache.invalidate(from);
+                }
+                (None, None) => unreachable!("guarded by the inequality above"),
+            }
+        }
+        self.close_window(t, window_moves);
+    }
+
+    /// Routes one slice's sampled stream through the (possibly stale)
+    /// plan, evaluating each distinct query once per target cluster via
+    /// the cache and weighting by its occurrence count.
+    fn query_slice(&mut self, t: usize) {
+        let slice = self.dynamics.sample_slice(&self.cfg, t, &mut self.rng);
+        let mut targets: Vec<ClusterId> = Vec::new();
+        for (query, &occ) in &slice {
+            let live: &[ClusterId] = self.testbed.system.overlay().non_empty_ids();
+            match &self.plan {
+                None => {
+                    targets.clear();
+                    targets.extend_from_slice(live);
+                }
+                Some(plan) => plan.route_into(query, &mut targets),
+            }
+            let mut fanned = 0u64;
+            let mut returned = 0u64;
+            for &cid in &targets {
+                // A stale plan may point at a cluster that emptied since
+                // the last publication; like `route_to_clusters`, an
+                // empty cluster is skipped without traffic.
+                if self.testbed.system.overlay().cluster(cid).is_empty() {
+                    continue;
+                }
+                fanned += 1;
+                let (results, _peers) = self.cache.eval(&self.testbed.system, cid, query);
+                returned += results;
+            }
+            // What flooding the *live* overlay would have found in the
+            // clusters the plan skipped: lossy drops plus staleness.
+            let mut missed = 0u64;
+            for &cid in live {
+                if targets.binary_search(&cid).is_ok() {
+                    continue;
+                }
+                let (results, _) = self.cache.eval(&self.testbed.system, cid, query);
+                missed += results;
+            }
+            self.histogram.record(fanned as usize, occ);
+            self.queries += occ;
+            self.forwards += fanned * occ;
+            self.flood_forwards += live.len() as u64 * occ;
+            self.returned += returned * occ;
+            self.missed += missed * occ;
+            self.win_queries += occ;
+            self.win_forwards += fanned * occ;
+            self.win_returned += returned * occ;
+            self.win_missed += missed * occ;
+        }
+    }
+
+    fn close_window(&mut self, slice: usize, moves: usize) {
+        self.windows.push(TrafficWindow {
+            slice,
+            queries: self.win_queries,
+            forwards: self.win_forwards,
+            returned: self.win_returned,
+            missed: self.win_missed,
+            moves,
+            scost: scost_normalized(&self.testbed.system),
+        });
+        self.win_queries = 0;
+        self.win_forwards = 0;
+        self.win_returned = 0;
+        self.win_missed = 0;
+    }
+}
+
+/// Builds and runs a [`TrafficEngine`] in one call.
+pub fn run_traffic(cfg: &ExperimentConfig, traffic: &TrafficConfig) -> TrafficReport {
+    TrafficEngine::new(cfg, traffic.clone()).run()
+}
+
+/// The `traffic_demo` scenario: 10 000 peers serving ≈1.3 M routed
+/// query occurrences over 250 slices, with a 40 %-amplitude diurnal
+/// swing, topic drift every 40 slices, five flash-crowd windows, churn
+/// every 10 slices and repair (with summary publication) every 25.
+/// Deterministic in `seed` — the golden suite pins the full report
+/// digest and `traffic_scale` gates its metrics.
+pub fn traffic_demo_config(seed: u64) -> (ExperimentConfig, TrafficConfig) {
+    (
+        ExperimentConfig::large(seed),
+        TrafficConfig {
+            slices: 250,
+            queries_per_slice: 4_500,
+            diurnal_period: 50,
+            diurnal_amplitude_pct: 40,
+            zipf_s: 0.9,
+            drift_every: 40,
+            flash_every: 60,
+            flash_len: 5,
+            flash_topics: 2,
+            flash_boost_pct: 150,
+            churn_every: 10,
+            leaves_per_tick: 2,
+            joins_per_tick: 2,
+            repair_every: 25,
+            maintenance: StrategyKind::Selfish,
+            protocol: ProtocolConfig {
+                epsilon: 1e-3,
+                max_rounds: 3,
+                ..Default::default()
+            },
+            mode: RoutingMode::Routed(SummaryMode::Exact),
+        },
+    )
+}
+
+/// Miniature traffic scenario over the 40-peer testbed — the
+/// debug-build tier: a few thousand occurrences, every dynamic
+/// (diurnal, drift, flash, churn, repair) exercised.
+pub fn traffic_small_config(seed: u64) -> (ExperimentConfig, TrafficConfig) {
+    (
+        ExperimentConfig::small(seed),
+        TrafficConfig {
+            slices: 24,
+            queries_per_slice: 120,
+            diurnal_period: 12,
+            diurnal_amplitude_pct: 50,
+            zipf_s: 1.0,
+            drift_every: 6,
+            flash_every: 10,
+            flash_len: 2,
+            flash_topics: 1,
+            flash_boost_pct: 100,
+            churn_every: 4,
+            leaves_per_tick: 1,
+            joins_per_tick: 1,
+            repair_every: 8,
+            maintenance: StrategyKind::Selfish,
+            protocol: ProtocolConfig {
+                epsilon: 1e-3,
+                max_rounds: 10,
+                ..Default::default()
+            },
+            mode: RoutingMode::Routed(SummaryMode::Exact),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_deterministic_and_consistent() {
+        let (cfg, traffic) = traffic_small_config(11);
+        let a = run_traffic(&cfg, &traffic);
+        let b = run_traffic(&cfg, &traffic);
+        assert_eq!(a, b, "two identical runs must agree field for field");
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.queries > 1_000);
+        assert_eq!(
+            a.histogram.total_occurrences(),
+            a.queries,
+            "every occurrence lands in the fan-out histogram"
+        );
+        assert!(a.forwards <= a.flood_forwards);
+        assert_eq!(a.windows.len(), a.repairs + 1, "repair windows + tail");
+        let win_q: u64 = a.windows.iter().map(|w| w.queries).sum();
+        assert_eq!(win_q, a.queries, "windows partition the stream");
+    }
+
+    #[test]
+    fn flood_mode_misses_nothing_and_fans_maximally() {
+        let (cfg, mut traffic) = traffic_small_config(13);
+        traffic.mode = RoutingMode::Flood;
+        let report = run_traffic(&cfg, &traffic);
+        assert_eq!(report.missed_results, 0);
+        assert_eq!(report.forwards, report.flood_forwards);
+        assert_eq!(report.false_negative_rate(), 0.0);
+    }
+
+    #[test]
+    fn routed_beats_flood_on_forwards_with_identical_repairs() {
+        let (cfg, traffic) = traffic_small_config(17);
+        let routed = run_traffic(&cfg, &traffic);
+        let flood = run_traffic(
+            &cfg,
+            &TrafficConfig {
+                mode: RoutingMode::Flood,
+                ..traffic
+            },
+        );
+        // Routing changes what queries cost, never what repair does.
+        assert_eq!(routed.moves, flood.moves);
+        assert_eq!(routed.final_scost.to_bits(), flood.final_scost.to_bits());
+        assert_eq!(routed.queries, flood.queries);
+        assert!(routed.forwards < flood.forwards);
+    }
+
+    #[test]
+    fn lossy_summaries_induce_false_negatives() {
+        let (cfg, mut traffic) = traffic_small_config(19);
+        traffic.mode = RoutingMode::Routed(SummaryMode::TopK(2));
+        let report = run_traffic(&cfg, &traffic);
+        assert!(
+            report.missed_results > 0,
+            "a 2-term summary must drop something"
+        );
+        assert!(report.false_negative_rate() > 0.0);
+        assert!(report.false_negative_rate() < 1.0);
+    }
+
+    #[test]
+    fn batching_coalesces_summary_traffic() {
+        let (cfg, traffic) = traffic_small_config(23);
+        let report = run_traffic(&cfg, &traffic);
+        assert!(report.summary_events > 0, "churn + moves feed the batch");
+        assert!(
+            report.summary_updates_batched <= report.summary_updates_per_event,
+            "batched {} > per-event {}",
+            report.summary_updates_batched,
+            report.summary_updates_per_event
+        );
+    }
+
+    #[test]
+    fn dynamics_shapes_are_integer_exact() {
+        let (cfg, traffic) = traffic_small_config(29);
+        let tb = ideal_scenario1_system(&cfg);
+        let dyn_ = WorkloadDynamics::new(&tb, traffic.zipf_s);
+        // Triangle wave: extremes at ±amplitude, exact integers.
+        let rates: Vec<u64> = (0..traffic.diurnal_period)
+            .map(|t| dyn_.slice_rate(&traffic, t))
+            .collect();
+        let base = traffic.queries_per_slice;
+        let amp = base * traffic.diurnal_amplitude_pct / 100;
+        assert_eq!(rates.iter().copied().max(), Some(base + amp));
+        assert_eq!(rates.iter().copied().min(), Some(base - amp));
+        // Drift rotates the rank→topic mapping one step per interval.
+        assert_eq!(dyn_.topic_at(&traffic, 0, 0), 0);
+        assert_eq!(
+            dyn_.topic_at(&traffic, traffic.drift_every, 0),
+            1 % tb.holdout.len()
+        );
+        // Flash windows open exactly on schedule.
+        assert!(dyn_.flash_at(&traffic, 0).is_some());
+        assert!(dyn_.flash_at(&traffic, traffic.flash_len).is_none());
+        let (w, extra) = dyn_.flash_at(&traffic, traffic.flash_every).unwrap();
+        assert_eq!(w, 1);
+        assert_eq!(extra, base * traffic.flash_boost_pct / 100);
+    }
+
+    #[test]
+    fn slice_sampling_is_coalesced_and_totals_match_rate() {
+        let (cfg, traffic) = traffic_small_config(31);
+        let tb = ideal_scenario1_system(&cfg);
+        let dyn_ = WorkloadDynamics::new(&tb, traffic.zipf_s);
+        let mut rng = seeded_rng(1);
+        let t = 1; // no flash at t=1 (flash_len=2 ⇒ t=0,1 are in window)
+        let slice = dyn_.sample_slice(&traffic, 3, &mut rng);
+        let _ = t;
+        let drawn: u64 = slice.values().sum();
+        assert_eq!(drawn, dyn_.slice_rate(&traffic, 3));
+        assert!(slice.len() as u64 <= drawn, "coalescing never expands");
+    }
+}

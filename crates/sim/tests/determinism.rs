@@ -194,6 +194,48 @@ fn protocol_round_parallel_equals_sequential() {
     assert_eq!(sequential.as_bytes(), pinned.as_bytes());
 }
 
+/// The traffic engine rendered to bytes, with phase 1 forced parallel
+/// (`min_parallel_peers: 1`) so its repair rounds actually shard across
+/// whatever pool is installed.
+fn traffic_trace() -> String {
+    let (cfg, mut traffic) = recluster_sim::traffic::traffic_small_config(37);
+    traffic.protocol.min_parallel_peers = 1;
+    recluster_sim::traffic::run_traffic(&cfg, &traffic).render("traffic_det", 37)
+}
+
+/// The streamed traffic engine — sampling, routing, churn, batched
+/// summary flushes *and* its embedded repair rounds — is byte-identical
+/// under pinned 1/2/8-worker pools and the CI matrix width. Same shape
+/// as [`protocol_round_parallel_equals_sequential`]: the only parallel
+/// section anywhere on the engine's path is protocol phase 1.
+#[test]
+fn traffic_engine_parallel_equals_sequential() {
+    let baseline = traffic_trace();
+    for threads in [1usize, 2, 8] {
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build never fails")
+            .install(traffic_trace);
+        assert_eq!(
+            baseline.as_bytes(),
+            parallel.as_bytes(),
+            "{threads}-thread traffic run diverged"
+        );
+    }
+    let width: usize = std::env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let pinned = rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("shim pool build never fails")
+        .install(traffic_trace);
+    assert_eq!(baseline.as_bytes(), pinned.as_bytes());
+}
+
 /// Proposal memoization changes how many proposals are recomputed —
 /// never what the protocol does: traces with the memo on and off are
 /// byte-identical, and the memo-on run actually serves hits (the

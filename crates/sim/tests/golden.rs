@@ -20,6 +20,7 @@ use recluster_sim::fig4::run_fig4_with;
 use recluster_sim::report::{f3, rounds_cell};
 use recluster_sim::scenario::ExperimentConfig;
 use recluster_sim::table1::{run_table1_with, Table1Config};
+use recluster_sim::traffic::{run_traffic, traffic_demo_config, traffic_small_config};
 use recluster_sim::Parallelism;
 
 /// FNV-1a over the raw bits of every recorded float, so the digest is
@@ -182,12 +183,24 @@ fn render_churn_100k() -> String {
     render_churn_scale("churn_100k", &cfg, &churn, &rows, 2008)
 }
 
-/// The trailing `f64-digest:` line of a snapshot (every float's raw
-/// bits feed it, so it pinpoints sub-rounding drift).
+fn render_traffic_small() -> String {
+    let (cfg, traffic) = traffic_small_config(2008);
+    run_traffic(&cfg, &traffic).render("traffic_small", 2008)
+}
+
+fn render_traffic_1m() -> String {
+    let (cfg, traffic) = traffic_demo_config(2008);
+    run_traffic(&cfg, &traffic).render("traffic_1m", 2008)
+}
+
+/// The trailing digest line of a snapshot (`f64-digest:` for the
+/// figure/churn renders, `traffic-digest:` for the traffic engine —
+/// both feed every float's raw bits, so they pinpoint sub-rounding
+/// drift).
 fn digest_line(text: &str) -> &str {
     text.lines()
         .rev()
-        .find(|l| l.starts_with("f64-digest:"))
+        .find(|l| l.starts_with("f64-digest:") || l.starts_with("traffic-digest:"))
         .unwrap_or("<no digest line>")
 }
 
@@ -269,4 +282,25 @@ fn churn_10k_matches_golden_snapshot() {
 #[ignore = "100k peers: release-only, run with --include-ignored"]
 fn churn_100k_matches_golden_snapshot() {
     check("churn_100k.txt", render_churn_100k());
+}
+
+/// The miniature traffic-engine run — streamed routed queries with
+/// churn, batched summary publication and repair over the 40-peer
+/// testbed. Fast enough for the debug tier-1 suite, so engine drift
+/// is caught long before the release golden step.
+#[test]
+fn traffic_small_matches_golden_snapshot() {
+    check("traffic_small.txt", render_traffic_small());
+}
+
+/// The `traffic_demo` scenario: ≈1.29 M routed query occurrences over
+/// 10 000 peers with diurnal/flash/drift workload shaping, churn every
+/// 10 slices and batched summary publication at each repair. Pins the
+/// full report — per-window rows, fan-out tail, batching ledger and the
+/// engine digest. ~15 s in release and far too slow unoptimized;
+/// release-only via `--include-ignored`, like the churn goldens.
+#[test]
+#[ignore = "1M+ query stream: release-only, run with --include-ignored"]
+fn traffic_1m_matches_golden_snapshot() {
+    check("traffic_1m.txt", render_traffic_1m());
 }

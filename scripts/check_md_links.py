@@ -2,16 +2,19 @@
 """Checks that relative links in the repo's markdown files resolve.
 
 Scope: inline markdown links/images `[text](target)` whose target is a
-repo-relative path. Skipped on purpose:
+repo-relative path or an anchor. Skipped on purpose:
 
 * absolute URLs (`http:`, `https:`, `mailto:`) — no network in CI;
-* pure in-page anchors (`#...`);
 * paths that escape the repository root (GitHub-web relative URLs such
   as the `../../actions/...` badge links resolve against github.com,
   not the working tree).
 
-Anchors on repo files (`docs/FOO.md#section`) are checked for file
-existence only. Exits non-zero listing every broken link.
+`#fragment` anchors — both in-page (`#section`) and on repo markdown
+targets (`docs/FOO.md#section`) — are validated against the target
+file's headings, slugified the way GitHub does (lowercase; drop
+everything but alphanumerics, underscores, hyphens and spaces; spaces
+to hyphens; `-1`, `-2`, … suffixes for duplicates). Exits non-zero
+listing every broken link or anchor.
 """
 
 import os
@@ -22,14 +25,44 @@ FILES = ["README.md", "ROADMAP.md"]
 DOCS_DIR = "docs"
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+
+def strip_fences(text):
+    # Fenced code blocks are neither links nor headings.
+    return re.sub(r"```.*?```", "", text, flags=re.S)
 
 
 def targets(path):
     with open(path, encoding="utf-8") as fh:
-        text = fh.read()
-    # Strip fenced code blocks: their bracket syntax is not a link.
-    text = re.sub(r"```.*?```", "", text, flags=re.S)
-    return LINK_RE.findall(text)
+        return LINK_RE.findall(strip_fences(fh.read()))
+
+
+def github_slug(heading):
+    # Inline markup contributes its text only: `code`, **bold**, [text](url).
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "").replace("*", "")
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    """The set of valid GitHub heading anchors of a markdown file."""
+    if path not in cache:
+        slugs = set()
+        counts = {}
+        with open(path, encoding="utf-8") as fh:
+            for line in strip_fences(fh.read()).splitlines():
+                m = HEADING_RE.match(line)
+                if not m:
+                    continue
+                slug = github_slug(m.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
 
 
 def main():
@@ -44,16 +77,25 @@ def main():
     broken = []
     checked = 0
     for rel in files:
-        base = os.path.dirname(os.path.join(repo, rel))
-        for target in targets(os.path.join(repo, rel)):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+        source = os.path.join(repo, rel)
+        base = os.path.dirname(source)
+        for target in targets(source):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            path = os.path.normpath(os.path.join(base, target.split("#")[0]))
+            path_part, _, fragment = target.partition("#")
+            path = source if not path_part else os.path.normpath(os.path.join(base, path_part))
             if not path.startswith(repo + os.sep):
                 continue  # escapes the repo: a github-web relative URL
             checked += 1
             if not os.path.exists(path):
                 broken.append(f"{rel}: ({target}) -> missing {os.path.relpath(path, repo)}")
+                continue
+            if fragment and path.endswith(".md"):
+                if fragment not in anchors_of(path):
+                    broken.append(
+                        f"{rel}: ({target}) -> no heading #{fragment} "
+                        f"in {os.path.relpath(path, repo)}"
+                    )
 
     for line in broken:
         print(f"BROKEN  {line}")
