@@ -21,7 +21,10 @@
 //! The run executes once (no `b.iter` loop): at this scale a single
 //! pass is the measurement, and all count metrics are exact.
 
-use recluster_sim::churn::{churn_100k_config, churn_10k_config, run_churn, ChurnConfig};
+use recluster_sim::churn::{
+    churn_100k_config, churn_10k_config, churn_10k_observed_config, run_churn,
+    run_churn_with_fidelity, ChurnConfig,
+};
 use recluster_sim::scenario::ExperimentConfig;
 
 fn run_scale(name: &str, cfg: &ExperimentConfig, churn: &ChurnConfig) {
@@ -58,10 +61,66 @@ fn run_scale(name: &str, cfg: &ExperimentConfig, churn: &ChurnConfig) {
     criterion::record_value(&format!("churn/{name}/run_seconds"), "seconds", elapsed);
 }
 
+/// The observed-decision pipeline at 10 000 peers: same churn schedule
+/// as `churn_10k` but peers relocate on estimates folded from routed
+/// traffic instead of the oracle cost model. The decision-fidelity
+/// metrics are deterministic and gated so the observed path cannot
+/// silently drift away from the oracle:
+///
+/// * `decision_disagreement` — `1 − mean agreement` between observed
+///   and oracle proposals; `0.0` at the baseline, so *any* divergence
+///   trips the gate (matching the pinned golden);
+/// * `scost_vs_oracle` — mean ratio of the observed repair's social
+///   cost to the reference oracle repair's from the same pre-repair
+///   state (≈1.0; a rising ratio means observed repairs got worse).
+fn run_observed_fidelity(name: &str, seed: u64) {
+    let (cfg, churn) = churn_10k_observed_config(seed);
+    let start = std::time::Instant::now();
+    let (rows, fidelity) = run_churn_with_fidelity(&cfg, &churn);
+    let elapsed = start.elapsed().as_secs_f64();
+    let report = fidelity.expect("observed mode always reports fidelity");
+
+    let n = rows.len() as f64;
+    let avg_repair = rows.iter().map(|r| r.scost_after_repair).sum::<f64>() / n;
+    let disagreement = 1.0 - report.mean_agreement();
+    let scost_ratio = report
+        .periods
+        .iter()
+        .map(|f| f.scost_observed_repair / f.scost_oracle_repair)
+        .sum::<f64>()
+        / report.periods.len() as f64;
+
+    println!(
+        "{name}: {} periods, avg repaired scost {avg_repair:.6}, \
+         disagreement {disagreement:.6}, scost vs oracle {scost_ratio:.6}, {elapsed:.2}s",
+        rows.len(),
+    );
+
+    criterion::record_value(
+        &format!("churn/{name}/avg_scost_after_repair"),
+        "cost",
+        avg_repair,
+    );
+    criterion::record_value(
+        &format!("churn/{name}/decision_disagreement"),
+        "rate",
+        disagreement,
+    );
+    criterion::record_value(
+        &format!("churn/{name}/scost_vs_oracle"),
+        "rate",
+        scost_ratio,
+    );
+    criterion::record_value(&format!("churn/{name}/run_seconds"), "seconds", elapsed);
+}
+
 fn main() {
     let seed = 2008;
     let (cfg, churn) = churn_10k_config(seed);
     run_scale("churn_10k", &cfg, &churn);
+    // Observed decisions ride the same 10k schedule; its fidelity
+    // metrics feed the same trend gate.
+    run_observed_fidelity("churn_10k_observed", seed);
     // 100 000 peers — affordable in-gate since the read/write split:
     // sparse tracker walk + snapshot phase 1 put a full period at
     // seconds, so the deterministic quality/traffic metrics are cheap

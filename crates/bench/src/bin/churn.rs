@@ -35,6 +35,7 @@ fn main() {
         maintenance: Some(StrategyKind::Selfish),
         max_rounds: 100,
         routing,
+        ..ChurnConfig::default()
     };
     let maintained = run_churn(&cfg, &base);
     let unmaintained = run_churn(

@@ -25,8 +25,9 @@
 //! * [`equilibrium`] — best responses and exact Nash-equilibrium
 //!   checking (§2.3), including the two-peer no-equilibrium example.
 //! * [`strategy`] — the relocation strategies of §3.1: selfish
-//!   (`pgain`), altruistic (`contribution` / `clgain`), and the hybrid
-//!   variant sketched as future work in §6.
+//!   (`pgain`), altruistic (`contribution` / `clgain`), the hybrid
+//!   variant sketched as future work in §6, and the observed-statistics
+//!   adapter that re-evaluates all three over tracker estimates.
 //! * [`tracker`] — the *observed* statistics path: peers learn
 //!   per-cluster recall and contribution from cid-annotated query
 //!   results over a period `T`, exactly as §3.1 prescribes (equals the
@@ -62,11 +63,12 @@ pub use protocol::{
 };
 pub use recall::RecallIndex;
 pub use strategy::{
-    AltruisticStrategy, HybridStrategy, Proposal, RelocationStrategy, SelfishStrategy,
+    AltruisticStrategy, DecisionSource, HybridStrategy, ObservedObjective, ObservedStrategy,
+    Proposal, RelocationStrategy, SelfishStrategy,
 };
 pub use system::{GameConfig, System};
 pub use tracker::{
     simulate_period, simulate_period_routed, simulate_period_routed_full, ForwardHistogram,
-    PeriodObservations, RoutingReport,
+    ObservedStats, PeriodObservations, RoutingReport,
 };
 pub use view::{Epochs, SystemRead, SystemView};

@@ -11,10 +11,12 @@
 
 mod altruistic;
 mod hybrid;
+mod observed;
 mod selfish;
 
 pub use altruistic::AltruisticStrategy;
 pub use hybrid::HybridStrategy;
+pub use observed::{DecisionSource, ObservedObjective, ObservedStrategy};
 pub use selfish::SelfishStrategy;
 
 use recluster_types::{ClusterId, PeerId};

@@ -41,7 +41,9 @@ use std::collections::BTreeMap;
 use recluster_overlay::{route_to_clusters, RoutePlan, RoutingMode, SimNetwork, SummaryMode};
 use recluster_types::{ClusterId, PeerId, Query};
 
+use crate::equilibrium::COST_EPS;
 use crate::system::System;
+use crate::view::SystemRead;
 
 /// One peer's observations about one of its distinct queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -485,16 +487,22 @@ impl PeriodObservations {
     /// join-inclusive membership cost plus, per query, the fraction of
     /// observed results *not* obtainable from `cid` (counting the peer's
     /// own documents as in-cluster wherever it goes).
-    pub fn estimated_pcost(
+    ///
+    /// Generic over [`SystemRead`] so it works against both `&System`
+    /// and a phase-1 [`SystemView`](crate::view::SystemView) — only the
+    /// game configuration is read from the system; everything else comes
+    /// from the observations. Clusters created after the observation
+    /// snapshot (a grown `Cmax`) are treated as empty.
+    pub fn estimated_pcost<S: SystemRead + ?Sized>(
         &self,
-        system: &System,
+        system: &S,
         peer: PeerId,
         cid: ClusterId,
         currently_in: Option<ClusterId>,
     ) -> f64 {
         let cfg = system.config();
         let in_cluster = currently_in == Some(cid);
-        let size = self.sizes[cid.index()] + usize::from(!in_cluster);
+        let size = self.sizes.get(cid.index()).copied().unwrap_or(0) + usize::from(!in_cluster);
         let membership = cfg.alpha * cfg.theta.membership(size, self.n_peers);
         let mut loss = 0.0;
         for obs in &self.observations[peer.index()] {
@@ -523,26 +531,371 @@ impl PeriodObservations {
 
     /// The cluster minimizing the estimated `pcost` for `peer` — the
     /// selfish selection rule (Eq. 5) evaluated on observations.
-    pub fn selfish_choice(
+    ///
+    /// Scans exactly the candidate set of the oracle
+    /// [`best_response`](crate::equilibrium::best_response) — non-empty
+    /// clusters in ascending id order, with the *first* empty slot
+    /// interleaved at its id position when `allow_empty` — and applies
+    /// the same [`COST_EPS`] stay-on-tie rule, so observed and oracle
+    /// selection can only diverge when the cost *estimates* diverge,
+    /// never on candidate enumeration or tie handling. Returns `None`
+    /// only when there are no candidate clusters at all.
+    pub fn selfish_choice<S: SystemRead + ?Sized>(
         &self,
-        system: &System,
+        system: &S,
         peer: PeerId,
         currently_in: Option<ClusterId>,
+        allow_empty: bool,
     ) -> Option<(ClusterId, f64)> {
-        let mut best: Option<(ClusterId, f64)> = None;
-        for cid in system.overlay().cluster_ids() {
-            let cost = self.estimated_pcost(system, peer, cid, currently_in);
-            let better = match best {
-                None => true,
-                Some((bc, b)) => {
-                    cost < b - 1e-12 || (currently_in == Some(cid) && cost <= b && bc != cid)
-                }
-            };
-            if better {
-                best = Some((cid, cost));
+        selfish_scan(system, currently_in, allow_empty, |cid| {
+            self.estimated_pcost(system, peer, cid, currently_in)
+        })
+    }
+}
+
+/// The shared candidate walk behind observed selfish selection: mirrors
+/// the oracle `best_response` enumeration (non-empty ids ascending, the
+/// first empty slot interleaved at its id position when `allow_empty`)
+/// and its `COST_EPS` stay-on-tie rule, over an arbitrary estimated-cost
+/// function. The incumbent cluster seeds the scan so ties always resolve
+/// toward staying, exactly as the oracle resolves them.
+fn selfish_scan<S: SystemRead + ?Sized>(
+    system: &S,
+    currently_in: Option<ClusterId>,
+    allow_empty: bool,
+    cost_of: impl Fn(ClusterId) -> f64,
+) -> Option<(ClusterId, f64)> {
+    let mut best: Option<(ClusterId, f64)> = currently_in.map(|cur| (cur, cost_of(cur)));
+    let consider = |cid: ClusterId, best: &mut Option<(ClusterId, f64)>| {
+        if currently_in == Some(cid) {
+            return; // already seeded as the incumbent
+        }
+        let cost = cost_of(cid);
+        let better = match *best {
+            None => true,
+            Some((_, b)) => cost < b - COST_EPS,
+        };
+        if better {
+            *best = Some((cid, cost));
+        }
+    };
+    let mut pending_empty = if allow_empty {
+        system.overlay().first_empty_cluster()
+    } else {
+        None
+    };
+    for &cid in system.overlay().non_empty_ids() {
+        if let Some(empty) = pending_empty {
+            if empty < cid {
+                consider(empty, &mut best);
+                pending_empty = None;
             }
         }
-        best
+        consider(cid, &mut best);
+    }
+    if let Some(empty) = pending_empty {
+        consider(empty, &mut best);
+    }
+    best
+}
+
+/// Multi-period accumulator over [`PeriodObservations`] with exponential
+/// decay — the statistics state a long-lived peer actually maintains
+/// (§3.1: observations are refreshed every period `T`).
+///
+/// Folding is an exponential moving average with retention
+/// `decay ∈ [0, 1)`: after absorbing a period, every observed count is
+/// `decay · previous + (1 − decay) · new`. With `decay = 0` the
+/// accumulator holds *exactly* the latest period — its estimates and
+/// selfish choice are bit-identical to querying that
+/// [`PeriodObservations`] directly (the `prop_observed` keystone
+/// equivalence; the replace is literal, not arithmetic, so no ulp can
+/// creep in).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedStats {
+    decay: f64,
+    periods: usize,
+    folded: Option<FoldedObservations>,
+}
+
+/// The decayed counterpart of [`PeriodObservations`]: identical layout
+/// and iteration order, with `f64` counts so fractional decayed values
+/// are representable. Integer counts below 2⁵³ convert exactly, so the
+/// `decay = 0` snapshot loses nothing.
+#[derive(Debug, Clone, PartialEq)]
+struct FoldedObservations {
+    observations: Vec<Vec<FoldedQuery>>,
+    served: Vec<BTreeMap<ClusterId, f64>>,
+    served_total: Vec<f64>,
+    sizes: Vec<usize>,
+    n_peers: usize,
+}
+
+/// One peer's decayed observation record for one distinct query.
+#[derive(Debug, Clone, PartialEq)]
+struct FoldedQuery {
+    query: Query,
+    /// Relative frequency in the peer's *current* workload (frequencies
+    /// describe the present workload; only result counts are decayed).
+    weight: f64,
+    per_cluster: Vec<(ClusterId, f64)>,
+    total: f64,
+    own: f64,
+}
+
+impl FoldedQuery {
+    fn cluster_count(&self, cid: ClusterId) -> f64 {
+        self.per_cluster
+            .binary_search_by_key(&cid, |&(c, _)| c)
+            .map(|i| self.per_cluster[i].1)
+            .unwrap_or(0.0)
+    }
+}
+
+impl ObservedStats {
+    /// Creates an empty accumulator with retention `decay`.
+    ///
+    /// # Panics
+    /// Panics unless `decay ∈ [0, 1)`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay),
+            "decay must be in [0, 1), got {decay}"
+        );
+        ObservedStats {
+            decay,
+            periods: 0,
+            folded: None,
+        }
+    }
+
+    /// The configured retention factor.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Number of periods folded in so far.
+    pub fn periods_absorbed(&self) -> usize {
+        self.periods
+    }
+
+    /// Whether at least one period has been absorbed (estimates are
+    /// meaningless — and [`Self::selfish_choice`] returns `None` —
+    /// before that).
+    pub fn has_observations(&self) -> bool {
+        self.folded.is_some()
+    }
+
+    /// Folds one period of observations into the accumulator.
+    ///
+    /// With `decay = 0` (or on the first period) the state becomes a
+    /// literal snapshot of `period`. Otherwise every count is updated as
+    /// `decay · old + (1 − decay) · new`, over the *current* workload's
+    /// distinct queries: a query the peer no longer issues is dropped
+    /// (its weight is zero anyway), a brand-new query starts from an
+    /// implicit zero history, and a cluster that stopped answering keeps
+    /// a decaying memory. Cluster sizes and `|P|` always snapshot the
+    /// newest period — membership estimates track the present overlay.
+    pub fn absorb(&mut self, period: &PeriodObservations) {
+        self.periods += 1;
+        if self.decay == 0.0 || self.folded.is_none() {
+            self.folded = Some(FoldedObservations::snapshot(period));
+            return;
+        }
+        let old = self.folded.as_ref().expect("checked above");
+        let lambda = self.decay;
+        let keep = 1.0 - lambda;
+        let n = period.n_peers;
+        let mut observations = Vec::with_capacity(n);
+        for (slot, records) in period.observations.iter().enumerate() {
+            let previous = old.observations.get(slot).map(Vec::as_slice).unwrap_or(&[]);
+            let by_query: BTreeMap<&Query, &FoldedQuery> =
+                previous.iter().map(|f| (&f.query, f)).collect();
+            let mut folded = Vec::with_capacity(records.len());
+            for obs in records {
+                folded.push(match by_query.get(&obs.query) {
+                    Some(prev) => fold_query(prev, obs, lambda, keep),
+                    None => FoldedQuery {
+                        query: obs.query.clone(),
+                        weight: obs.weight,
+                        per_cluster: obs
+                            .per_cluster
+                            .iter()
+                            .map(|&(c, v)| (c, keep * v as f64))
+                            .collect(),
+                        total: keep * obs.total as f64,
+                        own: keep * obs.own as f64,
+                    },
+                });
+            }
+            observations.push(folded);
+        }
+        let mut served = Vec::with_capacity(n);
+        let mut served_total = Vec::with_capacity(n);
+        for slot in 0..n {
+            let mut map: BTreeMap<ClusterId, f64> = period.served[slot]
+                .iter()
+                .map(|(&c, &v)| (c, keep * v))
+                .collect();
+            if let Some(prev) = old.served.get(slot) {
+                for (&c, &v) in prev {
+                    *map.entry(c).or_insert(0.0) += lambda * v;
+                }
+            }
+            served.push(map);
+            let prev_total = old.served_total.get(slot).copied().unwrap_or(0.0);
+            served_total.push(lambda * prev_total + keep * period.served_total[slot]);
+        }
+        self.folded = Some(FoldedObservations {
+            observations,
+            served,
+            served_total,
+            sizes: period.sizes.clone(),
+            n_peers: period.n_peers,
+        });
+    }
+
+    /// The decayed estimate of `pcost(p, cid)` — same arithmetic as
+    /// [`PeriodObservations::estimated_pcost`], over decayed counts.
+    ///
+    /// # Panics
+    /// Panics if no period has been absorbed.
+    pub fn estimated_pcost<S: SystemRead + ?Sized>(
+        &self,
+        system: &S,
+        peer: PeerId,
+        cid: ClusterId,
+        currently_in: Option<ClusterId>,
+    ) -> f64 {
+        let folded = self
+            .folded
+            .as_ref()
+            .expect("estimated_pcost before any absorbed period");
+        let cfg = system.config();
+        let in_cluster = currently_in == Some(cid);
+        let size = folded.sizes.get(cid.index()).copied().unwrap_or(0) + usize::from(!in_cluster);
+        let membership = cfg.alpha * cfg.theta.membership(size, folded.n_peers);
+        let mut loss = 0.0;
+        for obs in &folded.observations[peer.index()] {
+            if obs.total == 0.0 {
+                continue;
+            }
+            let mut inside = obs.cluster_count(cid);
+            if !in_cluster {
+                inside += obs.own;
+            }
+            let frac = (inside / obs.total).min(1.0);
+            loss += obs.weight * (1.0 - frac);
+        }
+        membership + loss
+    }
+
+    /// Whether `peer` has an observation slot — false before any period
+    /// is absorbed or for a peer that joined after the last one. A peer
+    /// without a slot has nothing to decide on.
+    pub fn covers(&self, peer: PeerId) -> bool {
+        self.folded
+            .as_ref()
+            .is_some_and(|f| peer.index() < f.observations.len())
+    }
+
+    /// Total decayed demand-weighted results `peer` served — the
+    /// denominator of the observed contribution. Zero before any
+    /// absorbed period.
+    pub fn served_total(&self, peer: PeerId) -> f64 {
+        self.folded
+            .as_ref()
+            .map_or(0.0, |f| f.served_total[peer.index()])
+    }
+
+    /// The decayed observed `contribution(p, cid)` (Eq. 6); zero before
+    /// any period is absorbed or when the peer served nothing.
+    pub fn estimated_contribution(&self, peer: PeerId, cid: ClusterId) -> f64 {
+        let Some(folded) = self.folded.as_ref() else {
+            return 0.0;
+        };
+        let total = folded.served_total[peer.index()];
+        if total == 0.0 {
+            0.0
+        } else {
+            folded.served[peer.index()]
+                .get(&cid)
+                .copied()
+                .unwrap_or(0.0)
+                / total
+        }
+    }
+
+    /// The selfish selection rule over the decayed estimates — same
+    /// candidate set and tie-break as the oracle `best_response` (see
+    /// [`PeriodObservations::selfish_choice`]). `None` before any period
+    /// is absorbed.
+    pub fn selfish_choice<S: SystemRead + ?Sized>(
+        &self,
+        system: &S,
+        peer: PeerId,
+        currently_in: Option<ClusterId>,
+        allow_empty: bool,
+    ) -> Option<(ClusterId, f64)> {
+        self.folded.as_ref()?;
+        selfish_scan(system, currently_in, allow_empty, |cid| {
+            self.estimated_pcost(system, peer, cid, currently_in)
+        })
+    }
+}
+
+impl FoldedObservations {
+    /// A literal (lossless) copy of one period: `u64` counts convert to
+    /// `f64` exactly for any realistic result volume (< 2⁵³).
+    fn snapshot(period: &PeriodObservations) -> Self {
+        FoldedObservations {
+            observations: period
+                .observations
+                .iter()
+                .map(|records| {
+                    records
+                        .iter()
+                        .map(|obs| FoldedQuery {
+                            query: obs.query.clone(),
+                            weight: obs.weight,
+                            per_cluster: obs
+                                .per_cluster
+                                .iter()
+                                .map(|&(c, v)| (c, v as f64))
+                                .collect(),
+                            total: obs.total as f64,
+                            own: obs.own as f64,
+                        })
+                        .collect()
+                })
+                .collect(),
+            served: period.served.clone(),
+            served_total: period.served_total.clone(),
+            sizes: period.sizes.clone(),
+            n_peers: period.n_peers,
+        }
+    }
+}
+
+/// EMA-folds one query's new observation into its decayed history:
+/// every count becomes `lambda · old + keep · new` over the union of
+/// answering clusters; the weight snaps to the current workload
+/// frequency.
+fn fold_query(prev: &FoldedQuery, obs: &QueryObservation, lambda: f64, keep: f64) -> FoldedQuery {
+    let mut per_cluster: BTreeMap<ClusterId, f64> = prev
+        .per_cluster
+        .iter()
+        .map(|&(c, v)| (c, lambda * v))
+        .collect();
+    for &(c, v) in &obs.per_cluster {
+        *per_cluster.entry(c).or_insert(0.0) += keep * v as f64;
+    }
+    FoldedQuery {
+        query: obs.query.clone(),
+        weight: obs.weight,
+        per_cluster: per_cluster.into_iter().collect(),
+        total: lambda * prev.total + keep * obs.total as f64,
+        own: lambda * prev.own + keep * obs.own as f64,
     }
 }
 
@@ -620,12 +973,134 @@ mod tests {
         let sys = fixture();
         let mut net = SimNetwork::new();
         let obs = simulate_period(&sys, &mut net);
+        for peer in [PeerId(0), PeerId(1), PeerId(2)] {
+            let current = sys.overlay().cluster_of(peer);
+            for allow_empty in [true, false] {
+                let (choice, cost) = obs
+                    .selfish_choice(&sys, peer, current, allow_empty)
+                    .unwrap();
+                let br = crate::equilibrium::best_response(&sys, peer, allow_empty);
+                assert_eq!(choice, br.cluster, "{peer} allow_empty={allow_empty}");
+                let oracle = pcost(&sys, peer, br.cluster);
+                assert!((cost - oracle).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn selfish_choice_scans_only_the_oracle_candidate_set() {
+        // The fixture leaves c1 empty and Cmax = 3, so a full
+        // `cluster_ids()` scan would evaluate c1 even with empty targets
+        // forbidden. With the oracle candidate walk, `allow_empty=false`
+        // must never return an empty cluster, and `allow_empty=true`
+        // only ever considers the *first* empty slot.
+        let sys = fixture();
+        let mut net = SimNetwork::new();
+        let obs = simulate_period(&sys, &mut net);
+        let current = sys.overlay().cluster_of(PeerId(2));
+        let (choice, _) = obs.selfish_choice(&sys, PeerId(2), current, false).unwrap();
+        assert!(!sys.overlay().cluster(choice).is_empty());
+        // Seeding at the incumbent means a tie always resolves to stay.
+        let (stay, cost) = obs.selfish_choice(&sys, PeerId(2), current, true).unwrap();
+        let cur_cost = obs.estimated_pcost(&sys, PeerId(2), current.unwrap(), current);
+        if (cost - cur_cost).abs() <= COST_EPS {
+            assert_eq!(Some(stay), current);
+        }
+    }
+
+    #[test]
+    fn observed_stats_zero_decay_is_bitwise_snapshot() {
+        let sys = fixture();
+        let mut stats = ObservedStats::new(0.0);
+        assert!(!stats.has_observations());
+        // Two absorbed periods with different overlays: the accumulator
+        // must equal the *latest* period exactly, bit for bit.
+        let mut net = SimNetwork::new();
+        let stale = simulate_period(&sys, &mut net);
+        stats.absorb(&stale);
+        let mut sys2 = fixture();
+        sys2.move_peer(PeerId(2), ClusterId(1));
+        let fresh = simulate_period(&sys2, &mut net);
+        stats.absorb(&fresh);
+        assert_eq!(stats.periods_absorbed(), 2);
+        for peer in [PeerId(0), PeerId(1), PeerId(2)] {
+            let current = sys2.overlay().cluster_of(peer);
+            for cid in sys2.overlay().cluster_ids() {
+                let direct = fresh.estimated_pcost(&sys2, peer, cid, current);
+                let folded = stats.estimated_pcost(&sys2, peer, cid, current);
+                assert_eq!(direct.to_bits(), folded.to_bits(), "{peer}@{cid}");
+                assert_eq!(
+                    fresh.estimated_contribution(peer, cid).to_bits(),
+                    stats.estimated_contribution(peer, cid).to_bits()
+                );
+            }
+            for allow_empty in [true, false] {
+                let direct = fresh.selfish_choice(&sys2, peer, current, allow_empty);
+                let folded = stats.selfish_choice(&sys2, peer, current, allow_empty);
+                match (direct, folded) {
+                    (Some((dc, dcost)), Some((fc, fcost))) => {
+                        assert_eq!(dc, fc);
+                        assert_eq!(dcost.to_bits(), fcost.to_bits());
+                    }
+                    (d, f) => assert_eq!(d.is_some(), f.is_some()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_stats_decay_folds_counts_as_ema() {
+        let sys = fixture();
+        let mut net = SimNetwork::new();
+        let period = simulate_period(&sys, &mut net);
+        let mut stats = ObservedStats::new(0.5);
+        stats.absorb(&period); // first period: literal snapshot
+        stats.absorb(&period); // identical second period
+                               // 0.5·v + 0.5·v = v: absorbing the same period twice is a no-op
+                               // on every count, so the estimates match the direct ones.
         let current = sys.overlay().cluster_of(PeerId(0));
-        let (choice, cost) = obs.selfish_choice(&sys, PeerId(0), current).unwrap();
-        let br = crate::equilibrium::best_response(&sys, PeerId(0), true);
-        assert_eq!(choice, br.cluster);
-        let oracle = pcost(&sys, PeerId(0), br.cluster);
-        assert!((cost - oracle).abs() < 1e-9);
+        for cid in sys.overlay().cluster_ids() {
+            let direct = period.estimated_pcost(&sys, PeerId(0), cid, current);
+            let folded = stats.estimated_pcost(&sys, PeerId(0), cid, current);
+            assert!(
+                (direct - folded).abs() < 1e-12,
+                "{cid}: {direct} vs {folded}"
+            );
+        }
+        // A genuinely changed period: p2's doc disappears from c2 by
+        // moving p2 next to p0 — the decayed estimate for kw(1) sits
+        // strictly between the two per-period observations.
+        let mut sys2 = fixture();
+        sys2.move_peer(PeerId(2), ClusterId(0));
+        let shifted = simulate_period(&sys2, &mut net);
+        stats.absorb(&shifted);
+        let folded = &stats.folded.as_ref().unwrap().observations[0];
+        let q1 = folded
+            .iter()
+            .find(|f| f.query == Query::keyword(Sym(1)))
+            .unwrap();
+        // Old: c2 answered 1 result; new: 0 (p2 moved to c0). EMA keeps
+        // half of the decayed memory: 0.5·1 + 0.5·0 = 0.5.
+        assert!((q1.cluster_count(ClusterId(2)) - 0.5).abs() < 1e-12);
+        // c0 answered 2 before (p1) and 3 now (p1 + p2): 0.5·2 + 0.5·3.
+        assert!((q1.cluster_count(ClusterId(0)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_stats_empty_accumulator_is_inert() {
+        let sys = fixture();
+        let stats = ObservedStats::new(0.3);
+        let current = sys.overlay().cluster_of(PeerId(0));
+        assert!(stats
+            .selfish_choice(&sys, PeerId(0), current, true)
+            .is_none());
+        assert_eq!(stats.estimated_contribution(PeerId(0), ClusterId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in [0, 1)")]
+    fn observed_stats_rejects_decay_of_one() {
+        let _ = ObservedStats::new(1.0);
     }
 
     #[test]

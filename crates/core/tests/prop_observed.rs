@@ -1,0 +1,174 @@
+//! Keystone equivalence for the observed relocation pipeline: under
+//! flood routing (lossless observations) with decay disabled, after
+//! *any* random mutation script,
+//!
+//! 1. [`ObservedStats`] is a **bitwise** snapshot of the latest
+//!    [`PeriodObservations`] — every estimated `pcost` and contribution
+//!    identical to the raw per-period figures down to the last float
+//!    bit (the decay-0 fold replaces, it never rounds), and
+//! 2. the observed selfish choice selects **exactly** the oracle
+//!    [`best_response`] cluster for every live peer, under both
+//!    empty-target policies — same candidate set, same tie-break, and
+//! 3. [`ObservedStrategy`]'s proposals name the same destination as the
+//!    oracle [`SelfishStrategy`] on the same view.
+//!
+//! Properties 2 and 3 hold only while every result holder is assigned
+//! to a cluster: a *soft*-left peer keeps its documents in the store —
+//! the oracle's recall totals still count them, but no cluster serves
+//! them, so the observed picture is legitimately smaller. The
+//! equivalence tests therefore strip plain `Leave`/`Join` — and content
+//! updates aimed at unassigned slots — from the script (churn leaves
+//! drop the leaver's documents and are kept), mirroring
+//! `prop_routing`'s universe rationale.
+
+mod common;
+
+use common::{apply, arb_ops, arb_seed_syms, fixture, Op};
+use proptest::prelude::*;
+use recluster_core::System;
+use recluster_core::{
+    best_response, pcost, simulate_period, ObservedStats, ObservedStrategy, RelocationStrategy,
+    SelfishStrategy,
+};
+use recluster_overlay::SimNetwork;
+use recluster_types::PeerId;
+
+/// Applies `ops` while keeping the oracle premise intact: every
+/// document holder stays assigned to a cluster (see module doc).
+fn apply_assigned_only(sys: &mut System, net: &mut SimNetwork, ops: Vec<Op>) {
+    for op in ops {
+        match &op {
+            Op::Leave { .. } | Op::Join { .. } => continue,
+            Op::SetContent { peer, .. } => {
+                let p = PeerId(peer % sys.overlay().n_slots() as u32);
+                if sys.overlay().cluster_of(p).is_none() {
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        apply(sys, net, op);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Decay 0 is a literal snapshot: the folded estimates carry the
+    /// latest period's bits, even after earlier (stale) periods were
+    /// absorbed and the system mutated in between.
+    #[test]
+    fn decay_zero_fold_is_bitwise_the_latest_period(
+        seed_docs in arb_seed_syms(),
+        seed_queries in arb_seed_syms(),
+        ops in arb_ops(16),
+    ) {
+        let mut sys = fixture(&seed_docs, &seed_queries);
+        let mut net = SimNetwork::new();
+        let mut stats = ObservedStats::new(0.0);
+
+        // A stale period absorbed *before* the mutations: decay 0 must
+        // forget it entirely at the next absorb.
+        stats.absorb(&simulate_period(&sys, &mut net));
+
+        for op in ops {
+            apply(&mut sys, &mut net, op);
+        }
+        let period = simulate_period(&sys, &mut net);
+        stats.absorb(&period);
+        prop_assert_eq!(stats.periods_absorbed(), 2);
+
+        for peer in sys.overlay().peers() {
+            let current = sys.overlay().cluster_of(peer);
+            prop_assert!(stats.covers(peer));
+            for cid in sys.overlay().cluster_ids() {
+                let folded = stats.estimated_pcost(&sys, peer, cid, current);
+                let raw = period.estimated_pcost(&sys, peer, cid, current);
+                prop_assert_eq!(
+                    folded.to_bits(), raw.to_bits(),
+                    "pcost({:?},{:?}) folded {} vs raw {}", peer, cid, folded, raw
+                );
+                let folded_c = stats.estimated_contribution(peer, cid);
+                let raw_c = period.estimated_contribution(peer, cid);
+                prop_assert_eq!(
+                    folded_c.to_bits(), raw_c.to_bits(),
+                    "contribution({:?},{:?}) folded {} vs raw {}", peer, cid, folded_c, raw_c
+                );
+            }
+        }
+    }
+
+    /// The observed selfish choice is the oracle best response: same
+    /// candidate set (non-empty clusters plus the first empty when
+    /// admissible), same `COST_EPS` tie-break, so the chosen cluster is
+    /// *equal*, not merely close.
+    #[test]
+    fn observed_selfish_choice_is_the_oracle_best_response(
+        seed_docs in arb_seed_syms(),
+        seed_queries in arb_seed_syms(),
+        ops in arb_ops(16),
+    ) {
+        let mut sys = fixture(&seed_docs, &seed_queries);
+        let mut net = SimNetwork::new();
+        apply_assigned_only(&mut sys, &mut net, ops);
+        let mut stats = ObservedStats::new(0.0);
+        stats.absorb(&simulate_period(&sys, &mut net));
+
+        let peers: Vec<_> = sys.overlay().peers().collect();
+        for peer in peers {
+            let current = sys.overlay().cluster_of(peer);
+            for allow_empty in [true, false] {
+                let (choice, est) = stats
+                    .selfish_choice(&sys, peer, current, allow_empty)
+                    .expect("an assigned peer always has a choice");
+                let br = best_response(&sys, peer, allow_empty);
+                prop_assert_eq!(
+                    choice, br.cluster,
+                    "{:?} allow_empty={}: observed {:?} vs oracle {:?}",
+                    peer, allow_empty, choice, br.cluster
+                );
+                let oracle_cost = pcost(&sys, peer, br.cluster);
+                prop_assert!(
+                    (est - oracle_cost).abs() < 1e-9,
+                    "{:?}: estimated {} vs oracle {}", peer, est, oracle_cost
+                );
+            }
+        }
+    }
+
+    /// The strategy adapter end-to-end: observed selfish proposals name
+    /// the oracle destination (or both abstain) on the same view.
+    #[test]
+    fn observed_strategy_proposals_match_the_oracle(
+        seed_docs in arb_seed_syms(),
+        seed_queries in arb_seed_syms(),
+        ops in arb_ops(16),
+    ) {
+        let mut sys = fixture(&seed_docs, &seed_queries);
+        let mut net = SimNetwork::new();
+        apply_assigned_only(&mut sys, &mut net, ops);
+        let mut stats = ObservedStats::new(0.0);
+        stats.absorb(&simulate_period(&sys, &mut net));
+
+        let observed = ObservedStrategy::selfish(&stats);
+        let oracle = SelfishStrategy;
+        let view = sys.view();
+        for peer in view.overlay().peers() {
+            for allow_empty in [true, false] {
+                let want = oracle.propose(&view, peer, allow_empty);
+                let got = observed.propose(&view, peer, allow_empty);
+                prop_assert_eq!(
+                    want.map(|p| p.to), got.map(|p| p.to),
+                    "{:?} allow_empty={}: oracle {:?} vs observed {:?}",
+                    peer, allow_empty, want, got
+                );
+                if let (Some(w), Some(g)) = (want, got) {
+                    prop_assert!(
+                        (w.gain - g.gain).abs() < 1e-9,
+                        "{:?}: gains {} vs {}", peer, w.gain, g.gain
+                    );
+                }
+            }
+        }
+    }
+}

@@ -157,8 +157,10 @@ mod tests {
     #[test]
     fn epsilon_zero_is_most_thorough() {
         let rows = run_epsilon_sweep(&cfg(), 60);
-        let tight = &rows[0]; // ε = 0
-        let loose = rows.last().unwrap(); // ε = 0.05
+        // Select by label, not position — reordering or extending the
+        // sweep must not silently turn this into a different comparison.
+        let tight = rows.iter().find(|r| r.setting == "epsilon=0").unwrap();
+        let loose = rows.iter().find(|r| r.setting == "epsilon=0.05").unwrap();
         assert!(
             tight.scost <= loose.scost + 1e-9,
             "tighter ε must not end worse: {} vs {}",

@@ -14,12 +14,17 @@
 //!
 //! Output is deterministic (fixed seed 21, no wall-clock content), so
 //! diffing two runs across branches is a quick sanity check when
-//! touching the protocol or cost layers.
+//! touching the protocol or cost layers. The closing churn-fidelity
+//! section honours `RECLUSTER_DECISIONS` (`oracle` | `observed` |
+//! `observed:<decay>`, default `observed`; malformed values warn on
+//! stderr and fall back).
 
-use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
+use recluster_core::{DecisionSource, EmptyTargetPolicy, ProtocolConfig};
 use recluster_overlay::SimNetwork;
+use recluster_sim::churn::{run_churn_with_fidelity, ChurnConfig};
 use recluster_sim::fig1::run_series;
 use recluster_sim::fig23::{run_point, UpdateMode};
+use recluster_sim::knobs::decisions_from_env;
 use recluster_sim::runner::{run_protocol, StrategyKind};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_sim::table1::{run_cell, Table1Config};
@@ -129,5 +134,43 @@ fn main() {
             r.scost,
             r.non_empty_clusters
         );
+    }
+
+    let decisions = decisions_from_env().unwrap_or(DecisionSource::Observed { decay: 0.0 });
+    println!("== churn fidelity ({decisions}) ==");
+    let churn = ChurnConfig {
+        periods: 4,
+        leaves_per_period: 1,
+        joins_per_period: 1,
+        decisions,
+        ..ChurnConfig::default()
+    };
+    let (rows, fidelity) = run_churn_with_fidelity(&cfg, &churn);
+    match fidelity {
+        Some(report) => {
+            for f in &report.periods {
+                println!(
+                    "  period {}: agree={:.3} scost observed={:.3} oracle={:.3} gap={:+.4}",
+                    f.period,
+                    f.agreement_rate,
+                    f.scost_observed_repair,
+                    f.scost_oracle_repair,
+                    f.scost_gap()
+                );
+            }
+            println!(
+                "  mean_agree={:.3} final_gap={:+.4}",
+                report.mean_agreement(),
+                report.final_scost_gap()
+            );
+        }
+        None => {
+            for r in &rows {
+                println!(
+                    "  period {}: scost after churn={:.3} after repair={:.3} moves={}",
+                    r.period, r.scost_after_churn, r.scost_after_repair, r.moves
+                );
+            }
+        }
     }
 }

@@ -24,6 +24,7 @@
 //! | `RECLUSTER_SEED` | Override the experiment seed (default 2008). |
 //! | `RECLUSTER_SMALL` | `1`/`true`: run the 40-peer miniature config instead. |
 //! | `RECLUSTER_ROUTING` | `flood`, `exact` or `lossy:<k>` — routing mode for the stream. |
+//! | `RECLUSTER_DECISIONS` | `oracle` (default), `observed` or `observed:<decay>` — where repair decisions read their statistics; observed runs append fidelity rows to the report. |
 //! | `RECLUSTER_TRAFFIC_QUERIES` | Override base query occurrences per slice. |
 //! | `RECLUSTER_TRAFFIC_SLICES` | Override the number of slices simulated. |
 //!
@@ -37,11 +38,8 @@
 use std::time::Instant;
 
 use recluster_overlay::{RoutingMode, SummaryMode};
+use recluster_sim::knobs::{decisions_from_env, env_u64};
 use recluster_sim::traffic::{traffic_demo_config, traffic_small_config, TrafficEngine};
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
-}
 
 fn main() {
     let seed = env_u64("RECLUSTER_SEED").unwrap_or(2008);
@@ -58,6 +56,9 @@ fn main() {
             RoutingMode::Routed(SummaryMode::Exact)
         });
     }
+    if let Some(decisions) = decisions_from_env() {
+        traffic.decisions = decisions;
+    }
     if let Some(q) = env_u64("RECLUSTER_TRAFFIC_QUERIES") {
         traffic.queries_per_slice = q;
     }
@@ -65,7 +66,12 @@ fn main() {
         traffic.slices = s as usize;
     }
 
-    let label = if small { "traffic_small" } else { "traffic_1m" };
+    let label = match (small, traffic.decisions.is_observed()) {
+        (true, false) => "traffic_small",
+        (true, true) => "traffic_small_observed",
+        (false, false) => "traffic_1m",
+        (false, true) => "traffic_1m_observed",
+    };
     eprintln!(
         "building {} peers, streaming {} slices x {} base queries (mode {})...",
         cfg.n_peers, traffic.slices, traffic.queries_per_slice, traffic.mode

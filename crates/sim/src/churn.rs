@@ -39,13 +39,17 @@
 //! ```
 
 use rand::Rng;
-use recluster_core::{EmptyTargetPolicy, ProtocolConfig};
+use recluster_core::{
+    simulate_period_routed, DecisionSource, EmptyTargetPolicy, ObservedStats, ProtocolConfig,
+};
 use recluster_corpus::{QueryBias, QuerySampler, WorkloadBuilder};
 use recluster_overlay::churn::{random_leave, ChurnDelta, ChurnEvent};
 use recluster_overlay::{RoutingMode, SimNetwork, SummaryMode};
 use recluster_types::{derive_seed, seeded_rng, Workload};
 
-use crate::runner::{measure_query_traffic, run_protocol, StrategyKind};
+use crate::runner::{
+    decision_agreement, measure_query_traffic, run_protocol, run_protocol_observed, StrategyKind,
+};
 use crate::scenario::{ideal_scenario1_system, ExperimentConfig, TestBed};
 
 /// One period's record.
@@ -87,6 +91,12 @@ pub struct ChurnConfig {
     pub max_rounds: usize,
     /// How each period's query workload is forwarded.
     pub routing: RoutingMode,
+    /// Where maintenance decisions read their statistics from. Under
+    /// [`DecisionSource::Observed`] each period's query workload runs
+    /// *before* repair (that is what the peers observe) and the
+    /// maintenance strategy consumes the folded tracker estimates
+    /// instead of oracle state.
+    pub decisions: DecisionSource,
 }
 
 impl Default for ChurnConfig {
@@ -98,6 +108,7 @@ impl Default for ChurnConfig {
             maintenance: Some(StrategyKind::Selfish),
             max_rounds: 60,
             routing: RoutingMode::Flood,
+            decisions: DecisionSource::Oracle,
         }
     }
 }
@@ -120,8 +131,21 @@ pub fn churn_10k_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
             maintenance: Some(StrategyKind::Selfish),
             max_rounds: 6,
             routing: RoutingMode::Routed(SummaryMode::Exact),
+            decisions: DecisionSource::Oracle,
         },
     )
+}
+
+/// [`churn_10k_config`] with relocation driven by *observed* statistics
+/// (decay 0: each repair acts on exactly the latest period's
+/// observations). Under exact routing the observations are lossless, so
+/// the repaired cost converges to within a few percent of the oracle
+/// run — the `churn_10k_observed` golden pins both numbers, and the
+/// fidelity metrics feed `bench-trend`.
+pub fn churn_10k_observed_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
+    let (cfg, mut churn) = churn_10k_config(seed);
+    churn.decisions = DecisionSource::Observed { decay: 0.0 };
+    (cfg, churn)
 }
 
 /// The `churn_100k` scenario: 100 000 peers from the ideal scenario-1
@@ -152,12 +176,75 @@ pub fn churn_100k_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
             maintenance: Some(StrategyKind::Selfish),
             max_rounds: 6,
             routing: RoutingMode::Routed(SummaryMode::Exact),
+            decisions: DecisionSource::Oracle,
         },
     )
 }
 
+/// One period's decision-fidelity measurements (observed mode only).
+#[derive(Debug, Clone)]
+pub struct FidelityPeriod {
+    /// Period index.
+    pub period: usize,
+    /// Fraction of live peers whose observed proposal named the same
+    /// destination as the oracle strategy's proposal on the pre-repair
+    /// state (both proposing nothing counts as agreement).
+    pub agreement_rate: f64,
+    /// Normalized social cost after the *observed* repair.
+    pub scost_observed_repair: f64,
+    /// Normalized social cost a reference *oracle* repair reaches from
+    /// the same pre-repair state.
+    pub scost_oracle_repair: f64,
+}
+
+impl FidelityPeriod {
+    /// Relative cost excess of the observed repair over the oracle one
+    /// (`0` = identical quality; positive = observed repairs worse).
+    pub fn scost_gap(&self) -> f64 {
+        if self.scost_oracle_repair == 0.0 {
+            0.0
+        } else {
+            self.scost_observed_repair / self.scost_oracle_repair - 1.0
+        }
+    }
+}
+
+/// Decision-fidelity report of an observed-mode churn run: how closely
+/// the observed relocation pipeline tracks the oracle it replaces.
+#[derive(Debug, Clone)]
+pub struct FidelityReport {
+    /// One entry per maintained period.
+    pub periods: Vec<FidelityPeriod>,
+}
+
+impl FidelityReport {
+    /// Mean per-period agreement rate.
+    pub fn mean_agreement(&self) -> f64 {
+        if self.periods.is_empty() {
+            return 1.0;
+        }
+        self.periods.iter().map(|p| p.agreement_rate).sum::<f64>() / self.periods.len() as f64
+    }
+
+    /// The scost gap at convergence — the last period's relative excess.
+    pub fn final_scost_gap(&self) -> f64 {
+        self.periods.last().map_or(0.0, |p| p.scost_gap())
+    }
+}
+
 /// Runs the churn experiment. Deterministic in `cfg.seed`.
 pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod> {
+    run_churn_with_fidelity(cfg, churn).0
+}
+
+/// [`run_churn`] that also returns the decision-fidelity report —
+/// `Some` exactly when `churn.decisions` is observed. Oracle runs take
+/// the historical code path (post-repair traffic probe, no reference
+/// repair) and produce byte-identical records to earlier releases.
+pub fn run_churn_with_fidelity(
+    cfg: &ExperimentConfig,
+    churn: &ChurnConfig,
+) -> (Vec<ChurnPeriod>, Option<FidelityReport>) {
     let mut testbed = ideal_scenario1_system(cfg);
     let mut rng = seeded_rng(derive_seed(cfg.seed, 0xC4A9));
     let mut net = SimNetwork::new();
@@ -167,6 +254,11 @@ pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod
     // sampler construction walks the category's visible docs, far too
     // much to repeat per join at the 100k-peer scale.
     let mut samplers: Vec<Option<QuerySampler>> = vec![None; testbed.holdout.len()];
+    let mut stats = match churn.decisions {
+        DecisionSource::Observed { decay } => Some(ObservedStats::new(decay)),
+        DecisionSource::Oracle => None,
+    };
+    let mut fidelity: Vec<FidelityPeriod> = Vec::new();
 
     for period in 0..churn.periods {
         apply_churn_batch(
@@ -178,25 +270,53 @@ pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod
             &mut net,
         );
         let scost_after_churn = recluster_core::scost_normalized(&testbed.system);
+        let protocol = ProtocolConfig {
+            epsilon: 1e-3,
+            max_rounds: churn.max_rounds,
+            empty_targets: EmptyTargetPolicy::Always,
+            use_locks: true,
+            ..Default::default()
+        };
 
         let mut moves = 0;
-        if let Some(kind) = churn.maintenance {
-            let protocol = ProtocolConfig {
-                epsilon: 1e-3,
-                max_rounds: churn.max_rounds,
-                empty_targets: EmptyTargetPolicy::Always,
-                use_locks: true,
-                ..Default::default()
-            };
-            let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
-            moves = outcome.total_moves();
-        }
-
-        // The period's query workload, forwarded per the configured
-        // routing mode over the (repaired) overlay, on its own ledger so
-        // the per-period record isolates query traffic from maintenance
-        // traffic.
-        let (query_net, routing) = measure_query_traffic(&testbed.system, churn.routing);
+        let (query_net, routing) = if let Some(stats) = stats.as_mut() {
+            // Observed mode: the period's queries run *first* — they are
+            // both the traffic being measured and the only statistics
+            // the strategies get to see — then repair acts on the
+            // folded estimates.
+            let mut query_net = SimNetwork::new();
+            let (observations, routing) =
+                simulate_period_routed(&testbed.system, &mut query_net, churn.routing);
+            stats.absorb(&observations);
+            if let Some(kind) = churn.maintenance {
+                let agreement_rate = decision_agreement(&mut testbed.system, kind, stats, true);
+                // Reference oracle repair from the same pre-repair state,
+                // on a fork whose traffic goes to a scratch ledger.
+                let mut reference = testbed.system.clone();
+                let mut scratch = SimNetwork::new();
+                run_protocol(&mut reference, kind, protocol, &mut scratch);
+                let outcome =
+                    run_protocol_observed(&mut testbed.system, kind, stats, protocol, &mut net);
+                moves = outcome.total_moves();
+                fidelity.push(FidelityPeriod {
+                    period,
+                    agreement_rate,
+                    scost_observed_repair: recluster_core::scost_normalized(&testbed.system),
+                    scost_oracle_repair: recluster_core::scost_normalized(&reference),
+                });
+            }
+            (query_net, routing)
+        } else {
+            if let Some(kind) = churn.maintenance {
+                let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
+                moves = outcome.total_moves();
+            }
+            // The period's query workload, forwarded per the configured
+            // routing mode over the (repaired) overlay, on its own
+            // ledger so the per-period record isolates query traffic
+            // from maintenance traffic.
+            measure_query_traffic(&testbed.system, churn.routing)
+        };
 
         records.push(ChurnPeriod {
             period,
@@ -209,7 +329,8 @@ pub fn run_churn(cfg: &ExperimentConfig, churn: &ChurnConfig) -> Vec<ChurnPeriod
             false_negative_rate: routing.false_negative_rate(),
         });
     }
-    records
+    let report = stats.map(|_| FidelityReport { periods: fidelity });
+    (records, report)
 }
 
 fn apply_churn_batch(
@@ -289,6 +410,7 @@ mod tests {
             maintenance: Some(StrategyKind::Selfish),
             max_rounds: 40,
             routing: RoutingMode::Flood,
+            ..ChurnConfig::default()
         };
         let with = run_churn(&cfg(), &churn);
         let without = run_churn(
@@ -332,6 +454,7 @@ mod tests {
             maintenance: None,
             max_rounds: 10,
             routing: RoutingMode::Flood,
+            ..ChurnConfig::default()
         };
         let rows = run_churn(&cfg(), &churn);
         // Net +1 peer per period from 40.
@@ -347,6 +470,93 @@ mod tests {
         for (a, b) in rows.iter().zip(again.iter()) {
             assert_eq!(a.peers, b.peers);
             assert!((a.scost_after_repair - b.scost_after_repair).abs() < 1e-12);
+            assert_eq!(a.query_messages, b.query_messages);
+        }
+    }
+
+    #[test]
+    fn oracle_runs_report_no_fidelity() {
+        let (rows, fidelity) = run_churn_with_fidelity(&cfg(), &ChurnConfig::default());
+        assert_eq!(rows.len(), 10);
+        assert!(fidelity.is_none());
+    }
+
+    #[test]
+    fn observed_churn_tracks_the_oracle_under_flood() {
+        let churn = ChurnConfig {
+            periods: 4,
+            leaves_per_period: 1,
+            joins_per_period: 1,
+            decisions: DecisionSource::Observed { decay: 0.0 },
+            ..ChurnConfig::default()
+        };
+        let (rows, fidelity) = run_churn_with_fidelity(&cfg(), &churn);
+        let fidelity = fidelity.expect("observed runs report fidelity");
+        assert_eq!(fidelity.periods.len(), rows.len());
+        // Flood observations are lossless and decay 0 folds nothing old
+        // in, so the observed selfish choice names the oracle's cluster
+        // for (nearly) every peer and the repaired costs stay close.
+        assert!(
+            fidelity.mean_agreement() > 0.95,
+            "agreement {}",
+            fidelity.mean_agreement()
+        );
+        assert!(
+            fidelity.final_scost_gap().abs() < 0.05,
+            "gap {}",
+            fidelity.final_scost_gap()
+        );
+        // Determinism over the observed path.
+        let (again, fid2) = run_churn_with_fidelity(&cfg(), &churn);
+        for (a, b) in rows.iter().zip(again.iter()) {
+            assert_eq!(
+                a.scost_after_repair.to_bits(),
+                b.scost_after_repair.to_bits()
+            );
+            assert_eq!(a.query_messages, b.query_messages);
+            assert_eq!(a.moves, b.moves);
+        }
+        for (a, b) in fidelity.periods.iter().zip(fid2.unwrap().periods.iter()) {
+            assert_eq!(a.agreement_rate.to_bits(), b.agreement_rate.to_bits());
+        }
+    }
+
+    #[test]
+    fn lossy_routing_degrades_observed_fidelity() {
+        let churn = ChurnConfig {
+            periods: 3,
+            leaves_per_period: 1,
+            joins_per_period: 1,
+            decisions: DecisionSource::Observed { decay: 0.5 },
+            ..ChurnConfig::default()
+        };
+        let exact = ChurnConfig {
+            routing: RoutingMode::Routed(SummaryMode::Exact),
+            ..churn.clone()
+        };
+        let lossy = ChurnConfig {
+            routing: RoutingMode::Routed(SummaryMode::TopK(1)),
+            ..churn
+        };
+        let (_, exact_fid) = run_churn_with_fidelity(&cfg(), &exact);
+        let (lossy_rows, lossy_fid) = run_churn_with_fidelity(&cfg(), &lossy);
+        let exact_fid = exact_fid.unwrap();
+        let lossy_fid = lossy_fid.unwrap();
+        // Top-1 summaries drop results, so the observed estimates — and
+        // with them relocation quality — degrade relative to lossless
+        // exact routing. The run must still be deterministic.
+        assert!(
+            lossy_fid.mean_agreement() <= exact_fid.mean_agreement() + 1e-12,
+            "lossy {} vs exact {}",
+            lossy_fid.mean_agreement(),
+            exact_fid.mean_agreement()
+        );
+        let (again, _) = run_churn_with_fidelity(&cfg(), &lossy);
+        for (a, b) in lossy_rows.iter().zip(again.iter()) {
+            assert_eq!(
+                a.scost_after_repair.to_bits(),
+                b.scost_after_repair.to_bits()
+            );
             assert_eq!(a.query_messages, b.query_messages);
         }
     }

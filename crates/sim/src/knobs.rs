@@ -1,0 +1,68 @@
+//! Environment-knob parsing shared by the sim binaries.
+//!
+//! Every reader here distinguishes *unset* (silent default) from *set
+//! but malformed*: a malformed value gets a stderr warning naming the
+//! knob and the rejected value before the default applies, so a typo'd
+//! override can never masquerade as a deliberate choice.
+
+use recluster_core::DecisionSource;
+
+/// Reads `name` as a `u64`. Unset → `None` silently; set but
+/// unparsable → a stderr warning, then `None` (the caller's default
+/// applies).
+pub fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("unknown {name}={raw:?}, ignoring");
+            None
+        }
+    }
+}
+
+/// Reads the decision source (`RECLUSTER_DECISIONS`): `oracle`
+/// (default), `observed` (decay 0 — each repair acts on exactly the
+/// latest period's observations), or `observed:<decay>` for an
+/// exponential fold with the given weight in `[0, 1)`. Unset → `None`
+/// silently; malformed → a stderr warning, then `None`.
+pub fn decisions_from_env() -> Option<DecisionSource> {
+    let raw = std::env::var("RECLUSTER_DECISIONS").ok()?;
+    match DecisionSource::parse(&raw) {
+        Some(d) => Some(d),
+        None => {
+            eprintln!("unknown RECLUSTER_DECISIONS={raw:?}, using oracle");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a distinct variable name, so the suite stays safe
+    // under the parallel test runner.
+
+    #[test]
+    fn env_u64_parses_and_rejects() {
+        std::env::set_var("RECLUSTER_KNOBTEST_GOOD", "42");
+        assert_eq!(env_u64("RECLUSTER_KNOBTEST_GOOD"), Some(42));
+        std::env::set_var("RECLUSTER_KNOBTEST_BAD", "not-a-number");
+        assert_eq!(env_u64("RECLUSTER_KNOBTEST_BAD"), None);
+        assert_eq!(env_u64("RECLUSTER_KNOBTEST_UNSET"), None);
+    }
+
+    #[test]
+    fn decisions_knob_round_trips() {
+        for (raw, want) in [
+            ("oracle", DecisionSource::Oracle),
+            ("observed", DecisionSource::Observed { decay: 0.0 }),
+            ("observed:0.5", DecisionSource::Observed { decay: 0.5 }),
+        ] {
+            assert_eq!(DecisionSource::parse(raw), Some(want));
+        }
+        assert_eq!(DecisionSource::parse("observed:1.5"), None);
+        assert_eq!(DecisionSource::parse("psychic"), None);
+    }
+}

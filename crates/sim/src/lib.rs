@@ -20,7 +20,16 @@
 //! * [`traffic`] — our extension: the streamed query-serving engine —
 //!   routed queries under live churn with batched summary publication
 //!   and throughput/p99 fan-out observability.
+//! * [`knobs`] — shared `RECLUSTER_*` environment-knob parsing for the
+//!   experiment binaries; malformed values warn on stderr, never
+//!   silently fall back.
 //! * [`report`] — plain-text table/series rendering and CSV export.
+//!
+//! The churn and traffic scenarios both honour
+//! [`DecisionSource`](recluster_core::DecisionSource): under
+//! `Observed` peers relocate on traffic-folded estimates and the run
+//! reports per-repair observed-vs-oracle fidelity
+//! ([`FidelityReport`], [`TrafficFidelity`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +40,7 @@ pub mod churn;
 pub mod fig1;
 pub mod fig23;
 pub mod fig4;
+pub mod knobs;
 pub mod lookup;
 pub mod report;
 pub mod runner;
@@ -39,12 +49,18 @@ pub mod table1;
 pub mod traffic;
 pub mod updates;
 
+pub use churn::{
+    run_churn, run_churn_with_fidelity, ChurnConfig, ChurnPeriod, FidelityPeriod, FidelityReport,
+};
 pub use recluster_overlay::{RoutingMode, SummaryMode};
-pub use runner::{measure_query_traffic, run_protocol, sweep_map, Parallelism, StrategyKind};
+pub use runner::{
+    decision_agreement, measure_query_traffic, run_protocol, run_protocol_observed, sweep_map,
+    Parallelism, StrategyKind,
+};
 pub use scenario::{
     build_system, ideal_scenario1_system, ExperimentConfig, InitialConfig, Scenario, TestBed,
 };
 pub use traffic::{
-    run_traffic, traffic_demo_config, traffic_small_config, TrafficConfig, TrafficEngine,
-    TrafficReport, TrafficWindow, WorkloadDynamics,
+    run_traffic, traffic_demo_config, traffic_small_config, traffic_small_observed_config,
+    TrafficConfig, TrafficEngine, TrafficFidelity, TrafficReport, TrafficWindow, WorkloadDynamics,
 };

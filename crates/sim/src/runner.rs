@@ -17,10 +17,12 @@
 use rayon::prelude::*;
 use recluster_baselines::{NoMaintenance, RandomStrategy};
 use recluster_core::{
-    simulate_period_routed, AltruisticStrategy, HybridStrategy, ProtocolConfig, ProtocolEngine,
-    RoutingReport, RunOutcome, SelfishStrategy, System,
+    simulate_period_routed, AltruisticStrategy, HybridStrategy, ObservedStats, ObservedStrategy,
+    ProtocolConfig, ProtocolEngine, RelocationStrategy, RoutingReport, RunOutcome, SelfishStrategy,
+    System,
 };
 use recluster_overlay::{RoutingMode, SimNetwork};
+use recluster_types::PeerId;
 
 /// The strategy roster available to experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,6 +136,89 @@ pub fn run_protocol(
         }
         StrategyKind::NoMaintenance => ProtocolEngine::new(NoMaintenance, config).run(system, net),
     }
+}
+
+/// Runs the reformulation protocol with the chosen strategy's *observed*
+/// counterpart: the same objective, evaluated over the decayed tracker
+/// estimates in `stats` instead of oracle view state. The null baselines
+/// (`Random`, `NoMaintenance`) consult no statistics at all and fall
+/// back to [`run_protocol`] unchanged.
+pub fn run_protocol_observed(
+    system: &mut System,
+    kind: StrategyKind,
+    stats: &ObservedStats,
+    config: ProtocolConfig,
+    net: &mut SimNetwork,
+) -> RunOutcome {
+    match kind {
+        StrategyKind::Selfish => {
+            ProtocolEngine::new(ObservedStrategy::selfish(stats), config).run(system, net)
+        }
+        StrategyKind::Altruistic => {
+            ProtocolEngine::new(ObservedStrategy::altruistic(stats), config).run(system, net)
+        }
+        StrategyKind::Hybrid(lambda) => {
+            ProtocolEngine::new(ObservedStrategy::hybrid(stats, lambda), config).run(system, net)
+        }
+        other => run_protocol(system, other, config, net),
+    }
+}
+
+/// Fraction of live peers whose observed proposal names the same
+/// destination as the oracle strategy's proposal on the current state
+/// (both proposing nothing also counts as agreement) — the per-round
+/// decision-fidelity measure of the observed-mode reports. `1.0` for the
+/// null baselines, whose decisions ignore statistics entirely.
+pub fn decision_agreement(
+    system: &mut System,
+    kind: StrategyKind,
+    stats: &ObservedStats,
+    allow_empty: bool,
+) -> f64 {
+    match kind {
+        StrategyKind::Selfish => agreement_with(
+            system,
+            SelfishStrategy,
+            ObservedStrategy::selfish(stats),
+            allow_empty,
+        ),
+        StrategyKind::Altruistic => agreement_with(
+            system,
+            AltruisticStrategy::new(),
+            ObservedStrategy::altruistic(stats),
+            allow_empty,
+        ),
+        StrategyKind::Hybrid(lambda) => agreement_with(
+            system,
+            HybridStrategy::new(lambda),
+            ObservedStrategy::hybrid(stats, lambda),
+            allow_empty,
+        ),
+        StrategyKind::Random(..) | StrategyKind::NoMaintenance => 1.0,
+    }
+}
+
+fn agreement_with<O: RelocationStrategy>(
+    system: &mut System,
+    mut oracle: O,
+    observed: ObservedStrategy<'_>,
+    allow_empty: bool,
+) -> f64 {
+    oracle.prepare(system);
+    let view = system.view();
+    let peers: Vec<PeerId> = view.overlay().peers().collect();
+    if peers.is_empty() {
+        return 1.0;
+    }
+    let agree = peers
+        .iter()
+        .filter(|&&p| {
+            let want = oracle.propose(&view, p, allow_empty).map(|pr| pr.to);
+            let got = observed.propose(&view, p, allow_empty).map(|pr| pr.to);
+            want == got
+        })
+        .count();
+    agree as f64 / peers.len() as f64
 }
 
 #[cfg(test)]

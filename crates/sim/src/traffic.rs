@@ -3,7 +3,7 @@
 //! timeline.
 //!
 //! The paper evaluates the overlay with a periodic *batch* workload
-//! ([`simulate_period_routed`](recluster_core::simulate_period_routed)
+//! ([`simulate_period_routed`]
 //! walks every live workload once per period). A serving system sees
 //! something else entirely: queries arrive continuously while peers
 //! join, leave and relocate underneath them, and the routing state the
@@ -62,7 +62,10 @@ use std::fmt::Write as _;
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use recluster_core::{scost_normalized, ForwardHistogram, ProtocolConfig, System};
+use recluster_core::{
+    scost_normalized, simulate_period_routed, DecisionSource, ForwardHistogram, ObservedStats,
+    ProtocolConfig, System,
+};
 use recluster_corpus::{QueryBias, QuerySampler, WorkloadBuilder, Zipf};
 use recluster_overlay::churn::{random_leave, ChurnDelta, ChurnEvent};
 use recluster_overlay::{
@@ -70,7 +73,7 @@ use recluster_overlay::{
 };
 use recluster_types::{derive_seed, seeded_rng, ClusterId, PeerId, Query};
 
-use crate::runner::{run_protocol, StrategyKind};
+use crate::runner::{decision_agreement, run_protocol, run_protocol_observed, StrategyKind};
 use crate::scenario::{ideal_scenario1_system, ExperimentConfig, TestBed};
 
 /// Shape of the streamed workload and the churn/repair schedule, all in
@@ -115,6 +118,13 @@ pub struct TrafficConfig {
     pub protocol: ProtocolConfig,
     /// How queries are forwarded.
     pub mode: RoutingMode,
+    /// Where repair decisions read their statistics from. Under
+    /// [`DecisionSource::Observed`] each repair tick first runs an
+    /// observation pass — every peer's workload routed under `mode`, so
+    /// lossy summaries degrade what the peers learn — and the
+    /// maintenance strategy consumes the folded estimates instead of
+    /// oracle state; the report then carries per-repair fidelity rows.
+    pub decisions: DecisionSource,
 }
 
 /// The deterministic workload generator: Zipf topic popularity with
@@ -240,6 +250,23 @@ pub struct TrafficWindow {
     pub scost: f64,
 }
 
+/// One repair tick's decision-fidelity row (observed mode only): how
+/// closely the observed relocation decisions tracked the oracle's on
+/// the same pre-repair state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficFidelity {
+    /// Slice index of the repair tick.
+    pub slice: usize,
+    /// Fraction of live peers whose observed proposal named the oracle
+    /// destination (both proposing nothing counts as agreement).
+    pub agreement_rate: f64,
+    /// Normalized social cost after the *observed* repair.
+    pub scost_observed_repair: f64,
+    /// Normalized social cost a reference *oracle* repair reaches from
+    /// the same pre-repair state.
+    pub scost_oracle_repair: f64,
+}
+
 /// What a [`TrafficEngine`] run did, in exact integers plus
 /// integer-derived floats — reproducible to the bit for a fixed config.
 #[derive(Debug, Clone, PartialEq)]
@@ -285,6 +312,9 @@ pub struct TrafficReport {
     pub histogram: ForwardHistogram,
     /// Per-repair-window rows (repairs plus the tail window).
     pub windows: Vec<TrafficWindow>,
+    /// Per-repair fidelity rows — non-empty exactly when the run used
+    /// [`DecisionSource::Observed`] and at least one repair tick fired.
+    pub fidelity: Vec<TrafficFidelity>,
     /// Normalized social cost at the end of the run.
     pub final_scost: f64,
 }
@@ -322,6 +352,27 @@ impl TrafficReport {
         }
     }
 
+    /// Mean per-repair agreement rate (`1.0` when the run was
+    /// oracle-driven and produced no fidelity rows).
+    pub fn mean_agreement(&self) -> f64 {
+        if self.fidelity.is_empty() {
+            return 1.0;
+        }
+        self.fidelity.iter().map(|f| f.agreement_rate).sum::<f64>() / self.fidelity.len() as f64
+    }
+
+    /// Relative cost excess of the last observed repair over its oracle
+    /// reference (`0` when oracle-driven or no repairs fired).
+    pub fn final_scost_gap(&self) -> f64 {
+        self.fidelity.last().map_or(0.0, |f| {
+            if f.scost_oracle_repair == 0.0 {
+                0.0
+            } else {
+                f.scost_observed_repair / f.scost_oracle_repair - 1.0
+            }
+        })
+    }
+
     /// FNV-1a digest over every deterministic field (counters as
     /// integers, floats by raw bits) — one number that moves if
     /// anything in the run moved.
@@ -353,6 +404,14 @@ impl TrafficReport {
             h.u64(w.missed);
             h.u64(w.moves as u64);
             h.f64(w.scost);
+        }
+        // Folded only when present so oracle-mode digests are
+        // byte-identical to releases that predate observed decisions.
+        for f in &self.fidelity {
+            h.u64(f.slice as u64);
+            h.f64(f.agreement_rate);
+            h.f64(f.scost_observed_repair);
+            h.f64(f.scost_oracle_repair);
         }
         h.f64(self.final_scost);
         h.finish()
@@ -400,6 +459,21 @@ impl TrafficReport {
             self.summary_updates_batched,
             self.summary_updates_per_event
         );
+        for f in &self.fidelity {
+            let _ = writeln!(
+                out,
+                "fidelity@{}|agree={:.6}|scost_obs={:.6}|scost_oracle={:.6}",
+                f.slice, f.agreement_rate, f.scost_observed_repair, f.scost_oracle_repair
+            );
+        }
+        if !self.fidelity.is_empty() {
+            let _ = writeln!(
+                out,
+                "fidelity mean_agree={:.6} final_gap={:.6}",
+                self.mean_agreement(),
+                self.final_scost_gap()
+            );
+        }
         let _ = writeln!(out, "final_scost={:.6}", self.final_scost);
         let _ = writeln!(out, "traffic-digest: {:016x}", self.digest());
         out
@@ -495,9 +569,12 @@ pub struct TrafficEngine {
     /// Maintenance-side ledger (churn, protocol, eager summary hooks).
     net: SimNetwork,
     demand_per_peer: u64,
+    /// Folded observation estimates (observed decision mode only).
+    stats: Option<ObservedStats>,
     // Running aggregates.
     histogram: ForwardHistogram,
     windows: Vec<TrafficWindow>,
+    fidelity: Vec<TrafficFidelity>,
     queries: u64,
     forwards: u64,
     flood_forwards: u64,
@@ -539,10 +616,15 @@ impl TrafficEngine {
             cache: EvalCache::new(cmax),
             net: SimNetwork::new(),
             demand_per_peer,
+            stats: match traffic.decisions {
+                DecisionSource::Observed { decay } => Some(ObservedStats::new(decay)),
+                DecisionSource::Oracle => None,
+            },
             testbed,
             cfg: traffic,
             histogram: ForwardHistogram::new(),
             windows: Vec::new(),
+            fidelity: Vec::new(),
             queries: 0,
             forwards: 0,
             flood_forwards: 0,
@@ -591,6 +673,7 @@ impl TrafficEngine {
             summary_updates_per_event: self.net.messages(MsgKind::SummaryUpdate),
             histogram: self.histogram,
             windows: self.windows,
+            fidelity: self.fidelity,
             final_scost,
         }
     }
@@ -701,12 +784,49 @@ impl TrafficEngine {
                     .cluster_of(PeerId::from_index(s))
             })
             .collect();
-        let outcome = run_protocol(
-            &mut self.testbed.system,
-            self.cfg.maintenance,
-            self.cfg.protocol,
-            &mut self.net,
-        );
+        let outcome = if let Some(stats) = self.stats.as_mut() {
+            // Observation pass: every peer's workload routed under the
+            // configured mode — with lossy summaries the peers learn a
+            // degraded picture, and the repair quality follows it. Runs
+            // on a scratch ledger: observation traffic is the query
+            // stream already measured above, not extra messages.
+            let mut obs_net = SimNetwork::new();
+            let (observations, _) =
+                simulate_period_routed(&self.testbed.system, &mut obs_net, self.cfg.mode);
+            stats.absorb(&observations);
+            let agreement_rate =
+                decision_agreement(&mut self.testbed.system, self.cfg.maintenance, stats, true);
+            // Reference oracle repair from the same pre-repair state.
+            let mut reference = self.testbed.system.clone();
+            let mut scratch = SimNetwork::new();
+            run_protocol(
+                &mut reference,
+                self.cfg.maintenance,
+                self.cfg.protocol,
+                &mut scratch,
+            );
+            let outcome = run_protocol_observed(
+                &mut self.testbed.system,
+                self.cfg.maintenance,
+                stats,
+                self.cfg.protocol,
+                &mut self.net,
+            );
+            self.fidelity.push(TrafficFidelity {
+                slice: t,
+                agreement_rate,
+                scost_observed_repair: scost_normalized(&self.testbed.system),
+                scost_oracle_repair: scost_normalized(&reference),
+            });
+            outcome
+        } else {
+            run_protocol(
+                &mut self.testbed.system,
+                self.cfg.maintenance,
+                self.cfg.protocol,
+                &mut self.net,
+            )
+        };
         let window_moves = outcome.total_moves();
         self.moves += window_moves;
         self.repairs += 1;
@@ -842,6 +962,7 @@ pub fn traffic_demo_config(seed: u64) -> (ExperimentConfig, TrafficConfig) {
                 ..Default::default()
             },
             mode: RoutingMode::Routed(SummaryMode::Exact),
+            decisions: DecisionSource::Oracle,
         },
     )
 }
@@ -874,8 +995,20 @@ pub fn traffic_small_config(seed: u64) -> (ExperimentConfig, TrafficConfig) {
                 ..Default::default()
             },
             mode: RoutingMode::Routed(SummaryMode::Exact),
+            decisions: DecisionSource::Oracle,
         },
     )
+}
+
+/// [`traffic_small_config`] with repair decisions driven by *observed*
+/// statistics (decay 0.25 — the EMA path, folding a quarter of the
+/// previous window's estimates into each new one). Debug-tier golden:
+/// the report carries per-repair fidelity rows pinning observed-vs-
+/// oracle agreement and repair quality.
+pub fn traffic_small_observed_config(seed: u64) -> (ExperimentConfig, TrafficConfig) {
+    let (cfg, mut traffic) = traffic_small_config(seed);
+    traffic.decisions = DecisionSource::Observed { decay: 0.25 };
+    (cfg, traffic)
 }
 
 #[cfg(test)]
@@ -952,6 +1085,52 @@ mod tests {
             "batched {} > per-event {}",
             report.summary_updates_batched,
             report.summary_updates_per_event
+        );
+    }
+
+    #[test]
+    fn oracle_runs_carry_no_fidelity_rows() {
+        let (cfg, traffic) = traffic_small_config(11);
+        let report = run_traffic(&cfg, &traffic);
+        assert!(report.fidelity.is_empty());
+        assert_eq!(report.mean_agreement(), 1.0);
+        assert_eq!(report.final_scost_gap(), 0.0);
+    }
+
+    #[test]
+    fn observed_runs_report_fidelity_and_stay_deterministic() {
+        let (cfg, traffic) = traffic_small_observed_config(11);
+        let a = run_traffic(&cfg, &traffic);
+        let b = run_traffic(&cfg, &traffic);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.fidelity.len(), a.repairs, "one fidelity row per repair");
+        // Exact routing gives lossless observations: the observed
+        // decisions track the oracle closely and repairs stay effective.
+        assert!(a.mean_agreement() > 0.9, "agreement {}", a.mean_agreement());
+        assert!(
+            a.final_scost_gap().abs() < 0.1,
+            "gap {}",
+            a.final_scost_gap()
+        );
+    }
+
+    #[test]
+    fn lossy_observations_degrade_fidelity() {
+        let (cfg, traffic) = traffic_small_observed_config(13);
+        let exact = run_traffic(&cfg, &traffic);
+        let lossy = run_traffic(
+            &cfg,
+            &TrafficConfig {
+                mode: RoutingMode::Routed(SummaryMode::TopK(1)),
+                ..traffic
+            },
+        );
+        assert!(
+            lossy.mean_agreement() <= exact.mean_agreement() + 1e-12,
+            "lossy {} vs exact {}",
+            lossy.mean_agreement(),
+            exact.mean_agreement()
         );
     }
 

@@ -1,0 +1,76 @@
+//! Integration smoke for the asynchronous engine (`run_async`, §6):
+//! uncoordinated one-at-a-time play on the 40-peer testbed must reach
+//! the same cost neighbourhood as the synchronized two-phase protocol,
+//! deterministically.
+
+use recluster_core::{
+    run_async, scost_normalized, ProtocolConfig, ProtocolEngine, SelfishStrategy,
+};
+use recluster_overlay::SimNetwork;
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+
+#[test]
+fn async_play_matches_the_sync_engine_on_the_small_testbed() {
+    let cfg = ExperimentConfig::small(101);
+    let protocol = ProtocolConfig {
+        epsilon: 1e-3,
+        max_rounds: 60,
+        ..Default::default()
+    };
+
+    // Synchronized reference.
+    let mut sync_tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut sync_net = SimNetwork::new();
+    let sync_outcome =
+        ProtocolEngine::new(SelfishStrategy, protocol).run(&mut sync_tb.system, &mut sync_net);
+    assert!(sync_outcome.converged, "sync engine must converge");
+    let sync_scost = scost_normalized(&sync_tb.system);
+
+    // Asynchronous run from the same initial state.
+    let mut async_tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut async_net = SimNetwork::new();
+    let mut strategy = SelfishStrategy;
+    let outcome = run_async(
+        &mut async_tb.system,
+        &mut strategy,
+        protocol,
+        60,
+        7,
+        &mut async_net,
+    );
+    assert!(outcome.converged, "async play must reach a moveless sweep");
+    assert!(outcome.steps > 0 && outcome.moves > 0);
+    assert_eq!(outcome.scost_per_sweep.len(), outcome.wcost_per_sweep.len());
+    async_tb.system.overlay().check_invariants().unwrap();
+
+    // Both engines optimize the same game from the same start: the
+    // uncoordinated run must land in the same cost neighbourhood as the
+    // coordinated one (both near the paper-ideal for scenario 1).
+    let async_scost = scost_normalized(&async_tb.system);
+    assert!(
+        (async_scost - sync_scost).abs() < 0.05,
+        "async {async_scost} vs sync {sync_scost}"
+    );
+
+    // Deterministic in (config, seed): a replay is bitwise identical.
+    let mut replay_tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut replay_net = SimNetwork::new();
+    let mut replay_strategy = SelfishStrategy;
+    let replay = run_async(
+        &mut replay_tb.system,
+        &mut replay_strategy,
+        protocol,
+        60,
+        7,
+        &mut replay_net,
+    );
+    assert_eq!(replay.steps, outcome.steps);
+    assert_eq!(replay.moves, outcome.moves);
+    for (a, b) in outcome
+        .scost_per_sweep
+        .iter()
+        .zip(replay.scost_per_sweep.iter())
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -8,12 +8,14 @@
 
 use std::fmt::Write as _;
 
-use recluster_core::{ProtocolConfig, ProtocolEngine, SelfishStrategy};
+use recluster_core::{DecisionSource, ProtocolConfig, ProtocolEngine, SelfishStrategy};
 use recluster_overlay::SimNetwork;
 use recluster_sim::report::{f3, render_table, to_csv};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_sim::table1::{run_table1_with, Table1Config};
-use recluster_sim::{run_protocol, sweep_map, Parallelism, StrategyKind};
+use recluster_sim::{
+    run_churn_with_fidelity, run_protocol, sweep_map, ChurnConfig, Parallelism, StrategyKind,
+};
 
 /// One sweep cell: strategy × seed, each building its own testbed.
 fn cells() -> Vec<(StrategyKind, u64)> {
@@ -265,6 +267,123 @@ fn proposal_memo_preserves_protocol_bytes() {
         "a quiet re-run must be served entirely from the memo"
     );
     assert!(rerun.total_memoized() > 0);
+}
+
+/// Observed-mode churn rendered to full bit precision: every period row
+/// plus the fidelity report (agreement rate and both repair costs), so
+/// any float drift on the observation pass, the EMA fold, the cloned
+/// oracle reference run or the observed repair itself reaches the trace.
+fn observed_churn_trace() -> String {
+    let cfg = ExperimentConfig::small(29);
+    let churn = ChurnConfig {
+        periods: 4,
+        leaves_per_period: 1,
+        joins_per_period: 1,
+        decisions: DecisionSource::Observed { decay: 0.25 },
+        ..ChurnConfig::default()
+    };
+    let (rows, fidelity) = run_churn_with_fidelity(&cfg, &churn);
+    let mut out = String::new();
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "period {}: churn={:016x} repair={:016x} peers={} moves={} msgs={} fpq={:016x} fnr={:016x}",
+            r.period,
+            r.scost_after_churn.to_bits(),
+            r.scost_after_repair.to_bits(),
+            r.peers,
+            r.moves,
+            r.query_messages,
+            r.forwards_per_query.to_bits(),
+            r.false_negative_rate.to_bits()
+        );
+    }
+    let report = fidelity.expect("observed mode always reports fidelity");
+    for f in &report.periods {
+        let _ = writeln!(
+            out,
+            "fidelity {}: agree={:016x} obs={:016x} oracle={:016x}",
+            f.period,
+            f.agreement_rate.to_bits(),
+            f.scost_observed_repair.to_bits(),
+            f.scost_oracle_repair.to_bits()
+        );
+    }
+    out
+}
+
+/// The observed relocation pipeline honours the CI thread matrix the
+/// same way the oracle paths do: churn with observed decisions is
+/// byte-identical under pinned 1/2/8-worker pools and the matrix width.
+#[test]
+fn observed_churn_parallel_equals_sequential() {
+    let baseline = observed_churn_trace();
+    for threads in [1usize, 2, 8] {
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build never fails")
+            .install(observed_churn_trace);
+        assert_eq!(
+            baseline.as_bytes(),
+            parallel.as_bytes(),
+            "{threads}-thread observed churn diverged"
+        );
+    }
+    let width: usize = std::env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let pinned = rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("shim pool build never fails")
+        .install(observed_churn_trace);
+    assert_eq!(baseline.as_bytes(), pinned.as_bytes());
+}
+
+/// The observed traffic engine — observation pass, EMA fold, agreement
+/// audit, reference oracle repair and the observed repair — rendered to
+/// bytes with phase 1 forced parallel, mirroring [`traffic_trace`].
+fn observed_traffic_trace() -> String {
+    let (cfg, mut traffic) = recluster_sim::traffic::traffic_small_observed_config(41);
+    traffic.protocol.min_parallel_peers = 1;
+    recluster_sim::traffic::run_traffic(&cfg, &traffic).render("traffic_det_observed", 41)
+}
+
+/// Observed traffic under pinned 1/2/8-worker pools and the CI matrix
+/// width is byte-identical to the ambient run, fidelity lines included.
+#[test]
+fn observed_traffic_engine_parallel_equals_sequential() {
+    let baseline = observed_traffic_trace();
+    assert!(
+        baseline.contains("fidelity"),
+        "observed traffic must render fidelity lines"
+    );
+    for threads in [1usize, 2, 8] {
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build never fails")
+            .install(observed_traffic_trace);
+        assert_eq!(
+            baseline.as_bytes(),
+            parallel.as_bytes(),
+            "{threads}-thread observed traffic run diverged"
+        );
+    }
+    let width: usize = std::env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let pinned = rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("shim pool build never fails")
+        .install(observed_traffic_trace);
+    assert_eq!(baseline.as_bytes(), pinned.as_bytes());
 }
 
 #[test]

@@ -14,13 +14,18 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use recluster_sim::churn::{churn_100k_config, churn_10k_config, run_churn, ChurnPeriod};
+use recluster_sim::churn::{
+    churn_100k_config, churn_10k_config, churn_10k_observed_config, run_churn,
+    run_churn_with_fidelity, ChurnPeriod,
+};
 use recluster_sim::fig1::run_fig1_with;
 use recluster_sim::fig4::run_fig4_with;
 use recluster_sim::report::{f3, rounds_cell};
 use recluster_sim::scenario::ExperimentConfig;
 use recluster_sim::table1::{run_table1_with, Table1Config};
-use recluster_sim::traffic::{run_traffic, traffic_demo_config, traffic_small_config};
+use recluster_sim::traffic::{
+    run_traffic, traffic_demo_config, traffic_small_config, traffic_small_observed_config,
+};
 use recluster_sim::Parallelism;
 
 /// FNV-1a over the raw bits of every recorded float, so the digest is
@@ -183,9 +188,48 @@ fn render_churn_100k() -> String {
     render_churn_scale("churn_100k", &cfg, &churn, &rows, 2008)
 }
 
+/// Renders the observed-mode 10k churn run: the per-period rows plus
+/// the decision-fidelity block — observed-vs-oracle agreement and both
+/// repaired costs, bit-digested. Pinning both costs is what holds the
+/// "observed converges within 5 % of the oracle" claim over time.
+fn render_churn_10k_observed() -> (String, f64) {
+    let (cfg, churn) = churn_10k_observed_config(2008);
+    let (rows, fidelity) = run_churn_with_fidelity(&cfg, &churn);
+    let mut out = render_churn_scale("churn_10k_observed", &cfg, &churn, &rows, 2008);
+    let report = fidelity.expect("observed runs report fidelity");
+    let mut digest = BitDigest::new();
+    for f in &report.periods {
+        digest.push(f.agreement_rate);
+        digest.push(f.scost_observed_repair);
+        digest.push(f.scost_oracle_repair);
+        let _ = writeln!(
+            out,
+            "fidelity period={}|agree={:.6}|scost_obs={:.6}|scost_oracle={:.6}|gap={:+.4}",
+            f.period,
+            f.agreement_rate,
+            f.scost_observed_repair,
+            f.scost_oracle_repair,
+            f.scost_gap()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fidelity mean_agree={:.6} final_gap={:+.6}",
+        report.mean_agreement(),
+        report.final_scost_gap()
+    );
+    out.push_str(&digest.line());
+    (out, report.final_scost_gap())
+}
+
 fn render_traffic_small() -> String {
     let (cfg, traffic) = traffic_small_config(2008);
     run_traffic(&cfg, &traffic).render("traffic_small", 2008)
+}
+
+fn render_traffic_small_observed() -> String {
+    let (cfg, traffic) = traffic_small_observed_config(2008);
+    run_traffic(&cfg, &traffic).render("traffic_small_observed", 2008)
 }
 
 fn render_traffic_1m() -> String {
@@ -284,6 +328,22 @@ fn churn_100k_matches_golden_snapshot() {
     check("churn_100k.txt", render_churn_100k());
 }
 
+/// Observed-mode counterpart of `churn_10k`: relocation driven by the
+/// folded tracker estimates (decay 0) under exact routing. Pins the
+/// acceptance bound end-to-end — the observed run's repaired scost must
+/// converge within 5 % of the oracle reference — alongside the full
+/// fidelity block. Release-only via `--include-ignored`.
+#[test]
+#[ignore = "10k peers: release-only, run with --include-ignored"]
+fn churn_10k_observed_matches_golden_snapshot() {
+    let (rendered, final_gap) = render_churn_10k_observed();
+    assert!(
+        final_gap.abs() < 0.05,
+        "observed repair must converge within 5% of the oracle, gap {final_gap}"
+    );
+    check("churn_10k_observed.txt", rendered);
+}
+
 /// The miniature traffic-engine run — streamed routed queries with
 /// churn, batched summary publication and repair over the 40-peer
 /// testbed. Fast enough for the debug tier-1 suite, so engine drift
@@ -291,6 +351,17 @@ fn churn_100k_matches_golden_snapshot() {
 #[test]
 fn traffic_small_matches_golden_snapshot() {
     check("traffic_small.txt", render_traffic_small());
+}
+
+/// Observed-mode counterpart of `traffic_small` (decay 0.25 — the EMA
+/// fold): the report's fidelity rows ride the same digest, so observed
+/// decision drift is caught in the debug tier on every run.
+#[test]
+fn traffic_small_observed_matches_golden_snapshot() {
+    check(
+        "traffic_small_observed.txt",
+        render_traffic_small_observed(),
+    );
 }
 
 /// The `traffic_demo` scenario: ≈1.29 M routed query occurrences over

@@ -21,6 +21,7 @@ fn main() {
         // summaries the results equal flooding's, at a fraction of the
         // messages.
         routing: RoutingMode::Routed(SummaryMode::Exact),
+        ..ChurnConfig::default()
     };
 
     let maintained = run_churn(&cfg, &base);

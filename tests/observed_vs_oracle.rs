@@ -40,8 +40,13 @@ fn check_scenario(scenario: Scenario, seed: u64) {
         }
         // The Eq. 5 selection made from observations equals the oracle
         // best response.
-        let (choice, est_cost) = obs.selfish_choice(sys, peer, current).unwrap();
+        let (choice, est_cost) = obs.selfish_choice(sys, peer, current, true).unwrap();
         let br = best_response(sys, peer, true);
+        assert_eq!(
+            choice, br.cluster,
+            "{scenario:?} seed {seed}: {peer} selected {choice}, oracle {}",
+            br.cluster
+        );
         let oracle_cost = pcost(sys, peer, br.cluster);
         assert!(
             (est_cost - oracle_cost).abs() < 1e-9,
