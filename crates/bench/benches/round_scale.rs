@@ -80,10 +80,7 @@ fn main() {
     let mut net = SimNetwork::new();
     let mut engine = ProtocolEngine::new(
         SelfishStrategy,
-        ProtocolConfig {
-            max_rounds: 8,
-            ..Default::default()
-        },
+        ProtocolConfig::builder().max_rounds(8).build(),
     );
     // Deterministic shock: two peers of *every* category land one
     // category over (spread across source clusters so the lock rule can

@@ -1,0 +1,69 @@
+//! Message-runtime scale bench: deterministic protocol-traffic metrics.
+//!
+//! Drives the typed-message runtime ([`RuntimeEngine`]) on the paper
+//! testbed from singletons to equilibrium and records wall-clock-free
+//! metrics into the bench-trend gate — fabric frames per round, the
+//! representative deny rate, and rounds-to-converge — once under the
+//! ideal schedule (bit-identical to the sync engine, so these numbers
+//! double as a protocol-traffic baseline) and once under a delayed,
+//! lossy schedule (delay 0..3 ticks, 5% loss). The counts are seeded
+//! and machine-independent: any drift means the scheduler, the state
+//! machines or the protocol itself changed behaviour, gated hard at 2×.
+//! Wall-clock seconds are recorded for the artifact's timing history
+//! only (never added to the committed baseline).
+
+use recluster_core::{NetConfig, ProtocolConfig, RuntimeEngine, SelfishStrategy};
+use recluster_overlay::SimNetwork;
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+
+fn run_schedule(label: &str, net: NetConfig) {
+    let mut tb = build_system(
+        Scenario::SameCategory,
+        InitialConfig::Singletons,
+        &ExperimentConfig::paper(77),
+    );
+    let mut ledger = SimNetwork::new();
+    let cfg = ProtocolConfig::builder().memoize(false).build();
+    let mut engine = RuntimeEngine::new(SelfishStrategy, cfg, net);
+    let outcome = engine.run(&mut tb.system, &mut ledger);
+    let stats = engine.net_stats();
+    let rounds = outcome.rounds.len();
+    let decisions = engine.granted_total() + engine.denied_total();
+    let deny_rate = if decisions == 0 {
+        0.0
+    } else {
+        engine.denied_total() as f64 / decisions as f64
+    };
+    println!(
+        "{label}: {} rounds, {} frames ({} dropped, {} stale), {} granted / {} denied",
+        rounds,
+        stats.sent,
+        stats.dropped,
+        stats.stale,
+        engine.granted_total(),
+        engine.denied_total(),
+    );
+    criterion::record_value(&format!("runtime/{label}/rounds"), "rounds", rounds as f64);
+    criterion::record_value(
+        &format!("runtime/{label}/messages_per_round"),
+        "msgs",
+        stats.sent as f64 / rounds as f64,
+    );
+    criterion::record_value(&format!("runtime/{label}/deny_rate"), "rate", deny_rate);
+    criterion::record_value(
+        &format!("runtime/{label}/moves"),
+        "moves",
+        engine.evidence().records().len() as f64,
+    );
+}
+
+fn main() {
+    let start = std::time::Instant::now();
+    run_schedule("ideal", NetConfig::ideal());
+    run_schedule("delayed", NetConfig::degraded(77, 0, 3, 0.05));
+    criterion::record_value(
+        "runtime/run_seconds",
+        "seconds",
+        start.elapsed().as_secs_f64(),
+    );
+}

@@ -57,8 +57,12 @@ pub use equilibrium::{
     best_response, best_response_set, best_response_set_over, is_nash_equilibrium, BestResponse,
 };
 pub use global::{scost, scost_normalized, wcost, wcost_normalized};
+pub use protocol::runtime::{
+    CommitRecord, DelayDist, DenyReason, EvidenceLog, FaultReport, LiarConfig, Message, NetConfig,
+    NetStats, PeerStateMachine, RuntimeEngine, SimNet,
+};
 pub use protocol::{
-    run_async, AsyncOutcome, EmptyTargetPolicy, ProposalMemo, ProtocolConfig, ProtocolEngine,
+    EmptyTargetPolicy, ProposalMemo, ProtocolConfig, ProtocolConfigBuilder, ProtocolEngine,
     RelocationRequest, RoundOutcome, RunOutcome,
 };
 pub use recall::RecallIndex;

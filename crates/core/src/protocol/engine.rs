@@ -21,11 +21,10 @@ use rayon::prelude::*;
 use recluster_overlay::{MsgKind, SimNetwork};
 use recluster_types::{ClusterId, PeerId};
 
-use crate::cost::pcost_current;
 use crate::global::{scost_normalized, wcost_normalized};
 use crate::protocol::locks::LockSet;
 use crate::protocol::memo::ProposalMemo;
-use crate::protocol::{EmptyTargetPolicy, ProtocolConfig, RelocationRequest};
+use crate::protocol::{ProtocolConfig, RelocationRequest};
 use crate::strategy::{Proposal, RelocationStrategy};
 use crate::system::System;
 use crate::view::SystemView;
@@ -153,50 +152,23 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
     }
 
     /// The `allow_empty` flag the configured policy hands to the
-    /// strategy's `propose` (the `OnCostIncrease` escape reaches empty
-    /// clusters through its own rule, not through the strategy).
+    /// strategy's `propose` — shared with the message runtime via
+    /// [`crate::protocol::base_allow_empty`].
     fn base_allow_empty(&self) -> bool {
-        matches!(self.config.empty_targets, EmptyTargetPolicy::Always)
+        crate::protocol::base_allow_empty(&self.config)
     }
 
     /// Applies the empty-target policy and the `ε` threshold to a raw
-    /// strategy proposal — the cheap, per-round part of a peer's phase-1
-    /// request, deliberately *outside* the memo (the §3.2 escape depends
-    /// on `min_costs`, which moves every round).
+    /// strategy proposal — delegated to the policy helper both protocol
+    /// drivers share ([`crate::protocol::apply_policy`]), so the two
+    /// cannot drift on policy arithmetic.
     fn apply_policy(
         &self,
         view: &SystemView<'_>,
         peer: PeerId,
         raw: Option<Proposal>,
     ) -> Option<Proposal> {
-        let proposal = match self.config.empty_targets {
-            EmptyTargetPolicy::Never | EmptyTargetPolicy::Always => raw,
-            EmptyTargetPolicy::OnCostIncrease(threshold) => match raw {
-                Some(p) => Some(p),
-                None => {
-                    // §3.2's pioneering escape: no existing cluster
-                    // helps, and the peer's cost has risen
-                    // significantly above the best it held this run.
-                    // The escape need not improve its cost — the
-                    // payoff comes from like-minded peers following.
-                    let best = self
-                        .min_costs
-                        .get(peer.index())
-                        .copied()
-                        .unwrap_or(f64::INFINITY);
-                    let now = pcost_current(view, peer);
-                    if now - best >= threshold {
-                        view.overlay().first_empty_cluster().map(|to| Proposal {
-                            to,
-                            gain: now - best,
-                        })
-                    } else {
-                        None
-                    }
-                }
-            },
-        }?;
-        (proposal.gain > self.config.epsilon).then_some(proposal)
+        crate::protocol::apply_policy(&self.config, &self.min_costs, view, peer, raw)
     }
 
     /// Phase 1 against a snapshot: every live peer's raw proposal —
@@ -363,23 +335,10 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
 
     /// Folds the current individual costs into `min_costs`; peers listed
     /// in `reset` take the current cost outright (fresh start after a
-    /// move). Departed peers get `INFINITY`.
+    /// move). Departed peers get `INFINITY`. Shared with the message
+    /// runtime via [`crate::protocol::fold_min_costs`].
     fn fold_min_costs(&mut self, view: &SystemView<'_>, reset: &[PeerId]) {
-        let n = view.overlay().n_slots();
-        self.min_costs.resize(n, f64::INFINITY);
-        for i in 0..n {
-            let p = PeerId::from_index(i);
-            let now = if view.overlay().cluster_of(p).is_some() {
-                pcost_current(view, p)
-            } else {
-                f64::INFINITY
-            };
-            if reset.contains(&p) {
-                self.min_costs[i] = now;
-            } else {
-                self.min_costs[i] = self.min_costs[i].min(now);
-            }
-        }
+        crate::protocol::fold_min_costs(view, &mut self.min_costs, reset);
     }
 
     /// Runs rounds until a request-free round (converged) or the round
@@ -410,6 +369,7 @@ mod tests {
     use recluster_types::{Document, Query, Sym, Workload};
 
     use crate::equilibrium::is_nash_equilibrium;
+    use crate::protocol::EmptyTargetPolicy;
     use crate::strategy::SelfishStrategy;
     use crate::system::GameConfig;
 

@@ -12,18 +12,38 @@
 //! identical, deterministically ordered list, they reach the same grant
 //! decisions without extra coordination. The protocol stops when no
 //! relocation request clears the gain threshold `ε`.
+//!
+//! Two drivers execute this protocol:
+//!
+//! * [`ProtocolEngine`] — the optimized shared-state driver: one
+//!   [`crate::view::SystemView`] snapshot per round, sharded
+//!   phase 1, cross-round proposal memoization. Exactly equivalent to
+//!   running the message runtime below over a zero-delay, zero-loss
+//!   schedule (the `prop_runtime` suite holds that bit for bit), which
+//!   is why every large-scale experiment uses it.
+//! * [`runtime`] — the typed-message runtime: per-peer
+//!   [`PeerStateMachine`]s exchanging serialized [`Message`]s through a
+//!   deterministic simulated network ([`SimNet`]), the API that admits
+//!   delayed, reordered, dropped and dishonest messages.
 
-mod async_engine;
 mod engine;
 mod locks;
 mod memo;
+pub mod runtime;
 
-pub use async_engine::{run_async, AsyncOutcome};
 pub use engine::{ProtocolEngine, RoundOutcome, RunOutcome};
 pub use locks::LockSet;
 pub use memo::{ProposalMemo, RoundGate};
+pub use runtime::{
+    DelayDist, DenyReason, EvidenceLog, FaultReport, LiarConfig, Message, NetConfig, NetStats,
+    PeerStateMachine, RuntimeEngine, SimNet,
+};
 
 use recluster_types::{ClusterId, PeerId};
+
+use crate::cost::pcost_current;
+use crate::strategy::Proposal;
+use crate::view::SystemView;
 
 /// One relocation request as exchanged between representatives.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +95,11 @@ pub enum EmptyTargetPolicy {
     OnCostIncrease(f64),
 }
 
-/// Protocol parameters.
+/// Protocol parameters. Construct via [`ProtocolConfig::builder`] (or
+/// start from [`Default`] and assign fields); the struct is
+/// `#[non_exhaustive]` so future knobs extend it without breaking
+/// callers.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolConfig {
     /// Gain threshold `ε`: a peer issues a request only if its gain
@@ -115,6 +139,147 @@ impl Default for ProtocolConfig {
             use_locks: true,
             min_parallel_peers: 4096,
             memoize_proposals: true,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Starts a builder over the paper defaults.
+    pub fn builder() -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder {
+            config: ProtocolConfig::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`ProtocolConfig`] — the supported way to
+/// customize the `#[non_exhaustive]` config outside this crate:
+///
+/// ```
+/// use recluster_core::ProtocolConfig;
+/// let cfg = ProtocolConfig::builder()
+///     .max_rounds(60)
+///     .min_parallel_peers(1)
+///     .memoize(false)
+///     .build();
+/// assert_eq!(cfg.max_rounds, 60);
+/// assert!(!cfg.memoize_proposals);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtocolConfigBuilder {
+    config: ProtocolConfig,
+}
+
+impl ProtocolConfigBuilder {
+    /// Sets the gain threshold `ε` (default `1e-3`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the round budget (default 300).
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.config.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the empty-cluster target policy (default
+    /// [`EmptyTargetPolicy::Always`]).
+    pub fn empty_targets(mut self, policy: EmptyTargetPolicy) -> Self {
+        self.config.empty_targets = policy;
+        self
+    }
+
+    /// Enables or disables the phase-2 anti-cycle lock rule (default on).
+    pub fn use_locks(mut self, on: bool) -> Self {
+        self.config.use_locks = on;
+        self
+    }
+
+    /// Sets the phase-1 sharding threshold (default 4096).
+    pub fn min_parallel_peers(mut self, threshold: usize) -> Self {
+        self.config.min_parallel_peers = threshold;
+        self
+    }
+
+    /// Enables or disables cross-round proposal memoization (default on).
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.config.memoize_proposals = on;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ProtocolConfig {
+        self.config
+    }
+}
+
+/// The `allow_empty` flag the configured policy hands to the strategy's
+/// `propose` (the `OnCostIncrease` escape reaches empty clusters through
+/// its own rule, not through the strategy).
+pub(crate) fn base_allow_empty(config: &ProtocolConfig) -> bool {
+    matches!(config.empty_targets, EmptyTargetPolicy::Always)
+}
+
+/// Applies the empty-target policy and the `ε` threshold to a raw
+/// strategy proposal — the cheap, per-round part of a peer's phase-1
+/// request, deliberately *outside* the proposal memo (the §3.2 escape
+/// depends on `min_costs`, which moves every round). Shared verbatim by
+/// [`ProtocolEngine`] and the message [`runtime`], so the two drivers
+/// cannot drift on policy arithmetic.
+pub(crate) fn apply_policy(
+    config: &ProtocolConfig,
+    min_costs: &[f64],
+    view: &SystemView<'_>,
+    peer: PeerId,
+    raw: Option<Proposal>,
+) -> Option<Proposal> {
+    let proposal = match config.empty_targets {
+        EmptyTargetPolicy::Never | EmptyTargetPolicy::Always => raw,
+        EmptyTargetPolicy::OnCostIncrease(threshold) => match raw {
+            Some(p) => Some(p),
+            None => {
+                // §3.2's pioneering escape: no existing cluster helps,
+                // and the peer's cost has risen significantly above the
+                // best it held this run. The escape need not improve
+                // its cost — the payoff comes from like-minded peers
+                // following.
+                let best = min_costs
+                    .get(peer.index())
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                let now = pcost_current(view, peer);
+                if now - best >= threshold {
+                    view.overlay().first_empty_cluster().map(|to| Proposal {
+                        to,
+                        gain: now - best,
+                    })
+                } else {
+                    None
+                }
+            }
+        },
+    }?;
+    (proposal.gain > config.epsilon).then_some(proposal)
+}
+
+/// Folds the current individual costs into `min_costs`; peers listed in
+/// `reset` take the current cost outright (fresh start after a move).
+/// Departed peers get `INFINITY`. Shared by both protocol drivers.
+pub(crate) fn fold_min_costs(view: &SystemView<'_>, min_costs: &mut Vec<f64>, reset: &[PeerId]) {
+    let n = view.overlay().n_slots();
+    min_costs.resize(n, f64::INFINITY);
+    for (i, slot) in min_costs.iter_mut().enumerate() {
+        let p = PeerId::from_index(i);
+        let now = if view.overlay().cluster_of(p).is_some() {
+            pcost_current(view, p)
+        } else {
+            f64::INFINITY
+        };
+        if reset.contains(&p) {
+            *slot = now;
+        } else {
+            *slot = slot.min(now);
         }
     }
 }
@@ -185,5 +350,28 @@ mod tests {
         let cfg = ProtocolConfig::default();
         assert_eq!(cfg.epsilon, 1e-3);
         assert_eq!(cfg.empty_targets, EmptyTargetPolicy::Always);
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let cfg = ProtocolConfig::builder()
+            .epsilon(0.05)
+            .max_rounds(17)
+            .empty_targets(EmptyTargetPolicy::Never)
+            .use_locks(false)
+            .min_parallel_peers(1)
+            .memoize(false)
+            .build();
+        assert_eq!(cfg.epsilon, 0.05);
+        assert_eq!(cfg.max_rounds, 17);
+        assert_eq!(cfg.empty_targets, EmptyTargetPolicy::Never);
+        assert!(!cfg.use_locks);
+        assert_eq!(cfg.min_parallel_peers, 1);
+        assert!(!cfg.memoize_proposals);
+    }
+
+    #[test]
+    fn builder_defaults_equal_default() {
+        assert_eq!(ProtocolConfig::builder().build(), ProtocolConfig::default());
     }
 }

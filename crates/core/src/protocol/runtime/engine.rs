@@ -1,0 +1,646 @@
+//! The runtime driver: machines + fabric + the host system.
+//!
+//! [`RuntimeEngine`] is the message-passing counterpart of
+//! [`ProtocolEngine`](crate::protocol::ProtocolEngine). Each round it
+//! snapshots the system once, hands every live peer a
+//! [`PeerStateMachine`] seeded with that peer's local knowledge, and
+//! then advances a discrete clock: deliver due frames, poll machines in
+//! peer order, push their outboxes onto the [`SimNet`] fabric, repeat
+//! until the fabric drains and every representative has fired both
+//! phases. Relocations happen when `Commit` frames *arrive* — a commit
+//! lost to the network is a relocation that never happened.
+//!
+//! Every commit is recorded in an [`EvidenceLog`] together with the
+//! gain the mover claimed on the wire and the gain its strategy
+//! actually computed. [`EvidenceLog::audit`] replays the log against
+//! [`ObservedStats`] — the recall statistics peers actually measured —
+//! to attribute faults: peers whose claims exceed what observation
+//! supports are flagged, and the report scores that attribution against
+//! the configured ground truth ([`LiarConfig`]).
+
+use std::collections::{BTreeMap, HashMap};
+
+use recluster_overlay::SimNetwork;
+use recluster_types::{derive_seed, ClusterId, PeerId};
+
+use super::machine::{MachineEvent, Outbox, PeerStateMachine};
+use super::message::Message;
+use super::simnet::{NetConfig, NetStats, SimNet};
+use crate::global::{scost_normalized, wcost_normalized};
+use crate::protocol::{ProtocolConfig, RelocationRequest, RoundOutcome, RunOutcome};
+use crate::strategy::RelocationStrategy;
+use crate::system::System;
+use crate::tracker::ObservedStats;
+
+/// Ground truth for the liar scenario: which peers inflate the gain
+/// they claim on the wire, and by how much. Liar selection is a pure
+/// hash of `(seed, peer)` — stable across rounds and independent of
+/// iteration order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiarConfig {
+    /// Fraction of peers that lie, in `[0, 1]`.
+    pub fraction: f64,
+    /// Multiplier a liar applies to its true gain (`> 1` inflates).
+    pub boost: f64,
+    /// Seed of the liar-selection hash.
+    pub seed: u64,
+}
+
+impl LiarConfig {
+    /// Nobody lies.
+    pub fn none() -> Self {
+        LiarConfig {
+            fraction: 0.0,
+            boost: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Whether `peer` is a configured liar.
+    pub fn is_liar(&self, peer: PeerId) -> bool {
+        if self.fraction <= 0.0 {
+            return false;
+        }
+        // Top 53 bits of the derived hash as a uniform draw in [0, 1).
+        let draw = (derive_seed(self.seed, u64::from(peer.0)) >> 11) as f64 / (1u64 << 53) as f64;
+        draw < self.fraction
+    }
+}
+
+impl Default for LiarConfig {
+    fn default() -> Self {
+        LiarConfig::none()
+    }
+}
+
+/// One committed relocation, as witnessed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitRecord {
+    /// Round the commit landed in.
+    pub round: usize,
+    /// The relocating peer.
+    pub peer: PeerId,
+    /// The cluster it left.
+    pub from: ClusterId,
+    /// The cluster it joined.
+    pub to: ClusterId,
+    /// The gain it claimed in its `Propose`/`Commit` frames.
+    pub claimed_gain: f64,
+    /// The gain its strategy actually computed that round.
+    pub true_gain: f64,
+}
+
+/// Outcome of auditing an [`EvidenceLog`] against observed statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Commits checked against an observation-backed estimate.
+    pub audited: usize,
+    /// Commits skipped for lack of observation coverage.
+    pub skipped: usize,
+    /// Peers whose claim exceeded the observation-backed estimate by
+    /// more than the tolerance (ascending, deduplicated).
+    pub flagged: Vec<PeerId>,
+    /// Ground truth: peers that actually over-claimed (ascending,
+    /// deduplicated).
+    pub liars: Vec<PeerId>,
+    /// `|flagged ∩ liars| / |flagged|`; `1.0` when nothing was flagged.
+    pub precision: f64,
+    /// `|flagged ∩ liars| / |liars|`; `1.0` when nobody lied.
+    pub recall: f64,
+}
+
+/// The runtime's commit audit trail.
+#[derive(Debug, Clone, Default)]
+pub struct EvidenceLog {
+    records: Vec<CommitRecord>,
+}
+
+impl EvidenceLog {
+    /// All committed relocations, in commit order.
+    pub fn records(&self) -> &[CommitRecord] {
+        &self.records
+    }
+
+    pub(crate) fn push(&mut self, record: CommitRecord) {
+        self.records.push(record);
+    }
+
+    /// Checks every commit's claimed gain against the gain the
+    /// *observed* statistics support: the estimated individual cost of
+    /// staying minus that of the committed destination. A claim more
+    /// than `tolerance` above the estimate flags the peer. Commits by
+    /// peers the statistics don't cover are skipped, not guessed at.
+    pub fn audit(&self, system: &System, stats: &ObservedStats, tolerance: f64) -> FaultReport {
+        self.audit_records(&self.records, system, stats, tolerance)
+    }
+
+    /// [`audit`](Self::audit) restricted to the commits of one round.
+    /// This is the contemporaneous form: statistics observed just
+    /// before round `round` judge exactly the claims made during it,
+    /// so estimate-vs-truth drift from *later* membership changes
+    /// cannot flag an honest peer.
+    pub fn audit_round(
+        &self,
+        system: &System,
+        stats: &ObservedStats,
+        tolerance: f64,
+        round: usize,
+    ) -> FaultReport {
+        let records: Vec<CommitRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.round == round)
+            .cloned()
+            .collect();
+        self.audit_records(&records, system, stats, tolerance)
+    }
+
+    fn audit_records(
+        &self,
+        records: &[CommitRecord],
+        system: &System,
+        stats: &ObservedStats,
+        tolerance: f64,
+    ) -> FaultReport {
+        let mut audited = 0;
+        let mut skipped = 0;
+        let mut flagged = Vec::new();
+        let mut liars = Vec::new();
+        for rec in records {
+            if rec.claimed_gain > rec.true_gain + 1e-12 {
+                liars.push(rec.peer);
+            }
+            if !stats.has_observations() || !stats.covers(rec.peer) {
+                skipped += 1;
+                continue;
+            }
+            audited += 1;
+            // Evaluate in the claim's own frame of reference — the
+            // peer claimed `gain` for leaving `from` — so statistics
+            // observed before the move reproduce the decision-time
+            // arithmetic (stay-cost minus join-cost) exactly.
+            let est_gain = stats.estimated_pcost(system, rec.peer, rec.from, Some(rec.from))
+                - stats.estimated_pcost(system, rec.peer, rec.to, Some(rec.from));
+            if rec.claimed_gain > est_gain + tolerance {
+                flagged.push(rec.peer);
+            }
+        }
+        flagged.sort();
+        flagged.dedup();
+        liars.sort();
+        liars.dedup();
+        let hits = flagged
+            .iter()
+            .filter(|&&p| liars.binary_search(&p).is_ok())
+            .count();
+        let ratio = |num: usize, den: usize| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        FaultReport {
+            audited,
+            skipped,
+            precision: ratio(hits, flagged.len()),
+            recall: ratio(hits, liars.len()),
+            flagged,
+            liars,
+        }
+    }
+}
+
+/// The message-passing protocol driver.
+pub struct RuntimeEngine<S: RelocationStrategy> {
+    strategy: S,
+    config: ProtocolConfig,
+    net: SimNet,
+    liars: LiarConfig,
+    /// Frustration reference points, engine-lifetime like the sync
+    /// engine's (see [`crate::protocol::fold_min_costs`]).
+    min_costs: Vec<f64>,
+    /// The fabric clock, continuous across rounds and runs.
+    now: u64,
+    evidence: EvidenceLog,
+    granted_total: u64,
+    denied_total: u64,
+}
+
+impl<S: RelocationStrategy> RuntimeEngine<S> {
+    /// Creates a runtime over the given protocol and network
+    /// parameters. `NetConfig::ideal()` reproduces the sync engine
+    /// bit-for-bit; anything else explores what the paper never tests.
+    pub fn new(strategy: S, config: ProtocolConfig, net_config: NetConfig) -> Self {
+        assert!(config.epsilon >= 0.0, "epsilon must be non-negative");
+        RuntimeEngine {
+            strategy,
+            config,
+            net: SimNet::new(net_config),
+            liars: LiarConfig::none(),
+            min_costs: Vec::new(),
+            now: 0,
+            evidence: EvidenceLog::default(),
+            granted_total: 0,
+            denied_total: 0,
+        }
+    }
+
+    /// Configures a fraction of peers to inflate their claimed gains.
+    pub fn with_liars(mut self, liars: LiarConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&liars.fraction),
+            "liar fraction must be in [0, 1]"
+        );
+        self.liars = liars;
+        self
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// Cumulative fabric counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// The fabric clock (ticks elapsed since engine creation).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Grants issued by representatives across all rounds.
+    pub fn granted_total(&self) -> u64 {
+        self.granted_total
+    }
+
+    /// Denies issued by representatives across all rounds.
+    pub fn denied_total(&self) -> u64 {
+        self.denied_total
+    }
+
+    /// The commit audit trail.
+    pub fn evidence(&self) -> &EvidenceLog {
+        &self.evidence
+    }
+
+    /// Drains queued outbox frames onto the fabric and folds decision
+    /// events into the round's request/grant tallies.
+    fn flush(
+        &mut self,
+        out: &mut Outbox,
+        ledger: &mut SimNetwork,
+        requests: &mut Vec<RelocationRequest>,
+        granted: &mut Vec<RelocationRequest>,
+    ) {
+        for (src, dst, msg, kind) in out.drain_frames() {
+            self.net.send(self.now, src, dst, &msg, kind, ledger);
+        }
+        for event in out.drain_events() {
+            match event {
+                MachineEvent::Forwarded(req) => requests.push(req),
+                MachineEvent::Granted(req) => {
+                    self.granted_total += 1;
+                    granted.push(req);
+                }
+                MachineEvent::Denied(..) => self.denied_total += 1,
+            }
+        }
+    }
+
+    /// Executes one round end to end: snapshot, machine construction,
+    /// tick loop until the fabric drains, commit application, outcome.
+    pub fn run_round(
+        &mut self,
+        system: &mut System,
+        ledger: &mut SimNetwork,
+        round: usize,
+    ) -> RoundOutcome {
+        self.strategy.prepare(system);
+        let phase_ticks = self.net.config().phase_ticks;
+        let allow_empty = crate::protocol::base_allow_empty(&self.config);
+
+        // ---- Snapshot: derive every peer's local knowledge. ---------
+        let mut machines: BTreeMap<PeerId, PeerStateMachine> = BTreeMap::new();
+        let mut true_gains: HashMap<PeerId, f64> = HashMap::new();
+        let mut n_live = 0;
+        {
+            let view = system.view();
+            crate::protocol::fold_min_costs(&view, &mut self.min_costs, &[]);
+            let non_empty: Vec<ClusterId> = view.overlay().non_empty_ids().to_vec();
+            let rep_of: HashMap<ClusterId, PeerId> = non_empty
+                .iter()
+                .map(|&cid| {
+                    let rep = view
+                        .overlay()
+                        .cluster(cid)
+                        .representative()
+                        .expect("non-empty cluster has a representative");
+                    (cid, rep)
+                })
+                .collect();
+            for &cid in &non_empty {
+                let members = view.overlay().cluster(cid).members().to_vec();
+                let rep = rep_of[&cid];
+                for &peer in &members {
+                    n_live += 1;
+                    let raw = self.strategy.propose(&view, peer, allow_empty);
+                    let filtered = crate::protocol::apply_policy(
+                        &self.config,
+                        &self.min_costs,
+                        &view,
+                        peer,
+                        raw,
+                    );
+                    let report = filtered.map(|p| {
+                        true_gains.insert(peer, p.gain);
+                        let claimed = if self.liars.is_liar(peer) {
+                            p.gain * self.liars.boost
+                        } else {
+                            p.gain
+                        };
+                        (p.to, claimed)
+                    });
+                    let dst_rep = filtered.and_then(|p| rep_of.get(&p.to).copied());
+                    let machine = if peer == rep {
+                        let other_reps: Vec<PeerId> = non_empty
+                            .iter()
+                            .filter(|&&c| c != cid)
+                            .map(|c| rep_of[c])
+                            .collect();
+                        PeerStateMachine::representative(
+                            peer,
+                            cid,
+                            members.clone(),
+                            other_reps,
+                            report,
+                            dst_rep,
+                            self.config.use_locks,
+                            self.now,
+                            phase_ticks,
+                        )
+                    } else {
+                        PeerStateMachine::member(peer, cid, rep, report, dst_rep)
+                    };
+                    machines.insert(peer, machine);
+                }
+            }
+        }
+
+        // ---- Tick loop: deliver, poll, flush — until quiescent. -----
+        let mut out = Outbox::new();
+        let mut requests: Vec<RelocationRequest> = Vec::new();
+        let mut granted: Vec<RelocationRequest> = Vec::new();
+        let mut committed: Vec<PeerId> = Vec::new();
+        for machine in machines.values_mut() {
+            machine.poll(self.now, phase_ticks, &mut out);
+        }
+        self.flush(&mut out, ledger, &mut requests, &mut granted);
+        loop {
+            let mut next = self.net.next_tick();
+            for machine in machines.values() {
+                if let Some(d) = machine.next_deadline() {
+                    next = Some(next.map_or(d, |n| n.min(d)));
+                }
+            }
+            let Some(next) = next else { break };
+            self.now = next.max(self.now + 1);
+            while let Some((_, dst, msg)) = self.net.pop_due(self.now) {
+                if let Message::Commit {
+                    peer,
+                    from,
+                    to,
+                    claimed_gain,
+                } = msg
+                {
+                    // Apply on the first delivered copy only.
+                    if !committed.contains(&peer) {
+                        committed.push(peer);
+                        system.move_peer(peer, to);
+                        self.evidence.push(CommitRecord {
+                            round,
+                            peer,
+                            from,
+                            to,
+                            claimed_gain,
+                            true_gain: true_gains.get(&peer).copied().unwrap_or(claimed_gain),
+                        });
+                    }
+                }
+                match machines.get_mut(&dst) {
+                    Some(machine) => {
+                        if !machine.receive(&msg, &mut out) {
+                            self.net.note_stale();
+                        }
+                    }
+                    None => self.net.note_stale(),
+                }
+            }
+            for machine in machines.values_mut() {
+                machine.poll(self.now, phase_ticks, &mut out);
+            }
+            self.flush(&mut out, ledger, &mut requests, &mut granted);
+        }
+        debug_assert!(
+            machines.values().all(|m| m.done()),
+            "round left work behind"
+        );
+
+        // ---- Outcome: identical shape (and, under the ideal schedule,
+        // identical bytes) to the sync engine's. --------------------
+        let view = system.view();
+        crate::protocol::fold_min_costs(&view, &mut self.min_costs, &committed);
+        RelocationRequest::sort_requests(&mut requests);
+        RelocationRequest::sort_requests(&mut granted);
+        RoundOutcome {
+            round,
+            requests,
+            granted,
+            scost: scost_normalized(&view),
+            wcost: wcost_normalized(&view),
+            non_empty_clusters: view.overlay().non_empty_clusters(),
+            proposals_recomputed: n_live,
+            proposals_memoized: 0,
+        }
+    }
+
+    /// Runs rounds until a request-free round (converged) or the round
+    /// budget is exhausted — the sync engine's loop, verbatim.
+    pub fn run(&mut self, system: &mut System, ledger: &mut SimNetwork) -> RunOutcome {
+        let mut rounds = Vec::new();
+        let mut converged = false;
+        for round in 0..self.config.max_rounds {
+            let outcome = self.run_round(system, ledger, round);
+            let done = outcome.requests.is_empty();
+            rounds.push(outcome);
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        RunOutcome { rounds, converged }
+    }
+}
+
+impl<S: RelocationStrategy + std::fmt::Debug> std::fmt::Debug for RuntimeEngine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeEngine")
+            .field("strategy", &self.strategy)
+            .field("config", &self.config)
+            .field("net", &self.net.config())
+            .field("liars", &self.liars)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_overlay::{ContentStore, MsgKind, Overlay, Theta};
+    use recluster_types::{Document, Query, Sym, Workload};
+
+    use crate::protocol::ProtocolEngine;
+    use crate::strategy::SelfishStrategy;
+    use crate::system::GameConfig;
+    use crate::tracker::simulate_period;
+
+    /// The sync engine's two-category fixture: peers 0,1 on Sym(1),
+    /// peers 2,3 on Sym(2), starting from singletons.
+    fn two_category_system() -> System {
+        let ov = Overlay::singletons(4);
+        let mut store = ContentStore::new(4);
+        for (i, sym) in [(0, 1u32), (1, 1), (2, 2), (3, 2)] {
+            store.add(PeerId(i), Document::new(vec![Sym(sym)]));
+        }
+        let mut workloads = Vec::new();
+        for sym in [1u32, 1, 2, 2] {
+            let mut w = Workload::new();
+            w.add(Query::keyword(Sym(sym)), 2);
+            workloads.push(w);
+        }
+        System::new(
+            ov,
+            store,
+            workloads,
+            GameConfig {
+                alpha: 0.5,
+                theta: Theta::Linear,
+            },
+        )
+    }
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig::builder().memoize(false).build()
+    }
+
+    #[test]
+    fn ideal_schedule_matches_sync_engine_round_for_round() {
+        let mut sys_a = two_category_system();
+        let mut sys_b = two_category_system();
+        let mut net_a = SimNetwork::new();
+        let mut net_b = SimNetwork::new();
+        let mut sync = ProtocolEngine::new(SelfishStrategy, config());
+        let mut runtime = RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal());
+        let a = sync.run(&mut sys_a, &mut net_a);
+        let b = runtime.run(&mut sys_b, &mut net_b);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.rounds.len(), b.rounds.len());
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.requests, rb.requests);
+            assert_eq!(ra.granted, rb.granted);
+            assert_eq!(ra.scost.to_bits(), rb.scost.to_bits());
+            assert_eq!(ra.wcost.to_bits(), rb.wcost.to_bits());
+            assert_eq!(ra.non_empty_clusters, rb.non_empty_clusters);
+        }
+        for p in 0..4 {
+            assert_eq!(
+                sys_a.overlay().cluster_of(PeerId(p)),
+                sys_b.overlay().cluster_of(PeerId(p))
+            );
+        }
+        // Member gain reports are charged like the sync engine's.
+        assert_eq!(
+            net_a.messages(MsgKind::GainReport),
+            net_b.messages(MsgKind::GainReport)
+        );
+    }
+
+    #[test]
+    fn clock_advances_and_commits_are_logged() {
+        let mut sys = two_category_system();
+        let mut ledger = SimNetwork::new();
+        let mut runtime = RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal());
+        let outcome = runtime.run(&mut sys, &mut ledger);
+        assert!(outcome.converged);
+        assert!(runtime.now() > 0);
+        assert_eq!(
+            runtime.evidence().records().len(),
+            outcome
+                .rounds
+                .iter()
+                .map(|r| r.granted.len())
+                .sum::<usize>(),
+            "ideal schedule: every grant commits"
+        );
+        for rec in runtime.evidence().records() {
+            assert_eq!(rec.claimed_gain.to_bits(), rec.true_gain.to_bits());
+        }
+        assert_eq!(runtime.net_stats().dropped, 0);
+        assert_eq!(runtime.net_stats().stale, 0);
+    }
+
+    #[test]
+    fn liar_audit_flags_the_inflated_claims() {
+        // Ground truth: every peer lies with a huge boost; observation
+        // periods estimate honest costs, so all movers get flagged.
+        let mut sys = two_category_system();
+        let mut ledger = SimNetwork::new();
+        let mut stats = ObservedStats::new(0.5);
+        for _ in 0..4 {
+            stats.absorb(&simulate_period(&sys, &mut ledger));
+        }
+        let liars = LiarConfig {
+            fraction: 1.0,
+            boost: 50.0,
+            seed: 9,
+        };
+        let mut runtime =
+            RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal()).with_liars(liars);
+        let outcome = runtime.run(&mut sys, &mut ledger);
+        assert!(outcome.converged);
+        assert!(!runtime.evidence().records().is_empty());
+        let report = runtime.evidence().audit(&sys, &stats, 0.05);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(
+            report.flagged, report.liars,
+            "all liars caught, no one else"
+        );
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.recall, 1.0);
+    }
+
+    #[test]
+    fn honest_run_audits_clean() {
+        let mut sys = two_category_system();
+        let mut ledger = SimNetwork::new();
+        let mut stats = ObservedStats::new(0.5);
+        for _ in 0..4 {
+            stats.absorb(&simulate_period(&sys, &mut ledger));
+        }
+        let mut runtime = RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal());
+        runtime.run(&mut sys, &mut ledger);
+        // Generous tolerance: the observation estimate is noisy, but an
+        // honest claim is nowhere near a 50x inflation.
+        let report = runtime.evidence().audit(&sys, &stats, 1.0);
+        assert!(report.liars.is_empty());
+        assert_eq!(report.recall, 1.0);
+    }
+}

@@ -1,0 +1,778 @@
+//! Per-peer protocol state machines.
+//!
+//! One [`PeerStateMachine`] per live peer per round. Machines never
+//! touch shared state: everything they know arrives either at
+//! construction (the peer's `SystemView`-derived local knowledge — its
+//! own proposal, who its representative is) or through received
+//! [`Message`]s. They communicate exclusively by queueing frames on an
+//! [`Outbox`]; the [`RuntimeEngine`](super::RuntimeEngine) moves those
+//! frames onto the [`SimNet`](super::SimNet) fabric.
+//!
+//! Representatives run two collect-then-fire phases mirroring §3.2:
+//! phase 1 collects member gain reports and forwards the cluster's best
+//! as a single request; phase 2 collects every other representative's
+//! forward, sorts the union exactly like the sync engine
+//! ([`RelocationRequest::sort_requests`]) and applies the anti-cycle
+//! lock rule to decide its own cluster's grant. Each phase fires when
+//! its collection is complete *or* its deadline passes — under an ideal
+//! schedule collections always complete, which is what makes the
+//! runtime bit-identical to [`ProtocolEngine`]; under delay or loss the
+//! deadline path produces exactly the stale-view decisions the sweep
+//! scenarios measure.
+//!
+//! [`ProtocolEngine`]: crate::protocol::ProtocolEngine
+
+use std::collections::BTreeMap;
+
+use recluster_overlay::MsgKind;
+use recluster_types::{ClusterId, PeerId};
+
+use super::message::{DenyReason, Message};
+use crate::protocol::locks::LockSet;
+use crate::protocol::RelocationRequest;
+
+/// A decision event a machine reports up to its driver — the runtime's
+/// window into what representatives concluded, used to assemble
+/// [`RoundOutcome`](crate::protocol::RoundOutcome)s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachineEvent {
+    /// A representative forwarded its cluster's best request (phase 1).
+    Forwarded(RelocationRequest),
+    /// A representative granted its own cluster's request (phase 2).
+    Granted(RelocationRequest),
+    /// A representative denied its own cluster's request (phase 2).
+    Denied(RelocationRequest, DenyReason),
+}
+
+/// The outgoing-frame queue machines write to. The driver drains it
+/// after every delivery/poll step and feeds the frames to the fabric.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    frames: Vec<(PeerId, PeerId, Message, MsgKind)>,
+    events: Vec<MachineEvent>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues `msg` from `src` to `dst`, to be charged to the ledger
+    /// under `kind`. The kind is context the sender picks, not a
+    /// property of the frame: a member's `Heartbeat` stand-in for its
+    /// gain report is charged as a [`MsgKind::GainReport`] (matching the
+    /// sync engine's accounting), while a representative's phase-1
+    /// heartbeat is a [`MsgKind::Heartbeat`].
+    pub fn send(&mut self, src: PeerId, dst: PeerId, msg: Message, kind: MsgKind) {
+        self.frames.push((src, dst, msg, kind));
+    }
+
+    /// Reports a decision event to the driver.
+    pub fn event(&mut self, event: MachineEvent) {
+        self.events.push(event);
+    }
+
+    /// Drains the queued frames in send order.
+    pub fn drain_frames(&mut self) -> Vec<(PeerId, PeerId, Message, MsgKind)> {
+        std::mem::take(&mut self.frames)
+    }
+
+    /// Drains the reported events in emit order.
+    pub fn drain_events(&mut self) -> Vec<MachineEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Representative-only state: the two collect-then-fire phases.
+#[derive(Debug)]
+struct RepState {
+    /// Members of the cluster (ascending), `self` included.
+    members: Vec<PeerId>,
+    /// Representatives of every *other* non-empty cluster.
+    other_reps: Vec<PeerId>,
+    /// The sync engine's lock switch ([`ProtocolConfig::use_locks`]).
+    ///
+    /// [`ProtocolConfig::use_locks`]: crate::protocol::ProtocolConfig
+    use_locks: bool,
+    /// Gain reports collected so far (Propose frames only; heartbeats
+    /// are counted in `reports_heard` but carry no candidate).
+    reports: Vec<RelocationRequest>,
+    /// Members heard from (each member reports exactly once).
+    reports_heard: usize,
+    phase1_deadline: u64,
+    phase1_fired: bool,
+    /// The cluster's own forwarded request, if any.
+    own_request: Option<RelocationRequest>,
+    /// Forwarded requests received from other representatives.
+    peer_requests: Vec<RelocationRequest>,
+    /// Other clusters heard from in phase 2 (request or heartbeat).
+    clusters_heard: usize,
+    phase2_deadline: u64,
+    phase2_fired: bool,
+    /// Own-cluster size, maintained from delivered commits — the value
+    /// broadcast in [`Message::SummaryUpdate`].
+    own_size: u32,
+    /// Latest summary heard per cluster (from `SummaryUpdate` frames).
+    summaries: BTreeMap<ClusterId, u32>,
+}
+
+#[derive(Debug)]
+enum Role {
+    Member,
+    Representative(Box<RepState>),
+}
+
+/// One peer's protocol automaton for one round.
+#[derive(Debug)]
+pub struct PeerStateMachine {
+    peer: PeerId,
+    cluster: ClusterId,
+    /// This peer's cluster representative (itself, when representative).
+    rep: PeerId,
+    /// The proposal to report: `(destination, claimed gain)` — already
+    /// policy-filtered, and already inflated when the peer is a
+    /// configured liar. `None` reports a heartbeat.
+    report: Option<(ClusterId, f64)>,
+    /// Representative of the proposal's destination cluster in the
+    /// round snapshot (`None` when the destination is empty) — where
+    /// the second [`Message::Commit`] copy goes.
+    dst_rep: Option<PeerId>,
+    sent_report: bool,
+    role: Role,
+}
+
+impl PeerStateMachine {
+    /// A plain member: reports to `rep`, waits for grant or deny.
+    pub fn member(
+        peer: PeerId,
+        cluster: ClusterId,
+        rep: PeerId,
+        report: Option<(ClusterId, f64)>,
+        dst_rep: Option<PeerId>,
+    ) -> Self {
+        PeerStateMachine {
+            peer,
+            cluster,
+            rep,
+            report,
+            dst_rep,
+            sent_report: false,
+            role: Role::Member,
+        }
+    }
+
+    /// A representative: a member plus the two collector phases.
+    /// `members` must be the cluster's member list ascending (`peer`
+    /// included); `other_reps` the representatives of every other
+    /// non-empty cluster. `round_start` and `phase_ticks` position the
+    /// phase-1 deadline at `round_start + 1 + phase_ticks` (reports
+    /// leave at `round_start` and arrive no earlier than one tick
+    /// later); the phase-2 deadline is set the same way when phase 1
+    /// fires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn representative(
+        peer: PeerId,
+        cluster: ClusterId,
+        members: Vec<PeerId>,
+        other_reps: Vec<PeerId>,
+        report: Option<(ClusterId, f64)>,
+        dst_rep: Option<PeerId>,
+        use_locks: bool,
+        round_start: u64,
+        phase_ticks: u64,
+    ) -> Self {
+        let own_size = members.len() as u32;
+        PeerStateMachine {
+            peer,
+            cluster,
+            rep: peer,
+            report,
+            dst_rep,
+            sent_report: false,
+            role: Role::Representative(Box::new(RepState {
+                members,
+                other_reps,
+                use_locks,
+                reports: Vec::new(),
+                reports_heard: 0,
+                phase1_deadline: round_start + 1 + phase_ticks,
+                phase1_fired: false,
+                own_request: None,
+                peer_requests: Vec::new(),
+                clusters_heard: 0,
+                phase2_deadline: u64::MAX,
+                phase2_fired: false,
+                own_size,
+                summaries: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// The peer this machine runs for.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// Whether this machine has completed every phase it owns — plain
+    /// members are always "done" (they only react), representatives once
+    /// phase 2 has fired.
+    pub fn done(&self) -> bool {
+        match &self.role {
+            Role::Member => true,
+            Role::Representative(rep) => rep.phase2_fired,
+        }
+    }
+
+    /// The earliest unfired phase deadline, if any — the driver uses it
+    /// to advance the clock when the fabric is idle.
+    pub fn next_deadline(&self) -> Option<u64> {
+        match &self.role {
+            Role::Member => None,
+            Role::Representative(rep) => {
+                if !rep.phase1_fired {
+                    Some(rep.phase1_deadline)
+                } else if !rep.phase2_fired {
+                    Some(rep.phase2_deadline)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Cluster sizes this peer has heard via `SummaryUpdate`, freshest
+    /// value per cluster (representatives only; empty for members).
+    pub fn heard_summaries(&self) -> Vec<(ClusterId, u32)> {
+        match &self.role {
+            Role::Member => Vec::new(),
+            Role::Representative(rep) => rep.summaries.iter().map(|(&c, &s)| (c, s)).collect(),
+        }
+    }
+
+    /// Advances time-driven behavior: sends the initial report on the
+    /// first poll; fires a representative's phases when complete or past
+    /// deadline. Called once per tick after deliveries, machines in
+    /// ascending peer order.
+    pub fn poll(&mut self, now: u64, phase_ticks: u64, out: &mut Outbox) {
+        if !self.sent_report {
+            self.sent_report = true;
+            let msg = match self.report {
+                Some((to, claimed_gain)) => Message::Propose {
+                    peer: self.peer,
+                    from: self.cluster,
+                    to,
+                    claimed_gain,
+                },
+                None => Message::Heartbeat {
+                    peer: self.peer,
+                    from: self.cluster,
+                },
+            };
+            // Members report to the representative — the representative
+            // to itself, through the same fabric, so every member's
+            // report is charged identically (as in the sync engine).
+            out.send(self.peer, self.rep, msg, MsgKind::GainReport);
+        }
+        let (peer, cluster) = (self.peer, self.cluster);
+        if let Role::Representative(rep) = &mut self.role {
+            if !rep.phase1_fired
+                && (rep.reports_heard == rep.members.len() || now >= rep.phase1_deadline)
+            {
+                rep.fire_phase1(peer, cluster, now, phase_ticks, out);
+            }
+            if rep.phase1_fired
+                && !rep.phase2_fired
+                && (rep.clusters_heard == rep.other_reps.len() || now >= rep.phase2_deadline)
+            {
+                rep.fire_phase2(peer, cluster, out);
+            }
+        }
+    }
+
+    /// Handles one delivered frame. Returns whether the frame was
+    /// consumed — `false` means it arrived after the phase that wanted
+    /// it had already fired (the driver counts it stale).
+    pub fn receive(&mut self, msg: &Message, out: &mut Outbox) -> bool {
+        match *msg {
+            Message::Propose {
+                peer,
+                from,
+                to,
+                claimed_gain,
+            } => {
+                let report = from == self.cluster;
+                let Role::Representative(rep) = &mut self.role else {
+                    return false;
+                };
+                let req = RelocationRequest {
+                    src: from,
+                    dst: to,
+                    peer,
+                    gain: claimed_gain,
+                };
+                if report {
+                    if rep.phase1_fired {
+                        return false;
+                    }
+                    rep.reports_heard += 1;
+                    rep.reports.push(req);
+                } else {
+                    if rep.phase2_fired {
+                        return false;
+                    }
+                    rep.clusters_heard += 1;
+                    rep.peer_requests.push(req);
+                }
+                true
+            }
+            Message::Heartbeat { from, .. } => {
+                let report = from == self.cluster;
+                let Role::Representative(rep) = &mut self.role else {
+                    return false;
+                };
+                if report {
+                    if rep.phase1_fired {
+                        return false;
+                    }
+                    rep.reports_heard += 1;
+                } else {
+                    if rep.phase2_fired {
+                        return false;
+                    }
+                    rep.clusters_heard += 1;
+                }
+                true
+            }
+            Message::Grant { src, dst, peer, .. } => {
+                if peer != self.peer {
+                    return false;
+                }
+                // Execute the move: commit to the home representative
+                // and, when the destination has one, to it too.
+                let claimed_gain = self.report.map_or(0.0, |(_, g)| g);
+                let commit = Message::Commit {
+                    peer: self.peer,
+                    from: src,
+                    to: dst,
+                    claimed_gain,
+                };
+                out.send(self.peer, self.rep, commit, MsgKind::ClusterJoin);
+                if let Some(dst_rep) = self.dst_rep {
+                    out.send(self.peer, dst_rep, commit, MsgKind::ClusterJoin);
+                }
+                true
+            }
+            Message::Deny { peer, .. } => peer == self.peer,
+            Message::Commit { from, to, .. } => {
+                let (peer, cluster) = (self.peer, self.cluster);
+                let Role::Representative(rep) = &mut self.role else {
+                    return false;
+                };
+                if from == cluster {
+                    rep.own_size = rep.own_size.saturating_sub(1);
+                } else if to == cluster {
+                    rep.own_size += 1;
+                }
+                let update = Message::SummaryUpdate {
+                    cluster,
+                    size: rep.own_size,
+                };
+                for &other in &rep.other_reps {
+                    out.send(peer, other, update, MsgKind::SummaryUpdate);
+                }
+                true
+            }
+            Message::SummaryUpdate { cluster, size } => {
+                if let Role::Representative(rep) = &mut self.role {
+                    rep.summaries.insert(cluster, size);
+                }
+                true
+            }
+        }
+    }
+}
+
+impl RepState {
+    /// Phase 1: pick the cluster's best collected report with the sync
+    /// engine's exact walk (ascending peer order, gain window
+    /// `f64::EPSILON`, ties to the lower peer id) and forward it — or a
+    /// heartbeat — to every other representative.
+    fn fire_phase1(
+        &mut self,
+        peer: PeerId,
+        cluster: ClusterId,
+        now: u64,
+        phase_ticks: u64,
+        out: &mut Outbox,
+    ) {
+        self.phase1_fired = true;
+        self.phase2_deadline = now + 1 + phase_ticks;
+        self.reports.sort_by_key(|r| r.peer);
+        let mut best: Option<RelocationRequest> = None;
+        for &candidate in &self.reports {
+            let replace = match &best {
+                None => true,
+                Some(b) => {
+                    candidate.gain > b.gain + f64::EPSILON
+                        || ((candidate.gain - b.gain).abs() <= f64::EPSILON
+                            && candidate.peer < b.peer)
+                }
+            };
+            if replace {
+                best = Some(candidate);
+            }
+        }
+        self.own_request = best;
+        match best {
+            Some(req) => {
+                let forward = Message::Propose {
+                    peer: req.peer,
+                    from: req.src,
+                    to: req.dst,
+                    claimed_gain: req.gain,
+                };
+                for &other in &self.other_reps {
+                    out.send(peer, other, forward, MsgKind::RelocationRequest);
+                }
+                out.event(MachineEvent::Forwarded(req));
+            }
+            None => {
+                let hb = Message::Heartbeat {
+                    peer,
+                    from: cluster,
+                };
+                for &other in &self.other_reps {
+                    out.send(peer, other, hb, MsgKind::Heartbeat);
+                }
+            }
+        }
+    }
+
+    /// Phase 2: sort everything heard exactly like the sync engine and
+    /// run the lock-rule scan; grant or deny the *own* cluster's request
+    /// (every representative decides only for its own cluster, from
+    /// what its view of the request list locks first).
+    fn fire_phase2(&mut self, peer: PeerId, cluster: ClusterId, out: &mut Outbox) {
+        self.phase2_fired = true;
+        let mut all: Vec<RelocationRequest> = self.peer_requests.clone();
+        if let Some(own) = self.own_request {
+            all.push(own);
+        }
+        RelocationRequest::sort_requests(&mut all);
+        if self.own_request.is_none() {
+            // Nothing of ours in the scan — no decision to make.
+            return;
+        }
+        let mut locks = LockSet::new();
+        for &req in &all {
+            let is_own = req.src == cluster;
+            if req.src == req.dst {
+                if is_own {
+                    self.deny(peer, req, DenyReason::SelfMove, out);
+                }
+                continue;
+            }
+            if !self.use_locks || locks.admissible(req.src, req.dst) {
+                locks.grant(req.src, req.dst);
+                if is_own {
+                    out.send(
+                        peer,
+                        req.peer,
+                        Message::Grant {
+                            src: req.src,
+                            dst: req.dst,
+                            peer: req.peer,
+                            gain: req.gain,
+                        },
+                        MsgKind::GrantCoordination,
+                    );
+                    out.event(MachineEvent::Granted(req));
+                }
+            } else if is_own {
+                self.deny(peer, req, DenyReason::Locked, out);
+            }
+        }
+    }
+
+    fn deny(&self, peer: PeerId, req: RelocationRequest, reason: DenyReason, out: &mut Outbox) {
+        out.send(
+            peer,
+            req.peer,
+            Message::Deny {
+                src: req.src,
+                dst: req.dst,
+                peer: req.peer,
+                reason,
+            },
+            MsgKind::GrantCoordination,
+        );
+        out.event(MachineEvent::Denied(req, reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_to(out: &mut Outbox, dst: PeerId) -> Vec<Message> {
+        out.drain_frames()
+            .into_iter()
+            .filter(|&(_, d, _, _)| d == dst)
+            .map(|(_, _, m, _)| m)
+            .collect()
+    }
+
+    /// Two clusters of two; cluster 0's rep collects both reports, picks
+    /// the higher gain, forwards it, and grants it after hearing the
+    /// other representative's heartbeat.
+    #[test]
+    fn representative_runs_both_phases_to_a_grant() {
+        let mut out = Outbox::new();
+        let mut rep = PeerStateMachine::representative(
+            PeerId(0),
+            ClusterId(0),
+            vec![PeerId(0), PeerId(1)],
+            vec![PeerId(2)],
+            None,
+            None,
+            true,
+            0,
+            8,
+        );
+        rep.poll(0, 8, &mut out);
+        // Self-report (heartbeat) went to itself as a gain report.
+        let frames = out.drain_frames();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].1, PeerId(0));
+        assert_eq!(frames[0].3, MsgKind::GainReport);
+
+        assert!(rep.receive(
+            &Message::Heartbeat {
+                peer: PeerId(0),
+                from: ClusterId(0)
+            },
+            &mut out
+        ));
+        assert!(rep.receive(
+            &Message::Propose {
+                peer: PeerId(1),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                claimed_gain: 0.5,
+            },
+            &mut out,
+        ));
+        rep.poll(1, 8, &mut out);
+        let fwd = drain_to(&mut out, PeerId(2));
+        assert_eq!(
+            fwd,
+            vec![Message::Propose {
+                peer: PeerId(1),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                claimed_gain: 0.5,
+            }]
+        );
+        assert_eq!(
+            out.drain_events(),
+            vec![MachineEvent::Forwarded(RelocationRequest {
+                src: ClusterId(0),
+                dst: ClusterId(1),
+                peer: PeerId(1),
+                gain: 0.5,
+            })]
+        );
+        assert!(!rep.done());
+
+        assert!(rep.receive(
+            &Message::Heartbeat {
+                peer: PeerId(2),
+                from: ClusterId(1)
+            },
+            &mut out
+        ));
+        rep.poll(2, 8, &mut out);
+        assert!(rep.done());
+        let grants = drain_to(&mut out, PeerId(1));
+        assert_eq!(
+            grants,
+            vec![Message::Grant {
+                src: ClusterId(0),
+                dst: ClusterId(1),
+                peer: PeerId(1),
+                gain: 0.5,
+            }]
+        );
+        assert!(matches!(out.drain_events()[..], [MachineEvent::Granted(_)]));
+    }
+
+    #[test]
+    fn late_report_is_stale_after_deadline_fire() {
+        let mut out = Outbox::new();
+        let mut rep = PeerStateMachine::representative(
+            PeerId(0),
+            ClusterId(0),
+            vec![PeerId(0), PeerId(1)],
+            vec![],
+            None,
+            None,
+            true,
+            0,
+            2,
+        );
+        rep.poll(0, 2, &mut out);
+        assert!(rep.receive(
+            &Message::Heartbeat {
+                peer: PeerId(0),
+                from: ClusterId(0)
+            },
+            &mut out
+        ));
+        // Deadline (0 + 1 + 2 = 3) passes with p1's report still in
+        // flight: phase 1 fires on partial information...
+        rep.poll(3, 2, &mut out);
+        // ...phase 2 fires immediately (no other reps)...
+        assert!(rep.done());
+        // ...and the straggler is rejected as stale.
+        assert!(!rep.receive(
+            &Message::Propose {
+                peer: PeerId(1),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                claimed_gain: 9.0,
+            },
+            &mut out,
+        ));
+    }
+
+    #[test]
+    fn epsilon_window_tie_breaks_to_lower_peer_id() {
+        let mut out = Outbox::new();
+        let mut rep = PeerStateMachine::representative(
+            PeerId(0),
+            ClusterId(0),
+            vec![PeerId(0), PeerId(1), PeerId(2)],
+            vec![PeerId(9)],
+            None,
+            None,
+            true,
+            0,
+            8,
+        );
+        rep.poll(0, 8, &mut out);
+        out.drain_frames();
+        assert!(rep.receive(
+            &Message::Heartbeat {
+                peer: PeerId(0),
+                from: ClusterId(0)
+            },
+            &mut out
+        ));
+        // Delivered out of order: p2 first, then p1 with a gain inside
+        // the epsilon window — the walk must still pick p1.
+        for (p, g) in [(2u32, 0.5), (1, 0.5)] {
+            assert!(rep.receive(
+                &Message::Propose {
+                    peer: PeerId(p),
+                    from: ClusterId(0),
+                    to: ClusterId(1),
+                    claimed_gain: g,
+                },
+                &mut out,
+            ));
+        }
+        rep.poll(1, 8, &mut out);
+        match out.drain_events()[..] {
+            [MachineEvent::Forwarded(req)] => assert_eq!(req.peer, PeerId(1)),
+            ref other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn granted_member_commits_to_both_representatives() {
+        let mut out = Outbox::new();
+        let mut member = PeerStateMachine::member(
+            PeerId(3),
+            ClusterId(1),
+            PeerId(2),
+            Some((ClusterId(0), 0.25)),
+            Some(PeerId(0)),
+        );
+        member.poll(0, 8, &mut out);
+        let report = out.drain_frames();
+        assert_eq!(report[0].1, PeerId(2));
+        assert!(matches!(report[0].2, Message::Propose { .. }));
+
+        assert!(member.receive(
+            &Message::Grant {
+                src: ClusterId(1),
+                dst: ClusterId(0),
+                peer: PeerId(3),
+                gain: 0.25,
+            },
+            &mut out,
+        ));
+        let commits = out.drain_frames();
+        let dsts: Vec<PeerId> = commits.iter().map(|&(_, d, _, _)| d).collect();
+        assert_eq!(dsts, vec![PeerId(2), PeerId(0)]);
+        for (_, _, msg, kind) in commits {
+            assert_eq!(kind, MsgKind::ClusterJoin);
+            assert_eq!(
+                msg,
+                Message::Commit {
+                    peer: PeerId(3),
+                    from: ClusterId(1),
+                    to: ClusterId(0),
+                    claimed_gain: 0.25,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn commit_receipt_updates_size_and_broadcasts_summary() {
+        let mut out = Outbox::new();
+        let mut rep = PeerStateMachine::representative(
+            PeerId(0),
+            ClusterId(0),
+            vec![PeerId(0), PeerId(1)],
+            vec![PeerId(5), PeerId(7)],
+            None,
+            None,
+            true,
+            0,
+            8,
+        );
+        assert!(rep.receive(
+            &Message::Commit {
+                peer: PeerId(1),
+                from: ClusterId(0),
+                to: ClusterId(3),
+                claimed_gain: 0.1,
+            },
+            &mut out,
+        ));
+        let frames = out.drain_frames();
+        assert_eq!(frames.len(), 2);
+        for (_, _, msg, kind) in frames {
+            assert_eq!(kind, MsgKind::SummaryUpdate);
+            assert_eq!(
+                msg,
+                Message::SummaryUpdate {
+                    cluster: ClusterId(0),
+                    size: 1
+                }
+            );
+        }
+        // And the mirror update is recorded when heard.
+        assert!(rep.receive(
+            &Message::SummaryUpdate {
+                cluster: ClusterId(3),
+                size: 4
+            },
+            &mut out,
+        ));
+        assert_eq!(rep.heard_summaries(), vec![(ClusterId(3), 4)]);
+    }
+}

@@ -1,0 +1,405 @@
+//! The protocol's wire grammar.
+//!
+//! Every message the runtime exchanges is one of six serialized frames.
+//! The encoding is deliberately primitive — a tag byte followed by
+//! fixed-width little-endian fields, gains as raw IEEE-754 bits — so a
+//! frame's byte length is knowable from its tag and a decode either
+//! reproduces the sent message exactly (bit-for-bit, NaNs included) or
+//! fails. [`SimNet`](super::SimNet) carries encoded frames, not values:
+//! every delivery in every run exercises the round trip.
+
+use recluster_overlay::MsgKind;
+use recluster_types::{ClusterId, PeerId};
+
+/// Why a representative denied its cluster's relocation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyReason {
+    /// The anti-cycle lock rule blocked the request: a higher-ranked
+    /// grant already locked the source against leaves or the
+    /// destination against joins.
+    Locked,
+    /// The request named its own cluster as destination (no-op move).
+    SelfMove,
+}
+
+/// One protocol message. §3.2's verbal protocol, made concrete:
+/// members *propose*, representatives *grant* or *deny*, granted peers
+/// *commit*, and committed moves are announced through *summary
+/// updates*. `Heartbeat` is the explicit "nothing to report" frame that
+/// lets collectors distinguish silence from loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// A relocation proposal: `peer` wants to leave `from` for `to`,
+    /// claiming `claimed_gain`. Sent member → representative as the
+    /// phase-1 gain report, and relayed representative →
+    /// representative verbatim as the cluster's forwarded request (the
+    /// receiver tells the two apart by `from`: its own cluster id means
+    /// a report). The gain is *claimed*: the runtime takes it on faith
+    /// in-round and audits it against observed statistics after the
+    /// fact ([`EvidenceLog`](super::EvidenceLog)).
+    Propose {
+        /// The peer that wants to relocate.
+        peer: PeerId,
+        /// Its current cluster.
+        from: ClusterId,
+        /// The cluster it wants to join.
+        to: ClusterId,
+        /// The gain it claims the move yields (self-reported).
+        claimed_gain: f64,
+    },
+    /// "Nothing to propose": sent member → representative in place of a
+    /// report, and representative → representative in place of a
+    /// forwarded request. `from` is the sender's cluster.
+    Heartbeat {
+        /// The reporting peer.
+        peer: PeerId,
+        /// Its cluster.
+        from: ClusterId,
+    },
+    /// Representative → its winning member: the cluster's request
+    /// survived the lock-rule pass; execute the move.
+    Grant {
+        /// Source cluster of the granted request.
+        src: ClusterId,
+        /// Destination cluster.
+        dst: ClusterId,
+        /// The granted peer.
+        peer: PeerId,
+        /// The claimed gain the grant was ranked by.
+        gain: f64,
+    },
+    /// Representative → its winning member: the request lost.
+    Deny {
+        /// Source cluster of the denied request.
+        src: ClusterId,
+        /// Destination cluster.
+        dst: ClusterId,
+        /// The denied peer.
+        peer: PeerId,
+        /// Why it was denied.
+        reason: DenyReason,
+    },
+    /// Granted peer → the affected representatives: the relocation is
+    /// executed. The runtime applies the move to the [`System`] when the
+    /// first copy of this frame is delivered — a commit lost to the
+    /// network is a relocation that never happened.
+    ///
+    /// [`System`]: crate::system::System
+    Commit {
+        /// The relocating peer.
+        peer: PeerId,
+        /// The cluster it left.
+        from: ClusterId,
+        /// The cluster it joined.
+        to: ClusterId,
+        /// The claimed gain, restated for the audit trail.
+        claimed_gain: f64,
+    },
+    /// Post-commit broadcast: `cluster` now has `size` members. Keeps
+    /// the other representatives' summaries current; consumed by every
+    /// state machine in any state.
+    SummaryUpdate {
+        /// The cluster whose membership changed.
+        cluster: ClusterId,
+        /// Its new size.
+        size: u32,
+    },
+}
+
+const TAG_PROPOSE: u8 = 1;
+const TAG_HEARTBEAT: u8 = 2;
+const TAG_GRANT: u8 = 3;
+const TAG_DENY: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+const TAG_SUMMARY: u8 = 6;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let end = self.pos.checked_add(4)?;
+        let v = u32::from_le_bytes(self.bytes.get(self.pos..end)?.try_into().ok()?);
+        self.pos = end;
+        Some(v)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        let end = self.pos.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.pos..end)?.try_into().ok()?);
+        self.pos = end;
+        Some(f64::from_bits(v))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+impl Message {
+    /// Serializes the message to its wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21);
+        match *self {
+            Message::Propose {
+                peer,
+                from,
+                to,
+                claimed_gain,
+            } => {
+                out.push(TAG_PROPOSE);
+                put_u32(&mut out, peer.0);
+                put_u32(&mut out, from.0);
+                put_u32(&mut out, to.0);
+                put_f64(&mut out, claimed_gain);
+            }
+            Message::Heartbeat { peer, from } => {
+                out.push(TAG_HEARTBEAT);
+                put_u32(&mut out, peer.0);
+                put_u32(&mut out, from.0);
+            }
+            Message::Grant {
+                src,
+                dst,
+                peer,
+                gain,
+            } => {
+                out.push(TAG_GRANT);
+                put_u32(&mut out, src.0);
+                put_u32(&mut out, dst.0);
+                put_u32(&mut out, peer.0);
+                put_f64(&mut out, gain);
+            }
+            Message::Deny {
+                src,
+                dst,
+                peer,
+                reason,
+            } => {
+                out.push(TAG_DENY);
+                put_u32(&mut out, src.0);
+                put_u32(&mut out, dst.0);
+                put_u32(&mut out, peer.0);
+                out.push(match reason {
+                    DenyReason::Locked => 0,
+                    DenyReason::SelfMove => 1,
+                });
+            }
+            Message::Commit {
+                peer,
+                from,
+                to,
+                claimed_gain,
+            } => {
+                out.push(TAG_COMMIT);
+                put_u32(&mut out, peer.0);
+                put_u32(&mut out, from.0);
+                put_u32(&mut out, to.0);
+                put_f64(&mut out, claimed_gain);
+            }
+            Message::SummaryUpdate { cluster, size } => {
+                out.push(TAG_SUMMARY);
+                put_u32(&mut out, cluster.0);
+                put_u32(&mut out, size);
+            }
+        }
+        out
+    }
+
+    /// Parses a wire frame. Returns `None` on an unknown tag, a short
+    /// buffer, trailing bytes or an invalid enum discriminant — a
+    /// decode never guesses.
+    pub fn decode(bytes: &[u8]) -> Option<Message> {
+        let mut r = Reader { bytes, pos: 0 };
+        let msg = match r.u8()? {
+            TAG_PROPOSE => Message::Propose {
+                peer: PeerId(r.u32()?),
+                from: ClusterId(r.u32()?),
+                to: ClusterId(r.u32()?),
+                claimed_gain: r.f64()?,
+            },
+            TAG_HEARTBEAT => Message::Heartbeat {
+                peer: PeerId(r.u32()?),
+                from: ClusterId(r.u32()?),
+            },
+            TAG_GRANT => Message::Grant {
+                src: ClusterId(r.u32()?),
+                dst: ClusterId(r.u32()?),
+                peer: PeerId(r.u32()?),
+                gain: r.f64()?,
+            },
+            TAG_DENY => Message::Deny {
+                src: ClusterId(r.u32()?),
+                dst: ClusterId(r.u32()?),
+                peer: PeerId(r.u32()?),
+                reason: match r.u8()? {
+                    0 => DenyReason::Locked,
+                    1 => DenyReason::SelfMove,
+                    _ => return None,
+                },
+            },
+            TAG_COMMIT => Message::Commit {
+                peer: PeerId(r.u32()?),
+                from: ClusterId(r.u32()?),
+                to: ClusterId(r.u32()?),
+                claimed_gain: r.f64()?,
+            },
+            TAG_SUMMARY => Message::SummaryUpdate {
+                cluster: ClusterId(r.u32()?),
+                size: r.u32()?,
+            },
+            _ => return None,
+        };
+        r.done().then_some(msg)
+    }
+
+    /// The ledger category this frame is charged to. Reports and their
+    /// heartbeat stand-ins are gain reports; relayed proposals are
+    /// relocation requests (the caller picks between the two `Propose`
+    /// charges by context, see
+    /// [`Outbox::send`](super::machine::Outbox::send)).
+    pub fn default_kind(&self) -> MsgKind {
+        match self {
+            Message::Propose { .. } => MsgKind::GainReport,
+            Message::Heartbeat { .. } => MsgKind::Heartbeat,
+            Message::Grant { .. } | Message::Deny { .. } => MsgKind::GrantCoordination,
+            Message::Commit { .. } => MsgKind::ClusterJoin,
+            Message::SummaryUpdate { .. } => MsgKind::SummaryUpdate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).expect("frame must decode");
+        // Bit-level equality, so NaN gains survive too.
+        match (msg, back) {
+            (
+                Message::Propose {
+                    claimed_gain: a, ..
+                },
+                Message::Propose {
+                    claimed_gain: b, ..
+                },
+            ) => assert_eq!(a.to_bits(), b.to_bits()),
+            (Message::Grant { gain: a, .. }, Message::Grant { gain: b, .. }) => {
+                assert_eq!(a.to_bits(), b.to_bits())
+            }
+            _ => {}
+        }
+        assert_eq!(Message::decode(&bytes), Some(msg));
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        roundtrip(Message::Propose {
+            peer: PeerId(7),
+            from: ClusterId(1),
+            to: ClusterId(4),
+            claimed_gain: 0.12345,
+        });
+        roundtrip(Message::Heartbeat {
+            peer: PeerId(0),
+            from: ClusterId(9),
+        });
+        roundtrip(Message::Grant {
+            src: ClusterId(2),
+            dst: ClusterId(3),
+            peer: PeerId(11),
+            gain: -0.5,
+        });
+        roundtrip(Message::Deny {
+            src: ClusterId(2),
+            dst: ClusterId(3),
+            peer: PeerId(11),
+            reason: DenyReason::Locked,
+        });
+        roundtrip(Message::Deny {
+            src: ClusterId(0),
+            dst: ClusterId(0),
+            peer: PeerId(1),
+            reason: DenyReason::SelfMove,
+        });
+        roundtrip(Message::Commit {
+            peer: PeerId(5),
+            from: ClusterId(0),
+            to: ClusterId(8),
+            claimed_gain: f64::MIN_POSITIVE,
+        });
+        roundtrip(Message::SummaryUpdate {
+            cluster: ClusterId(6),
+            size: 42,
+        });
+    }
+
+    #[test]
+    fn gain_bits_survive_including_nan() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let msg = Message::Propose {
+            peer: PeerId(1),
+            from: ClusterId(0),
+            to: ClusterId(2),
+            claimed_gain: weird,
+        };
+        match Message::decode(&msg.encode()).unwrap() {
+            Message::Propose { claimed_gain, .. } => {
+                assert_eq!(claimed_gain.to_bits(), weird.to_bits())
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert_eq!(Message::decode(&[]), None);
+        assert_eq!(Message::decode(&[99, 0, 0]), None);
+        // Truncated propose.
+        let mut bytes = Message::Propose {
+            peer: PeerId(7),
+            from: ClusterId(1),
+            to: ClusterId(4),
+            claimed_gain: 1.0,
+        }
+        .encode();
+        bytes.pop();
+        assert_eq!(Message::decode(&bytes), None);
+        // Trailing garbage.
+        let mut bytes = Message::Heartbeat {
+            peer: PeerId(0),
+            from: ClusterId(0),
+        }
+        .encode();
+        bytes.push(0);
+        assert_eq!(Message::decode(&bytes), None);
+        // Bad deny discriminant.
+        let mut bytes = Message::Deny {
+            src: ClusterId(0),
+            dst: ClusterId(1),
+            peer: PeerId(2),
+            reason: DenyReason::Locked,
+        }
+        .encode();
+        *bytes.last_mut().unwrap() = 7;
+        assert_eq!(Message::decode(&bytes), None);
+    }
+}

@@ -1,0 +1,374 @@
+//! The deterministic simulated network.
+//!
+//! [`SimNet`] is a discrete-time message fabric: a send at tick `t`
+//! either drops (per-link Bernoulli draw) or is scheduled for delivery
+//! at `t + 1 + delay`, with the delay drawn from the configured
+//! [`DelayDist`]. Deliveries pop in total order on
+//! `(deliver_tick, msg_seq)` — `msg_seq` is the global send counter —
+//! so two runs over the same seed replay **byte-identically**, no
+//! matter how messages interleave. All randomness comes from one
+//! [`StdRng`] seeded from [`NetConfig::seed`] and consumed in send
+//! order; nothing reads wall-clock or thread identity.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use recluster_overlay::{MsgKind, SimNetwork};
+use recluster_types::{seeded_rng, PeerId};
+
+use super::message::Message;
+
+/// Per-link delivery-delay distribution, in ticks on top of the
+/// baseline 1-tick hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayDist {
+    /// Every message takes exactly this many extra ticks.
+    Fixed(u64),
+    /// Uniformly distributed extra ticks in `[min, max]` — the
+    /// reordering regime: a later send can overtake an earlier one.
+    Uniform {
+        /// Minimum extra delay.
+        min: u64,
+        /// Maximum extra delay (inclusive).
+        max: u64,
+    },
+}
+
+impl DelayDist {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            DelayDist::Fixed(d) => d,
+            DelayDist::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+        }
+    }
+
+    /// The largest delay this distribution can produce.
+    pub fn max_delay(&self) -> u64 {
+        match *self {
+            DelayDist::Fixed(d) => d,
+            DelayDist::Uniform { min, max } => max.max(min),
+        }
+    }
+}
+
+/// Network parameters for a runtime run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Seed of the fabric's RNG (drop and delay draws).
+    pub seed: u64,
+    /// Extra per-message delay.
+    pub delay: DelayDist,
+    /// Probability a message is silently lost, in `[0, 1)`.
+    pub drop_rate: f64,
+    /// Ticks a collector waits for stragglers before acting on partial
+    /// information: a representative fires phase 1 (respectively
+    /// phase 2) when every expected message has arrived *or* this many
+    /// ticks have passed since the round (respectively its forward)
+    /// started. Messages landing after the collector fired are counted
+    /// stale and discarded.
+    pub phase_ticks: u64,
+}
+
+impl NetConfig {
+    /// The degenerate schedule: zero extra delay, zero loss. Under it
+    /// the runtime is bit-identical to [`ProtocolEngine`] (proven by
+    /// the `prop_runtime` suite).
+    ///
+    /// [`ProtocolEngine`]: crate::protocol::ProtocolEngine
+    pub fn ideal() -> Self {
+        NetConfig {
+            seed: 0,
+            delay: DelayDist::Fixed(0),
+            drop_rate: 0.0,
+            phase_ticks: 8,
+        }
+    }
+
+    /// A degraded schedule: uniform extra delay in `[min, max]` ticks
+    /// and the given drop rate, with the phase timeout sized so an
+    /// undropped straggler *can* still make its deadline.
+    pub fn degraded(seed: u64, min_delay: u64, max_delay: u64, drop_rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drop_rate),
+            "drop_rate must be in [0, 1)"
+        );
+        NetConfig {
+            seed,
+            delay: DelayDist::Uniform {
+                min: min_delay,
+                max: max_delay,
+            },
+            drop_rate,
+            phase_ticks: max_delay.max(min_delay) + 2,
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::ideal()
+    }
+}
+
+/// Fabric counters, all cumulative over the engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to the fabric.
+    pub sent: u64,
+    /// Frames delivered to their destination machine.
+    pub delivered: u64,
+    /// Frames lost to the drop draw.
+    pub dropped: u64,
+    /// Frames delivered after their collector had already fired — the
+    /// receiver discarded them.
+    pub stale: u64,
+}
+
+/// One in-flight frame. Ordering is **only** `(deliver_tick, seq)`:
+/// the total order that makes replays byte-identical.
+#[derive(Debug, Clone)]
+struct Envelope {
+    deliver_tick: u64,
+    seq: u64,
+    src: PeerId,
+    dst: PeerId,
+    bytes: Vec<u8>,
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_tick == other.deliver_tick && self.seq == other.seq
+    }
+}
+
+impl Eq for Envelope {}
+
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Envelope {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (tick, seq) first.
+        (other.deliver_tick, other.seq).cmp(&(self.deliver_tick, self.seq))
+    }
+}
+
+/// The deterministic scheduler: seeded drops and delays on send, a
+/// total-order heap on delivery.
+#[derive(Debug)]
+pub struct SimNet {
+    config: NetConfig,
+    rng: StdRng,
+    heap: BinaryHeap<Envelope>,
+    seq: u64,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// Creates a fabric over the given parameters.
+    pub fn new(config: NetConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.drop_rate),
+            "drop_rate must be in [0, 1)"
+        );
+        SimNet {
+            rng: seeded_rng(config.seed),
+            config,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The parameters this fabric runs under.
+    pub fn config(&self) -> NetConfig {
+        self.config
+    }
+
+    /// Sends `msg` from `src` to `dst` at tick `now`, charging its wire
+    /// frame to `ledger` under `kind`. Returns the delivery tick, or
+    /// `None` if the drop draw lost the frame. The ledger is charged
+    /// either way — a dropped message still cost its bandwidth.
+    pub fn send(
+        &mut self,
+        now: u64,
+        src: PeerId,
+        dst: PeerId,
+        msg: &Message,
+        kind: MsgKind,
+        ledger: &mut SimNetwork,
+    ) -> Option<u64> {
+        let bytes = msg.encode();
+        ledger.send(kind, bytes.len() as u64);
+        self.stats.sent += 1;
+        self.seq += 1;
+        if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let deliver_tick = now + 1 + self.config.delay.sample(&mut self.rng);
+        self.heap.push(Envelope {
+            deliver_tick,
+            seq: self.seq,
+            src,
+            dst,
+            bytes,
+        });
+        Some(deliver_tick)
+    }
+
+    /// The tick of the earliest in-flight frame.
+    pub fn next_tick(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.deliver_tick)
+    }
+
+    /// Pops the next frame due at or before `tick`, in
+    /// `(deliver_tick, seq)` order.
+    ///
+    /// # Panics
+    /// Panics if an in-flight frame fails to decode — the fabric only
+    /// carries frames produced by [`Message::encode`], so that is a
+    /// codec bug, not a runtime condition.
+    pub fn pop_due(&mut self, tick: u64) -> Option<(PeerId, PeerId, Message)> {
+        if self.heap.peek().is_some_and(|e| e.deliver_tick <= tick) {
+            let env = self.heap.pop().expect("peeked");
+            let msg = Message::decode(&env.bytes).expect("in-flight frame must decode");
+            self.stats.delivered += 1;
+            Some((env.src, env.dst, msg))
+        } else {
+            None
+        }
+    }
+
+    /// Whether any frame is still in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Counts a frame the receiver discarded as late.
+    pub fn note_stale(&mut self) {
+        self.stats.stale += 1;
+    }
+
+    /// Cumulative fabric counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recluster_types::ClusterId;
+
+    fn hb(peer: u32) -> Message {
+        Message::Heartbeat {
+            peer: PeerId(peer),
+            from: ClusterId(0),
+        }
+    }
+
+    #[test]
+    fn ideal_fabric_delivers_in_send_order_next_tick() {
+        let mut net = SimNet::new(NetConfig::ideal());
+        let mut ledger = SimNetwork::new();
+        for i in 0..5 {
+            net.send(
+                3,
+                PeerId(i),
+                PeerId(9),
+                &hb(i),
+                MsgKind::Heartbeat,
+                &mut ledger,
+            );
+        }
+        assert_eq!(net.next_tick(), Some(4));
+        let mut order = Vec::new();
+        while let Some((src, dst, _)) = net.pop_due(4) {
+            assert_eq!(dst, PeerId(9));
+            order.push(src.0);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(net.stats().delivered, 5);
+        assert_eq!(ledger.messages(MsgKind::Heartbeat), 5);
+    }
+
+    #[test]
+    fn uniform_delay_reorders_but_replays_identically() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new(NetConfig::degraded(seed, 0, 5, 0.0));
+            let mut ledger = SimNetwork::new();
+            for i in 0..32 {
+                net.send(
+                    0,
+                    PeerId(i),
+                    PeerId(99),
+                    &hb(i),
+                    MsgKind::Heartbeat,
+                    &mut ledger,
+                );
+            }
+            let mut order = Vec::new();
+            for t in 0..16 {
+                while let Some((src, _, _)) = net.pop_due(t) {
+                    order.push(src.0);
+                }
+            }
+            order
+        };
+        let a = run(7);
+        assert_eq!(a.len(), 32);
+        assert_eq!(a, run(7), "same seed must replay identically");
+        assert_ne!(a, run(8), "a different seed must shuffle differently");
+        assert_ne!(a, (0..32).collect::<Vec<_>>(), "delays must reorder");
+    }
+
+    #[test]
+    fn drops_are_seeded_and_charged() {
+        let mut net = SimNet::new(NetConfig::degraded(11, 0, 0, 0.5));
+        let mut ledger = SimNetwork::new();
+        let mut delivered = 0;
+        for i in 0..64 {
+            if net
+                .send(
+                    0,
+                    PeerId(i),
+                    PeerId(9),
+                    &hb(i),
+                    MsgKind::Heartbeat,
+                    &mut ledger,
+                )
+                .is_some()
+            {
+                delivered += 1;
+            }
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 64);
+        assert_eq!(stats.dropped + delivered, 64);
+        assert!(stats.dropped > 8, "half-rate drops must actually drop");
+        // Bandwidth is spent whether or not the frame arrives.
+        assert_eq!(ledger.messages(MsgKind::Heartbeat), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_rate")]
+    fn full_drop_rate_is_rejected() {
+        let _ = SimNet::new(NetConfig {
+            drop_rate: 1.0,
+            ..NetConfig::ideal()
+        });
+    }
+}

@@ -68,10 +68,7 @@ pub fn run_theta_ablation(cfg: &ExperimentConfig, max_rounds: usize) -> Vec<Abla
         run_one(
             &cfg,
             StrategyKind::Selfish,
-            ProtocolConfig {
-                max_rounds,
-                ..Default::default()
-            },
+            ProtocolConfig::builder().max_rounds(max_rounds).build(),
             format!("theta={theta}"),
         )
     })
@@ -86,11 +83,10 @@ pub fn run_epsilon_sweep(cfg: &ExperimentConfig, max_rounds: usize) -> Vec<Ablat
             run_one(
                 cfg,
                 StrategyKind::Selfish,
-                ProtocolConfig {
-                    epsilon,
-                    max_rounds,
-                    ..Default::default()
-                },
+                ProtocolConfig::builder()
+                    .epsilon(epsilon)
+                    .max_rounds(max_rounds)
+                    .build(),
                 format!("epsilon={epsilon}"),
             )
         })
@@ -105,10 +101,7 @@ pub fn run_hybrid_sweep(cfg: &ExperimentConfig, max_rounds: usize) -> Vec<Ablati
             run_one(
                 cfg,
                 StrategyKind::Hybrid(lambda),
-                ProtocolConfig {
-                    max_rounds,
-                    ..Default::default()
-                },
+                ProtocolConfig::builder().max_rounds(max_rounds).build(),
                 format!("lambda={lambda}"),
             )
         })
@@ -123,12 +116,11 @@ pub fn run_lock_ablation(cfg: &ExperimentConfig, max_rounds: usize) -> Vec<Ablat
             run_one(
                 cfg,
                 StrategyKind::Selfish,
-                ProtocolConfig {
-                    max_rounds,
-                    use_locks,
-                    empty_targets: EmptyTargetPolicy::Always,
-                    ..Default::default()
-                },
+                ProtocolConfig::builder()
+                    .max_rounds(max_rounds)
+                    .use_locks(use_locks)
+                    .empty_targets(EmptyTargetPolicy::Always)
+                    .build(),
                 format!("locks={use_locks}"),
             )
         })

@@ -46,13 +46,12 @@ pub fn run_baseline_comparison(cfg: &ExperimentConfig, max_rounds: usize) -> Vec
     ] {
         let mut testbed = build_system(Scenario::SameCategory, InitialConfig::RandomM, cfg);
         let mut net = SimNetwork::new();
-        let protocol = ProtocolConfig {
-            epsilon: 1e-3,
-            max_rounds,
-            empty_targets: EmptyTargetPolicy::Always,
-            use_locks: true,
-            ..Default::default()
-        };
+        let protocol = ProtocolConfig::builder()
+            .epsilon(1e-3)
+            .max_rounds(max_rounds)
+            .empty_targets(EmptyTargetPolicy::Always)
+            .use_locks(true)
+            .build();
         run_protocol(&mut testbed.system, kind, protocol, &mut net);
         rows.push(BaselineRow {
             name: kind.label(),

@@ -24,7 +24,7 @@ use recluster_overlay::SimNetwork;
 use recluster_sim::churn::{run_churn_with_fidelity, ChurnConfig};
 use recluster_sim::fig1::run_series;
 use recluster_sim::fig23::{run_point, UpdateMode};
-use recluster_sim::knobs::decisions_from_env;
+use recluster_sim::knobs::Knobs;
 use recluster_sim::runner::{run_protocol, StrategyKind};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_sim::table1::{run_cell, Table1Config};
@@ -116,13 +116,12 @@ fn main() {
     let outcome = run_protocol(
         &mut tb.system,
         StrategyKind::Altruistic,
-        ProtocolConfig {
-            epsilon: 1e-3,
-            max_rounds: 30,
-            empty_targets: EmptyTargetPolicy::Always,
-            use_locks: true,
-            ..Default::default()
-        },
+        ProtocolConfig::builder()
+            .epsilon(1e-3)
+            .max_rounds(30)
+            .empty_targets(EmptyTargetPolicy::Always)
+            .use_locks(true)
+            .build(),
         &mut net,
     );
     for r in outcome.rounds.iter() {
@@ -136,7 +135,9 @@ fn main() {
         );
     }
 
-    let decisions = decisions_from_env().unwrap_or(DecisionSource::Observed { decay: 0.0 });
+    let decisions = Knobs::from_env()
+        .decisions
+        .unwrap_or(DecisionSource::Observed { decay: 0.0 });
     println!("== churn fidelity ({decisions}) ==");
     let churn = ChurnConfig {
         periods: 4,

@@ -37,36 +37,31 @@
 
 use std::time::Instant;
 
-use recluster_overlay::{RoutingMode, SummaryMode};
-use recluster_sim::knobs::{decisions_from_env, env_u64};
+use recluster_sim::knobs::Knobs;
 use recluster_sim::traffic::{traffic_demo_config, traffic_small_config, TrafficEngine};
 
 fn main() {
-    let seed = env_u64("RECLUSTER_SEED").unwrap_or(2008);
-    let small =
-        std::env::var("RECLUSTER_SMALL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
-    let (cfg, mut traffic) = if small {
+    let knobs = Knobs::from_env();
+    let seed = knobs.seed.unwrap_or(2008);
+    let (cfg, mut traffic) = if knobs.small {
         traffic_small_config(seed)
     } else {
         traffic_demo_config(seed)
     };
-    if let Ok(raw) = std::env::var("RECLUSTER_ROUTING") {
-        traffic.mode = RoutingMode::parse(&raw).unwrap_or_else(|| {
-            eprintln!("unknown RECLUSTER_ROUTING={raw:?}, using exact");
-            RoutingMode::Routed(SummaryMode::Exact)
-        });
+    if let Some(mode) = knobs.routing {
+        traffic.mode = mode;
     }
-    if let Some(decisions) = decisions_from_env() {
+    if let Some(decisions) = knobs.decisions {
         traffic.decisions = decisions;
     }
-    if let Some(q) = env_u64("RECLUSTER_TRAFFIC_QUERIES") {
+    if let Some(q) = knobs.traffic_queries {
         traffic.queries_per_slice = q;
     }
-    if let Some(s) = env_u64("RECLUSTER_TRAFFIC_SLICES") {
+    if let Some(s) = knobs.traffic_slices {
         traffic.slices = s as usize;
     }
 
-    let label = match (small, traffic.decisions.is_observed()) {
+    let label = match (knobs.small, traffic.decisions.is_observed()) {
         (true, false) => "traffic_small",
         (true, true) => "traffic_small_observed",
         (false, false) => "traffic_1m",

@@ -270,13 +270,12 @@ pub fn run_churn_with_fidelity(
             &mut net,
         );
         let scost_after_churn = recluster_core::scost_normalized(&testbed.system);
-        let protocol = ProtocolConfig {
-            epsilon: 1e-3,
-            max_rounds: churn.max_rounds,
-            empty_targets: EmptyTargetPolicy::Always,
-            use_locks: true,
-            ..Default::default()
-        };
+        let protocol = ProtocolConfig::builder()
+            .epsilon(1e-3)
+            .max_rounds(churn.max_rounds)
+            .empty_targets(EmptyTargetPolicy::Always)
+            .use_locks(true)
+            .build();
 
         let mut moves = 0;
         let (query_net, routing) = if let Some(stats) = stats.as_mut() {

@@ -51,13 +51,12 @@ pub fn run_series(cfg: &ExperimentConfig, kind: StrategyKind, max_rounds: usize)
     let initial_scost = recluster_core::scost_normalized(&testbed.system);
     let initial_wcost = recluster_core::wcost_normalized(&testbed.system);
     let mut net = SimNetwork::new();
-    let protocol = ProtocolConfig {
-        epsilon: 1e-3,
-        max_rounds,
-        empty_targets: EmptyTargetPolicy::Always,
-        use_locks: true,
-        ..Default::default()
-    };
+    let protocol = ProtocolConfig::builder()
+        .epsilon(1e-3)
+        .max_rounds(max_rounds)
+        .empty_targets(EmptyTargetPolicy::Always)
+        .use_locks(true)
+        .build();
     let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
     let mut scost = vec![initial_scost];
     let mut wcost = vec![initial_wcost];

@@ -139,13 +139,13 @@ pub fn run_point(
     }
     let scost_before = recluster_core::scost_normalized(&testbed.system);
     let mut net = SimNetwork::new();
-    let protocol = ProtocolConfig {
-        epsilon: 1e-3,
-        max_rounds,
-        empty_targets: EmptyTargetPolicy::Never, // §4.2: cluster count fixed
-        use_locks: true,
-        ..Default::default()
-    };
+    // §4.2: cluster count fixed (no empty targets).
+    let protocol = ProtocolConfig::builder()
+        .epsilon(1e-3)
+        .max_rounds(max_rounds)
+        .empty_targets(EmptyTargetPolicy::Never)
+        .use_locks(true)
+        .build();
     let outcome = run_protocol(&mut testbed.system, kind, protocol, &mut net);
     SweepPoint {
         fraction,

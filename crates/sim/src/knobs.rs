@@ -4,8 +4,14 @@
 //! but malformed*: a malformed value gets a stderr warning naming the
 //! knob and the rejected value before the default applies, so a typo'd
 //! override can never masquerade as a deliberate choice.
+//!
+//! [`Knobs::from_env`] is the single entry point the binaries use: it
+//! reads every `RECLUSTER_*` runtime knob once into a typed struct, so
+//! a new knob lands in exactly one place (here) instead of scattered
+//! `std::env::var` calls.
 
-use recluster_core::DecisionSource;
+use recluster_core::{DecisionSource, DelayDist, LiarConfig, NetConfig};
+use recluster_overlay::{RoutingMode, SummaryMode};
 
 /// Reads `name` as a `u64`. Unset → `None` silently; set but
 /// unparsable → a stderr warning, then `None` (the caller's default
@@ -21,6 +27,37 @@ pub fn env_u64(name: &str) -> Option<u64> {
     }
 }
 
+/// Reads `name` as an `f64` constrained to `[0, max]`. Same warning
+/// discipline as [`env_u64`].
+pub fn env_fraction(name: &str, max: f64) -> Option<f64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse::<f64>() {
+        Ok(v) if (0.0..=max).contains(&v) => Some(v),
+        _ => {
+            eprintln!("unknown {name}={raw:?}, ignoring");
+            None
+        }
+    }
+}
+
+/// Reads `name` as a tick range: either a single `u64` (`"3"` →
+/// `(3, 3)`) or `min..max` (`"0..5"` → `(0, 5)`). Same warning
+/// discipline as [`env_u64`].
+pub fn env_tick_range(name: &str) -> Option<(u64, u64)> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = match raw.split_once("..") {
+        Some((lo, hi)) => match (lo.trim().parse(), hi.trim().parse()) {
+            (Ok(lo), Ok(hi)) if lo <= hi => Some((lo, hi)),
+            _ => None,
+        },
+        None => raw.trim().parse().ok().map(|v: u64| (v, v)),
+    };
+    if parsed.is_none() {
+        eprintln!("unknown {name}={raw:?}, ignoring");
+    }
+    parsed
+}
+
 /// Reads the decision source (`RECLUSTER_DECISIONS`): `oracle`
 /// (default), `observed` (decay 0 — each repair acts on exactly the
 /// latest period's observations), or `observed:<decay>` for an
@@ -33,6 +70,114 @@ pub fn decisions_from_env() -> Option<DecisionSource> {
         None => {
             eprintln!("unknown RECLUSTER_DECISIONS={raw:?}, using oracle");
             None
+        }
+    }
+}
+
+/// Every `RECLUSTER_*` runtime knob, read once. `None`/`false` means
+/// "unset, use the binary's default" — the per-knob parse warnings have
+/// already been printed by the time `from_env` returns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Knobs {
+    /// `RECLUSTER_SEED` — experiment seed.
+    pub seed: Option<u64>,
+    /// `RECLUSTER_SMALL` — `1`/`true`: miniature config.
+    pub small: bool,
+    /// `RECLUSTER_ROUTING` — `flood`, `exact` or `lossy:<k>`.
+    pub routing: Option<RoutingMode>,
+    /// `RECLUSTER_DECISIONS` — `oracle`, `observed`, `observed:<decay>`.
+    pub decisions: Option<DecisionSource>,
+    /// `RECLUSTER_TRAFFIC_QUERIES` — base query occurrences per slice.
+    pub traffic_queries: Option<u64>,
+    /// `RECLUSTER_TRAFFIC_SLICES` — number of traffic slices.
+    pub traffic_slices: Option<u64>,
+    /// `RECLUSTER_NET_DELAY` — extra per-message delay in ticks:
+    /// `"3"` fixed, `"0..5"` uniform.
+    pub net_delay: Option<(u64, u64)>,
+    /// `RECLUSTER_NET_DROP` — per-message drop probability in `[0, 1)`.
+    pub net_drop: Option<f64>,
+    /// `RECLUSTER_NET_SEED` — seed of the simulated fabric's RNG.
+    pub net_seed: Option<u64>,
+    /// `RECLUSTER_NET_LIARS` — fraction of peers inflating claimed
+    /// gains, in `[0, 1]`.
+    pub net_liars: Option<f64>,
+    /// `RECLUSTER_THREADS` — sweep worker count (`1` sequential,
+    /// unset/`0` all cores).
+    pub threads: Option<u64>,
+}
+
+impl Knobs {
+    /// Reads every knob from the environment, warning on stderr about
+    /// each malformed value as it goes.
+    pub fn from_env() -> Self {
+        let small = std::env::var("RECLUSTER_SMALL")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+        let routing = std::env::var("RECLUSTER_ROUTING").ok().map(|raw| {
+            RoutingMode::parse(&raw).unwrap_or_else(|| {
+                eprintln!("unknown RECLUSTER_ROUTING={raw:?}, using exact");
+                RoutingMode::Routed(SummaryMode::Exact)
+            })
+        });
+        Knobs {
+            seed: env_u64("RECLUSTER_SEED"),
+            small,
+            routing,
+            decisions: decisions_from_env(),
+            traffic_queries: env_u64("RECLUSTER_TRAFFIC_QUERIES"),
+            traffic_slices: env_u64("RECLUSTER_TRAFFIC_SLICES"),
+            net_delay: env_tick_range("RECLUSTER_NET_DELAY"),
+            // drop_rate 1.0 would sever every link; the fabric rejects it.
+            net_drop: env_fraction("RECLUSTER_NET_DROP", 0.999),
+            net_seed: env_u64("RECLUSTER_NET_SEED"),
+            net_liars: env_fraction("RECLUSTER_NET_LIARS", 1.0),
+            threads: env_u64("RECLUSTER_THREADS"),
+        }
+    }
+
+    /// The sweep parallelism the `RECLUSTER_THREADS` knob describes:
+    /// `1` forces the sequential runner, any larger value pins that
+    /// worker count, unset or `0` uses every core. Sweeps are
+    /// byte-identical under all three, so this only trades wall clock.
+    pub fn parallelism(&self) -> crate::runner::Parallelism {
+        match self.threads {
+            Some(1) => crate::runner::Parallelism::Sequential,
+            Some(0) | None => crate::runner::Parallelism::Auto,
+            Some(n) => crate::runner::Parallelism::Threads(n as usize),
+        }
+    }
+
+    /// The network schedule the `RECLUSTER_NET_*` knobs describe —
+    /// [`NetConfig::ideal`] when none of them is set.
+    pub fn net_config(&self) -> NetConfig {
+        let mut cfg = NetConfig::ideal();
+        if let Some(seed) = self.net_seed {
+            cfg.seed = seed;
+        }
+        if let Some((min, max)) = self.net_delay {
+            cfg.delay = if min == max {
+                DelayDist::Fixed(min)
+            } else {
+                DelayDist::Uniform { min, max }
+            };
+            cfg.phase_ticks = max + 2;
+        }
+        if let Some(drop_rate) = self.net_drop {
+            cfg.drop_rate = drop_rate;
+        }
+        cfg
+    }
+
+    /// The liar population the `RECLUSTER_NET_LIARS` knob describes
+    /// (inflation ×10, selection hashed from the fabric seed) — honest
+    /// when unset.
+    pub fn liar_config(&self) -> LiarConfig {
+        match self.net_liars {
+            Some(fraction) => LiarConfig {
+                fraction,
+                boost: 10.0,
+                seed: self.net_seed.unwrap_or(0),
+            },
+            None => LiarConfig::none(),
         }
     }
 }
@@ -54,6 +199,31 @@ mod tests {
     }
 
     #[test]
+    fn env_fraction_enforces_range() {
+        std::env::set_var("RECLUSTER_KNOBTEST_FRAC", "0.25");
+        assert_eq!(env_fraction("RECLUSTER_KNOBTEST_FRAC", 1.0), Some(0.25));
+        std::env::set_var("RECLUSTER_KNOBTEST_FRAC_BIG", "1.5");
+        assert_eq!(env_fraction("RECLUSTER_KNOBTEST_FRAC_BIG", 1.0), None);
+        std::env::set_var("RECLUSTER_KNOBTEST_FRAC_NEG", "-0.1");
+        assert_eq!(env_fraction("RECLUSTER_KNOBTEST_FRAC_NEG", 1.0), None);
+    }
+
+    #[test]
+    fn env_tick_range_accepts_fixed_and_span() {
+        std::env::set_var("RECLUSTER_KNOBTEST_TICKS_ONE", "3");
+        assert_eq!(env_tick_range("RECLUSTER_KNOBTEST_TICKS_ONE"), Some((3, 3)));
+        std::env::set_var("RECLUSTER_KNOBTEST_TICKS_SPAN", "0..5");
+        assert_eq!(
+            env_tick_range("RECLUSTER_KNOBTEST_TICKS_SPAN"),
+            Some((0, 5))
+        );
+        std::env::set_var("RECLUSTER_KNOBTEST_TICKS_INV", "5..0");
+        assert_eq!(env_tick_range("RECLUSTER_KNOBTEST_TICKS_INV"), None);
+        std::env::set_var("RECLUSTER_KNOBTEST_TICKS_BAD", "fast");
+        assert_eq!(env_tick_range("RECLUSTER_KNOBTEST_TICKS_BAD"), None);
+    }
+
+    #[test]
     fn decisions_knob_round_trips() {
         for (raw, want) in [
             ("oracle", DecisionSource::Oracle),
@@ -64,5 +234,36 @@ mod tests {
         }
         assert_eq!(DecisionSource::parse("observed:1.5"), None);
         assert_eq!(DecisionSource::parse("psychic"), None);
+    }
+
+    #[test]
+    fn default_knobs_describe_the_ideal_network() {
+        let knobs = Knobs::default();
+        assert_eq!(knobs.net_config(), NetConfig::ideal());
+        assert_eq!(knobs.liar_config(), LiarConfig::none());
+    }
+
+    #[test]
+    fn net_knobs_shape_the_config() {
+        let knobs = Knobs {
+            net_delay: Some((0, 5)),
+            net_drop: Some(0.1),
+            net_seed: Some(7),
+            net_liars: Some(0.25),
+            ..Knobs::default()
+        };
+        let cfg = knobs.net_config();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.delay, DelayDist::Uniform { min: 0, max: 5 });
+        assert_eq!(cfg.drop_rate, 0.1);
+        assert_eq!(cfg.phase_ticks, 7);
+        let liars = knobs.liar_config();
+        assert_eq!(liars.fraction, 0.25);
+        assert_eq!(liars.seed, 7);
+        let fixed = Knobs {
+            net_delay: Some((4, 4)),
+            ..Knobs::default()
+        };
+        assert_eq!(fixed.net_config().delay, DelayDist::Fixed(4));
     }
 }

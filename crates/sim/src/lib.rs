@@ -20,6 +20,10 @@
 //! * [`traffic`] — our extension: the streamed query-serving engine —
 //!   routed queries under live churn with batched summary publication
 //!   and throughput/p99 fan-out observability.
+//! * [`netsim`] — our extension: the typed-message runtime under
+//!   degraded schedules — the delay/reorder sweep (does equilibrium
+//!   scost survive stale grants?) and the liar audit (inflated claims
+//!   attributed against observed statistics).
 //! * [`knobs`] — shared `RECLUSTER_*` environment-knob parsing for the
 //!   experiment binaries; malformed values warn on stderr, never
 //!   silently fall back.
@@ -42,6 +46,7 @@ pub mod fig23;
 pub mod fig4;
 pub mod knobs;
 pub mod lookup;
+pub mod netsim;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -1,0 +1,353 @@
+//! Network-degradation scenarios over the typed-message runtime — the
+//! experiment family the paper never runs.
+//!
+//! Two questions, two sweeps:
+//!
+//! * [`run_net_sweep`] — does the equilibrium survive stale grants?
+//!   The protocol's phase-2 correctness argument assumes every
+//!   representative sorts the *same* request list; delay, reordering
+//!   and loss break that assumption, so representatives grant against
+//!   partial lists and the lock rule loses its global guarantee. The
+//!   sweep measures the damage: final social cost, rounds, denies and
+//!   stale frames as the schedule degrades.
+//! * [`run_liar_audit`] — can misreported gains be attributed? A
+//!   configured fraction of peers inflate their claimed gain
+//!   ([`LiarConfig`]); after the run, the commit log is audited against
+//!   *observed* statistics ([`ObservedStats`], PR 7's traffic-learned
+//!   estimates) and the attribution is scored (precision/recall
+//!   against the ground-truth liar set).
+//!
+//! Both sweeps are deterministic: the fabric RNG is seeded per cell
+//! (`derive_seed(seed, cell-index)`), the runtime is sequential inside
+//! a cell, and cells merge in index order under any [`Parallelism`].
+
+use recluster_core::{
+    scost_normalized, simulate_period, DelayDist, LiarConfig, NetConfig, ObservedStats,
+    ProtocolConfig, RuntimeEngine, SelfishStrategy,
+};
+use recluster_overlay::SimNetwork;
+use recluster_types::derive_seed;
+
+use crate::runner::{sweep_map, Parallelism};
+use crate::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+
+/// Extra-delay shapes the sweep crosses with drop rates.
+const DELAYS: [(u64, u64); 3] = [(0, 0), (0, 2), (0, 6)];
+/// Drop rates (percent) the sweep crosses with delays.
+const DROP_PCTS: [u64; 3] = [0, 5, 15];
+
+fn protocol(max_rounds: usize) -> ProtocolConfig {
+    ProtocolConfig::builder()
+        .max_rounds(max_rounds)
+        .memoize(false)
+        .build()
+}
+
+/// One cell of the delay/reorder sweep.
+#[derive(Debug, Clone)]
+pub struct NetSweepRow {
+    /// The schedule, rendered (`delay=0..2 drop=5%`).
+    pub setting: String,
+    /// Rounds to convergence (`None` = budget exhausted).
+    pub rounds: Option<usize>,
+    /// Final normalized social cost.
+    pub scost: f64,
+    /// Relocations actually committed (a grant whose commit frames all
+    /// dropped does not count).
+    pub moves: usize,
+    /// Grants issued by representatives.
+    pub granted: u64,
+    /// Denies issued by representatives.
+    pub denied: u64,
+    /// Frames lost to the drop draw.
+    pub dropped: u64,
+    /// Frames that arrived after their collector had fired.
+    pub stale: u64,
+}
+
+/// Sweeps the runtime across delay distributions × drop rates
+/// (selfish strategy, scenario 1, random-M start). Cell 0 is the ideal
+/// schedule — bit-identical to the sync engine — so the row series
+/// reads as "cost of degradation relative to the paper's assumption".
+pub fn run_net_sweep(
+    cfg: &ExperimentConfig,
+    max_rounds: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<NetSweepRow> {
+    let cells: Vec<(usize, (u64, u64), u64)> = DELAYS
+        .iter()
+        .flat_map(|&delay| DROP_PCTS.iter().map(move |&pct| (delay, pct)))
+        .enumerate()
+        .map(|(i, (delay, pct))| (i, delay, pct))
+        .collect();
+    sweep_map(parallelism, &cells, |&(i, (min, max), pct)| {
+        let net_config = NetConfig {
+            seed: derive_seed(seed, i as u64),
+            delay: if min == max {
+                DelayDist::Fixed(min)
+            } else {
+                DelayDist::Uniform { min, max }
+            },
+            drop_rate: pct as f64 / 100.0,
+            phase_ticks: max + 2,
+        };
+        let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, cfg);
+        let mut ledger = SimNetwork::new();
+        let mut engine = RuntimeEngine::new(SelfishStrategy, protocol(max_rounds), net_config);
+        let outcome = engine.run(&mut tb.system, &mut ledger);
+        let stats = engine.net_stats();
+        NetSweepRow {
+            setting: format!("delay={min}..{max} drop={pct}%"),
+            rounds: outcome.converged.then(|| outcome.rounds_to_converge()),
+            scost: scost_normalized(&tb.system),
+            moves: engine.evidence().records().len(),
+            granted: engine.granted_total(),
+            denied: engine.denied_total(),
+            dropped: stats.dropped,
+            stale: stats.stale,
+        }
+    })
+}
+
+/// Liar fractions the audit sweeps.
+const LIAR_FRACTIONS: [(u64, f64); 4] = [(0, 0.0), (1, 0.10), (2, 0.25), (3, 0.50)];
+/// Claimed-gain multiplier for configured liars.
+const LIAR_BOOST: f64 = 10.0;
+/// Slack between a claimed gain and the observation-backed estimate
+/// before the auditor flags the claimant.
+const AUDIT_TOLERANCE: f64 = 0.05;
+
+/// One cell of the liar audit.
+#[derive(Debug, Clone)]
+pub struct LiarAuditRow {
+    /// Configured liar fraction.
+    pub fraction: f64,
+    /// Relocations committed (the audited population).
+    pub moves: usize,
+    /// Commits the audit skipped for lack of observation coverage.
+    pub skipped: usize,
+    /// Distinct peers that actually over-claimed.
+    pub liars: usize,
+    /// Distinct peers the audit flagged.
+    pub flagged: usize,
+    /// Fault-attribution precision (1.0 when nothing was flagged).
+    pub precision: f64,
+    /// Fault-attribution recall (1.0 when nobody lied).
+    pub recall: f64,
+    /// Final normalized social cost — what the lying *costs* the system
+    /// (inflated claims win grants over genuinely better moves).
+    pub scost: f64,
+}
+
+/// Sweeps the liar fraction under an ideal schedule. Each round
+/// follows §3.1's rhythm: peers first observe a query period (flood
+/// routing — PR 7's oracle-faithful path) on the *current*
+/// configuration, then run one protocol round in which the configured
+/// fraction inflate their claims, and the round's commits are audited
+/// against the contemporaneous observations
+/// ([`recluster_core::EvidenceLog::audit_round`]). Flagged/liar sets
+/// accumulate across
+/// rounds and the row scores the whole run.
+pub fn run_liar_audit(
+    cfg: &ExperimentConfig,
+    max_rounds: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<LiarAuditRow> {
+    sweep_map(parallelism, &LIAR_FRACTIONS, |&(i, fraction)| {
+        let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, cfg);
+        let mut ledger = SimNetwork::new();
+        let liars = LiarConfig {
+            fraction,
+            boost: LIAR_BOOST,
+            seed: derive_seed(seed, 100 + i),
+        };
+        let mut engine =
+            RuntimeEngine::new(SelfishStrategy, protocol(max_rounds), NetConfig::ideal())
+                .with_liars(liars);
+        let mut skipped = 0;
+        let mut flagged = Vec::new();
+        let mut liar_set = Vec::new();
+        for round in 0..max_rounds {
+            // Honest traffic observed on the pre-round configuration
+            // judges the claims made during the round itself.
+            let mut stats = ObservedStats::new(0.5);
+            stats.absorb(&simulate_period(&tb.system, &mut ledger));
+            let outcome = engine.run_round(&mut tb.system, &mut ledger, round);
+            let report = engine
+                .evidence()
+                .audit_round(&tb.system, &stats, AUDIT_TOLERANCE, round);
+            skipped += report.skipped;
+            flagged.extend(report.flagged);
+            liar_set.extend(report.liars);
+            if outcome.requests.is_empty() {
+                break;
+            }
+        }
+        flagged.sort();
+        flagged.dedup();
+        liar_set.sort();
+        liar_set.dedup();
+        let hits = flagged
+            .iter()
+            .filter(|p| liar_set.binary_search(p).is_ok())
+            .count();
+        let ratio = |num: usize, den: usize| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        LiarAuditRow {
+            fraction,
+            moves: engine.evidence().records().len(),
+            skipped,
+            liars: liar_set.len(),
+            flagged: flagged.len(),
+            precision: ratio(hits, flagged.len()),
+            recall: ratio(hits, liar_set.len()),
+            scost: scost_normalized(&tb.system),
+        }
+    })
+}
+
+/// Tiny FNV-1a accumulator — same offset basis and prime as the golden
+/// suite's `BitDigest`, fed every counter and every float's raw bits so
+/// the trailing digest line pins sub-rounding drift.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Renders the delay/reorder sweep as digest-pinned text (scost vs
+/// delay/drop, plus the grant/deny/drop/stale ledger per cell).
+pub fn render_net_sweep(rows: &[NetSweepRow], seed: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("net-sweep scenario=same-category init=random-m seed={seed}\n");
+    let mut h = Fnv::new();
+    for r in rows {
+        h.f64(r.scost);
+        h.u64(r.rounds.map_or(u64::MAX, |n| n as u64));
+        h.u64(r.moves as u64);
+        h.u64(r.granted);
+        h.u64(r.denied);
+        h.u64(r.dropped);
+        h.u64(r.stale);
+        let _ = writeln!(
+            out,
+            "{:<20} rounds={:<4} scost={} moves={:<3} granted={:<3} denied={:<3} dropped={:<3} stale={}",
+            r.setting,
+            crate::report::rounds_cell(r.rounds),
+            crate::report::f3(r.scost),
+            r.moves,
+            r.granted,
+            r.denied,
+            r.dropped,
+            r.stale,
+        );
+    }
+    let _ = writeln!(out, "netsim-digest: {:016x}", h.finish());
+    out
+}
+
+/// Renders the liar audit as digest-pinned text (fault-attribution
+/// precision/recall per liar fraction, plus what the lying costs).
+pub fn render_liar_audit(rows: &[LiarAuditRow], seed: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("liar-audit scenario=same-category init=random-m seed={seed}\n");
+    let mut h = Fnv::new();
+    for r in rows {
+        h.f64(r.fraction);
+        h.u64(r.moves as u64);
+        h.u64(r.skipped as u64);
+        h.u64(r.liars as u64);
+        h.u64(r.flagged as u64);
+        h.f64(r.precision);
+        h.f64(r.recall);
+        h.f64(r.scost);
+        let _ = writeln!(
+            out,
+            "fraction={:<5} moves={:<3} skipped={:<2} liars={:<2} flagged={:<2} precision={} recall={} scost={}",
+            crate::report::f3(r.fraction),
+            r.moves,
+            r.skipped,
+            r.liars,
+            r.flagged,
+            crate::report::f3(r.precision),
+            crate::report::f3(r.recall),
+            crate::report::f3(r.scost),
+        );
+    }
+    let _ = writeln!(out, "netsim-digest: {:016x}", h.finish());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::small(17)
+    }
+
+    #[test]
+    fn ideal_cell_is_clean_and_degraded_cells_see_loss() {
+        let rows = run_net_sweep(&cfg(), 12, 5, Parallelism::Sequential);
+        assert_eq!(rows.len(), DELAYS.len() * DROP_PCTS.len());
+        let ideal = &rows[0];
+        assert_eq!(ideal.setting, "delay=0..0 drop=0%");
+        assert_eq!(ideal.dropped, 0);
+        assert_eq!(ideal.stale, 0);
+        assert_eq!(
+            ideal.moves as u64, ideal.granted,
+            "ideal: every grant lands"
+        );
+        // The lossiest cell must actually lose frames.
+        let lossy = rows.last().unwrap();
+        assert!(lossy.dropped > 0);
+    }
+
+    #[test]
+    fn sweep_is_parallelism_invariant_and_seeded() {
+        let a = render_net_sweep(&run_net_sweep(&cfg(), 8, 5, Parallelism::Sequential), 5);
+        let b = render_net_sweep(&run_net_sweep(&cfg(), 8, 5, Parallelism::Threads(4)), 5);
+        assert_eq!(a, b, "thread pool must not change a byte");
+        let c = render_net_sweep(&run_net_sweep(&cfg(), 8, 6, Parallelism::Sequential), 5);
+        assert_ne!(a, c, "the fabric seed must matter in degraded cells");
+    }
+
+    #[test]
+    fn liar_audit_scores_the_planted_liars() {
+        let rows = run_liar_audit(&cfg(), 12, 5, Parallelism::Sequential);
+        assert_eq!(rows.len(), LIAR_FRACTIONS.len());
+        let honest = &rows[0];
+        assert_eq!(honest.liars, 0);
+        assert_eq!(
+            honest.flagged, 0,
+            "contemporaneous audit must not flag honest claims"
+        );
+        assert_eq!(honest.recall, 1.0);
+        // At least one lying cell must plant and catch real liars.
+        assert!(
+            rows.iter().any(|r| r.liars > 0 && r.flagged > 0),
+            "no cell planted a catchable liar: {rows:?}"
+        );
+    }
+}

@@ -241,10 +241,7 @@ mod tests {
                 &ExperimentConfig::small(13),
             );
             let mut net = SimNetwork::new();
-            let cfg = ProtocolConfig {
-                max_rounds: 30,
-                ..Default::default()
-            };
+            let cfg = ProtocolConfig::builder().max_rounds(30).build();
             let outcome = run_protocol(&mut tb.system, kind, cfg, &mut net);
             assert!(!outcome.rounds.is_empty() || outcome.converged);
             tb.system.overlay().check_invariants().unwrap();

@@ -79,13 +79,12 @@ pub fn run_cell(
 ) -> Table1Row {
     let mut testbed = build_system(scenario, init, &cfg.experiment);
     let mut net = SimNetwork::new();
-    let protocol = ProtocolConfig {
-        epsilon: cfg.epsilon,
-        max_rounds: cfg.max_rounds,
-        empty_targets: EmptyTargetPolicy::Always,
-        use_locks: true,
-        ..Default::default()
-    };
+    let protocol = ProtocolConfig::builder()
+        .epsilon(cfg.epsilon)
+        .max_rounds(cfg.max_rounds)
+        .empty_targets(EmptyTargetPolicy::Always)
+        .use_locks(true)
+        .build();
     let outcome = run_protocol(&mut testbed.system, strategy, protocol, &mut net);
     let sys = &testbed.system;
     Table1Row {

@@ -956,11 +956,10 @@ pub fn traffic_demo_config(seed: u64) -> (ExperimentConfig, TrafficConfig) {
             joins_per_tick: 2,
             repair_every: 25,
             maintenance: StrategyKind::Selfish,
-            protocol: ProtocolConfig {
-                epsilon: 1e-3,
-                max_rounds: 3,
-                ..Default::default()
-            },
+            protocol: ProtocolConfig::builder()
+                .epsilon(1e-3)
+                .max_rounds(3)
+                .build(),
             mode: RoutingMode::Routed(SummaryMode::Exact),
             decisions: DecisionSource::Oracle,
         },
@@ -989,11 +988,10 @@ pub fn traffic_small_config(seed: u64) -> (ExperimentConfig, TrafficConfig) {
             joins_per_tick: 1,
             repair_every: 8,
             maintenance: StrategyKind::Selfish,
-            protocol: ProtocolConfig {
-                epsilon: 1e-3,
-                max_rounds: 10,
-                ..Default::default()
-            },
+            protocol: ProtocolConfig::builder()
+                .epsilon(1e-3)
+                .max_rounds(10)
+                .build(),
             mode: RoutingMode::Routed(SummaryMode::Exact),
             decisions: DecisionSource::Oracle,
         },

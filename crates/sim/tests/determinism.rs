@@ -8,8 +8,11 @@
 
 use std::fmt::Write as _;
 
-use recluster_core::{DecisionSource, ProtocolConfig, ProtocolEngine, SelfishStrategy};
+use recluster_core::{
+    DecisionSource, NetConfig, ProtocolConfig, ProtocolEngine, RuntimeEngine, SelfishStrategy,
+};
 use recluster_overlay::SimNetwork;
+use recluster_sim::netsim::{render_liar_audit, render_net_sweep, run_liar_audit, run_net_sweep};
 use recluster_sim::report::{f3, render_table, to_csv};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_sim::table1::{run_table1_with, Table1Config};
@@ -43,10 +46,7 @@ fn run_cell(&(kind, seed): &(StrategyKind, u64)) -> Vec<String> {
         &ExperimentConfig::small(seed),
     );
     let mut net = SimNetwork::new();
-    let cfg = ProtocolConfig {
-        max_rounds: 25,
-        ..Default::default()
-    };
+    let cfg = ProtocolConfig::builder().max_rounds(25).build();
     let outcome = run_protocol(&mut tb.system, kind, cfg, &mut net);
     vec![
         kind.label(),
@@ -129,12 +129,11 @@ fn round_trace(min_parallel_peers: usize, memoize: bool) -> String {
         &ExperimentConfig::small(23),
     );
     let mut net = SimNetwork::new();
-    let cfg = ProtocolConfig {
-        max_rounds: 40,
-        min_parallel_peers,
-        memoize_proposals: memoize,
-        ..Default::default()
-    };
+    let cfg = ProtocolConfig::builder()
+        .max_rounds(40)
+        .min_parallel_peers(min_parallel_peers)
+        .memoize(memoize)
+        .build();
     let mut engine = ProtocolEngine::new(SelfishStrategy, cfg);
     let outcome = engine.run(&mut tb.system, &mut net);
     let mut out = String::new();
@@ -384,6 +383,142 @@ fn observed_traffic_engine_parallel_equals_sequential() {
         .expect("shim pool build never fails")
         .install(observed_traffic_trace);
     assert_eq!(baseline.as_bytes(), pinned.as_bytes());
+}
+
+/// A full runtime convergence under a *degraded* schedule (delay 0..3,
+/// 10% loss), rendered to full bit precision: every forwarded request
+/// and grant with gain bits, post-round costs, and the fabric ledger.
+/// Any nondeterminism in the scheduler — heap tie-breaks, RNG draws,
+/// machine polling order — reaches these bytes.
+fn runtime_trace(seed: u64) -> String {
+    let mut tb = build_system(
+        Scenario::SameCategory,
+        InitialConfig::RandomM,
+        &ExperimentConfig::small(23),
+    );
+    let mut net = SimNetwork::new();
+    let cfg = ProtocolConfig::builder()
+        .max_rounds(30)
+        .memoize(false)
+        .build();
+    let mut engine = RuntimeEngine::new(SelfishStrategy, cfg, NetConfig::degraded(seed, 0, 3, 0.1));
+    let outcome = engine.run(&mut tb.system, &mut net);
+    let mut out = String::new();
+    for r in &outcome.rounds {
+        let _ = write!(out, "round {}:", r.round);
+        for q in &r.requests {
+            let _ = write!(
+                out,
+                " req({},{},{},{:016x})",
+                q.src,
+                q.dst,
+                q.peer,
+                q.gain.to_bits()
+            );
+        }
+        for g in &r.granted {
+            let _ = write!(out, " grant({},{})", g.peer, g.dst);
+        }
+        let _ = writeln!(
+            out,
+            " scost={:016x} wcost={:016x} clusters={}",
+            r.scost.to_bits(),
+            r.wcost.to_bits(),
+            r.non_empty_clusters
+        );
+    }
+    let _ = writeln!(
+        out,
+        "net={:?} msgs={}",
+        engine.net_stats(),
+        net.total_messages()
+    );
+    out
+}
+
+/// Seed discipline of the simulated fabric: an identical-seed replay of
+/// a lossy, reordering schedule is byte-identical down to the gain
+/// bits, and two different seeds actually produce different schedules.
+#[test]
+fn runtime_replay_is_byte_identical_and_seeds_diverge() {
+    let first = runtime_trace(7);
+    assert_eq!(
+        first.as_bytes(),
+        runtime_trace(7).as_bytes(),
+        "identical-seed replay diverged"
+    );
+    let other = runtime_trace(8);
+    assert_ne!(
+        first.as_bytes(),
+        other.as_bytes(),
+        "different fabric seeds produced identical degraded runs"
+    );
+}
+
+/// The runtime honours the CI thread matrix the way every other engine
+/// does: a degraded-schedule trace under pinned 1/2/8-worker pools (and
+/// the matrix width) is byte-identical to the ambient run.
+#[test]
+fn runtime_trace_parallel_equals_sequential() {
+    let baseline = runtime_trace(7);
+    for threads in [1usize, 2, 8] {
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build never fails")
+            .install(|| runtime_trace(7));
+        assert_eq!(
+            baseline.as_bytes(),
+            parallel.as_bytes(),
+            "{threads}-thread runtime trace diverged"
+        );
+    }
+    let width: usize = std::env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let pinned = rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("shim pool build never fails")
+        .install(|| runtime_trace(7));
+    assert_eq!(baseline.as_bytes(), pinned.as_bytes());
+}
+
+/// The delay/reorder sweep and the liar audit render byte-identically
+/// under sequential, 1/2/8-pinned and matrix-width runners — the golden
+/// snapshots (`net_sweep.txt`, `liar_audit.txt`) are thread-invariant.
+#[test]
+fn netsim_sweeps_parallel_equal_sequential() {
+    let cfg = ExperimentConfig::small(17);
+    let sweep_seq = render_net_sweep(&run_net_sweep(&cfg, 20, 5, Parallelism::Sequential), 5);
+    let audit_seq = render_liar_audit(&run_liar_audit(&cfg, 20, 5, Parallelism::Sequential), 5);
+    let width: usize = std::env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    for threads in [1usize, 2, 8, width] {
+        let sweep = render_net_sweep(
+            &run_net_sweep(&cfg, 20, 5, Parallelism::Threads(threads)),
+            5,
+        );
+        assert_eq!(
+            sweep_seq.as_bytes(),
+            sweep.as_bytes(),
+            "{threads}-thread net sweep diverged"
+        );
+        let audit = render_liar_audit(
+            &run_liar_audit(&cfg, 20, 5, Parallelism::Threads(threads)),
+            5,
+        );
+        assert_eq!(
+            audit_seq.as_bytes(),
+            audit.as_bytes(),
+            "{threads}-thread liar audit diverged"
+        );
+    }
 }
 
 #[test]

@@ -20,6 +20,7 @@ use recluster_sim::churn::{
 };
 use recluster_sim::fig1::run_fig1_with;
 use recluster_sim::fig4::run_fig4_with;
+use recluster_sim::netsim::{render_liar_audit, render_net_sweep, run_liar_audit, run_net_sweep};
 use recluster_sim::report::{f3, rounds_cell};
 use recluster_sim::scenario::ExperimentConfig;
 use recluster_sim::table1::{run_table1_with, Table1Config};
@@ -237,14 +238,28 @@ fn render_traffic_1m() -> String {
     run_traffic(&cfg, &traffic).render("traffic_1m", 2008)
 }
 
+fn render_net_sweep_snapshot() -> String {
+    let rows = run_net_sweep(&ExperimentConfig::small(17), 40, 5, Parallelism::Sequential);
+    render_net_sweep(&rows, 5)
+}
+
+fn render_liar_audit_snapshot() -> String {
+    let rows = run_liar_audit(&ExperimentConfig::small(17), 40, 5, Parallelism::Sequential);
+    render_liar_audit(&rows, 5)
+}
+
 /// The trailing digest line of a snapshot (`f64-digest:` for the
-/// figure/churn renders, `traffic-digest:` for the traffic engine —
-/// both feed every float's raw bits, so they pinpoint sub-rounding
-/// drift).
+/// figure/churn renders, `traffic-digest:` for the traffic engine,
+/// `netsim-digest:` for the runtime scenarios — all feed every float's
+/// raw bits, so they pinpoint sub-rounding drift).
 fn digest_line(text: &str) -> &str {
     text.lines()
         .rev()
-        .find(|l| l.starts_with("f64-digest:") || l.starts_with("traffic-digest:"))
+        .find(|l| {
+            l.starts_with("f64-digest:")
+                || l.starts_with("traffic-digest:")
+                || l.starts_with("netsim-digest:")
+        })
         .unwrap_or("<no digest line>")
 }
 
@@ -304,6 +319,20 @@ fn fig4_matches_golden_snapshot() {
 #[test]
 fn table1_matches_golden_snapshot() {
     check("table1.txt", render_table1());
+}
+
+/// The typed-message runtime under degraded schedules: scost vs
+/// delay/drop with the grant/deny/drop/stale ledger per cell.
+#[test]
+fn net_sweep_matches_golden_snapshot() {
+    check("net_sweep.txt", render_net_sweep_snapshot());
+}
+
+/// Fault attribution of inflated claimed gains against observed
+/// statistics, scored per liar fraction.
+#[test]
+fn liar_audit_matches_golden_snapshot() {
+    check("liar_audit.txt", render_liar_audit_snapshot());
 }
 
 /// The 10k-peer churn scenario under routed queries — no per-period

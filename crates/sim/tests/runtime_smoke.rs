@@ -1,0 +1,94 @@
+//! Integration smoke for the typed-message runtime on the 40-peer
+//! testbed (the successor of the retired `run_async` smoke): under the
+//! ideal schedule the runtime must be bit-identical to the sync engine,
+//! under a degraded schedule it must stay deterministic and land in the
+//! same cost neighbourhood.
+
+use recluster_core::{
+    scost_normalized, NetConfig, ProtocolConfig, ProtocolEngine, RuntimeEngine, SelfishStrategy,
+};
+use recluster_overlay::SimNetwork;
+use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
+use recluster_types::PeerId;
+
+fn protocol() -> ProtocolConfig {
+    ProtocolConfig::builder()
+        .epsilon(1e-3)
+        .max_rounds(60)
+        .memoize(false)
+        .build()
+}
+
+#[test]
+fn runtime_matches_the_sync_engine_on_the_small_testbed() {
+    let cfg = ExperimentConfig::small(101);
+
+    // Synchronized reference.
+    let mut sync_tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut sync_net = SimNetwork::new();
+    let sync_outcome =
+        ProtocolEngine::new(SelfishStrategy, protocol()).run(&mut sync_tb.system, &mut sync_net);
+    assert!(sync_outcome.converged, "sync engine must converge");
+
+    // Runtime over the degenerate schedule: bit-identical, round for
+    // round, move for move.
+    let mut rt_tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut rt_net = SimNetwork::new();
+    let mut runtime = RuntimeEngine::new(SelfishStrategy, protocol(), NetConfig::ideal());
+    let rt_outcome = runtime.run(&mut rt_tb.system, &mut rt_net);
+    assert!(rt_outcome.converged);
+    assert_eq!(sync_outcome.rounds.len(), rt_outcome.rounds.len());
+    for (a, b) in sync_outcome.rounds.iter().zip(&rt_outcome.rounds) {
+        assert_eq!(a.scost.to_bits(), b.scost.to_bits(), "round {}", a.round);
+        assert_eq!(a.granted, b.granted, "round {}", a.round);
+    }
+    for i in 0..sync_tb.system.overlay().n_slots() {
+        let p = PeerId::from_index(i);
+        assert_eq!(
+            sync_tb.system.overlay().cluster_of(p),
+            rt_tb.system.overlay().cluster_of(p),
+        );
+    }
+    rt_tb.system.overlay().check_invariants().unwrap();
+}
+
+#[test]
+fn degraded_runtime_is_deterministic_and_lands_nearby() {
+    let cfg = ExperimentConfig::small(101);
+    let net = NetConfig::degraded(7, 0, 3, 0.05);
+
+    let run = || {
+        let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+        let mut ledger = SimNetwork::new();
+        let mut engine = RuntimeEngine::new(SelfishStrategy, protocol(), net);
+        let outcome = engine.run(&mut tb.system, &mut ledger);
+        tb.system.overlay().check_invariants().unwrap();
+        (outcome, scost_normalized(&tb.system), engine.net_stats())
+    };
+
+    let (outcome, scost, stats) = run();
+    assert!(stats.dropped > 0, "5% drop over a full run must bite");
+
+    // Same cost neighbourhood as the ideal run (both near the
+    // paper-ideal for scenario 1): loss delays convergence, it does not
+    // wreck the equilibrium.
+    let mut ideal_tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut ideal_net = SimNetwork::new();
+    RuntimeEngine::new(SelfishStrategy, protocol(), NetConfig::ideal())
+        .run(&mut ideal_tb.system, &mut ideal_net);
+    let ideal_scost = scost_normalized(&ideal_tb.system);
+    assert!(
+        (scost - ideal_scost).abs() < 0.15,
+        "degraded {scost} vs ideal {ideal_scost}"
+    );
+
+    // Deterministic in (config, seed): a replay is bitwise identical.
+    let (replay_outcome, replay_scost, replay_stats) = run();
+    assert_eq!(outcome.rounds.len(), replay_outcome.rounds.len());
+    assert_eq!(scost.to_bits(), replay_scost.to_bits());
+    assert_eq!(stats, replay_stats);
+    for (a, b) in outcome.rounds.iter().zip(&replay_outcome.rounds) {
+        assert_eq!(a.scost.to_bits(), b.scost.to_bits());
+        assert_eq!(a.granted, b.granted);
+    }
+}

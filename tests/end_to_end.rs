@@ -8,13 +8,12 @@ use recluster_sim::runner::{run_protocol, StrategyKind};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 
 fn protocol(max_rounds: usize) -> ProtocolConfig {
-    ProtocolConfig {
-        epsilon: 1e-3,
-        max_rounds,
-        empty_targets: EmptyTargetPolicy::Always,
-        use_locks: true,
-        ..Default::default()
-    }
+    ProtocolConfig::builder()
+        .epsilon(1e-3)
+        .max_rounds(max_rounds)
+        .empty_targets(EmptyTargetPolicy::Always)
+        .use_locks(true)
+        .build()
 }
 
 #[test]

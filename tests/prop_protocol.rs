@@ -173,11 +173,10 @@ proptest! {
     fn never_policy_never_grows_cluster_count(seed in 0u64..200) {
         let mut sys = toy_system(seed, 6);
         let before = sys.overlay().non_empty_clusters();
-        let cfg = ProtocolConfig {
-            empty_targets: EmptyTargetPolicy::Never,
-            max_rounds: 20,
-            ..Default::default()
-        };
+        let cfg = ProtocolConfig::builder()
+            .empty_targets(EmptyTargetPolicy::Never)
+            .max_rounds(20)
+            .build();
         let mut engine = ProtocolEngine::new(SelfishStrategy, cfg);
         let mut net = SimNetwork::new();
         let _ = engine.run(&mut sys, &mut net);
@@ -189,10 +188,7 @@ proptest! {
     #[test]
     fn converged_runs_are_epsilon_stable(seed in 0u64..200) {
         let mut sys = toy_system(seed, 6);
-        let cfg = ProtocolConfig {
-            max_rounds: 60,
-            ..Default::default()
-        };
+        let cfg = ProtocolConfig::builder().max_rounds(60).build();
         let mut engine = ProtocolEngine::new(SelfishStrategy, cfg);
         let mut net = SimNetwork::new();
         let outcome = engine.run(&mut sys, &mut net);

@@ -36,10 +36,7 @@ fn facade_covers_the_whole_pipeline() {
     let outcome = run_protocol(
         &mut tb.system,
         StrategyKind::Selfish,
-        ProtocolConfig {
-            max_rounds: 60,
-            ..ProtocolConfig::default()
-        },
+        ProtocolConfig::builder().max_rounds(60).build(),
         &mut net,
     );
     let after = scost_normalized(&tb.system);
