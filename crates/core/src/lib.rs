@@ -58,8 +58,9 @@ pub use equilibrium::{
 };
 pub use global::{scost, scost_normalized, wcost, wcost_normalized};
 pub use protocol::runtime::{
-    CommitRecord, DelayDist, DenyReason, EvidenceLog, FaultReport, LiarConfig, Message, NetConfig,
-    NetStats, PeerStateMachine, RuntimeEngine, SimNet,
+    gain_commitment, CommitRecord, CrashWindow, DecodeError, DelayDist, DenyReason, EvidenceLog,
+    FaultReport, FaultSchedule, LiarConfig, LiarMode, Message, NetConfig, NetStats, Partition,
+    PartitionKind, PeerStateMachine, ReportPlan, RuntimeChurn, RuntimeEngine, SimNet,
 };
 pub use protocol::{
     EmptyTargetPolicy, ProposalMemo, ProtocolConfig, ProtocolConfigBuilder, ProtocolEngine,

@@ -11,26 +11,55 @@
 //! lost to the network is a relocation that never happened.
 //!
 //! Every commit is recorded in an [`EvidenceLog`] together with the
-//! gain the mover claimed on the wire and the gain its strategy
-//! actually computed. [`EvidenceLog::audit`] replays the log against
-//! [`ObservedStats`] — the recall statistics peers actually measured —
-//! to attribute faults: peers whose claims exceed what observation
-//! supports are flagged, and the report scores that attribution against
-//! the configured ground truth ([`LiarConfig`]).
+//! gain the mover claimed on the wire, the gain its strategy actually
+//! computed, the oracle value of the move at snapshot time, and the
+//! commitment/reveal pair from its frames. [`EvidenceLog::audit`]
+//! replays the log against [`ObservedStats`] — the recall statistics
+//! peers actually measured — to attribute faults in distinct
+//! categories: a *reveal mismatch* (the `Commit` gain bits do not
+//! reproduce the `Propose` commitment) is fraud provable from frames
+//! alone; an *inflated* claim exceeds the observation-backed estimate;
+//! an honest claim that merely drifted from the oracle (stale observed
+//! statistics) is *estimation error* and is never flagged as fraud.
+//!
+//! The engine also drives **mid-round churn** from a tick-stamped
+//! schedule ([`RuntimeChurn`]): a departing peer's machine is abandoned
+//! where it stands (its pending grant becomes a deny at round end, its
+//! in-flight frames count as `departed` losses), while a joiner enters
+//! the system immediately, announces itself with a heartbeat, and is
+//! admitted at the next round's collect phase. A commit is applied only
+//! if it is still a *valid move* — the peer has not departed and still
+//! sits in the cluster the commit claims to leave — so no degraded
+//! execution can double-apply a relocation or move a ghost.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use recluster_overlay::SimNetwork;
-use recluster_types::{derive_seed, ClusterId, PeerId};
+use recluster_overlay::{ChurnEvent, MsgKind, SimNetwork};
+use recluster_types::{derive_seed, ClusterId, Document, PeerId, Workload};
 
-use super::machine::{MachineEvent, Outbox, PeerStateMachine};
-use super::message::Message;
+use super::machine::{MachineEvent, Outbox, PeerStateMachine, ReportPlan};
+use super::message::{gain_commitment, Message};
 use super::simnet::{NetConfig, NetStats, SimNet};
 use crate::global::{scost_normalized, wcost_normalized};
 use crate::protocol::{ProtocolConfig, RelocationRequest, RoundOutcome, RunOutcome};
 use crate::strategy::RelocationStrategy;
 use crate::system::System;
 use crate::tracker::ObservedStats;
+
+/// How a configured liar lies — which frames carry the inflation
+/// decides which audit category catches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiarMode {
+    /// The liar inflates consistently: `Propose`, commitment and
+    /// `Commit` all carry the boosted gain. The reveal checks out, so
+    /// only the observation-backed estimate can catch it (`inflated`).
+    Consistent,
+    /// The liar proposes (and commits to) its honest gain but reveals a
+    /// boosted one at `Commit`: the reveal no longer reproduces the
+    /// commitment, which is fraud provable from the frames alone
+    /// (`reveal_mismatch`).
+    LateInflate,
+}
 
 /// Ground truth for the liar scenario: which peers inflate the gain
 /// they claim on the wire, and by how much. Liar selection is a pure
@@ -44,6 +73,8 @@ pub struct LiarConfig {
     pub boost: f64,
     /// Seed of the liar-selection hash.
     pub seed: u64,
+    /// Which frames carry the lie.
+    pub mode: LiarMode,
 }
 
 impl LiarConfig {
@@ -53,6 +84,7 @@ impl LiarConfig {
             fraction: 0.0,
             boost: 1.0,
             seed: 0,
+            mode: LiarMode::Consistent,
         }
     }
 
@@ -84,10 +116,20 @@ pub struct CommitRecord {
     pub from: ClusterId,
     /// The cluster it joined.
     pub to: ClusterId,
-    /// The gain it claimed in its `Propose`/`Commit` frames.
+    /// The gain it claimed in its `Commit` frame (the reveal).
     pub claimed_gain: f64,
     /// The gain its strategy actually computed that round.
     pub true_gain: f64,
+    /// The commitment its `Propose` carried, as harvested from the
+    /// delivered frames — `None` if no `Propose` for this peer was ever
+    /// delivered (the commit then cannot be reveal-checked).
+    pub commitment: Option<u64>,
+    /// The nonce its `Commit` revealed.
+    pub reveal_nonce: u64,
+    /// What the move was actually worth at snapshot time
+    /// (`pcost_current − pcost(to)` over the round's view) — the
+    /// yardstick that tells estimation error from fraud.
+    pub oracle_gain: f64,
 }
 
 /// Outcome of auditing an [`EvidenceLog`] against observed statistics.
@@ -95,10 +137,22 @@ pub struct CommitRecord {
 pub struct FaultReport {
     /// Commits checked against an observation-backed estimate.
     pub audited: usize,
-    /// Commits skipped for lack of observation coverage.
+    /// Commits skipped for lack of observation coverage (the frame-only
+    /// reveal check still ran on them).
     pub skipped: usize,
-    /// Peers whose claim exceeded the observation-backed estimate by
-    /// more than the tolerance (ascending, deduplicated).
+    /// Fraud, provable from frames alone: the `Commit` reveal does not
+    /// reproduce the `Propose` commitment (ascending, deduplicated).
+    pub reveal_mismatch: Vec<PeerId>,
+    /// Fraud by the estimate: the claim exceeded the observation-backed
+    /// estimate by more than the tolerance (ascending, deduplicated).
+    pub inflated: Vec<PeerId>,
+    /// Honest drift, *not* fraud: the reveal checks out and the claim
+    /// matches the peer's estimate, but it sits more than the tolerance
+    /// from the oracle gain — stale observed statistics (ascending,
+    /// deduplicated, disjoint from `flagged`).
+    pub estimation_error: Vec<PeerId>,
+    /// All peers accused of fraud: `reveal_mismatch ∪ inflated`
+    /// (ascending, deduplicated).
     pub flagged: Vec<PeerId>,
     /// Ground truth: peers that actually over-claimed (ascending,
     /// deduplicated).
@@ -164,11 +218,30 @@ impl EvidenceLog {
     ) -> FaultReport {
         let mut audited = 0;
         let mut skipped = 0;
-        let mut flagged = Vec::new();
+        let mut reveal_mismatch = Vec::new();
+        let mut inflated = Vec::new();
+        let mut estimation_error = Vec::new();
         let mut liars = Vec::new();
         for rec in records {
             if rec.claimed_gain > rec.true_gain + 1e-12 {
                 liars.push(rec.peer);
+            }
+            // The frame-only check needs no observations: the reveal
+            // must reproduce the commitment the Propose carried.
+            let fraud_reveal = match rec.commitment {
+                Some(c) => {
+                    gain_commitment(
+                        rec.peer,
+                        rec.from,
+                        rec.to,
+                        rec.claimed_gain.to_bits(),
+                        rec.reveal_nonce,
+                    ) != c
+                }
+                None => false,
+            };
+            if fraud_reveal {
+                reveal_mismatch.push(rec.peer);
             }
             if !stats.has_observations() || !stats.covers(rec.peer) {
                 skipped += 1;
@@ -182,13 +255,30 @@ impl EvidenceLog {
             let est_gain = stats.estimated_pcost(system, rec.peer, rec.from, Some(rec.from))
                 - stats.estimated_pcost(system, rec.peer, rec.to, Some(rec.from));
             if rec.claimed_gain > est_gain + tolerance {
-                flagged.push(rec.peer);
+                inflated.push(rec.peer);
+            } else if !fraud_reveal && (rec.claimed_gain - rec.oracle_gain).abs() > tolerance {
+                // Commitment and estimate both check out, yet the claim
+                // is off the oracle: the peer believed stale statistics.
+                estimation_error.push(rec.peer);
             }
         }
-        flagged.sort();
-        flagged.dedup();
-        liars.sort();
-        liars.dedup();
+        let dedup = |mut v: Vec<PeerId>| {
+            v.sort();
+            v.dedup();
+            v
+        };
+        let reveal_mismatch = dedup(reveal_mismatch);
+        let inflated = dedup(inflated);
+        let flagged = dedup(
+            reveal_mismatch
+                .iter()
+                .chain(inflated.iter())
+                .copied()
+                .collect(),
+        );
+        let mut estimation_error = dedup(estimation_error);
+        estimation_error.retain(|p| flagged.binary_search(p).is_err());
+        let liars = dedup(liars);
         let hits = flagged
             .iter()
             .filter(|&&p| liars.binary_search(&p).is_ok())
@@ -205,11 +295,42 @@ impl EvidenceLog {
             skipped,
             precision: ratio(hits, flagged.len()),
             recall: ratio(hits, liars.len()),
+            reveal_mismatch,
+            inflated,
+            estimation_error,
             flagged,
             liars,
         }
     }
 }
+
+/// One scheduled mid-round membership change, applied when the fabric
+/// clock reaches its tick — possibly in the middle of a phase.
+#[derive(Debug, Clone)]
+pub enum RuntimeChurn {
+    /// `peer` leaves: its machine is abandoned where it stands, its
+    /// workload cleared, and every frame still addressed to it counts
+    /// as a `departed` loss.
+    Depart {
+        /// The departing peer.
+        peer: PeerId,
+    },
+    /// A new peer joins `cluster` carrying `docs` and `workload`. It
+    /// announces itself with a heartbeat to the cluster's snapshot
+    /// representative and participates from the next round's collect
+    /// phase.
+    Arrive {
+        /// The cluster joined.
+        cluster: ClusterId,
+        /// Documents the newcomer shares.
+        docs: Vec<Document>,
+        /// The newcomer's query workload.
+        workload: Workload,
+    },
+}
+
+/// Domain constant of the per-round, per-peer commit nonce derivation.
+const NONCE_DOMAIN: u64 = 0x006e_6f6e_6365; // "nonce"
 
 /// The message-passing protocol driver.
 pub struct RuntimeEngine<S: RelocationStrategy> {
@@ -217,6 +338,10 @@ pub struct RuntimeEngine<S: RelocationStrategy> {
     config: ProtocolConfig,
     net: SimNet,
     liars: LiarConfig,
+    /// Tick-stamped churn schedule, stable-sorted by tick.
+    churn: Vec<(u64, RuntimeChurn)>,
+    /// Next unapplied entry in `churn`.
+    churn_idx: usize,
     /// Frustration reference points, engine-lifetime like the sync
     /// engine's (see [`crate::protocol::fold_min_costs`]).
     min_costs: Vec<f64>,
@@ -225,6 +350,8 @@ pub struct RuntimeEngine<S: RelocationStrategy> {
     evidence: EvidenceLog,
     granted_total: u64,
     denied_total: u64,
+    commits_voided: u64,
+    grants_voided: u64,
 }
 
 impl<S: RelocationStrategy> RuntimeEngine<S> {
@@ -238,12 +365,32 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
             config,
             net: SimNet::new(net_config),
             liars: LiarConfig::none(),
+            churn: Vec::new(),
+            churn_idx: 0,
             min_costs: Vec::new(),
             now: 0,
             evidence: EvidenceLog::default(),
             granted_total: 0,
             denied_total: 0,
+            commits_voided: 0,
+            grants_voided: 0,
         }
+    }
+
+    /// Attaches a fault timetable to the fabric (partitions and crash
+    /// windows; see [`FaultSchedule`](super::FaultSchedule)).
+    pub fn with_faults(mut self, faults: super::simnet::FaultSchedule) -> Self {
+        self.net = self.net.with_faults(faults);
+        self
+    }
+
+    /// Schedules mid-round churn. Entries are applied when the fabric
+    /// clock reaches their tick, in schedule order for equal ticks.
+    pub fn with_churn(mut self, mut schedule: Vec<(u64, RuntimeChurn)>) -> Self {
+        schedule.sort_by_key(|&(tick, _)| tick);
+        self.churn = schedule;
+        self.churn_idx = 0;
+        self
     }
 
     /// Configures a fraction of peers to inflate their claimed gains.
@@ -286,6 +433,20 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
         self.denied_total
     }
 
+    /// Commits voided across all rounds: delivered `Commit` frames that
+    /// were not valid moves (the peer had departed, or no longer sat in
+    /// the cluster the frame claimed to leave), counted once per peer
+    /// per round.
+    pub fn commits_voided_total(&self) -> u64 {
+        self.commits_voided
+    }
+
+    /// Grants converted to denies at round end because the granted peer
+    /// departed before committing.
+    pub fn grants_voided_total(&self) -> u64 {
+        self.grants_voided
+    }
+
     /// The commit audit trail.
     pub fn evidence(&self) -> &EvidenceLog {
         &self.evidence
@@ -315,6 +476,69 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
         }
     }
 
+    /// Applies every churn entry due at or before the current tick:
+    /// departures tear down the peer (system, workload, machine) and
+    /// joiners enter the system and announce themselves to the round
+    /// snapshot's representative of their cluster, when it is live.
+    fn apply_due_churn(
+        &mut self,
+        system: &mut System,
+        ledger: &mut SimNetwork,
+        machines: &mut BTreeMap<PeerId, PeerStateMachine>,
+        departed: &mut BTreeSet<PeerId>,
+        rep_of: &HashMap<ClusterId, PeerId>,
+    ) {
+        while self
+            .churn
+            .get(self.churn_idx)
+            .is_some_and(|&(tick, _)| tick <= self.now)
+        {
+            let (_, event) = self.churn[self.churn_idx].clone();
+            self.churn_idx += 1;
+            match event {
+                RuntimeChurn::Depart { peer } => {
+                    if system
+                        .apply_churn_event(ledger, ChurnEvent::Leave { peer })
+                        .is_none()
+                    {
+                        continue; // already gone — a no-op departure
+                    }
+                    system.set_workload(peer, Workload::new());
+                    machines.remove(&peer);
+                    departed.insert(peer);
+                }
+                RuntimeChurn::Arrive {
+                    cluster,
+                    docs,
+                    workload,
+                } => {
+                    let Some(delta) =
+                        system.apply_churn_event(ledger, ChurnEvent::Join { cluster, docs })
+                    else {
+                        continue;
+                    };
+                    let joiner = delta.peer();
+                    system.set_workload(joiner, workload);
+                    // The joiner announces itself mid-round. The
+                    // collectors consume the heartbeat without counting
+                    // it (the joiner is outside the round snapshot);
+                    // admission happens at the next round's collect
+                    // phase, whose snapshot includes the peer.
+                    if let Some(&rep) = rep_of.get(&delta.cluster()) {
+                        if machines.contains_key(&rep) {
+                            let hb = Message::Heartbeat {
+                                peer: joiner,
+                                from: delta.cluster(),
+                            };
+                            self.net
+                                .send(self.now, joiner, rep, &hb, MsgKind::Heartbeat, ledger);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Executes one round end to end: snapshot, machine construction,
     /// tick loop until the fabric drains, commit application, outcome.
     pub fn run_round(
@@ -323,19 +547,33 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
         ledger: &mut SimNetwork,
         round: usize,
     ) -> RoundOutcome {
+        // Churn due before the round starts is applied pre-snapshot, so
+        // the snapshot never sees a peer that already left.
+        let mut machines: BTreeMap<PeerId, PeerStateMachine> = BTreeMap::new();
+        let mut departed: BTreeSet<PeerId> = BTreeSet::new();
+        self.apply_due_churn(
+            system,
+            ledger,
+            &mut machines,
+            &mut departed,
+            &HashMap::new(),
+        );
+        departed.clear();
+
         self.strategy.prepare(system);
         let phase_ticks = self.net.config().phase_ticks;
         let allow_empty = crate::protocol::base_allow_empty(&self.config);
 
         // ---- Snapshot: derive every peer's local knowledge. ---------
-        let mut machines: BTreeMap<PeerId, PeerStateMachine> = BTreeMap::new();
         let mut true_gains: HashMap<PeerId, f64> = HashMap::new();
+        let mut oracle_gains: HashMap<PeerId, f64> = HashMap::new();
+        let rep_of: HashMap<ClusterId, PeerId>;
         let mut n_live = 0;
         {
             let view = system.view();
             crate::protocol::fold_min_costs(&view, &mut self.min_costs, &[]);
             let non_empty: Vec<ClusterId> = view.overlay().non_empty_ids().to_vec();
-            let rep_of: HashMap<ClusterId, PeerId> = non_empty
+            rep_of = non_empty
                 .iter()
                 .map(|&cid| {
                     let rep = view
@@ -359,35 +597,65 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
                         peer,
                         raw,
                     );
-                    let report = filtered.map(|p| {
-                        true_gains.insert(peer, p.gain);
-                        let claimed = if self.liars.is_liar(peer) {
-                            p.gain * self.liars.boost
-                        } else {
-                            p.gain
-                        };
-                        (p.to, claimed)
-                    });
-                    let dst_rep = filtered.and_then(|p| rep_of.get(&p.to).copied());
+                    let plan = match filtered {
+                        Some(p) => {
+                            true_gains.insert(peer, p.gain);
+                            oracle_gains.insert(
+                                peer,
+                                crate::cost::pcost_current(&view, peer)
+                                    - crate::cost::pcost(&view, peer, p.to),
+                            );
+                            let nonce = derive_seed(
+                                derive_seed(NONCE_DOMAIN, round as u64),
+                                u64::from(peer.0),
+                            );
+                            // What the peer claims now, what it commits
+                            // to, and what its commitment covers — the
+                            // liar mode decides which pieces disagree.
+                            let (claimed, commit_gain, committed_gain) = if self.liars.is_liar(peer)
+                            {
+                                let boosted = p.gain * self.liars.boost;
+                                match self.liars.mode {
+                                    LiarMode::Consistent => (boosted, boosted, boosted),
+                                    LiarMode::LateInflate => (p.gain, boosted, p.gain),
+                                }
+                            } else {
+                                (p.gain, p.gain, p.gain)
+                            };
+                            ReportPlan {
+                                report: Some((p.to, claimed)),
+                                dst_rep: rep_of.get(&p.to).copied(),
+                                commitment: gain_commitment(
+                                    peer,
+                                    cid,
+                                    p.to,
+                                    committed_gain.to_bits(),
+                                    nonce,
+                                ),
+                                nonce,
+                                commit_gain,
+                            }
+                        }
+                        None => ReportPlan::heartbeat(),
+                    };
                     let machine = if peer == rep {
-                        let other_reps: Vec<PeerId> = non_empty
+                        let others: Vec<(ClusterId, PeerId)> = non_empty
                             .iter()
                             .filter(|&&c| c != cid)
-                            .map(|c| rep_of[c])
+                            .map(|&c| (c, rep_of[&c]))
                             .collect();
                         PeerStateMachine::representative(
                             peer,
                             cid,
                             members.clone(),
-                            other_reps,
-                            report,
-                            dst_rep,
+                            others,
+                            plan,
                             self.config.use_locks,
                             self.now,
                             phase_ticks,
                         )
                     } else {
-                        PeerStateMachine::member(peer, cid, rep, report, dst_rep)
+                        PeerStateMachine::member(peer, cid, rep, plan)
                     };
                     machines.insert(peer, machine);
                 }
@@ -399,6 +667,10 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
         let mut requests: Vec<RelocationRequest> = Vec::new();
         let mut granted: Vec<RelocationRequest> = Vec::new();
         let mut committed: Vec<PeerId> = Vec::new();
+        let mut voided: BTreeSet<PeerId> = BTreeSet::new();
+        // Commitments harvested from delivered Propose frames — the
+        // auditor's only source, exactly as a real observer would have.
+        let mut commitments: HashMap<PeerId, u64> = HashMap::new();
         for machine in machines.values_mut() {
             machine.poll(self.now, phase_ticks, &mut out);
         }
@@ -412,26 +684,52 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
             }
             let Some(next) = next else { break };
             self.now = next.max(self.now + 1);
+            self.apply_due_churn(system, ledger, &mut machines, &mut departed, &rep_of);
             while let Some((_, dst, msg)) = self.net.pop_due(self.now) {
+                if let Message::Propose {
+                    peer, commitment, ..
+                } = msg
+                {
+                    commitments.entry(peer).or_insert(commitment);
+                }
                 if let Message::Commit {
                     peer,
                     from,
                     to,
                     claimed_gain,
+                    nonce,
                 } = msg
                 {
-                    // Apply on the first delivered copy only.
+                    // Apply on the first delivered copy only, and only
+                    // if it is still a valid move: the peer has not
+                    // departed and still sits in the cluster it claims
+                    // to leave. (The departed check comes first — a
+                    // freed slot can be reassigned to a joiner.)
                     if !committed.contains(&peer) {
-                        committed.push(peer);
-                        system.move_peer(peer, to);
-                        self.evidence.push(CommitRecord {
-                            round,
-                            peer,
-                            from,
-                            to,
-                            claimed_gain,
-                            true_gain: true_gains.get(&peer).copied().unwrap_or(claimed_gain),
-                        });
+                        if departed.contains(&peer)
+                            || system.overlay().cluster_of(peer) != Some(from)
+                        {
+                            if voided.insert(peer) {
+                                self.commits_voided += 1;
+                            }
+                        } else {
+                            committed.push(peer);
+                            system.move_peer(peer, to);
+                            self.evidence.push(CommitRecord {
+                                round,
+                                peer,
+                                from,
+                                to,
+                                claimed_gain,
+                                true_gain: true_gains.get(&peer).copied().unwrap_or(claimed_gain),
+                                commitment: commitments.get(&peer).copied(),
+                                reveal_nonce: nonce,
+                                oracle_gain: oracle_gains
+                                    .get(&peer)
+                                    .copied()
+                                    .unwrap_or(claimed_gain),
+                            });
+                        }
                     }
                 }
                 match machines.get_mut(&dst) {
@@ -440,6 +738,9 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
                             self.net.note_stale();
                         }
                     }
+                    // The driver owns the machine set, so it can tell a
+                    // mid-round departure from mere lateness.
+                    None if departed.contains(&dst) => self.net.note_departed(),
                     None => self.net.note_stale(),
                 }
             }
@@ -452,6 +753,19 @@ impl<S: RelocationStrategy> RuntimeEngine<S> {
             machines.values().all(|m| m.done()),
             "round left work behind"
         );
+
+        // A grant whose winner departed before committing is a deny at
+        // the deadline: the representative's lock was spent on a move
+        // that can no longer happen.
+        granted.retain(|req| {
+            let void = departed.contains(&req.peer) && !committed.contains(&req.peer);
+            if void {
+                self.granted_total -= 1;
+                self.denied_total += 1;
+                self.grants_voided += 1;
+            }
+            !void
+        });
 
         // ---- Outcome: identical shape (and, under the ideal schedule,
         // identical bytes) to the sync engine's. --------------------
@@ -611,6 +925,7 @@ mod tests {
             fraction: 1.0,
             boost: 50.0,
             seed: 9,
+            mode: LiarMode::Consistent,
         };
         let mut runtime =
             RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal()).with_liars(liars);
@@ -625,6 +940,83 @@ mod tests {
         );
         assert_eq!(report.precision, 1.0);
         assert_eq!(report.recall, 1.0);
+    }
+
+    /// A late-inflating liar is proven from the frames alone: the audit
+    /// needs no observation coverage (everything is `skipped`) yet
+    /// catches every liar through the commitment/reveal mismatch.
+    #[test]
+    fn late_inflate_liars_are_proven_from_frames_alone() {
+        let mut sys = two_category_system();
+        let mut ledger = SimNetwork::new();
+        let liars = LiarConfig {
+            fraction: 1.0,
+            boost: 50.0,
+            seed: 9,
+            mode: LiarMode::LateInflate,
+        };
+        let mut runtime =
+            RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal()).with_liars(liars);
+        let outcome = runtime.run(&mut sys, &mut ledger);
+        assert!(outcome.converged);
+        assert!(!runtime.evidence().records().is_empty());
+        // No observations at all: the estimate-backed check cannot run.
+        let report = runtime
+            .evidence()
+            .audit(&sys, &ObservedStats::new(0.5), 0.05);
+        assert_eq!(report.audited, 0);
+        assert!(report.skipped > 0);
+        assert!(!report.liars.is_empty());
+        assert_eq!(report.reveal_mismatch, report.liars);
+        assert_eq!(report.flagged, report.liars);
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.recall, 1.0);
+    }
+
+    /// A mid-round departure abandons the peer's machine, attributes
+    /// its in-flight frames to the `departed` ledger, and never applies
+    /// a commit for it.
+    #[test]
+    fn midround_departure_abandons_the_peer() {
+        let mut sys = two_category_system();
+        let mut ledger = SimNetwork::new();
+        let mut runtime = RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal())
+            .with_churn(vec![(1, RuntimeChurn::Depart { peer: PeerId(1) })]);
+        let outcome = runtime.run(&mut sys, &mut ledger);
+        assert!(outcome.converged);
+        assert_eq!(sys.overlay().cluster_of(PeerId(1)), None);
+        // Its self-addressed report (sent at tick 0, due at tick 1)
+        // found no machine: a departed loss, not a stale one.
+        assert!(runtime.net_stats().departed > 0);
+        assert_eq!(runtime.net_stats().stale, 0);
+        for rec in runtime.evidence().records() {
+            assert_ne!(rec.peer, PeerId(1), "no commit for a departed peer");
+        }
+    }
+
+    /// A mid-round joiner enters the system immediately and is admitted
+    /// at the next round's collect phase.
+    #[test]
+    fn midround_joiner_is_admitted_next_round() {
+        let mut sys = two_category_system();
+        let mut ledger = SimNetwork::new();
+        let mut w = Workload::new();
+        w.add(Query::keyword(Sym(1)), 2);
+        let mut runtime = RuntimeEngine::new(SelfishStrategy, config(), NetConfig::ideal())
+            .with_churn(vec![(
+                1,
+                RuntimeChurn::Arrive {
+                    cluster: ClusterId(0),
+                    docs: vec![Document::new(vec![Sym(1)])],
+                    workload: w,
+                },
+            )]);
+        let outcome = runtime.run(&mut sys, &mut ledger);
+        assert!(outcome.converged);
+        // The joiner (the grown slot, PeerId(4)) is live and clustered.
+        assert!(sys.overlay().cluster_of(PeerId(4)).is_some());
+        // Its announcement heartbeat was consumed, not counted stale.
+        assert_eq!(runtime.net_stats().stale, 0);
     }
 
     #[test]

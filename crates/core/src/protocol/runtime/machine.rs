@@ -20,14 +20,23 @@
 //! deadline path produces exactly the stale-view decisions the sweep
 //! scenarios measure.
 //!
+//! Collectors are **identity-based**: a phase tracks *which* members
+//! and clusters it has heard (sets), not how many. Under the fully
+//! drained, churn-free schedules the two are indistinguishable — every
+//! frame arrives at most once and only from snapshot peers — but under
+//! mid-round churn a frame from a peer outside the round snapshot (a
+//! joiner announcing itself via heartbeat) or a duplicate is consumed
+//! without advancing any phase, so a collector can never fire early on
+//! traffic the snapshot never promised it.
+//!
 //! [`ProtocolEngine`]: crate::protocol::ProtocolEngine
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use recluster_overlay::MsgKind;
 use recluster_types::{ClusterId, PeerId};
 
-use super::message::{DenyReason, Message};
+use super::message::{gain_commitment, DenyReason, Message};
 use crate::protocol::locks::LockSet;
 use crate::protocol::RelocationRequest;
 
@@ -84,30 +93,88 @@ impl Outbox {
     }
 }
 
+/// What a peer reports this round and how it backs the claim: the
+/// proposal (already policy-filtered, already inflated for configured
+/// liars), the [`gain_commitment`] the `Propose` carries, and the gain
+/// bits + nonce the peer will reveal at `Commit`. [`ReportPlan::honest`]
+/// builds the self-consistent plan; a liar mode builds a plan whose
+/// pieces disagree, which is exactly what the audit detects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportPlan {
+    /// The proposal to report: `(destination, claimed gain)`. `None`
+    /// reports a heartbeat.
+    pub report: Option<(ClusterId, f64)>,
+    /// Representative of the proposal's destination cluster in the
+    /// round snapshot (`None` when the destination is empty) — where
+    /// the second [`Message::Commit`] copy goes.
+    pub dst_rep: Option<PeerId>,
+    /// The commitment the `Propose` carries.
+    pub commitment: u64,
+    /// The nonce revealed at `Commit`.
+    pub nonce: u64,
+    /// The gain restated at `Commit` (the reveal).
+    pub commit_gain: f64,
+}
+
+impl ReportPlan {
+    /// The "nothing to report" plan: a heartbeat, no commitment.
+    pub fn heartbeat() -> Self {
+        ReportPlan {
+            report: None,
+            dst_rep: None,
+            commitment: 0,
+            nonce: 0,
+            commit_gain: 0.0,
+        }
+    }
+
+    /// A self-consistent plan: the commitment covers exactly the gain
+    /// bits the peer claims now and will reveal at `Commit`.
+    pub fn honest(
+        peer: PeerId,
+        from: ClusterId,
+        to: ClusterId,
+        gain: f64,
+        nonce: u64,
+        dst_rep: Option<PeerId>,
+    ) -> Self {
+        ReportPlan {
+            report: Some((to, gain)),
+            dst_rep,
+            commitment: gain_commitment(peer, from, to, gain.to_bits(), nonce),
+            nonce,
+            commit_gain: gain,
+        }
+    }
+}
+
 /// Representative-only state: the two collect-then-fire phases.
 #[derive(Debug)]
 struct RepState {
     /// Members of the cluster (ascending), `self` included.
     members: Vec<PeerId>,
-    /// Representatives of every *other* non-empty cluster.
-    other_reps: Vec<PeerId>,
+    /// `(cluster, representative)` of every *other* non-empty cluster.
+    others: Vec<(ClusterId, PeerId)>,
     /// The sync engine's lock switch ([`ProtocolConfig::use_locks`]).
     ///
     /// [`ProtocolConfig::use_locks`]: crate::protocol::ProtocolConfig
     use_locks: bool,
-    /// Gain reports collected so far (Propose frames only; heartbeats
-    /// are counted in `reports_heard` but carry no candidate).
-    reports: Vec<RelocationRequest>,
-    /// Members heard from (each member reports exactly once).
-    reports_heard: usize,
+    /// Gain reports collected so far with their commitments (Propose
+    /// frames only; heartbeats mark `reports_heard` but carry no
+    /// candidate).
+    reports: Vec<(RelocationRequest, u64)>,
+    /// Which members have reported (identity, not count: duplicates and
+    /// non-members never advance the phase).
+    reports_heard: BTreeSet<PeerId>,
     phase1_deadline: u64,
     phase1_fired: bool,
-    /// The cluster's own forwarded request, if any.
-    own_request: Option<RelocationRequest>,
+    /// The cluster's own forwarded request with its commitment, if any.
+    own_request: Option<(RelocationRequest, u64)>,
     /// Forwarded requests received from other representatives.
     peer_requests: Vec<RelocationRequest>,
-    /// Other clusters heard from in phase 2 (request or heartbeat).
-    clusters_heard: usize,
+    /// Which other clusters have spoken in phase 2 (request or
+    /// heartbeat).
+    clusters_heard: BTreeSet<ClusterId>,
     phase2_deadline: u64,
     phase2_fired: bool,
     /// Own-cluster size, maintained from delivered commits — the value
@@ -130,33 +197,20 @@ pub struct PeerStateMachine {
     cluster: ClusterId,
     /// This peer's cluster representative (itself, when representative).
     rep: PeerId,
-    /// The proposal to report: `(destination, claimed gain)` — already
-    /// policy-filtered, and already inflated when the peer is a
-    /// configured liar. `None` reports a heartbeat.
-    report: Option<(ClusterId, f64)>,
-    /// Representative of the proposal's destination cluster in the
-    /// round snapshot (`None` when the destination is empty) — where
-    /// the second [`Message::Commit`] copy goes.
-    dst_rep: Option<PeerId>,
+    /// What this peer reports and reveals ([`ReportPlan`]).
+    plan: ReportPlan,
     sent_report: bool,
     role: Role,
 }
 
 impl PeerStateMachine {
     /// A plain member: reports to `rep`, waits for grant or deny.
-    pub fn member(
-        peer: PeerId,
-        cluster: ClusterId,
-        rep: PeerId,
-        report: Option<(ClusterId, f64)>,
-        dst_rep: Option<PeerId>,
-    ) -> Self {
+    pub fn member(peer: PeerId, cluster: ClusterId, rep: PeerId, plan: ReportPlan) -> Self {
         PeerStateMachine {
             peer,
             cluster,
             rep,
-            report,
-            dst_rep,
+            plan,
             sent_report: false,
             role: Role::Member,
         }
@@ -164,20 +218,19 @@ impl PeerStateMachine {
 
     /// A representative: a member plus the two collector phases.
     /// `members` must be the cluster's member list ascending (`peer`
-    /// included); `other_reps` the representatives of every other
-    /// non-empty cluster. `round_start` and `phase_ticks` position the
-    /// phase-1 deadline at `round_start + 1 + phase_ticks` (reports
-    /// leave at `round_start` and arrive no earlier than one tick
-    /// later); the phase-2 deadline is set the same way when phase 1
-    /// fires.
+    /// included); `others` the `(cluster, representative)` pairs of
+    /// every other non-empty cluster. `round_start` and `phase_ticks`
+    /// position the phase-1 deadline at `round_start + 1 + phase_ticks`
+    /// (reports leave at `round_start` and arrive no earlier than one
+    /// tick later); the phase-2 deadline is set the same way when
+    /// phase 1 fires.
     #[allow(clippy::too_many_arguments)]
     pub fn representative(
         peer: PeerId,
         cluster: ClusterId,
         members: Vec<PeerId>,
-        other_reps: Vec<PeerId>,
-        report: Option<(ClusterId, f64)>,
-        dst_rep: Option<PeerId>,
+        others: Vec<(ClusterId, PeerId)>,
+        plan: ReportPlan,
         use_locks: bool,
         round_start: u64,
         phase_ticks: u64,
@@ -187,20 +240,19 @@ impl PeerStateMachine {
             peer,
             cluster,
             rep: peer,
-            report,
-            dst_rep,
+            plan,
             sent_report: false,
             role: Role::Representative(Box::new(RepState {
                 members,
-                other_reps,
+                others,
                 use_locks,
                 reports: Vec::new(),
-                reports_heard: 0,
+                reports_heard: BTreeSet::new(),
                 phase1_deadline: round_start + 1 + phase_ticks,
                 phase1_fired: false,
                 own_request: None,
                 peer_requests: Vec::new(),
-                clusters_heard: 0,
+                clusters_heard: BTreeSet::new(),
                 phase2_deadline: u64::MAX,
                 phase2_fired: false,
                 own_size,
@@ -257,12 +309,13 @@ impl PeerStateMachine {
     pub fn poll(&mut self, now: u64, phase_ticks: u64, out: &mut Outbox) {
         if !self.sent_report {
             self.sent_report = true;
-            let msg = match self.report {
+            let msg = match self.plan.report {
                 Some((to, claimed_gain)) => Message::Propose {
                     peer: self.peer,
                     from: self.cluster,
                     to,
                     claimed_gain,
+                    commitment: self.plan.commitment,
                 },
                 None => Message::Heartbeat {
                     peer: self.peer,
@@ -277,13 +330,13 @@ impl PeerStateMachine {
         let (peer, cluster) = (self.peer, self.cluster);
         if let Role::Representative(rep) = &mut self.role {
             if !rep.phase1_fired
-                && (rep.reports_heard == rep.members.len() || now >= rep.phase1_deadline)
+                && (rep.reports_heard.len() == rep.members.len() || now >= rep.phase1_deadline)
             {
                 rep.fire_phase1(peer, cluster, now, phase_ticks, out);
             }
             if rep.phase1_fired
                 && !rep.phase2_fired
-                && (rep.clusters_heard == rep.other_reps.len() || now >= rep.phase2_deadline)
+                && (rep.clusters_heard.len() == rep.others.len() || now >= rep.phase2_deadline)
             {
                 rep.fire_phase2(peer, cluster, out);
             }
@@ -300,6 +353,7 @@ impl PeerStateMachine {
                 from,
                 to,
                 claimed_gain,
+                commitment,
             } => {
                 let report = from == self.cluster;
                 let Role::Representative(rep) = &mut self.role else {
@@ -312,35 +366,57 @@ impl PeerStateMachine {
                     gain: claimed_gain,
                 };
                 if report {
+                    // A frame from outside the snapshot's member list
+                    // (a mid-round joiner) is consumed regardless of
+                    // phase state — it is not late, just early.
+                    if rep.members.binary_search(&peer).is_err() {
+                        return true;
+                    }
                     if rep.phase1_fired {
                         return false;
                     }
-                    rep.reports_heard += 1;
-                    rep.reports.push(req);
+                    // A duplicate is consumed without advancing.
+                    if !rep.reports_heard.insert(peer) {
+                        return true;
+                    }
+                    rep.reports.push((req, commitment));
                 } else {
+                    // Same for a forward from a cluster the snapshot
+                    // doesn't know, or one already heard.
+                    if !rep.others.iter().any(|&(c, _)| c == from) {
+                        return true;
+                    }
                     if rep.phase2_fired {
                         return false;
                     }
-                    rep.clusters_heard += 1;
+                    if !rep.clusters_heard.insert(from) {
+                        return true;
+                    }
                     rep.peer_requests.push(req);
                 }
                 true
             }
-            Message::Heartbeat { from, .. } => {
+            Message::Heartbeat { peer, from } => {
                 let report = from == self.cluster;
                 let Role::Representative(rep) = &mut self.role else {
                     return false;
                 };
                 if report {
+                    if rep.members.binary_search(&peer).is_err() {
+                        return true;
+                    }
                     if rep.phase1_fired {
                         return false;
                     }
-                    rep.reports_heard += 1;
+                    rep.reports_heard.insert(peer);
                 } else {
+                    if !rep.others.iter().any(|&(c, _)| c == from) {
+                        return true;
+                    }
                     if rep.phase2_fired {
                         return false;
                     }
-                    rep.clusters_heard += 1;
+                    rep.clusters_heard.insert(from);
                 }
                 true
             }
@@ -349,16 +425,18 @@ impl PeerStateMachine {
                     return false;
                 }
                 // Execute the move: commit to the home representative
-                // and, when the destination has one, to it too.
-                let claimed_gain = self.report.map_or(0.0, |(_, g)| g);
+                // and, when the destination has one, to it too. The
+                // commit reveals the plan's gain bits and nonce — the
+                // auditor checks them against the Propose commitment.
                 let commit = Message::Commit {
                     peer: self.peer,
                     from: src,
                     to: dst,
-                    claimed_gain,
+                    claimed_gain: self.plan.commit_gain,
+                    nonce: self.plan.nonce,
                 };
                 out.send(self.peer, self.rep, commit, MsgKind::ClusterJoin);
-                if let Some(dst_rep) = self.dst_rep {
+                if let Some(dst_rep) = self.plan.dst_rep {
                     out.send(self.peer, dst_rep, commit, MsgKind::ClusterJoin);
                 }
                 true
@@ -378,7 +456,7 @@ impl PeerStateMachine {
                     cluster,
                     size: rep.own_size,
                 };
-                for &other in &rep.other_reps {
+                for &(_, other) in &rep.others {
                     out.send(peer, other, update, MsgKind::SummaryUpdate);
                 }
                 true
@@ -408,15 +486,15 @@ impl RepState {
     ) {
         self.phase1_fired = true;
         self.phase2_deadline = now + 1 + phase_ticks;
-        self.reports.sort_by_key(|r| r.peer);
-        let mut best: Option<RelocationRequest> = None;
+        self.reports.sort_by_key(|(r, _)| r.peer);
+        let mut best: Option<(RelocationRequest, u64)> = None;
         for &candidate in &self.reports {
             let replace = match &best {
                 None => true,
-                Some(b) => {
-                    candidate.gain > b.gain + f64::EPSILON
-                        || ((candidate.gain - b.gain).abs() <= f64::EPSILON
-                            && candidate.peer < b.peer)
+                Some((b, _)) => {
+                    candidate.0.gain > b.gain + f64::EPSILON
+                        || ((candidate.0.gain - b.gain).abs() <= f64::EPSILON
+                            && candidate.0.peer < b.peer)
                 }
             };
             if replace {
@@ -425,14 +503,17 @@ impl RepState {
         }
         self.own_request = best;
         match best {
-            Some(req) => {
+            Some((req, commitment)) => {
+                // The forward relays the member's commitment verbatim —
+                // a representative cannot launder a member's claim.
                 let forward = Message::Propose {
                     peer: req.peer,
                     from: req.src,
                     to: req.dst,
                     claimed_gain: req.gain,
+                    commitment,
                 };
-                for &other in &self.other_reps {
+                for &(_, other) in &self.others {
                     out.send(peer, other, forward, MsgKind::RelocationRequest);
                 }
                 out.event(MachineEvent::Forwarded(req));
@@ -442,7 +523,7 @@ impl RepState {
                     peer,
                     from: cluster,
                 };
-                for &other in &self.other_reps {
+                for &(_, other) in &self.others {
                     out.send(peer, other, hb, MsgKind::Heartbeat);
                 }
             }
@@ -456,7 +537,7 @@ impl RepState {
     fn fire_phase2(&mut self, peer: PeerId, cluster: ClusterId, out: &mut Outbox) {
         self.phase2_fired = true;
         let mut all: Vec<RelocationRequest> = self.peer_requests.clone();
-        if let Some(own) = self.own_request {
+        if let Some((own, _)) = self.own_request {
             all.push(own);
         }
         RelocationRequest::sort_requests(&mut all);
@@ -533,9 +614,8 @@ mod tests {
             PeerId(0),
             ClusterId(0),
             vec![PeerId(0), PeerId(1)],
-            vec![PeerId(2)],
-            None,
-            None,
+            vec![(ClusterId(1), PeerId(2))],
+            ReportPlan::heartbeat(),
             true,
             0,
             8,
@@ -560,11 +640,13 @@ mod tests {
                 from: ClusterId(0),
                 to: ClusterId(1),
                 claimed_gain: 0.5,
+                commitment: 0xfeed,
             },
             &mut out,
         ));
         rep.poll(1, 8, &mut out);
         let fwd = drain_to(&mut out, PeerId(2));
+        // The forward relays the member's commitment verbatim.
         assert_eq!(
             fwd,
             vec![Message::Propose {
@@ -572,6 +654,7 @@ mod tests {
                 from: ClusterId(0),
                 to: ClusterId(1),
                 claimed_gain: 0.5,
+                commitment: 0xfeed,
             }]
         );
         assert_eq!(
@@ -615,8 +698,7 @@ mod tests {
             ClusterId(0),
             vec![PeerId(0), PeerId(1)],
             vec![],
-            None,
-            None,
+            ReportPlan::heartbeat(),
             true,
             0,
             2,
@@ -641,9 +723,65 @@ mod tests {
                 from: ClusterId(0),
                 to: ClusterId(1),
                 claimed_gain: 9.0,
+                commitment: 0,
             },
             &mut out,
         ));
+    }
+
+    /// Identity-based collection: a report from outside the snapshot's
+    /// member list (a mid-round joiner) and a duplicate are consumed
+    /// without advancing the phase, so the collector still waits for
+    /// the member it has not heard.
+    #[test]
+    fn joiner_and_duplicate_reports_do_not_advance_the_phase() {
+        let mut out = Outbox::new();
+        let mut rep = PeerStateMachine::representative(
+            PeerId(0),
+            ClusterId(0),
+            vec![PeerId(0), PeerId(1)],
+            vec![],
+            ReportPlan::heartbeat(),
+            true,
+            0,
+            8,
+        );
+        rep.poll(0, 8, &mut out);
+        out.drain_frames();
+        // A joiner's heartbeat: consumed (not stale), phase unmoved.
+        assert!(rep.receive(
+            &Message::Heartbeat {
+                peer: PeerId(42),
+                from: ClusterId(0)
+            },
+            &mut out
+        ));
+        // The rep's own report, twice — the duplicate is absorbed.
+        for _ in 0..2 {
+            assert!(rep.receive(
+                &Message::Heartbeat {
+                    peer: PeerId(0),
+                    from: ClusterId(0)
+                },
+                &mut out
+            ));
+        }
+        rep.poll(1, 8, &mut out);
+        // Phase 1 must not have fired: PeerId(1) is still unheard and
+        // neither the joiner nor the duplicate may stand in for it.
+        assert!(rep.next_deadline() == Some(9));
+        assert!(rep.receive(
+            &Message::Propose {
+                peer: PeerId(1),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                claimed_gain: 0.5,
+                commitment: 1,
+            },
+            &mut out,
+        ));
+        rep.poll(2, 8, &mut out);
+        assert!(rep.done());
     }
 
     #[test]
@@ -653,9 +791,8 @@ mod tests {
             PeerId(0),
             ClusterId(0),
             vec![PeerId(0), PeerId(1), PeerId(2)],
-            vec![PeerId(9)],
-            None,
-            None,
+            vec![(ClusterId(1), PeerId(9))],
+            ReportPlan::heartbeat(),
             true,
             0,
             8,
@@ -678,6 +815,7 @@ mod tests {
                     from: ClusterId(0),
                     to: ClusterId(1),
                     claimed_gain: g,
+                    commitment: u64::from(p),
                 },
                 &mut out,
             ));
@@ -692,17 +830,22 @@ mod tests {
     #[test]
     fn granted_member_commits_to_both_representatives() {
         let mut out = Outbox::new();
-        let mut member = PeerStateMachine::member(
+        let plan = ReportPlan::honest(
             PeerId(3),
             ClusterId(1),
-            PeerId(2),
-            Some((ClusterId(0), 0.25)),
+            ClusterId(0),
+            0.25,
+            77,
             Some(PeerId(0)),
         );
+        let mut member = PeerStateMachine::member(PeerId(3), ClusterId(1), PeerId(2), plan);
         member.poll(0, 8, &mut out);
         let report = out.drain_frames();
         assert_eq!(report[0].1, PeerId(2));
-        assert!(matches!(report[0].2, Message::Propose { .. }));
+        match report[0].2 {
+            Message::Propose { commitment, .. } => assert_eq!(commitment, plan.commitment),
+            ref other => panic!("wrong frame: {other:?}"),
+        }
 
         assert!(member.receive(
             &Message::Grant {
@@ -725,8 +868,23 @@ mod tests {
                     from: ClusterId(1),
                     to: ClusterId(0),
                     claimed_gain: 0.25,
+                    nonce: 77,
                 }
             );
+            // The honest reveal reproduces the commitment.
+            if let Message::Commit {
+                peer,
+                from,
+                to,
+                claimed_gain,
+                nonce,
+            } = msg
+            {
+                assert_eq!(
+                    gain_commitment(peer, from, to, claimed_gain.to_bits(), nonce),
+                    plan.commitment
+                );
+            }
         }
     }
 
@@ -737,9 +895,8 @@ mod tests {
             PeerId(0),
             ClusterId(0),
             vec![PeerId(0), PeerId(1)],
-            vec![PeerId(5), PeerId(7)],
-            None,
-            None,
+            vec![(ClusterId(3), PeerId(5)), (ClusterId(4), PeerId(7))],
+            ReportPlan::heartbeat(),
             true,
             0,
             8,
@@ -750,6 +907,7 @@ mod tests {
                 from: ClusterId(0),
                 to: ClusterId(3),
                 claimed_gain: 0.1,
+                nonce: 0,
             },
             &mut out,
         ));

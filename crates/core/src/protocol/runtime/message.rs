@@ -5,8 +5,15 @@
 //! fixed-width little-endian fields, gains as raw IEEE-754 bits — so a
 //! frame's byte length is knowable from its tag and a decode either
 //! reproduces the sent message exactly (bit-for-bit, NaNs included) or
-//! fails. [`SimNet`](super::SimNet) carries encoded frames, not values:
-//! every delivery in every run exercises the round trip.
+//! fails with a [`DecodeError`] saying why. [`SimNet`](super::SimNet)
+//! carries encoded frames, not values: every delivery in every run
+//! exercises the round trip.
+//!
+//! Gain claims are commitment-bound: a `Propose` carries a
+//! [`gain_commitment`] hash over `(peer, from, to, gain_bits, nonce)`
+//! and the matching `Commit` reveals the gain bits and nonce, so an
+//! auditor holding only the frames can prove a peer changed its story
+//! between proposal and commit.
 
 use recluster_overlay::MsgKind;
 use recluster_types::{ClusterId, PeerId};
@@ -46,6 +53,10 @@ pub enum Message {
         to: ClusterId,
         /// The gain it claims the move yields (self-reported).
         claimed_gain: f64,
+        /// [`gain_commitment`] over the gain this peer will reveal at
+        /// `Commit`. Representatives relay it verbatim; the auditor
+        /// checks the reveal against it.
+        commitment: u64,
     },
     /// "Nothing to propose": sent member → representative in place of a
     /// report, and representative → representative in place of a
@@ -92,8 +103,12 @@ pub enum Message {
         from: ClusterId,
         /// The cluster it joined.
         to: ClusterId,
-        /// The claimed gain, restated for the audit trail.
+        /// The claimed gain, restated for the audit trail. This is the
+        /// *reveal*: [`gain_commitment`] over these bits and `nonce`
+        /// must reproduce the `Propose` commitment.
         claimed_gain: f64,
+        /// The nonce that blinded the commitment.
+        nonce: u64,
     },
     /// Post-commit broadcast: `cluster` now has `size` members. Keeps
     /// the other representatives' summaries current; consumed by every
@@ -106,6 +121,63 @@ pub enum Message {
     },
 }
 
+/// Why a frame failed to decode. The codec never guesses: every
+/// rejection is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first byte is not a known message tag.
+    UnknownTag(u8),
+    /// The buffer ended before the tag's fixed-width fields did.
+    Truncated,
+    /// Bytes remained after the tag's last field.
+    TrailingBytes,
+    /// An enum field held an undefined discriminant.
+    BadDiscriminant(u8),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::Truncated => write!(f, "frame shorter than its tag demands"),
+            DecodeError::TrailingBytes => write!(f, "frame longer than its tag demands"),
+            DecodeError::BadDiscriminant(d) => write!(f, "undefined enum discriminant {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The commitment a `Propose` carries and a `Commit` must reproduce:
+/// FNV-1a over the little-endian bytes of `(peer, from, to, gain_bits,
+/// nonce)`. Not cryptographic — the threat model is a selfish peer in a
+/// deterministic simulation, not an adversary with a hash cracker — but
+/// any change to the gain bits between proposal and reveal changes the
+/// digest.
+pub fn gain_commitment(
+    peer: PeerId,
+    from: ClusterId,
+    to: ClusterId,
+    gain_bits: u64,
+    nonce: u64,
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(&peer.0.to_le_bytes());
+    eat(&from.0.to_le_bytes());
+    eat(&to.0.to_le_bytes());
+    eat(&gain_bits.to_le_bytes());
+    eat(&nonce.to_le_bytes());
+    hash
+}
+
 const TAG_PROPOSE: u8 = 1;
 const TAG_HEARTBEAT: u8 = 2;
 const TAG_GRANT: u8 = 3;
@@ -114,6 +186,10 @@ const TAG_COMMIT: u8 = 5;
 const TAG_SUMMARY: u8 = 6;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -140,11 +216,15 @@ impl<'a> Reader<'a> {
         Some(v)
     }
 
-    fn f64(&mut self) -> Option<f64> {
+    fn u64(&mut self) -> Option<u64> {
         let end = self.pos.checked_add(8)?;
         let v = u64::from_le_bytes(self.bytes.get(self.pos..end)?.try_into().ok()?);
         self.pos = end;
-        Some(f64::from_bits(v))
+        Some(v)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
     }
 
     fn done(&self) -> bool {
@@ -155,19 +235,21 @@ impl<'a> Reader<'a> {
 impl Message {
     /// Serializes the message to its wire frame.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(21);
+        let mut out = Vec::with_capacity(29);
         match *self {
             Message::Propose {
                 peer,
                 from,
                 to,
                 claimed_gain,
+                commitment,
             } => {
                 out.push(TAG_PROPOSE);
                 put_u32(&mut out, peer.0);
                 put_u32(&mut out, from.0);
                 put_u32(&mut out, to.0);
                 put_f64(&mut out, claimed_gain);
+                put_u64(&mut out, commitment);
             }
             Message::Heartbeat { peer, from } => {
                 out.push(TAG_HEARTBEAT);
@@ -206,12 +288,14 @@ impl Message {
                 from,
                 to,
                 claimed_gain,
+                nonce,
             } => {
                 out.push(TAG_COMMIT);
                 put_u32(&mut out, peer.0);
                 put_u32(&mut out, from.0);
                 put_u32(&mut out, to.0);
                 put_f64(&mut out, claimed_gain);
+                put_u64(&mut out, nonce);
             }
             Message::SummaryUpdate { cluster, size } => {
                 out.push(TAG_SUMMARY);
@@ -222,51 +306,58 @@ impl Message {
         out
     }
 
-    /// Parses a wire frame. Returns `None` on an unknown tag, a short
-    /// buffer, trailing bytes or an invalid enum discriminant — a
-    /// decode never guesses.
-    pub fn decode(bytes: &[u8]) -> Option<Message> {
+    /// Parses a wire frame. Rejects an unknown tag, a short buffer,
+    /// trailing bytes and invalid enum discriminants with the matching
+    /// [`DecodeError`] — a decode never guesses.
+    pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
+        use DecodeError::Truncated;
         let mut r = Reader { bytes, pos: 0 };
-        let msg = match r.u8()? {
+        let msg = match r.u8().ok_or(Truncated)? {
             TAG_PROPOSE => Message::Propose {
-                peer: PeerId(r.u32()?),
-                from: ClusterId(r.u32()?),
-                to: ClusterId(r.u32()?),
-                claimed_gain: r.f64()?,
+                peer: PeerId(r.u32().ok_or(Truncated)?),
+                from: ClusterId(r.u32().ok_or(Truncated)?),
+                to: ClusterId(r.u32().ok_or(Truncated)?),
+                claimed_gain: r.f64().ok_or(Truncated)?,
+                commitment: r.u64().ok_or(Truncated)?,
             },
             TAG_HEARTBEAT => Message::Heartbeat {
-                peer: PeerId(r.u32()?),
-                from: ClusterId(r.u32()?),
+                peer: PeerId(r.u32().ok_or(Truncated)?),
+                from: ClusterId(r.u32().ok_or(Truncated)?),
             },
             TAG_GRANT => Message::Grant {
-                src: ClusterId(r.u32()?),
-                dst: ClusterId(r.u32()?),
-                peer: PeerId(r.u32()?),
-                gain: r.f64()?,
+                src: ClusterId(r.u32().ok_or(Truncated)?),
+                dst: ClusterId(r.u32().ok_or(Truncated)?),
+                peer: PeerId(r.u32().ok_or(Truncated)?),
+                gain: r.f64().ok_or(Truncated)?,
             },
             TAG_DENY => Message::Deny {
-                src: ClusterId(r.u32()?),
-                dst: ClusterId(r.u32()?),
-                peer: PeerId(r.u32()?),
-                reason: match r.u8()? {
+                src: ClusterId(r.u32().ok_or(Truncated)?),
+                dst: ClusterId(r.u32().ok_or(Truncated)?),
+                peer: PeerId(r.u32().ok_or(Truncated)?),
+                reason: match r.u8().ok_or(Truncated)? {
                     0 => DenyReason::Locked,
                     1 => DenyReason::SelfMove,
-                    _ => return None,
+                    d => return Err(DecodeError::BadDiscriminant(d)),
                 },
             },
             TAG_COMMIT => Message::Commit {
-                peer: PeerId(r.u32()?),
-                from: ClusterId(r.u32()?),
-                to: ClusterId(r.u32()?),
-                claimed_gain: r.f64()?,
+                peer: PeerId(r.u32().ok_or(Truncated)?),
+                from: ClusterId(r.u32().ok_or(Truncated)?),
+                to: ClusterId(r.u32().ok_or(Truncated)?),
+                claimed_gain: r.f64().ok_or(Truncated)?,
+                nonce: r.u64().ok_or(Truncated)?,
             },
             TAG_SUMMARY => Message::SummaryUpdate {
-                cluster: ClusterId(r.u32()?),
-                size: r.u32()?,
+                cluster: ClusterId(r.u32().ok_or(Truncated)?),
+                size: r.u32().ok_or(Truncated)?,
             },
-            _ => return None,
+            tag => return Err(DecodeError::UnknownTag(tag)),
         };
-        r.done().then_some(msg)
+        if r.done() {
+            Ok(msg)
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
     }
 
     /// The ledger category this frame is charged to. Reports and their
@@ -307,7 +398,7 @@ mod tests {
             }
             _ => {}
         }
-        assert_eq!(Message::decode(&bytes), Some(msg));
+        assert_eq!(Message::decode(&bytes), Ok(msg));
     }
 
     #[test]
@@ -317,6 +408,7 @@ mod tests {
             from: ClusterId(1),
             to: ClusterId(4),
             claimed_gain: 0.12345,
+            commitment: 0xdead_beef_cafe_f00d,
         });
         roundtrip(Message::Heartbeat {
             peer: PeerId(0),
@@ -345,6 +437,7 @@ mod tests {
             from: ClusterId(0),
             to: ClusterId(8),
             claimed_gain: f64::MIN_POSITIVE,
+            nonce: u64::MAX,
         });
         roundtrip(Message::SummaryUpdate {
             cluster: ClusterId(6),
@@ -360,6 +453,7 @@ mod tests {
             from: ClusterId(0),
             to: ClusterId(2),
             claimed_gain: weird,
+            commitment: gain_commitment(PeerId(1), ClusterId(0), ClusterId(2), weird.to_bits(), 9),
         };
         match Message::decode(&msg.encode()).unwrap() {
             Message::Propose { claimed_gain, .. } => {
@@ -370,19 +464,23 @@ mod tests {
     }
 
     #[test]
-    fn malformed_frames_are_rejected() {
-        assert_eq!(Message::decode(&[]), None);
-        assert_eq!(Message::decode(&[99, 0, 0]), None);
+    fn malformed_frames_are_rejected_with_the_right_error() {
+        assert_eq!(Message::decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(
+            Message::decode(&[99, 0, 0]),
+            Err(DecodeError::UnknownTag(99))
+        );
         // Truncated propose.
         let mut bytes = Message::Propose {
             peer: PeerId(7),
             from: ClusterId(1),
             to: ClusterId(4),
             claimed_gain: 1.0,
+            commitment: 0,
         }
         .encode();
         bytes.pop();
-        assert_eq!(Message::decode(&bytes), None);
+        assert_eq!(Message::decode(&bytes), Err(DecodeError::Truncated));
         // Trailing garbage.
         let mut bytes = Message::Heartbeat {
             peer: PeerId(0),
@@ -390,7 +488,7 @@ mod tests {
         }
         .encode();
         bytes.push(0);
-        assert_eq!(Message::decode(&bytes), None);
+        assert_eq!(Message::decode(&bytes), Err(DecodeError::TrailingBytes));
         // Bad deny discriminant.
         let mut bytes = Message::Deny {
             src: ClusterId(0),
@@ -400,6 +498,27 @@ mod tests {
         }
         .encode();
         *bytes.last_mut().unwrap() = 7;
-        assert_eq!(Message::decode(&bytes), None);
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(DecodeError::BadDiscriminant(7))
+        );
+    }
+
+    #[test]
+    fn commitment_binds_every_field() {
+        let base = gain_commitment(PeerId(3), ClusterId(1), ClusterId(2), 0.5f64.to_bits(), 42);
+        assert_eq!(
+            base,
+            gain_commitment(PeerId(3), ClusterId(1), ClusterId(2), 0.5f64.to_bits(), 42)
+        );
+        for other in [
+            gain_commitment(PeerId(4), ClusterId(1), ClusterId(2), 0.5f64.to_bits(), 42),
+            gain_commitment(PeerId(3), ClusterId(0), ClusterId(2), 0.5f64.to_bits(), 42),
+            gain_commitment(PeerId(3), ClusterId(1), ClusterId(3), 0.5f64.to_bits(), 42),
+            gain_commitment(PeerId(3), ClusterId(1), ClusterId(2), 0.6f64.to_bits(), 42),
+            gain_commitment(PeerId(3), ClusterId(1), ClusterId(2), 0.5f64.to_bits(), 43),
+        ] {
+            assert_ne!(base, other);
+        }
     }
 }

@@ -31,7 +31,11 @@ pub mod simnet;
 
 mod engine;
 
-pub use engine::{CommitRecord, EvidenceLog, FaultReport, LiarConfig, RuntimeEngine};
-pub use machine::{MachineEvent, Outbox, PeerStateMachine};
-pub use message::{DenyReason, Message};
-pub use simnet::{DelayDist, NetConfig, NetStats, SimNet};
+pub use engine::{
+    CommitRecord, EvidenceLog, FaultReport, LiarConfig, LiarMode, RuntimeChurn, RuntimeEngine,
+};
+pub use machine::{MachineEvent, Outbox, PeerStateMachine, ReportPlan};
+pub use message::{gain_commitment, DecodeError, DenyReason, Message};
+pub use simnet::{
+    CrashWindow, DelayDist, FaultSchedule, NetConfig, NetStats, Partition, PartitionKind, SimNet,
+};

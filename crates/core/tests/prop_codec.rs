@@ -1,0 +1,147 @@
+//! Codec property suite for the runtime's wire grammar: over
+//! *arbitrary* field values — every id, raw IEEE-754 gain bits
+//! (NaNs, infinities and negative zero included), full-range
+//! commitments and nonces — a [`Message`] round-trips **bitwise**
+//! through encode/decode, and every malformed buffer (truncated at any
+//! point, extended by any suffix, unknown tag, undefined discriminant)
+//! is rejected with the matching [`DecodeError`], never a panic.
+
+use proptest::prelude::*;
+use recluster_core::{DecodeError, DenyReason, Message};
+use recluster_types::{ClusterId, PeerId};
+
+/// Bit-comparable form: the encoded frame. Two messages are
+/// bit-identical iff their frames are (gains compare as raw bits, so
+/// NaN payloads count).
+fn bits(m: &Message) -> Vec<u8> {
+    m.encode()
+}
+
+/// Arbitrary gain bits: the full u64 space reinterpreted as f64, so
+/// quiet/signalling NaNs, ±∞ and -0.0 all appear.
+fn arb_gain() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(f64::from_bits)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let peer = || (0u32..=u32::MAX).prop_map(PeerId);
+    let cluster = || (0u32..=u32::MAX).prop_map(ClusterId);
+    let reason = prop_oneof![Just(DenyReason::Locked), Just(DenyReason::SelfMove)];
+    prop_oneof![
+        (peer(), cluster(), cluster(), arb_gain(), 0u64..=u64::MAX).prop_map(
+            |(peer, from, to, claimed_gain, commitment)| Message::Propose {
+                peer,
+                from,
+                to,
+                claimed_gain,
+                commitment,
+            }
+        ),
+        (peer(), cluster()).prop_map(|(peer, from)| Message::Heartbeat { peer, from }),
+        (cluster(), cluster(), peer(), arb_gain()).prop_map(|(src, dst, peer, gain)| {
+            Message::Grant {
+                src,
+                dst,
+                peer,
+                gain,
+            }
+        }),
+        (cluster(), cluster(), peer(), reason).prop_map(|(src, dst, peer, reason)| {
+            Message::Deny {
+                src,
+                dst,
+                peer,
+                reason,
+            }
+        }),
+        (peer(), cluster(), cluster(), arb_gain(), 0u64..=u64::MAX).prop_map(
+            |(peer, from, to, claimed_gain, nonce)| Message::Commit {
+                peer,
+                from,
+                to,
+                claimed_gain,
+                nonce,
+            }
+        ),
+        (cluster(), 0u32..=u32::MAX)
+            .prop_map(|(cluster, size)| Message::SummaryUpdate { cluster, size }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → encode is the identity on frames, for every
+    /// variant and every field value — NaN gain bits included.
+    #[test]
+    fn every_message_round_trips_bitwise(msg in arb_message()) {
+        let frame = msg.encode();
+        let back = Message::decode(&frame).expect("own encoding must decode");
+        prop_assert_eq!(
+            bits(&back), frame,
+            "decode(encode(m)) re-encodes to different bytes"
+        );
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` (or, for the
+    /// empty buffer, still `Truncated` — the tag itself is missing).
+    /// No prefix panics, and none decodes to anything.
+    #[test]
+    fn every_strict_prefix_is_rejected_as_truncated(msg in arb_message()) {
+        let frame = msg.encode();
+        for len in 0..frame.len() {
+            prop_assert_eq!(
+                Message::decode(&frame[..len]),
+                Err(DecodeError::Truncated),
+                "prefix of length {} of {:?}", len, msg
+            );
+        }
+    }
+
+    /// Any non-empty suffix makes the frame over-length: rejected as
+    /// `TrailingBytes`, never silently ignored.
+    #[test]
+    fn over_length_frames_are_rejected(msg in arb_message(), junk in proptest::collection::vec(0u8..=u8::MAX, 1..16)) {
+        let mut frame = msg.encode();
+        frame.extend_from_slice(&junk);
+        prop_assert_eq!(Message::decode(&frame), Err(DecodeError::TrailingBytes));
+    }
+
+    /// Unknown leading tags are attributed as `UnknownTag`, whatever
+    /// follows them.
+    #[test]
+    fn unknown_tags_are_rejected(tag in 7u8..=u8::MAX, body in proptest::collection::vec(0u8..=u8::MAX, 0..40)) {
+        let mut frame = vec![tag];
+        frame.extend_from_slice(&body);
+        prop_assert_eq!(Message::decode(&frame), Err(DecodeError::UnknownTag(tag)));
+    }
+
+    /// A `Deny` whose reason byte holds an undefined discriminant is
+    /// rejected as `BadDiscriminant`, carrying the offending byte.
+    #[test]
+    fn bad_deny_discriminants_are_rejected(
+        src in 0u32..=u32::MAX,
+        dst in 0u32..=u32::MAX,
+        peer in 0u32..=u32::MAX,
+        disc in 2u8..=u8::MAX,
+    ) {
+        let mut frame = Message::Deny {
+            src: ClusterId(src),
+            dst: ClusterId(dst),
+            peer: PeerId(peer),
+            reason: DenyReason::Locked,
+        }
+        .encode();
+        *frame.last_mut().unwrap() = disc;
+        prop_assert_eq!(Message::decode(&frame), Err(DecodeError::BadDiscriminant(disc)));
+    }
+
+    /// Arbitrary byte soup never panics the decoder: it either decodes
+    /// (and then re-encodes to exactly the input) or errors.
+    #[test]
+    fn arbitrary_buffers_never_panic(buf in proptest::collection::vec(0u8..=u8::MAX, 0..64)) {
+        if let Ok(msg) = Message::decode(&buf) {
+            prop_assert_eq!(msg.encode(), buf, "lossy decode of {:?}", msg);
+        }
+    }
+}

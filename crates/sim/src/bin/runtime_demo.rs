@@ -1,27 +1,36 @@
 //! Demo binary: the typed-message protocol runtime under degraded
-//! network schedules — the two scenarios the sync engine cannot run.
+//! network schedules — the scenarios the sync engine cannot run.
 //!
 //! ```text
 //! cargo run -p recluster-sim --bin runtime_demo
 //! ```
 //!
-//! Prints the delay/reorder sweep (equilibrium scost vs stale grants)
-//! and the liar audit (fault attribution of inflated claims against
-//! observed statistics), both digest-pinned and byte-identical across
-//! runs, seeds being equal. Honours:
+//! Prints the delay/reorder sweep (equilibrium scost vs stale grants),
+//! the liar audit (fault attribution of inflated claims against
+//! observed statistics), the partition/heal scenario (post-heal repair
+//! against the ideal equilibrium), the mid-round churn scenario (the
+//! voided-commit teardown ledger) and the observed-mode
+//! commitment-reveal audit, all digest-pinned and byte-identical
+//! across runs, seeds being equal. Honours:
 //!
 //! * `RECLUSTER_SEED` — experiment seed (default 2008).
 //! * `RECLUSTER_SMALL=1` — 40-peer miniature instead of the paper's
 //!   200-peer testbed.
 //! * `RECLUSTER_THREADS` — sweep parallelism (results are invariant).
 //! * `RECLUSTER_NET_DELAY` / `RECLUSTER_NET_DROP` /
-//!   `RECLUSTER_NET_SEED` / `RECLUSTER_NET_LIARS` — when any is set, a
-//!   closing section runs one custom cell under exactly that schedule.
+//!   `RECLUSTER_NET_SEED` / `RECLUSTER_NET_LIARS` /
+//!   `RECLUSTER_NET_PARTITION` / `RECLUSTER_NET_CRASH` — when any is
+//!   set, a closing section runs one custom cell under exactly that
+//!   schedule (see `docs/OPERATIONS.md` for recipes).
 
 use recluster_core::{scost_normalized, ProtocolConfig, RuntimeEngine, SelfishStrategy};
 use recluster_overlay::SimNetwork;
 use recluster_sim::knobs::Knobs;
-use recluster_sim::netsim::{render_liar_audit, render_net_sweep, run_liar_audit, run_net_sweep};
+use recluster_sim::netsim::{
+    render_liar_audit, render_midround_churn, render_net_sweep, render_observed_audit,
+    render_partition_heal, run_liar_audit, run_midround_churn, run_net_sweep,
+    run_observed_liar_audit, run_partition_heal,
+};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 
 fn main() {
@@ -39,24 +48,44 @@ fn main() {
     println!();
     let rows = run_liar_audit(&cfg, max_rounds, seed, parallelism);
     print!("{}", render_liar_audit(&rows, seed));
+    println!();
+    let rows = run_partition_heal(&cfg, max_rounds.max(40), seed, parallelism);
+    print!("{}", render_partition_heal(&rows, seed));
+    println!();
+    let rows = run_midround_churn(&cfg, max_rounds.max(60), seed, parallelism);
+    print!("{}", render_midround_churn(&rows, seed));
+    println!();
+    let rows = run_observed_liar_audit(&cfg, max_rounds, seed, parallelism);
+    print!("{}", render_observed_audit(&rows, seed));
 
     // A custom cell under exactly the schedule the knobs describe.
-    if knobs.net_delay.is_some() || knobs.net_drop.is_some() || knobs.net_liars.is_some() {
+    if knobs.net_delay.is_some()
+        || knobs.net_drop.is_some()
+        || knobs.net_liars.is_some()
+        || knobs.net_partition.is_some()
+        || !knobs.net_crash.is_empty()
+    {
         let net = knobs.net_config();
+        let faults = knobs.fault_schedule(cfg.n_peers);
         println!("\ncustom schedule: {net:?}");
+        if !faults.is_empty() {
+            println!("custom faults: {faults:?}");
+        }
         let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
         let mut ledger = SimNetwork::new();
         let protocol = ProtocolConfig::builder()
             .max_rounds(max_rounds)
             .memoize(false)
             .build();
-        let mut engine =
-            RuntimeEngine::new(SelfishStrategy, protocol, net).with_liars(knobs.liar_config());
+        let mut engine = RuntimeEngine::new(SelfishStrategy, protocol, net)
+            .with_liars(knobs.liar_config())
+            .with_faults(faults);
         let outcome = engine.run(&mut tb.system, &mut ledger);
         let stats = engine.net_stats();
         println!(
             "converged={} rounds={} scost={:.3} moves={} granted={} denied={} \
-             sent={} delivered={} dropped={} stale={}",
+             sent={} delivered={} dropped={} cut={} crashed={} departed={} stale={} \
+             commits_voided={} grants_voided={}",
             outcome.converged,
             outcome.rounds.len(),
             scost_normalized(&tb.system),
@@ -66,7 +95,12 @@ fn main() {
             stats.sent,
             stats.delivered,
             stats.dropped,
+            stats.cut,
+            stats.crashed,
+            stats.departed,
             stats.stale,
+            engine.commits_voided_total(),
+            engine.grants_voided_total(),
         );
     }
 }

@@ -10,8 +10,85 @@
 //! a new knob lands in exactly one place (here) instead of scattered
 //! `std::env::var` calls.
 
-use recluster_core::{DecisionSource, DelayDist, LiarConfig, NetConfig};
+use recluster_core::{
+    CrashWindow, DecisionSource, DelayDist, FaultSchedule, LiarConfig, LiarMode, NetConfig,
+    Partition, PartitionKind,
+};
 use recluster_overlay::{RoutingMode, SummaryMode};
+use recluster_types::PeerId;
+
+/// A partition spec parsed from `RECLUSTER_NET_PARTITION`, before the
+/// peer count is known. [`Knobs::fault_schedule`] resolves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// `start..heal` — bisect the peer set at half its size.
+    BisectHalf,
+    /// `bisect:<pivot>@start..heal` — bisect at an explicit pivot.
+    Bisect(u32),
+    /// `isolate:<peer>@start..heal` — cut one peer off.
+    Isolate(u32),
+}
+
+/// Reads `name` as a timed partition: `start..heal` (bisect at half
+/// the peer set), `bisect:<pivot>@start..heal`, or
+/// `isolate:<peer>@start..heal`. Same warning discipline as
+/// [`env_u64`].
+pub fn env_partition(name: &str) -> Option<(PartitionSpec, u64, u64)> {
+    let raw = std::env::var(name).ok()?;
+    let parse_window = |s: &str| -> Option<(u64, u64)> {
+        let (lo, hi) = s.split_once("..")?;
+        match (lo.trim().parse(), hi.trim().parse()) {
+            (Ok(lo), Ok(hi)) if lo < hi => Some((lo, hi)),
+            _ => None,
+        }
+    };
+    let parsed = match raw.split_once('@') {
+        None => parse_window(&raw).map(|(start, heal)| (PartitionSpec::BisectHalf, start, heal)),
+        Some((kind, window)) => {
+            let spec = match kind.trim().split_once(':') {
+                Some(("bisect", pivot)) => pivot.trim().parse().ok().map(PartitionSpec::Bisect),
+                Some(("isolate", peer)) => peer.trim().parse().ok().map(PartitionSpec::Isolate),
+                _ => None,
+            };
+            match (spec, parse_window(window)) {
+                (Some(spec), Some((start, heal))) => Some((spec, start, heal)),
+                _ => None,
+            }
+        }
+    };
+    if parsed.is_none() {
+        eprintln!("unknown {name}={raw:?}, ignoring");
+    }
+    parsed
+}
+
+/// Reads `name` as a comma-separated crash list: each entry is
+/// `peer@down..up` (the peer is down for ticks `[down, up)`). One
+/// malformed entry rejects the whole list, with the usual warning.
+pub fn env_crashes(name: &str) -> Vec<CrashWindow> {
+    let Ok(raw) = std::env::var(name) else {
+        return Vec::new();
+    };
+    let parse_one = |s: &str| -> Option<CrashWindow> {
+        let (peer, window) = s.split_once('@')?;
+        let (lo, hi) = window.split_once("..")?;
+        match (peer.trim().parse(), lo.trim().parse(), hi.trim().parse()) {
+            (Ok(peer), Ok(down), Ok(up)) if down < up => Some(CrashWindow {
+                peer: PeerId(peer),
+                down,
+                up,
+            }),
+            _ => None,
+        }
+    };
+    match raw.split(',').map(parse_one).collect() {
+        Some(windows) => windows,
+        None => {
+            eprintln!("unknown {name}={raw:?}, ignoring");
+            Vec::new()
+        }
+    }
+}
 
 /// Reads `name` as a `u64`. Unset → `None` silently; set but
 /// unparsable → a stderr warning, then `None` (the caller's default
@@ -77,7 +154,7 @@ pub fn decisions_from_env() -> Option<DecisionSource> {
 /// Every `RECLUSTER_*` runtime knob, read once. `None`/`false` means
 /// "unset, use the binary's default" — the per-knob parse warnings have
 /// already been printed by the time `from_env` returns.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Knobs {
     /// `RECLUSTER_SEED` — experiment seed.
     pub seed: Option<u64>,
@@ -101,6 +178,12 @@ pub struct Knobs {
     /// `RECLUSTER_NET_LIARS` — fraction of peers inflating claimed
     /// gains, in `[0, 1]`.
     pub net_liars: Option<f64>,
+    /// `RECLUSTER_NET_PARTITION` — a timed partition: `start..heal`,
+    /// `bisect:<pivot>@start..heal`, or `isolate:<peer>@start..heal`.
+    pub net_partition: Option<(PartitionSpec, u64, u64)>,
+    /// `RECLUSTER_NET_CRASH` — crash/restart windows, comma-separated
+    /// `peer@down..up` entries.
+    pub net_crash: Vec<CrashWindow>,
     /// `RECLUSTER_THREADS` — sweep worker count (`1` sequential,
     /// unset/`0` all cores).
     pub threads: Option<u64>,
@@ -130,6 +213,8 @@ impl Knobs {
             net_drop: env_fraction("RECLUSTER_NET_DROP", 0.999),
             net_seed: env_u64("RECLUSTER_NET_SEED"),
             net_liars: env_fraction("RECLUSTER_NET_LIARS", 1.0),
+            net_partition: env_partition("RECLUSTER_NET_PARTITION"),
+            net_crash: env_crashes("RECLUSTER_NET_CRASH"),
             threads: env_u64("RECLUSTER_THREADS"),
         }
     }
@@ -167,6 +252,26 @@ impl Knobs {
         cfg
     }
 
+    /// The fault schedule the `RECLUSTER_NET_PARTITION` and
+    /// `RECLUSTER_NET_CRASH` knobs describe — empty when neither is
+    /// set. `n_peers` resolves the bare `start..heal` form's "bisect at
+    /// half" pivot; the explicit forms ignore it.
+    pub fn fault_schedule(&self, n_peers: usize) -> FaultSchedule {
+        let mut faults = FaultSchedule::none();
+        if let Some((spec, start, heal)) = self.net_partition {
+            let kind = match spec {
+                PartitionSpec::BisectHalf => PartitionKind::Bisect {
+                    pivot: (n_peers / 2) as u32,
+                },
+                PartitionSpec::Bisect(pivot) => PartitionKind::Bisect { pivot },
+                PartitionSpec::Isolate(peer) => PartitionKind::Isolate { peer: PeerId(peer) },
+            };
+            faults.partitions.push(Partition { kind, start, heal });
+        }
+        faults.crashes = self.net_crash.clone();
+        faults
+    }
+
     /// The liar population the `RECLUSTER_NET_LIARS` knob describes
     /// (inflation ×10, selection hashed from the fabric seed) — honest
     /// when unset.
@@ -176,6 +281,7 @@ impl Knobs {
                 fraction,
                 boost: 10.0,
                 seed: self.net_seed.unwrap_or(0),
+                mode: LiarMode::Consistent,
             },
             None => LiarConfig::none(),
         }
@@ -241,6 +347,86 @@ mod tests {
         let knobs = Knobs::default();
         assert_eq!(knobs.net_config(), NetConfig::ideal());
         assert_eq!(knobs.liar_config(), LiarConfig::none());
+        assert!(knobs.fault_schedule(40).is_empty());
+    }
+
+    #[test]
+    fn env_partition_accepts_all_three_forms() {
+        std::env::set_var("RECLUSTER_KNOBTEST_PART_BARE", "5..40");
+        assert_eq!(
+            env_partition("RECLUSTER_KNOBTEST_PART_BARE"),
+            Some((PartitionSpec::BisectHalf, 5, 40))
+        );
+        std::env::set_var("RECLUSTER_KNOBTEST_PART_BISECT", "bisect:7@5..40");
+        assert_eq!(
+            env_partition("RECLUSTER_KNOBTEST_PART_BISECT"),
+            Some((PartitionSpec::Bisect(7), 5, 40))
+        );
+        std::env::set_var("RECLUSTER_KNOBTEST_PART_ISO", "isolate:3@5..40");
+        assert_eq!(
+            env_partition("RECLUSTER_KNOBTEST_PART_ISO"),
+            Some((PartitionSpec::Isolate(3), 5, 40))
+        );
+        // Empty and inverted windows, and unknown kinds, are rejected.
+        std::env::set_var("RECLUSTER_KNOBTEST_PART_EMPTY", "5..5");
+        assert_eq!(env_partition("RECLUSTER_KNOBTEST_PART_EMPTY"), None);
+        std::env::set_var("RECLUSTER_KNOBTEST_PART_KIND", "split:7@5..40");
+        assert_eq!(env_partition("RECLUSTER_KNOBTEST_PART_KIND"), None);
+        assert_eq!(env_partition("RECLUSTER_KNOBTEST_PART_UNSET"), None);
+    }
+
+    #[test]
+    fn env_crashes_parses_a_list_and_rejects_whole_on_one_bad_entry() {
+        std::env::set_var("RECLUSTER_KNOBTEST_CRASH_LIST", "3@5..40, 9@10..20");
+        assert_eq!(
+            env_crashes("RECLUSTER_KNOBTEST_CRASH_LIST"),
+            vec![
+                CrashWindow {
+                    peer: PeerId(3),
+                    down: 5,
+                    up: 40
+                },
+                CrashWindow {
+                    peer: PeerId(9),
+                    down: 10,
+                    up: 20
+                },
+            ]
+        );
+        std::env::set_var("RECLUSTER_KNOBTEST_CRASH_BAD", "3@5..40,oops");
+        assert_eq!(env_crashes("RECLUSTER_KNOBTEST_CRASH_BAD"), Vec::new());
+        assert_eq!(env_crashes("RECLUSTER_KNOBTEST_CRASH_UNSET"), Vec::new());
+    }
+
+    #[test]
+    fn fault_knobs_shape_the_schedule() {
+        let knobs = Knobs {
+            net_partition: Some((PartitionSpec::BisectHalf, 5, 40)),
+            net_crash: vec![CrashWindow {
+                peer: PeerId(3),
+                down: 10,
+                up: 20,
+            }],
+            ..Knobs::default()
+        };
+        let faults = knobs.fault_schedule(40);
+        assert_eq!(
+            faults.partitions,
+            vec![Partition {
+                kind: PartitionKind::Bisect { pivot: 20 },
+                start: 5,
+                heal: 40
+            }]
+        );
+        assert_eq!(faults.crashes, knobs.net_crash);
+        let isolate = Knobs {
+            net_partition: Some((PartitionSpec::Isolate(3), 5, 40)),
+            ..Knobs::default()
+        };
+        assert_eq!(
+            isolate.fault_schedule(40).partitions[0].kind,
+            PartitionKind::Isolate { peer: PeerId(3) }
+        );
     }
 
     #[test]

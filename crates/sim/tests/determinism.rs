@@ -9,16 +9,22 @@
 use std::fmt::Write as _;
 
 use recluster_core::{
-    DecisionSource, NetConfig, ProtocolConfig, ProtocolEngine, RuntimeEngine, SelfishStrategy,
+    CrashWindow, DecisionSource, FaultSchedule, NetConfig, Partition, PartitionKind,
+    ProtocolConfig, ProtocolEngine, RuntimeChurn, RuntimeEngine, SelfishStrategy,
 };
 use recluster_overlay::SimNetwork;
-use recluster_sim::netsim::{render_liar_audit, render_net_sweep, run_liar_audit, run_net_sweep};
+use recluster_sim::netsim::{
+    render_liar_audit, render_midround_churn, render_net_sweep, render_observed_audit,
+    render_partition_heal, run_liar_audit, run_midround_churn, run_net_sweep,
+    run_observed_liar_audit, run_partition_heal,
+};
 use recluster_sim::report::{f3, render_table, to_csv};
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
 use recluster_sim::table1::{run_table1_with, Table1Config};
 use recluster_sim::{
     run_churn_with_fidelity, run_protocol, sweep_map, ChurnConfig, Parallelism, StrategyKind,
 };
+use recluster_types::PeerId;
 
 /// One sweep cell: strategy × seed, each building its own testbed.
 fn cells() -> Vec<(StrategyKind, u64)> {
@@ -391,6 +397,13 @@ fn observed_traffic_engine_parallel_equals_sequential() {
 /// Any nondeterminism in the scheduler — heap tie-breaks, RNG draws,
 /// machine polling order — reaches these bytes.
 fn runtime_trace(seed: u64) -> String {
+    runtime_trace_with(seed, FaultSchedule::none(), Vec::new())
+}
+
+/// `runtime_trace` under an explicit fault schedule and churn script —
+/// the partition-tolerant paths (cut/crash attribution, voided grants,
+/// mid-round teardown) feed the same bit-precision bytes.
+fn runtime_trace_with(seed: u64, faults: FaultSchedule, churn: Vec<(u64, RuntimeChurn)>) -> String {
     let mut tb = build_system(
         Scenario::SameCategory,
         InitialConfig::RandomM,
@@ -401,7 +414,9 @@ fn runtime_trace(seed: u64) -> String {
         .max_rounds(30)
         .memoize(false)
         .build();
-    let mut engine = RuntimeEngine::new(SelfishStrategy, cfg, NetConfig::degraded(seed, 0, 3, 0.1));
+    let mut engine = RuntimeEngine::new(SelfishStrategy, cfg, NetConfig::degraded(seed, 0, 3, 0.1))
+        .with_faults(faults)
+        .with_churn(churn);
     let outcome = engine.run(&mut tb.system, &mut net);
     let mut out = String::new();
     for r in &outcome.rounds {
@@ -455,6 +470,49 @@ fn runtime_replay_is_byte_identical_and_seeds_diverge() {
     );
 }
 
+/// The faulted runtime keeps the same contract: a degraded schedule
+/// *plus* a bisection, a crash window and mid-round churn replays
+/// byte-identically under the same seed, and still diverges across
+/// fabric seeds (the faults shift traffic, they do not freeze it).
+#[test]
+fn faulted_runtime_replay_is_byte_identical_and_seeds_diverge() {
+    let scripted = |seed| {
+        let faults = FaultSchedule {
+            partitions: vec![Partition {
+                kind: PartitionKind::Bisect { pivot: 20 },
+                start: 4,
+                heal: 40,
+            }],
+            crashes: vec![CrashWindow {
+                peer: PeerId(3),
+                down: 10,
+                up: 30,
+            }],
+        };
+        let churn = vec![
+            (6, RuntimeChurn::Depart { peer: PeerId(7) }),
+            (12, RuntimeChurn::Depart { peer: PeerId(11) }),
+        ];
+        runtime_trace_with(seed, faults, churn)
+    };
+    let first = scripted(7);
+    assert_eq!(
+        first.as_bytes(),
+        scripted(7).as_bytes(),
+        "identical-seed faulted replay diverged"
+    );
+    assert_ne!(
+        first.as_bytes(),
+        scripted(8).as_bytes(),
+        "different fabric seeds produced identical faulted runs"
+    );
+    assert_ne!(
+        first.as_bytes(),
+        runtime_trace(7).as_bytes(),
+        "the fault schedule left no trace in the run"
+    );
+}
+
 /// The runtime honours the CI thread matrix the way every other engine
 /// does: a degraded-schedule trace under pinned 1/2/8-worker pools (and
 /// the matrix width) is byte-identical to the ambient run.
@@ -486,38 +544,47 @@ fn runtime_trace_parallel_equals_sequential() {
     assert_eq!(baseline.as_bytes(), pinned.as_bytes());
 }
 
-/// The delay/reorder sweep and the liar audit render byte-identically
-/// under sequential, 1/2/8-pinned and matrix-width runners — the golden
-/// snapshots (`net_sweep.txt`, `liar_audit.txt`) are thread-invariant.
+/// All five runtime sweeps — delay/reorder, liar audit, partition/heal,
+/// mid-round churn and the observed commitment-reveal audit — render
+/// byte-identically under sequential, 1/2/8-pinned and matrix-width
+/// runners: every golden snapshot in the family is thread-invariant.
 #[test]
 fn netsim_sweeps_parallel_equal_sequential() {
     let cfg = ExperimentConfig::small(17);
-    let sweep_seq = render_net_sweep(&run_net_sweep(&cfg, 20, 5, Parallelism::Sequential), 5);
-    let audit_seq = render_liar_audit(&run_liar_audit(&cfg, 20, 5, Parallelism::Sequential), 5);
+    // Short budgets: byte-identity is the claim here, not convergence.
+    let renders = |p: Parallelism| {
+        [
+            render_net_sweep(&run_net_sweep(&cfg, 20, 5, p), 5),
+            render_liar_audit(&run_liar_audit(&cfg, 20, 5, p), 5),
+            render_partition_heal(&run_partition_heal(&cfg, 20, 5, p), 5),
+            render_midround_churn(&run_midround_churn(&cfg, 20, 5, p), 5),
+            render_observed_audit(&run_observed_liar_audit(&cfg, 8, 5, p), 5),
+        ]
+    };
+    let seq = renders(Parallelism::Sequential);
     let width: usize = std::env::var("RECLUSTER_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(3);
     for threads in [1usize, 2, 8, width] {
-        let sweep = render_net_sweep(
-            &run_net_sweep(&cfg, 20, 5, Parallelism::Threads(threads)),
-            5,
-        );
-        assert_eq!(
-            sweep_seq.as_bytes(),
-            sweep.as_bytes(),
-            "{threads}-thread net sweep diverged"
-        );
-        let audit = render_liar_audit(
-            &run_liar_audit(&cfg, 20, 5, Parallelism::Threads(threads)),
-            5,
-        );
-        assert_eq!(
-            audit_seq.as_bytes(),
-            audit.as_bytes(),
-            "{threads}-thread liar audit diverged"
-        );
+        let par = renders(Parallelism::Threads(threads));
+        for (name, (s, p)) in [
+            "net sweep",
+            "liar audit",
+            "partition heal",
+            "midround churn",
+            "observed audit",
+        ]
+        .iter()
+        .zip(seq.iter().zip(&par))
+        {
+            assert_eq!(
+                s.as_bytes(),
+                p.as_bytes(),
+                "{threads}-thread {name} diverged"
+            );
+        }
     }
 }
 

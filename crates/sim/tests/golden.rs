@@ -20,7 +20,11 @@ use recluster_sim::churn::{
 };
 use recluster_sim::fig1::run_fig1_with;
 use recluster_sim::fig4::run_fig4_with;
-use recluster_sim::netsim::{render_liar_audit, render_net_sweep, run_liar_audit, run_net_sweep};
+use recluster_sim::netsim::{
+    render_liar_audit, render_midround_churn, render_net_sweep, render_observed_audit,
+    render_partition_heal, run_liar_audit, run_midround_churn, run_net_sweep,
+    run_observed_liar_audit, run_partition_heal,
+};
 use recluster_sim::report::{f3, rounds_cell};
 use recluster_sim::scenario::ExperimentConfig;
 use recluster_sim::table1::{run_table1_with, Table1Config};
@@ -248,6 +252,40 @@ fn render_liar_audit_snapshot() -> String {
     render_liar_audit(&rows, 5)
 }
 
+/// Renders the partition/heal scenario and returns the worst post-heal
+/// gap to the ideal equilibrium, so the test can pin the acceptance
+/// bound (every faulted cell repairs to within 5 %) alongside the
+/// snapshot itself.
+fn render_partition_heal_snapshot() -> (String, f64) {
+    let rows = run_partition_heal(&ExperimentConfig::small(17), 40, 5, Parallelism::Sequential);
+    let worst_gap = rows.iter().map(|r| r.gap.abs()).fold(0.0, f64::max);
+    (render_partition_heal(&rows, 5), worst_gap)
+}
+
+fn render_midround_churn_snapshot() -> String {
+    let rows = run_midround_churn(&ExperimentConfig::small(17), 60, 5, Parallelism::Sequential);
+    render_midround_churn(&rows, 5)
+}
+
+/// Renders the observed-mode commitment-reveal audit and returns the
+/// per-row (precision, recall, flagged-at-zero-liars) triple needed to
+/// pin the frame-provable acceptance bound next to the snapshot.
+fn render_observed_audit_snapshot() -> (String, Vec<(f64, f64, usize)>) {
+    let rows =
+        run_observed_liar_audit(&ExperimentConfig::small(17), 12, 5, Parallelism::Sequential);
+    let scores = rows
+        .iter()
+        .map(|r| {
+            (
+                r.precision,
+                r.recall,
+                if r.liars == 0 { r.flagged } else { 0 },
+            )
+        })
+        .collect();
+    (render_observed_audit(&rows, 5), scores)
+}
+
 /// The trailing digest line of a snapshot (`f64-digest:` for the
 /// figure/churn renders, `traffic-digest:` for the traffic engine,
 /// `netsim-digest:` for the runtime scenarios — all feed every float's
@@ -333,6 +371,47 @@ fn net_sweep_matches_golden_snapshot() {
 #[test]
 fn liar_audit_matches_golden_snapshot() {
     check("liar_audit.txt", render_liar_audit_snapshot());
+}
+
+/// The runtime under timed partitions and a crash/restart window: after
+/// the fault heals, every cell must repair to within 5 % of the
+/// ideal-schedule equilibrium — the partition-tolerance acceptance
+/// bound — and the snapshot pins the loss-attribution ledger per cell.
+#[test]
+fn partition_heal_matches_golden_snapshot() {
+    let (rendered, worst_gap) = render_partition_heal_snapshot();
+    assert!(
+        worst_gap < 0.05,
+        "post-heal equilibrium must sit within 5% of ideal, worst gap {worst_gap}"
+    );
+    check("partition_heal.txt", rendered);
+}
+
+/// Mid-round churn: departures tear down cleanly (voided commits and
+/// grants ledgered, membership shrinks by exactly the departed count)
+/// and arrivals are admitted and converge.
+#[test]
+fn midround_churn_matches_golden_snapshot() {
+    check("midround_churn.txt", render_midround_churn_snapshot());
+}
+
+/// Observed-mode commitment-reveal audit: every flagged peer is provable
+/// from frames alone (precision 1), every liar is caught (recall 1), and
+/// the honest cell flags nobody — estimation error is never fraud.
+#[test]
+fn observed_liar_audit_matches_golden_snapshot() {
+    let (rendered, scores) = render_observed_audit_snapshot();
+    for (precision, recall, honest_flagged) in scores {
+        assert_eq!(
+            honest_flagged, 0,
+            "an honest run must flag nobody: staleness is not fraud"
+        );
+        assert!(
+            precision == 1.0 && recall == 1.0,
+            "audit must be exact: precision {precision} recall {recall}"
+        );
+    }
+    check("observed_liar_audit.txt", rendered);
 }
 
 /// The 10k-peer churn scenario under routed queries — no per-period

@@ -5,7 +5,8 @@
 //! same cost neighbourhood.
 
 use recluster_core::{
-    scost_normalized, NetConfig, ProtocolConfig, ProtocolEngine, RuntimeEngine, SelfishStrategy,
+    scost_normalized, NetConfig, ProtocolConfig, ProtocolEngine, RuntimeChurn, RuntimeEngine,
+    SelfishStrategy,
 };
 use recluster_overlay::SimNetwork;
 use recluster_sim::scenario::{build_system, ExperimentConfig, InitialConfig, Scenario};
@@ -91,4 +92,51 @@ fn degraded_runtime_is_deterministic_and_lands_nearby() {
         assert_eq!(a.scost.to_bits(), b.scost.to_bits());
         assert_eq!(a.granted, b.granted);
     }
+}
+
+/// The loss ledger attributes, it never conflates: frames to a peer
+/// that left mid-round are `departed` losses (even on a lossless
+/// fabric), and fabric drops are `dropped` (even with nobody leaving).
+#[test]
+fn loss_ledger_splits_departed_peers_from_fabric_drops() {
+    let cfg = ExperimentConfig::small(101);
+
+    // Lossless fabric, one early departure: every loss is a departure.
+    let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let departing = tb
+        .system
+        .overlay()
+        .cluster(tb.system.overlay().non_empty_ids()[0])
+        .members()
+        .first()
+        .copied()
+        .expect("non-empty cluster");
+    let mut ledger = SimNetwork::new();
+    let mut engine = RuntimeEngine::new(SelfishStrategy, protocol(), NetConfig::ideal())
+        .with_churn(vec![(1, RuntimeChurn::Depart { peer: departing })]);
+    engine.run(&mut tb.system, &mut ledger);
+    let stats = engine.net_stats();
+    assert!(
+        stats.departed > 0,
+        "frames to the departed peer must be attributed: {stats:?}"
+    );
+    assert_eq!(stats.dropped, 0, "ideal fabric never drops: {stats:?}");
+    assert_eq!(stats.cut, 0);
+    assert_eq!(stats.crashed, 0);
+
+    // Lossy fabric, nobody leaves: every loss is a fabric drop.
+    let mut tb = build_system(Scenario::SameCategory, InitialConfig::RandomM, &cfg);
+    let mut ledger = SimNetwork::new();
+    let mut engine = RuntimeEngine::new(
+        SelfishStrategy,
+        protocol(),
+        NetConfig::degraded(7, 0, 3, 0.05),
+    );
+    engine.run(&mut tb.system, &mut ledger);
+    let stats = engine.net_stats();
+    assert!(stats.dropped > 0, "5% drop must bite: {stats:?}");
+    assert_eq!(
+        stats.departed, 0,
+        "no churn was scheduled, so no departed losses: {stats:?}"
+    );
 }
