@@ -114,6 +114,65 @@ fn main() {
     );
     record_run("repair_2k_quiet", &quiet);
 
+    // ---- repair_1M: the million-peer shock/repair/quiet cycle. -------
+    // Same deterministic shock pattern at the tentpole scale: the
+    // repair round is O(dirty peers) thanks to the proposal memo, and
+    // the quiet re-run is the hard canary — at 1M peers *any*
+    // recomputation would cost seconds, so the cycle asserts the round
+    // is 100% memo-served before recording it.
+    let cfg = ExperimentConfig::million(77);
+    let mut tb = ideal_scenario1_system(&cfg);
+    let mut net = SimNetwork::new();
+    let mut engine = ProtocolEngine::new(
+        SelfishStrategy,
+        ProtocolConfig::builder().max_rounds(8).build(),
+    );
+    let m = cfg.n_categories;
+    let ppc = cfg.n_peers / m;
+    for k in 0..m {
+        for j in 0..2 {
+            let peer = PeerId::from_index(k * ppc + j);
+            tb.system
+                .move_peer(peer, ClusterId::from_index((k + 1) % m));
+        }
+    }
+    let repair = engine.run(&mut tb.system, &mut net);
+    println!(
+        "repair_1M: {} rounds, {} moves, {} recomputed / {} memoized",
+        repair.rounds.len(),
+        repair.total_moves(),
+        repair.total_recomputed(),
+        repair.total_memoized(),
+    );
+    record_run("repair_1M", &repair);
+
+    let quiet_start = std::time::Instant::now();
+    let quiet = engine.run(&mut tb.system, &mut net);
+    let quiet_elapsed = quiet_start.elapsed().as_secs_f64();
+    assert_eq!(
+        quiet.total_recomputed(),
+        0,
+        "quiet 1M round must be 100% memo-served"
+    );
+    assert!(
+        quiet.total_memoized() > 0,
+        "quiet 1M round must consult the memo"
+    );
+    println!(
+        "repair_1M quiet re-run: {} recomputed / {} memoized, {quiet_elapsed:.3}s",
+        quiet.total_recomputed(),
+        quiet.total_memoized(),
+    );
+    record_run("repair_1M_quiet", &quiet);
+    // The headline number of the tentpole: one maintenance round over a
+    // quiet million-peer system. Artifact-only (like every wall-clock
+    // cell), target < 1 s in release.
+    criterion::record_value(
+        "round/repair_1M_quiet/round_seconds",
+        "seconds",
+        quiet_elapsed,
+    );
+
     criterion::record_value(
         "round/run_seconds",
         "seconds",

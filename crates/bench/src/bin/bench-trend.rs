@@ -11,10 +11,14 @@
 //!   [--time-factor T]` — fail (exit 1) if any metric regressed by more
 //!   than its factor: `F` (default 2.0) for deterministic metrics
 //!   (message counts — any growth is a real routing regression), `T`
-//!   (default `F`) for `seconds` metrics, which CI widens to absorb
-//!   runner-vs-baseline machine variance. A metric tracked by the
-//!   baseline but **absent** from the current run also fails: a bench
-//!   that crashes or is renamed must not silently disable its own gate.
+//!   (default `F`) for `seconds` and `mb` metrics: wall clock and peak
+//!   RSS both vary with the runner (machine speed, allocator, libc), so
+//!   CI widens them to 4× — wide enough to absorb runner-vs-baseline
+//!   variance, tight enough that a leaked per-peer allocation at the
+//!   million-peer scale still trips the one-sided gate. A metric
+//!   tracked by the baseline but **absent** from the current run also
+//!   fails: a bench that crashes or is renamed must not silently
+//!   disable its own gate.
 //!
 //! Both file formats are emitted by this repo itself, so parsing is a
 //! deliberately small line-based scan, not a general JSON parser.
@@ -132,7 +136,7 @@ fn compare(
         } else {
             cur.value / base.value
         };
-        let limit = if cur.unit == "seconds" {
+        let limit = if cur.unit == "seconds" || cur.unit == "mb" {
             time_factor
         } else {
             factor

@@ -44,6 +44,26 @@ pub fn best_response<S: SystemRead + ?Sized>(
     peer: PeerId,
     allow_empty: bool,
 ) -> BestResponse {
+    let mut chain = Vec::new();
+    best_response_with_chain(system, peer, allow_empty, &mut chain)
+}
+
+/// [`best_response`] that additionally records the scan's **take
+/// chain** into `chain` (cleared first): the successive clusters that
+/// strictly improved the running best, in scan order, ending with the
+/// returned cluster (empty when staying is optimal). The chain is what
+/// cross-round proposal memoization needs — a memoized scan replays
+/// identically as long as no cluster *in the chain* changed and no
+/// changed cluster newly undercuts the final best, because a cluster
+/// outside the chain was rejected against a running best that is at
+/// most the current cost at every scan position.
+pub fn best_response_with_chain<S: SystemRead + ?Sized>(
+    system: &S,
+    peer: PeerId,
+    allow_empty: bool,
+    chain: &mut Vec<ClusterId>,
+) -> BestResponse {
+    chain.clear();
     let current = system
         .overlay()
         .cluster_of(peer)
@@ -54,7 +74,7 @@ pub fn best_response<S: SystemRead + ?Sized>(
         gain: 0.0,
     };
     let mut best_cost = current_cost;
-    let consider = |cid: ClusterId, best: &mut BestResponse, best_cost: &mut f64| {
+    let mut consider = |cid: ClusterId, best: &mut BestResponse, best_cost: &mut f64| {
         if cid == current {
             return;
         }
@@ -65,6 +85,7 @@ pub fn best_response<S: SystemRead + ?Sized>(
                 cluster: cid,
                 gain: current_cost - cost,
             };
+            chain.push(cid);
         }
     };
     let mut pending_empty = if allow_empty {

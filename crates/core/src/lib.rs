@@ -36,6 +36,10 @@
 //! * [`protocol`] — the two-phase, representative-coordinated
 //!   reformulation protocol of §3.2 with its anti-cycle lock rule,
 //!   `ε`-threshold stop condition, and empty/new-cluster handling.
+//! * [`shard`] — contiguous-range fan-out of bulk per-slot walks over
+//!   the rayon shim with index-order merge, byte-identical to the
+//!   sequential walk (the flush/tracker sharding of the million-peer
+//!   churn path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +50,7 @@ pub mod equilibrium;
 pub mod global;
 pub mod protocol;
 pub mod recall;
+pub mod shard;
 pub mod strategy;
 pub mod system;
 pub mod tracker;
@@ -54,7 +59,8 @@ pub mod view;
 pub use cost::{pcost, pcost_current, pcost_set};
 pub use costcache::CostCache;
 pub use equilibrium::{
-    best_response, best_response_set, best_response_set_over, is_nash_equilibrium, BestResponse,
+    best_response, best_response_set, best_response_set_over, best_response_with_chain,
+    is_nash_equilibrium, BestResponse,
 };
 pub use global::{scost, scost_normalized, wcost, wcost_normalized};
 pub use protocol::runtime::{
@@ -68,12 +74,12 @@ pub use protocol::{
 };
 pub use recall::RecallIndex;
 pub use strategy::{
-    AltruisticStrategy, DecisionSource, HybridStrategy, ObservedObjective, ObservedStrategy,
-    Proposal, RelocationStrategy, SelfishStrategy,
+    AltruisticStrategy, ChainInfo, DecisionSource, HybridStrategy, ObservedObjective,
+    ObservedStrategy, Proposal, RelocationStrategy, SelfishStrategy,
 };
 pub use system::{GameConfig, System};
 pub use tracker::{
-    simulate_period, simulate_period_routed, simulate_period_routed_full, ForwardHistogram,
-    ObservedStats, PeriodObservations, RoutingReport,
+    simulate_period, simulate_period_routed, simulate_period_routed_full, simulate_period_traffic,
+    ForwardHistogram, ObservedStats, PeriodObservations, RoutingReport,
 };
 pub use view::{Epochs, SystemRead, SystemView};

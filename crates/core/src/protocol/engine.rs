@@ -25,7 +25,7 @@ use crate::global::{scost_normalized, wcost_normalized};
 use crate::protocol::locks::LockSet;
 use crate::protocol::memo::ProposalMemo;
 use crate::protocol::{ProtocolConfig, RelocationRequest};
-use crate::strategy::{Proposal, RelocationStrategy};
+use crate::strategy::{ChainInfo, Proposal, RelocationStrategy};
 use crate::system::System;
 use crate::view::SystemView;
 
@@ -194,20 +194,30 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
             .collect();
 
         let memo_on = self.memo_enabled && self.strategy.memoizable();
-        let gate = memo_on.then(|| ProposalMemo::round_gate(view, allow_empty));
+        if memo_on {
+            // Opens the round's validity gate (candidate-sequence
+            // version + changed-cluster set) before the immutable
+            // parallel section borrows the memo.
+            self.memo.begin_round(view, allow_empty);
+        }
         let memo = &self.memo;
         let strategy = &self.strategy;
-        let compute = |&peer: &PeerId| -> (Option<Proposal>, bool) {
-            if let Some(gate) = &gate {
-                if let Some(hit) = memo.lookup(gate, view, peer) {
-                    return (hit, true);
+        // A `None` chain marks a memo hit; `Some(chain)` a recomputed
+        // proposal to be stored below.
+        let compute = |&peer: &PeerId| -> (Option<Proposal>, Option<ChainInfo>) {
+            if memo_on {
+                if let Some(hit) = memo.lookup(view, peer) {
+                    return (hit, None);
                 }
+                let (proposal, chain) = strategy.propose_traced(view, peer, allow_empty);
+                (proposal, Some(chain))
+            } else {
+                (strategy.propose(view, peer, allow_empty), None)
             }
-            (strategy.propose(view, peer, allow_empty), false)
         };
         let sharded =
             self.strategy.sharded_phase1() && peers.len() >= self.config.min_parallel_peers;
-        let raw: Vec<(Option<Proposal>, bool)> = if sharded {
+        let mut raw: Vec<(Option<Proposal>, Option<ChainInfo>)> = if sharded {
             peers.par_iter().map(compute).collect()
         } else {
             peers.iter().map(compute).collect()
@@ -217,12 +227,13 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
         let mut recomputed = 0;
         let mut memoized = 0;
         if memo_on {
-            for (&peer, &(proposal, hit)) in peers.iter().zip(&raw) {
-                if hit {
-                    memoized += 1;
-                } else {
-                    recomputed += 1;
-                    self.memo.store(view, peer, allow_empty, proposal);
+            for (&peer, slot) in peers.iter().zip(raw.iter_mut()) {
+                match slot.1.take() {
+                    Some(chain) => {
+                        recomputed += 1;
+                        self.memo.store(view, peer, allow_empty, slot.0, chain);
+                    }
+                    None => memoized += 1,
                 }
             }
         } else {
@@ -242,7 +253,8 @@ impl<S: RelocationStrategy> ProtocolEngine<S> {
             // (deterministic tie-break by peer id).
             let mut best: Option<RelocationRequest> = None;
             for &peer in members {
-                let (proposal, _) = raw[next];
+                let (proposal, _) = &raw[next];
+                let proposal = *proposal;
                 next += 1;
                 if let Some(p) = self.apply_policy(view, peer, proposal) {
                     let candidate = RelocationRequest {

@@ -33,7 +33,7 @@ pub mod runtime;
 
 pub use engine::{ProtocolEngine, RoundOutcome, RunOutcome};
 pub use locks::LockSet;
-pub use memo::{ProposalMemo, RoundGate};
+pub use memo::ProposalMemo;
 pub use runtime::{
     DelayDist, DenyReason, EvidenceLog, FaultReport, LiarConfig, Message, NetConfig, NetStats,
     PeerStateMachine, RuntimeEngine, SimNet,

@@ -60,10 +60,15 @@ pub struct RecallIndex {
     totals: Vec<u64>,
     /// Per peer: `(qid, relative frequency in the peer's workload)`.
     peer_workload: Vec<Vec<(QueryId, f64)>>,
-    /// Per query: numerator of the cluster recall mass, indexed by
-    /// cluster — `Σ_{pj ∈ c} result(q, pj)`. Maintained by the
-    /// `apply_*` deltas; [`RecallIndex::rebuild`] recomputes it.
-    mass_num: Vec<Vec<u64>>,
+    /// Per query: numerator of the cluster recall mass as a **sparse**
+    /// row of `(cluster, Σ_{pj ∈ c} result(q, pj))` pairs, ascending by
+    /// cluster id, with the invariant *present ⟺ nonzero*. A query's
+    /// results concentrate in a handful of clusters while `Cmax` can
+    /// equal the peer count, so dense rows are O(queries × Cmax) memory
+    /// (≈ 4.8 GB at a million peers) against O(Σ non-zero cells) here.
+    /// Maintained by the `apply_*` deltas; [`RecallIndex::rebuild`]
+    /// recomputes it.
+    mass_num: Vec<Vec<(ClusterId, u64)>>,
     /// Cluster slots each `mass_num` row covers (the overlay's `Cmax` at
     /// the last rebuild/growth).
     cmax: usize,
@@ -157,7 +162,7 @@ impl RecallIndex {
         }
         self.queries.push(query.clone());
         self.totals.push(0);
-        self.mass_num.push(vec![0; self.cmax]);
+        self.mass_num.push(Vec::new());
         qid
     }
 
@@ -211,7 +216,7 @@ impl RecallIndex {
                 self.peer_results[slot].push((qid, count));
                 self.totals[qid as usize] += count;
                 if let Some(cid) = overlay.cluster_of(peer) {
-                    self.mass_num[qid as usize][cid.index()] += count;
+                    mass_add(&mut self.mass_num[qid as usize], cid, count);
                 }
             }
         }
@@ -235,14 +240,14 @@ impl RecallIndex {
         for &(qid, count) in &old {
             self.totals[qid as usize] -= count;
             if let Some(c) = cid {
-                self.mass_num[qid as usize][c.index()] -= count;
+                mass_sub(&mut self.mass_num[qid as usize], c, count);
             }
         }
         let row = self.row_for(new_docs);
         for &(qid, count) in &row {
             self.totals[qid as usize] += count;
             if let Some(c) = cid {
-                self.mass_num[qid as usize][c.index()] += count;
+                mass_add(&mut self.mass_num[qid as usize], c, count);
             }
         }
         self.peer_results[peer.index()] = row;
@@ -327,14 +332,14 @@ impl RecallIndex {
     /// caller has lost track of individual membership changes.
     pub fn rebuild(&mut self, overlay: &Overlay) {
         self.cmax = overlay.cmax();
-        self.mass_num = vec![vec![0u64; self.cmax]; self.queries.len()];
+        self.mass_num = vec![Vec::new(); self.queries.len()];
         for slot in 0..overlay.n_slots() {
             let peer = PeerId::from_index(slot);
             let Some(cid) = overlay.cluster_of(peer) else {
                 continue;
             };
             for &(qid, count) in &self.peer_results[slot] {
-                self.mass_num[qid as usize][cid.index()] += count;
+                mass_add(&mut self.mass_num[qid as usize], cid, count);
             }
         }
     }
@@ -346,14 +351,13 @@ impl RecallIndex {
         self.rebuild(overlay);
     }
 
-    /// Grows the mass rows to cover `cmax` cluster slots (after
-    /// [`Overlay::grow`]); existing masses are untouched.
+    /// Notes that the overlay now has `cmax` cluster slots (after
+    /// [`Overlay::grow`]); existing masses are untouched. The sparse
+    /// rows need no resizing — a cluster with no mass simply has no
+    /// entry — so this only tracks the width for [`RecallIndex::mass_cmax`].
     pub fn ensure_cmax(&mut self, cmax: usize) {
         if cmax > self.cmax {
             self.cmax = cmax;
-            for row in &mut self.mass_num {
-                row.resize(cmax, 0);
-            }
         }
     }
 
@@ -380,8 +384,8 @@ impl RecallIndex {
         }
         for &(qid, count) in &self.peer_results[peer.index()] {
             let row = &mut self.mass_num[qid as usize];
-            row[from.index()] -= count;
-            row[to.index()] += count;
+            mass_sub(row, from, count);
+            mass_add(row, to, count);
         }
     }
 
@@ -391,7 +395,7 @@ impl RecallIndex {
     /// content follow up with [`RecallIndex::apply_content_update`].
     pub fn apply_join(&mut self, peer: PeerId, to: ClusterId) {
         for &(qid, count) in &self.peer_results[peer.index()] {
-            self.mass_num[qid as usize][to.index()] += count;
+            mass_add(&mut self.mass_num[qid as usize], to, count);
         }
     }
 
@@ -402,7 +406,7 @@ impl RecallIndex {
     /// [`RecallIndex::apply_content_update`]`(peer, None, &[])`.
     pub fn apply_leave(&mut self, peer: PeerId, from: ClusterId) {
         for &(qid, count) in &self.peer_results[peer.index()] {
-            self.mass_num[qid as usize][from.index()] -= count;
+            mass_sub(&mut self.mass_num[qid as usize], from, count);
         }
     }
 
@@ -453,7 +457,7 @@ impl RecallIndex {
         if total == 0 {
             0.0
         } else {
-            self.mass_num[qid as usize][cid.index()] as f64 / total as f64
+            self.cluster_mass_num(qid, cid) as f64 / total as f64
         }
     }
 
@@ -461,7 +465,19 @@ impl RecallIndex {
     /// `Σ_{pj ∈ c} result(q, pj)`. Exposed so equivalence tests can
     /// assert delta-maintained state equals a rebuild *exactly*.
     pub fn cluster_mass_num(&self, qid: QueryId, cid: ClusterId) -> u64 {
-        self.mass_num[qid as usize][cid.index()]
+        let row = &self.mass_num[qid as usize];
+        row.binary_search_by_key(&cid, |&(c, _)| c)
+            .map(|i| row[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The nonzero mass cells of a query: ascending `(cluster,
+    /// numerator)` pairs, entries present **iff** nonzero. The memo
+    /// gate's O(log) "does this peer's workload overlap cluster `c` at
+    /// all" probe, and the place a sweep over a query's populated
+    /// clusters avoids touching `Cmax` slots.
+    pub fn mass_row(&self, qid: QueryId) -> &[(ClusterId, u64)] {
+        &self.mass_num[qid as usize]
     }
 
     /// Cluster slots the mass rows cover.
@@ -477,6 +493,32 @@ impl RecallIndex {
     /// The `(qid, result count)` pairs a peer can answer.
     pub fn results_of(&self, peer: PeerId) -> &[(QueryId, u64)] {
         &self.peer_results[peer.index()]
+    }
+}
+
+/// Adds `count` to a sparse mass row, inserting the cluster's cell at
+/// its sorted position if absent. `count` must be nonzero (callers only
+/// pass stored result counts, which are nonzero by construction).
+fn mass_add(row: &mut Vec<(ClusterId, u64)>, cid: ClusterId, count: u64) {
+    match row.binary_search_by_key(&cid, |&(c, _)| c) {
+        Ok(i) => row[i].1 += count,
+        Err(i) => row.insert(i, (cid, count)),
+    }
+}
+
+/// Subtracts `count` from a sparse mass row, removing the cell when it
+/// reaches zero (the *present ⟺ nonzero* invariant).
+///
+/// # Panics
+/// Panics if the cluster has no cell or less mass than `count` — the
+/// same accounting bug a dense row would surface as integer underflow.
+fn mass_sub(row: &mut Vec<(ClusterId, u64)>, cid: ClusterId, count: u64) {
+    let i = row
+        .binary_search_by_key(&cid, |&(c, _)| c)
+        .unwrap_or_else(|_| panic!("mass underflow: no cell for {cid}"));
+    row[i].1 = row[i].1.checked_sub(count).expect("mass underflow");
+    if row[i].1 == 0 {
+        row.remove(i);
     }
 }
 

@@ -34,6 +34,25 @@ pub struct Proposal {
     pub gain: f64,
 }
 
+/// What a strategy knows about the cluster dependencies of one
+/// [`propose`](RelocationStrategy::propose) outcome, reported through
+/// [`RelocationStrategy::propose_traced`] for the memo gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainInfo {
+    /// The strategy did not trace its scan: the memoized outcome can
+    /// only be trusted while *no* candidate cluster changed (the
+    /// coarse, pre-trace gate).
+    Unknown,
+    /// The ascending-scan take chain of
+    /// [`best_response_with_chain`](crate::equilibrium::best_response_with_chain):
+    /// the clusters that successively improved the running best, in
+    /// scan order (empty when staying was optimal). A memoized outcome
+    /// stays valid under changes to clusters **outside** the chain as
+    /// long as none of them newly undercuts the peer's current cost —
+    /// the fine per-(peer, cluster) gate.
+    Known(Box<[ClusterId]>),
+}
+
 /// A peer-relocation strategy.
 ///
 /// `Sync` is a supertrait because [`propose`] is a pure read evaluated
@@ -66,6 +85,23 @@ pub trait RelocationStrategy: Sync {
     /// cost cache — so the engine can fan proposal computation across
     /// threads with no interior mutability in the read path.
     fn propose(&self, view: &SystemView<'_>, peer: PeerId, allow_empty: bool) -> Option<Proposal>;
+
+    /// [`propose`](RelocationStrategy::propose) plus the cluster-
+    /// dependency trace of the outcome, consumed by the proposal memo's
+    /// per-(peer, cluster) validity gate. The default delegates to
+    /// `propose` and reports [`ChainInfo::Unknown`], which makes the
+    /// memo fall back to its coarse any-candidate-changed gate — exactly
+    /// the pre-trace behaviour. Strategies whose scan is
+    /// [`best_response_with_chain`](crate::equilibrium::best_response_with_chain)
+    /// override this to hand the real chain over.
+    fn propose_traced(
+        &self,
+        view: &SystemView<'_>,
+        peer: PeerId,
+        allow_empty: bool,
+    ) -> (Option<Proposal>, ChainInfo) {
+        (self.propose(view, peer, allow_empty), ChainInfo::Unknown)
+    }
 
     /// Whether [`propose`](RelocationStrategy::propose) is a pure
     /// function of its arguments, making it safe to shard peers across

@@ -6,8 +6,8 @@
 
 use recluster_types::PeerId;
 
-use crate::equilibrium::{best_response, COST_EPS};
-use crate::strategy::{Proposal, RelocationStrategy};
+use crate::equilibrium::{best_response, best_response_with_chain, COST_EPS};
+use crate::strategy::{ChainInfo, Proposal, RelocationStrategy};
 use crate::view::SystemView;
 
 /// The selfish strategy: pure individual-cost minimization.
@@ -29,6 +29,28 @@ impl RelocationStrategy for SelfishStrategy {
         } else {
             None
         }
+    }
+
+    /// The same scan with its take chain recorded, so the memo can keep
+    /// an entry alive across rounds that only touched clusters the scan
+    /// rejected (or never reached).
+    fn propose_traced(
+        &self,
+        view: &SystemView<'_>,
+        peer: PeerId,
+        allow_empty: bool,
+    ) -> (Option<Proposal>, ChainInfo) {
+        let mut chain = Vec::new();
+        let br = best_response_with_chain(view, peer, allow_empty, &mut chain);
+        let proposal = if br.gain > COST_EPS {
+            Some(Proposal {
+                to: br.cluster,
+                gain: br.gain,
+            })
+        } else {
+            None
+        };
+        (proposal, ChainInfo::Known(chain.into_boxed_slice()))
     }
 
     /// `best_response` reads exactly the quantities the change journal

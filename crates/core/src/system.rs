@@ -532,6 +532,10 @@ impl SystemRead for System {
         self.cost_cache().wrecall_of(peer)
     }
 
+    fn cached_away(&self, peer: PeerId) -> f64 {
+        self.cost_cache().away_of(peer)
+    }
+
     fn cached_live_demand(&self) -> u64 {
         self.cost_cache().live_demand()
     }

@@ -38,9 +38,15 @@
 
 use std::collections::BTreeMap;
 
-use recluster_overlay::{route_to_clusters, RoutePlan, RoutingMode, SimNetwork, SummaryMode};
-use recluster_types::{ClusterId, PeerId, Query};
+use recluster_overlay::{
+    route_to_clusters, AnnotatedResult, ContentStore, MsgKind, Overlay, RoutePlan, RoutingMode,
+    SimNetwork, SummaryMode,
+};
+use recluster_types::{ClusterId, PeerId, Query, Workload};
 
+use crate::recall::RecallIndex;
+
+use crate::costcache::CostCache;
 use crate::equilibrium::COST_EPS;
 use crate::system::System;
 use crate::view::SystemRead;
@@ -286,162 +292,10 @@ pub fn simulate_period_routed_full(
     net: &mut SimNetwork,
     mode: RoutingMode,
 ) -> (PeriodObservations, RoutingReport, ForwardHistogram) {
+    let core = run_period_core(system, net, mode, true);
     let overlay = system.overlay();
     let index = system.index();
-    let n_slots = overlay.n_slots();
-    let cmax = overlay.cmax();
-    // The flushed cost cache supplies the query → holder lists: the
-    // period walks each *distinct* query once instead of once per
-    // holder, which removes the O(peers × workload) evaluation factor —
-    // at scale most peers share their queries with thousands of others.
-    let cache = system.cost_cache();
-    let mut observations: Vec<Vec<QueryObservation>> = vec![Vec::new(); n_slots];
-    let mut served: Vec<BTreeMap<ClusterId, f64>> = vec![BTreeMap::new(); n_slots];
-    let mut served_total = vec![0.0; n_slots];
-
-    // The period-constant routing state: membership and content change
-    // only *between* periods, so the non-empty cluster list and the
-    // route plan are built once.
-    let non_empty: Vec<ClusterId> = overlay.non_empty_ids().to_vec();
-    let plan = match mode {
-        RoutingMode::Flood => None,
-        RoutingMode::Routed(precision) => Some(RoutePlan::build(system.summaries(), precision)),
-    };
-    let lossy = matches!(mode, RoutingMode::Routed(SummaryMode::TopK(_)));
-    let mut report = RoutingReport {
-        mode,
-        query_events: 0,
-        forwards: 0,
-        flood_forwards: 0,
-        returned_results: 0,
-        missed_results: 0,
-    };
-    let mut histogram = ForwardHistogram::new();
-
-    /// One distinct query's shared evaluation — identical for every
-    /// holder (content is fixed within the period), fanned out to the
-    /// per-peer observations afterwards.
-    struct QueryEval {
-        per_cluster: Vec<(ClusterId, u64)>,
-        total: u64,
-    }
-
-    // Buffers reused across every query of the period: a scratch ledger
-    // for the single evaluation, dense per-cluster accumulators (result
-    // counts, live demand) plus their touched-slot lists (reset in
-    // O(touched), not O(cmax)).
-    let mut scratch = SimNetwork::new();
-    let mut cluster_acc: Vec<u64> = vec![0; cmax];
-    let mut touched: Vec<usize> = Vec::with_capacity(cmax);
-    let mut routed_targets: Vec<ClusterId> = Vec::new();
-    let mut demand_acc: Vec<u64> = vec![0; cmax];
-    let mut demand_touched: Vec<usize> = Vec::new();
-
-    let mut evals: Vec<Option<QueryEval>> = Vec::with_capacity(index.n_queries());
-    for qid in 0..index.n_queries() {
-        let query = &index.queries()[qid];
-        // Live demand for this query, bucketed by requesting cluster.
-        // Workload entries always carry ≥ 1 occurrence, so "has a live
-        // holder" and "has live demand" coincide; holder order does not
-        // matter — the buckets are exact integer sums.
-        let mut total_demand: u64 = 0;
-        for &slot in cache.holders_of(qid) {
-            let holder = PeerId::from_index(slot as usize);
-            let Some(rcid) = overlay.cluster_of(holder) else {
-                continue; // departed peers issue no queries
-            };
-            let count = system.workloads()[slot as usize].count(query);
-            total_demand += count;
-            if demand_acc[rcid.index()] == 0 {
-                demand_touched.push(rcid.index());
-            }
-            demand_acc[rcid.index()] += count;
-        }
-        if total_demand == 0 {
-            evals.push(None); // no live demand: the period never routes it
-            continue;
-        }
-        demand_touched.sort_unstable();
-
-        // Evaluate once; charge the network for every occurrence of
-        // every live holder (the ledger totals are linear, so one
-        // `merge_scaled` by the demand sum equals the per-holder walk).
-        scratch.reset();
-        let targets: &[ClusterId] = match &plan {
-            None => &non_empty,
-            Some(plan) => {
-                plan.route_into(query, &mut routed_targets);
-                &routed_targets
-            }
-        };
-        let results = route_to_clusters(overlay, system.store(), query, targets, &mut scratch);
-        net.merge_scaled(&scratch, total_demand);
-
-        report.query_events += total_demand;
-        report.flood_forwards += non_empty.len() as u64 * total_demand;
-        let query_forwards = scratch.messages(recluster_overlay::MsgKind::QueryForward);
-        report.forwards += query_forwards * total_demand;
-        histogram.record(query_forwards as usize, total_demand);
-        if lossy {
-            // Accounting only (uncharged): what flooding would have
-            // found in the clusters the lossy summary skipped.
-            for &cid in &non_empty {
-                if targets.binary_search(&cid).is_ok() {
-                    continue;
-                }
-                for &peer in overlay.cluster(cid).members() {
-                    report.missed_results +=
-                        system.store().result_count(query, peer) * total_demand;
-                }
-            }
-        }
-
-        let mut total = 0u64;
-        for r in &results {
-            let slot = r.cluster.index();
-            if cluster_acc[slot] == 0 {
-                touched.push(slot);
-            }
-            cluster_acc[slot] += r.count;
-            total += r.count;
-            // The answering peer records whom it served (Eq. 6
-            // numerator, weighted by query occurrences). Results a peer
-            // finds in its own store are not "sent" and carry no
-            // contribution credit, so the peer's own occurrences leave
-            // its home-cluster bucket. Every credit is a product/sum of
-            // integers well below 2⁵³, so this bucketed accumulation is
-            // bit-identical to crediting requester by requester.
-            for &ci in &demand_touched {
-                let mut demand = demand_acc[ci];
-                if overlay.cluster_of(r.peer) == Some(ClusterId::from_index(ci)) {
-                    demand -= system.workloads()[r.peer.index()].count(query);
-                }
-                if demand > 0 {
-                    let credit = demand as f64 * r.count as f64;
-                    *served[r.peer.index()]
-                        .entry(ClusterId::from_index(ci))
-                        .or_insert(0.0) += credit;
-                    served_total[r.peer.index()] += credit;
-                }
-            }
-        }
-        touched.sort_unstable();
-        let per_cluster: Vec<(ClusterId, u64)> = touched
-            .iter()
-            .map(|&slot| (ClusterId::from_index(slot), cluster_acc[slot]))
-            .collect();
-        for &slot in &touched {
-            cluster_acc[slot] = 0;
-        }
-        touched.clear();
-        for &ci in &demand_touched {
-            demand_acc[ci] = 0;
-        }
-        demand_touched.clear();
-        report.returned_results += total * total_demand;
-        evals.push(Some(QueryEval { per_cluster, total }));
-    }
-    drop(cache);
+    let mut observations: Vec<Vec<QueryObservation>> = vec![Vec::new(); overlay.n_slots()];
 
     // Fan the shared evaluations out to every live holder, in the exact
     // (peer id, workload order) the per-requester walk produced.
@@ -449,7 +303,7 @@ pub fn simulate_period_routed_full(
         let workload = &system.workloads()[requester.index()];
         for (query, _count) in workload.iter() {
             let qid = index.qid(query).expect("workload queries are indexed") as usize;
-            let eval = evals[qid]
+            let eval = core.evals[qid]
                 .as_ref()
                 .expect("a live holder implies the query was evaluated");
             let own = system.store().result_count(query, requester);
@@ -467,14 +321,371 @@ pub fn simulate_period_routed_full(
     (
         PeriodObservations {
             observations,
-            served,
-            served_total,
+            served: core.served,
+            served_total: core.served_total,
             sizes: overlay.sizes(),
             n_peers: overlay.n_peers(),
         },
+        core.report,
+        core.histogram,
+    )
+}
+
+/// Traffic-only period: charges `net` and returns the [`RoutingReport`]
+/// and [`ForwardHistogram`] **bit-identical** to
+/// [`simulate_period_routed_full`] under the same state, while skipping
+/// the per-peer observation fan-out and the served-credit accumulation
+/// entirely. This is what the churn driver's query-traffic measurement
+/// wants — at a million peers, materializing per-requester observation
+/// records (one per distinct workload query per peer) dominates both
+/// the allocation volume and the peak RSS of a period, and the oracle
+/// repair path never reads them.
+pub fn simulate_period_traffic(
+    system: &System,
+    net: &mut SimNetwork,
+    mode: RoutingMode,
+) -> (RoutingReport, ForwardHistogram) {
+    let core = run_period_core(system, net, mode, false);
+    (core.report, core.histogram)
+}
+
+/// One distinct query's shared evaluation — identical for every
+/// holder (content is fixed within the period), fanned out to the
+/// per-peer observations afterwards.
+struct QueryEval {
+    per_cluster: Vec<(ClusterId, u64)>,
+    total: u64,
+}
+
+/// Everything one distinct query's evaluation produces before any
+/// shared state is touched: the unscaled message ledger, the annotated
+/// results, the demand buckets, and the raw (per-single-occurrence)
+/// report counters. Packets are pure per-query values, so they can be
+/// produced on any thread; folding them into the network/report/served
+/// state happens in one sequential qid-order merge, which makes the
+/// sharded walk byte-identical to the sequential one by construction.
+struct QueryPacket {
+    /// Total live demand (occurrences summed over live holders).
+    total_demand: u64,
+    /// Live demand bucketed by requesting cluster index, ascending.
+    demand_buckets: Vec<(usize, u64)>,
+    /// The single-evaluation message ledger (unscaled).
+    ledger: SimNetwork,
+    /// The cid-annotated results of the single evaluation.
+    results: Vec<AnnotatedResult>,
+    /// Per-answering-cluster result counts, ascending by cluster id.
+    per_cluster: Vec<(ClusterId, u64)>,
+    /// Total results of the single evaluation.
+    total: u64,
+    /// `QueryForward` messages of the single evaluation.
+    forwards: u64,
+    /// Results a lossy summary skipped (raw; demand-scaled at merge).
+    missed: u64,
+}
+
+/// Reusable per-worker evaluation buffers: a scratch ledger, dense
+/// per-cluster accumulators (result counts, live demand) plus their
+/// touched-slot lists (reset in O(touched), not O(cmax)). The sharded
+/// path builds one per range; the sequential path reuses one for the
+/// whole period.
+struct EvalBufs {
+    scratch: SimNetwork,
+    cluster_acc: Vec<u64>,
+    touched: Vec<usize>,
+    routed_targets: Vec<ClusterId>,
+    demand_acc: Vec<u64>,
+    demand_touched: Vec<usize>,
+}
+
+impl EvalBufs {
+    fn new(cmax: usize) -> Self {
+        EvalBufs {
+            scratch: SimNetwork::new(),
+            cluster_acc: vec![0; cmax],
+            touched: Vec::new(),
+            routed_targets: Vec::new(),
+            demand_acc: vec![0; cmax],
+            demand_touched: Vec::new(),
+        }
+    }
+}
+
+/// Evaluates one distinct query against period-constant state. Pure in
+/// `qid` given the shared read-only captures — the sharding contract of
+/// [`crate::shard::map_ranges`]. Returns `None` when the query has no
+/// live demand (the period never routes it). Buffers in `bufs` are
+/// returned to their all-zeros/empty state before returning, so a fresh
+/// `EvalBufs` and a reused one are indistinguishable.
+#[allow(clippy::too_many_arguments)]
+fn eval_query(
+    qid: usize,
+    overlay: &Overlay,
+    store: &ContentStore,
+    workloads: &[Workload],
+    index: &RecallIndex,
+    cache: &CostCache,
+    non_empty: &[ClusterId],
+    plan: Option<&RoutePlan>,
+    lossy: bool,
+    bufs: &mut EvalBufs,
+) -> Option<QueryPacket> {
+    let query = &index.queries()[qid];
+    // Live demand for this query, bucketed by requesting cluster.
+    // Workload entries always carry ≥ 1 occurrence, so "has a live
+    // holder" and "has live demand" coincide; holder order does not
+    // matter — the buckets are exact integer sums.
+    let mut total_demand: u64 = 0;
+    for &slot in cache.holders_of(qid) {
+        let holder = PeerId::from_index(slot as usize);
+        let Some(rcid) = overlay.cluster_of(holder) else {
+            continue; // departed peers issue no queries
+        };
+        let count = workloads[slot as usize].count(query);
+        total_demand += count;
+        if bufs.demand_acc[rcid.index()] == 0 {
+            bufs.demand_touched.push(rcid.index());
+        }
+        bufs.demand_acc[rcid.index()] += count;
+    }
+    if total_demand == 0 {
+        for &ci in &bufs.demand_touched {
+            bufs.demand_acc[ci] = 0;
+        }
+        bufs.demand_touched.clear();
+        return None;
+    }
+    bufs.demand_touched.sort_unstable();
+
+    // Evaluate once; the caller charges the network for every
+    // occurrence of every live holder (the ledger totals are linear, so
+    // one `merge_scaled` by the demand sum equals the per-holder walk).
+    bufs.scratch.reset();
+    let targets: &[ClusterId] = match plan {
+        None => non_empty,
+        Some(plan) => {
+            plan.route_into(query, &mut bufs.routed_targets);
+            &bufs.routed_targets
+        }
+    };
+    let results = route_to_clusters(overlay, store, query, targets, &mut bufs.scratch);
+    let forwards = bufs.scratch.messages(MsgKind::QueryForward);
+    let mut missed = 0u64;
+    if lossy {
+        // Accounting only (uncharged): what flooding would have found
+        // in the clusters the lossy summary skipped.
+        for &cid in non_empty {
+            if targets.binary_search(&cid).is_ok() {
+                continue;
+            }
+            for &peer in overlay.cluster(cid).members() {
+                missed += store.result_count(query, peer);
+            }
+        }
+    }
+
+    let mut total = 0u64;
+    for r in &results {
+        let slot = r.cluster.index();
+        if bufs.cluster_acc[slot] == 0 {
+            bufs.touched.push(slot);
+        }
+        bufs.cluster_acc[slot] += r.count;
+        total += r.count;
+    }
+    bufs.touched.sort_unstable();
+    let per_cluster: Vec<(ClusterId, u64)> = bufs
+        .touched
+        .iter()
+        .map(|&slot| (ClusterId::from_index(slot), bufs.cluster_acc[slot]))
+        .collect();
+    for &slot in &bufs.touched {
+        bufs.cluster_acc[slot] = 0;
+    }
+    bufs.touched.clear();
+    let demand_buckets: Vec<(usize, u64)> = bufs
+        .demand_touched
+        .iter()
+        .map(|&ci| (ci, bufs.demand_acc[ci]))
+        .collect();
+    for &ci in &bufs.demand_touched {
+        bufs.demand_acc[ci] = 0;
+    }
+    bufs.demand_touched.clear();
+
+    Some(QueryPacket {
+        total_demand,
+        demand_buckets,
+        ledger: std::mem::replace(&mut bufs.scratch, SimNetwork::new()),
+        results,
+        per_cluster,
+        total,
+        forwards,
+        missed,
+    })
+}
+
+/// The shared period walk behind both public variants: evaluate every
+/// distinct query (sharded across the rayon shim when the system is
+/// large), then fold the packets into the network, report, histogram
+/// and — when `collect` — the served-credit state and per-query evals,
+/// in one sequential qid-order merge.
+struct PeriodCore {
+    evals: Vec<Option<QueryEval>>,
+    served: Vec<BTreeMap<ClusterId, f64>>,
+    served_total: Vec<f64>,
+    report: RoutingReport,
+    histogram: ForwardHistogram,
+}
+
+fn run_period_core(
+    system: &System,
+    net: &mut SimNetwork,
+    mode: RoutingMode,
+    collect: bool,
+) -> PeriodCore {
+    let overlay = system.overlay();
+    let index = system.index();
+    let n_slots = overlay.n_slots();
+    let cmax = overlay.cmax();
+    let store = system.store();
+    let workloads = system.workloads();
+    // The flushed cost cache supplies the query → holder lists: the
+    // period walks each *distinct* query once instead of once per
+    // holder, which removes the O(peers × workload) evaluation factor —
+    // at scale most peers share their queries with thousands of others.
+    let cache_ref = system.cost_cache();
+    let cache: &CostCache = &cache_ref;
+
+    // The period-constant routing state: membership and content change
+    // only *between* periods, so the non-empty cluster list and the
+    // route plan are built once.
+    let non_empty: Vec<ClusterId> = overlay.non_empty_ids().to_vec();
+    let plan = match mode {
+        RoutingMode::Flood => None,
+        RoutingMode::Routed(precision) => Some(RoutePlan::build(system.summaries(), precision)),
+    };
+    let lossy = matches!(mode, RoutingMode::Routed(SummaryMode::TopK(_)));
+    let n_queries = index.n_queries();
+
+    // Each distinct query's evaluation reads only period-constant state,
+    // so the walk shards into contiguous qid ranges with per-range
+    // buffers. The threshold keys on the *slot* count, not the query
+    // count: per-query work is dominated by the member walk of
+    // `route_to_clusters`, which scales with membership, so a small
+    // distinct-query set over a huge overlay is exactly the case worth
+    // sharding.
+    let packets: Vec<Option<QueryPacket>> = if crate::shard::should_shard(n_slots) {
+        crate::shard::map_ranges(n_queries, |range| {
+            let mut bufs = EvalBufs::new(cmax);
+            range
+                .map(|qid| {
+                    eval_query(
+                        qid,
+                        overlay,
+                        store,
+                        workloads,
+                        index,
+                        cache,
+                        &non_empty,
+                        plan.as_ref(),
+                        lossy,
+                        &mut bufs,
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        let mut bufs = EvalBufs::new(cmax);
+        (0..n_queries)
+            .map(|qid| {
+                eval_query(
+                    qid,
+                    overlay,
+                    store,
+                    workloads,
+                    index,
+                    cache,
+                    &non_empty,
+                    plan.as_ref(),
+                    lossy,
+                    &mut bufs,
+                )
+            })
+            .collect()
+    };
+
+    let mut report = RoutingReport {
+        mode,
+        query_events: 0,
+        forwards: 0,
+        flood_forwards: 0,
+        returned_results: 0,
+        missed_results: 0,
+    };
+    let mut histogram = ForwardHistogram::new();
+    let mut evals: Vec<Option<QueryEval>> = Vec::with_capacity(if collect { n_queries } else { 0 });
+    let mut served: Vec<BTreeMap<ClusterId, f64>> =
+        vec![BTreeMap::new(); if collect { n_slots } else { 0 }];
+    let mut served_total = vec![0.0; if collect { n_slots } else { 0 }];
+
+    for (qid, packet) in packets.into_iter().enumerate() {
+        let Some(p) = packet else {
+            if collect {
+                evals.push(None); // no live demand: the period never routes it
+            }
+            continue;
+        };
+        net.merge_scaled(&p.ledger, p.total_demand);
+        report.query_events += p.total_demand;
+        report.flood_forwards += non_empty.len() as u64 * p.total_demand;
+        report.forwards += p.forwards * p.total_demand;
+        histogram.record(p.forwards as usize, p.total_demand);
+        report.missed_results += p.missed * p.total_demand;
+        report.returned_results += p.total * p.total_demand;
+        if !collect {
+            continue;
+        }
+        let query = &index.queries()[qid];
+        for r in &p.results {
+            // The answering peer records whom it served (Eq. 6
+            // numerator, weighted by query occurrences). Results a peer
+            // finds in its own store are not "sent" and carry no
+            // contribution credit, so the peer's own occurrences leave
+            // its home-cluster bucket. Every credit is a product/sum of
+            // integers well below 2⁵³, and the (result, bucket) fold
+            // order matches the sequential walk exactly, so this
+            // accumulation is bit-identical to crediting requester by
+            // requester.
+            for &(ci, bucket) in &p.demand_buckets {
+                let mut demand = bucket;
+                if overlay.cluster_of(r.peer) == Some(ClusterId::from_index(ci)) {
+                    demand -= workloads[r.peer.index()].count(query);
+                }
+                if demand > 0 {
+                    let credit = demand as f64 * r.count as f64;
+                    *served[r.peer.index()]
+                        .entry(ClusterId::from_index(ci))
+                        .or_insert(0.0) += credit;
+                    served_total[r.peer.index()] += credit;
+                }
+            }
+        }
+        evals.push(Some(QueryEval {
+            per_cluster: p.per_cluster,
+            total: p.total,
+        }));
+    }
+
+    PeriodCore {
+        evals,
+        served,
+        served_total,
         report,
         histogram,
-    )
+    }
 }
 
 impl PeriodObservations {
@@ -1314,6 +1525,56 @@ mod tests {
         assert_eq!(a.p50(), 2);
         assert_eq!(a.max(), 4);
         assert_eq!(a.mean(), 3.0);
+    }
+
+    #[test]
+    fn traffic_variant_matches_full_bit_for_bit() {
+        // The traffic-only walk must charge the exact same ledger and
+        // produce the exact same report/histogram as the full one — it
+        // only skips the observation/served state nobody reads.
+        let sys = fixture();
+        for mode in [
+            RoutingMode::Flood,
+            RoutingMode::Routed(SummaryMode::Exact),
+            RoutingMode::Routed(SummaryMode::TopK(1)),
+        ] {
+            let mut net_full = SimNetwork::new();
+            let (_, rep_full, hist_full) = simulate_period_routed_full(&sys, &mut net_full, mode);
+            let mut net_traffic = SimNetwork::new();
+            let (rep_traffic, hist_traffic) = simulate_period_traffic(&sys, &mut net_traffic, mode);
+            assert_eq!(rep_full, rep_traffic, "{mode:?}");
+            assert_eq!(hist_full, hist_traffic, "{mode:?}");
+            assert_eq!(net_full.total_messages(), net_traffic.total_messages());
+            assert_eq!(net_full.total_bytes(), net_traffic.total_bytes());
+        }
+    }
+
+    #[test]
+    fn sharded_period_is_bit_identical_to_sequential() {
+        // Force the threshold both ways on pinned pools: the sharded
+        // qid fan-out must reproduce the sequential walk exactly —
+        // observations, served credit, report, histogram, and ledger.
+        let sys = fixture();
+        let mode = RoutingMode::Routed(SummaryMode::TopK(1)); // exercises `missed` too
+        crate::shard::set_shard_min_override(Some(usize::MAX));
+        let mut net_seq = SimNetwork::new();
+        let (obs_seq, rep_seq, hist_seq) = simulate_period_routed_full(&sys, &mut net_seq, mode);
+        crate::shard::set_shard_min_override(Some(1));
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut net_par = SimNetwork::new();
+            let (obs_par, rep_par, hist_par) =
+                pool.install(|| simulate_period_routed_full(&sys, &mut net_par, mode));
+            assert_eq!(obs_seq, obs_par, "{threads} threads");
+            assert_eq!(rep_seq, rep_par, "{threads} threads");
+            assert_eq!(hist_seq, hist_par, "{threads} threads");
+            assert_eq!(net_seq.total_messages(), net_par.total_messages());
+            assert_eq!(net_seq.total_bytes(), net_par.total_bytes());
+        }
+        crate::shard::set_shard_min_override(None);
     }
 
     #[test]

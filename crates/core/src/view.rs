@@ -170,6 +170,11 @@ pub trait SystemRead {
     /// The cached unnormalized `WCost` recall contribution of `peer`.
     fn cached_wrecall(&self, peer: PeerId) -> f64;
 
+    /// The cached recall loss of `peer` against any cluster sharing no
+    /// result mass with its workload (the memo gate's fast path — see
+    /// [`CostCache::away_of`]).
+    fn cached_away(&self, peer: PeerId) -> f64;
+
     /// `num(Q)`: total query demand of the assigned peers.
     fn cached_live_demand(&self) -> u64;
 }
@@ -265,6 +270,10 @@ impl SystemRead for SystemView<'_> {
 
     fn cached_wrecall(&self, peer: PeerId) -> f64 {
         self.cache.wrecall_of(peer)
+    }
+
+    fn cached_away(&self, peer: PeerId) -> f64 {
+        self.cache.away_of(peer)
     }
 
     fn cached_live_demand(&self) -> u64 {

@@ -74,7 +74,9 @@ fn assert_index_equals_rebuild(sys: &System) -> Result<(), TestCaseError> {
 }
 
 /// Asserts the delta-maintained cost cache equals a wholesale rebuild
-/// bit for bit: both recall terms of every slot, and the live demand.
+/// bit for bit: all three recall columns of every slot (in-cluster
+/// loss, wcost contribution, zero-overlap away loss), and the live
+/// demand.
 fn assert_cache_equals_rebuild(sys: &System) -> Result<(), TestCaseError> {
     let mut oracle = sys.clone();
     oracle.rebuild_cost_cache();
@@ -93,6 +95,12 @@ fn assert_cache_equals_rebuild(sys: &System) -> Result<(), TestCaseError> {
             delta.wrecall_of(p).to_bits(),
             fresh.wrecall_of(p).to_bits(),
             "wcost term of peer {}",
+            slot
+        );
+        prop_assert_eq!(
+            delta.away_of(p).to_bits(),
+            fresh.away_of(p).to_bits(),
+            "away term of peer {}",
             slot
         );
     }

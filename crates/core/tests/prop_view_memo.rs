@@ -98,11 +98,14 @@ proptest! {
         }
     }
 
-    /// Property 2 (memo soundness): whenever the validity gate accepts a
-    /// memoized proposal, that proposal is bit-identical to a fresh
-    /// `best_response` — under arbitrary interleavings of every mutation
-    /// class, with the memo refreshed after each op exactly as a
-    /// protocol round would.
+    /// Property 2 (memo soundness): whenever the per-(peer, cluster)
+    /// validity gate accepts a memoized proposal, that proposal is
+    /// bit-identical to a fresh `best_response` — under arbitrary
+    /// interleavings of every mutation class, driven with exactly the
+    /// protocol engine's round discipline: one `begin_round` per op,
+    /// every live peer looked up, every miss recomputed-and-stored
+    /// (hits are deliberately *not* re-stored — the gate's induction
+    /// must carry them across rounds on its own).
     #[test]
     fn valid_memo_hits_equal_fresh_best_response(
         docs in arb_seed_syms(),
@@ -115,34 +118,37 @@ proptest! {
         let mut hits = 0usize;
         let mut checks = 0usize;
 
-        // Seed the memo with every live peer's current proposal.
+        // Round 0: seed the memo with every live peer's proposal.
         {
             let view = sys.view();
+            memo.begin_round(&view, true);
             let peers: Vec<PeerId> = view.overlay().peers().collect();
             for p in peers {
-                let fresh = SelfishStrategy.propose(&view, p, true);
-                memo.store(&view, p, true, fresh);
+                let (fresh, chain) = SelfishStrategy.propose_traced(&view, p, true);
+                memo.store(&view, p, true, fresh, chain);
             }
         }
 
         for op in ops {
             apply(&mut sys, &mut net, op);
             let view = sys.view();
-            let gate = ProposalMemo::round_gate(&view, true);
+            memo.begin_round(&view, true);
             let peers: Vec<PeerId> = view.overlay().peers().collect();
             for &p in &peers {
-                let fresh = SelfishStrategy.propose(&view, p, true);
-                if let Some(hit) = memo.lookup(&gate, &view, p) {
-                    hits += 1;
-                    prop_assert_eq!(
-                        bits(hit),
-                        bits(fresh),
-                        "stale memo accepted for {} after gate said valid",
-                        p
-                    );
+                let (fresh, chain) = SelfishStrategy.propose_traced(&view, p, true);
+                match memo.lookup(&view, p) {
+                    Some(hit) => {
+                        hits += 1;
+                        prop_assert_eq!(
+                            bits(hit),
+                            bits(fresh),
+                            "stale memo accepted for {} after gate said valid",
+                            p
+                        );
+                    }
+                    None => memo.store(&view, p, true, fresh, chain),
                 }
                 checks += 1;
-                memo.store(&view, p, true, fresh);
             }
         }
         // Not a correctness requirement, but keep the test honest: the

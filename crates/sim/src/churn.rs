@@ -181,6 +181,41 @@ pub fn churn_100k_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
     )
 }
 
+/// The `churn_1M` scenario: 1 000 000 peers from the ideal scenario-1
+/// clustering, 100 leaves + 100 joins per period, selfish maintenance
+/// under exact cluster-directed routing. Another order of magnitude
+/// past [`churn_100k_config`] — the scale the sharded flush/fan-out and
+/// the per-(peer, cluster) proposal memo exist for:
+///
+/// * after the first converged repair, a quiet round recomputes only
+///   the O(churned) peers whose epoch stamps moved — every other
+///   proposal is re-emitted from the memo through the fine-grained
+///   changed-cluster gate;
+/// * the cost-cache flush after a churn batch and the tracker's
+///   per-period member walks shard across cores via
+///   [`map_ranges`](recluster_core::shard::map_ranges), byte-identical
+///   to sequential;
+/// * the oracle traffic probe runs the observation-free period walk, so
+///   no per-peer observation records are ever materialized.
+///
+/// Deterministic in `seed`; the golden suite pins its digest (release
+/// builds only — see `goldens/churn_1M.txt`) and the `churn_scale`
+/// bench gates its repair time and peak RSS.
+pub fn churn_1m_config(seed: u64) -> (ExperimentConfig, ChurnConfig) {
+    (
+        ExperimentConfig::million(seed),
+        ChurnConfig {
+            periods: 2,
+            leaves_per_period: 100,
+            joins_per_period: 100,
+            maintenance: Some(StrategyKind::Selfish),
+            max_rounds: 6,
+            routing: RoutingMode::Routed(SummaryMode::Exact),
+            decisions: DecisionSource::Oracle,
+        },
+    )
+}
+
 /// One period's decision-fidelity measurements (observed mode only).
 #[derive(Debug, Clone)]
 pub struct FidelityPeriod {

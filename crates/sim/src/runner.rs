@@ -17,7 +17,7 @@
 use rayon::prelude::*;
 use recluster_baselines::{NoMaintenance, RandomStrategy};
 use recluster_core::{
-    simulate_period_routed, AltruisticStrategy, HybridStrategy, ObservedStats, ObservedStrategy,
+    simulate_period_traffic, AltruisticStrategy, HybridStrategy, ObservedStats, ObservedStrategy,
     ProtocolConfig, ProtocolEngine, RelocationStrategy, RoutingReport, RunOutcome, SelfishStrategy,
     System,
 };
@@ -109,10 +109,14 @@ where
 /// Runs one query-observation period under `mode` on a fresh ledger and
 /// returns the ledger together with the routing report — the
 /// query-traffic probe the churn experiment and the experiment binaries
-/// use to compare flood against cluster-directed routing.
+/// use to compare flood against cluster-directed routing. Uses the
+/// traffic-only period walk: the ledger and report are bit-identical to
+/// the full observation run, but no per-peer observation records are
+/// materialized (the oracle churn path never reads them, and at a
+/// million peers they dominate peak RSS).
 pub fn measure_query_traffic(system: &System, mode: RoutingMode) -> (SimNetwork, RoutingReport) {
     let mut net = SimNetwork::new();
-    let (_, report) = simulate_period_routed(system, &mut net, mode);
+    let (report, _) = simulate_period_traffic(system, &mut net, mode);
     (net, report)
 }
 

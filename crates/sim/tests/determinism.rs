@@ -391,6 +391,69 @@ fn observed_traffic_engine_parallel_equals_sequential() {
     assert_eq!(baseline.as_bytes(), pinned.as_bytes());
 }
 
+/// Oracle churn rendered to full bit precision — the pipeline the
+/// million-peer run drives, just small enough to re-run under every
+/// pool width here.
+fn oracle_churn_trace() -> String {
+    let cfg = ExperimentConfig::small(31);
+    let churn = ChurnConfig {
+        periods: 4,
+        leaves_per_period: 1,
+        joins_per_period: 1,
+        ..ChurnConfig::default()
+    };
+    let (rows, _) = run_churn_with_fidelity(&cfg, &churn);
+    let mut out = String::new();
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "period {}: churn={:016x} repair={:016x} peers={} moves={} msgs={} fpq={:016x} fnr={:016x}",
+            r.period,
+            r.scost_after_churn.to_bits(),
+            r.scost_after_repair.to_bits(),
+            r.peers,
+            r.moves,
+            r.query_messages,
+            r.forwards_per_query.to_bits(),
+            r.false_negative_rate.to_bits()
+        );
+    }
+    out
+}
+
+/// The sharded flush/fan-out path (peer-range sharding of the cost
+/// cache flush and the per-period tracker walk, normally gated behind
+/// `RECLUSTER_SHARD_MIN`) is byte-identical to the forced-sequential
+/// path under pinned 1/2/8-worker pools and the CI matrix width. CI
+/// additionally runs the whole suite with `RECLUSTER_SHARD_MIN=1`, so
+/// every *other* trace in this file crosses the sharded path too.
+#[test]
+fn sharded_churn_trace_parallel_equals_sequential() {
+    use recluster_core::shard::set_shard_min_override;
+
+    set_shard_min_override(Some(usize::MAX));
+    let sequential = oracle_churn_trace();
+    set_shard_min_override(Some(1));
+    let width: usize = std::env::var("RECLUSTER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    for threads in [1usize, 2, 8, width] {
+        let sharded = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build never fails")
+            .install(oracle_churn_trace);
+        assert_eq!(
+            sequential.as_bytes(),
+            sharded.as_bytes(),
+            "{threads}-thread sharded churn diverged from sequential"
+        );
+    }
+    set_shard_min_override(None);
+}
+
 /// A full runtime convergence under a *degraded* schedule (delay 0..3,
 /// 10% loss), rendered to full bit precision: every forwarded request
 /// and grant with gain bits, post-round costs, and the fabric ledger.

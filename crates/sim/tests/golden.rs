@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use recluster_sim::churn::{
-    churn_100k_config, churn_10k_config, churn_10k_observed_config, run_churn,
+    churn_100k_config, churn_10k_config, churn_10k_observed_config, churn_1m_config, run_churn,
     run_churn_with_fidelity, ChurnPeriod,
 };
 use recluster_sim::fig1::run_fig1_with;
@@ -227,6 +227,20 @@ fn render_churn_10k_observed() -> (String, f64) {
     (out, report.final_scost_gap())
 }
 
+/// Renders the million-peer churn run and returns the last period's
+/// repaired scost, so the test can pin the paper-ideal acceptance bound
+/// (≈ 0.101: membership 10 clusters / 1M peers plus residual recall
+/// loss) alongside the bit-level snapshot.
+fn render_churn_1m() -> (String, f64) {
+    let (cfg, churn) = churn_1m_config(2008);
+    let rows = run_churn(&cfg, &churn);
+    let final_scost = rows.last().map_or(0.0, |r| r.scost_after_repair);
+    (
+        render_churn_scale("churn_1M", &cfg, &churn, &rows, 2008),
+        final_scost,
+    )
+}
+
 fn render_traffic_small() -> String {
     let (cfg, traffic) = traffic_small_config(2008);
     run_traffic(&cfg, &traffic).render("traffic_small", 2008)
@@ -434,6 +448,25 @@ fn churn_10k_matches_golden_snapshot() {
 #[ignore = "100k peers: release-only, run with --include-ignored"]
 fn churn_100k_matches_golden_snapshot() {
     check("churn_100k.txt", render_churn_100k());
+}
+
+/// The 1 000 000-peer churn scenario — the sharded flush/fan-out and
+/// the per-(peer, cluster) proposal memo's proof at scale: a repair
+/// round after convergence recomputes only the churn-dirtied proposals
+/// (everything else is memo-served), the cost-cache flush and the
+/// tracker's member walks shard across cores byte-identically, and the
+/// traffic probe never materializes observations. The repaired scost
+/// must land within 1 % of the paper-ideal ≈ 0.101. Release-only via
+/// `--include-ignored`, like the other scale goldens.
+#[test]
+#[ignore = "1M peers: release-only, run with --include-ignored"]
+fn churn_1m_matches_golden_snapshot() {
+    let (rendered, final_scost) = render_churn_1m();
+    assert!(
+        (final_scost / 0.101 - 1.0).abs() < 0.01,
+        "million-peer repair must reach the paper-ideal scost, got {final_scost}"
+    );
+    check("churn_1M.txt", rendered);
 }
 
 /// Observed-mode counterpart of `churn_10k`: relocation driven by the
